@@ -1,0 +1,82 @@
+//! Ablation benches for the design choices `DESIGN.md` §7 calls out:
+//! point ordering vs AU conflicts, max-before-subtract, partitioning
+//! direction, and the ignore-conflicts approximation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mesorasi_core::trace::AggregateOp;
+use mesorasi_knn::bruteforce;
+use mesorasi_pointcloud::sampling::random_indices;
+use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi_pointcloud::{morton, PointCloud};
+use mesorasi_sim::au::AuConfig;
+use mesorasi_tensor::{group, ops, Matrix};
+use rand::seq::SliceRandom;
+
+fn agg_for(cloud: &PointCloud, width: usize) -> AggregateOp {
+    let centroids = random_indices(cloud, 512, 1);
+    let nit = bruteforce::knn_indices(cloud, &centroids, 32);
+    AggregateOp { nit, table_rows: cloud.len(), width, rows_per_entry: 33, fused_reduce: true }
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let sorted = morton::sort_cloud(&sample_shape(ShapeClass::Chair, 1024, 3));
+    let shuffled = {
+        let mut pts = sorted.points().to_vec();
+        let mut rng = mesorasi_pointcloud::seeded_rng(4);
+        pts.shuffle(&mut rng);
+        PointCloud::from_points(pts)
+    };
+    let au = AuConfig::default();
+    let mut g = c.benchmark_group("ablation_ordering");
+    g.sample_size(20);
+    for (name, cloud) in [("morton", &sorted), ("shuffled", &shuffled)] {
+        let agg = agg_for(cloud, 128);
+        g.bench_function(format!("au_simulate_{name}"), |b| {
+            b.iter(|| black_box(au.simulate(&agg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_max_subtract_order(c: &mut Criterion) {
+    let cloud = sample_shape(ShapeClass::Vase, 1024, 5);
+    let centroids = random_indices(&cloud, 512, 1);
+    let nit = bruteforce::knn_indices(&cloud, &centroids, 32);
+    let pft = Matrix::from_fn(1024, 128, |r, cix| ((r * 31 + cix * 7) % 13) as f32 - 6.0);
+    let cents = group::gather_rows(&pft, nit.centroids());
+    let mut g = c.benchmark_group("ablation_max_subtract");
+    g.sample_size(20);
+    g.bench_function("subtract_then_max", |b| {
+        b.iter(|| {
+            let gathered = group::gather_rows(&pft, nit.neighbors_flat());
+            let offsets = group::subtract_centroid_per_group(&gathered, &cents, nit.k());
+            black_box(group::group_max_reduce(&offsets, nit.k()))
+        })
+    });
+    g.bench_function("max_before_subtract", |b| {
+        b.iter(|| {
+            let (reduced, _) = group::gather_max_reduce(&pft, nit.neighbors_flat(), nit.k());
+            black_box(ops::sub(&reduced, &cents))
+        })
+    });
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    // Column-major (the design) vs a single-partition oversized buffer:
+    // quantifies the cost the partitioned design pays to stay small.
+    let cloud = morton::sort_cloud(&sample_shape(ShapeClass::Chair, 2048, 3));
+    let agg = agg_for(&cloud, 256);
+    let nominal = AuConfig::default(); // 64 KB ⇒ partitions
+    let oversized = AuConfig { pft_kb: 4096, ..AuConfig::default() }; // 1 partition
+    let mut g = c.benchmark_group("ablation_partitioning");
+    g.sample_size(20);
+    g.bench_function("au_64kb_partitioned", |b| b.iter(|| black_box(nominal.simulate(&agg))));
+    g.bench_function("au_4mb_single_partition", |b| {
+        b.iter(|| black_box(oversized.simulate(&agg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ordering, bench_max_subtract_order, bench_partitioning);
+criterion_main!(benches);

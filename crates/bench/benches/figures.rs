@@ -1,0 +1,177 @@
+//! One Criterion bench per reproduced table/figure: times the computation
+//! that regenerates each result (trace building amortized once). The
+//! `repro` binary prints the actual rows; these benches keep the
+//! regeneration cost measurable and catch performance regressions in the
+//! experiment pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mesorasi_bench::experiments;
+use mesorasi_bench::training::{overfit_single_cloud, TrainConfig};
+use mesorasi_bench::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::pointnetpp::PointNetPP;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi_sim::au::AuConfig;
+use mesorasi_sim::npu::NpuConfig;
+use mesorasi_sim::soc::{simulate, Platform, SocConfig};
+use std::sync::OnceLock;
+
+/// Traces are expensive; build once for every bench in this file.
+fn ctx() -> &'static Context {
+    static CTX: OnceLock<Context> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let ctx = Context::new();
+        ctx.warm_traces(&NetworkKind::ALL, &Strategy::ALL);
+        ctx
+    })
+}
+
+fn bench_motivation_figures(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("motivation");
+    g.sample_size(10);
+    // Fig. 4/5: GPU simulation of the original traces.
+    g.bench_function("fig04_fig05_gpu_sim_5_networks", |b| {
+        b.iter(|| {
+            for kind in NetworkKind::PROFILED {
+                let trace = ctx.trace(kind, Strategy::Original);
+                black_box(simulate(&trace, Platform::GpuOnly, ctx.soc()));
+            }
+        })
+    });
+    // Fig. 6: membership statistics (full experiment, 32 inputs).
+    g.bench_function("fig06_membership_stats", |b| {
+        b.iter(|| black_box(experiments::fig06::run(ctx)))
+    });
+    // Fig. 7/9/10: MAC and footprint accounting over cached traces.
+    g.bench_function("fig07_fig09_fig10_accounting", |b| {
+        b.iter(|| {
+            for kind in NetworkKind::PROFILED {
+                let orig = ctx.trace(kind, Strategy::Original);
+                let del = ctx.trace(kind, Strategy::Delayed);
+                black_box((orig.mlp_macs(), del.mlp_macs(), orig.activation_sizes()));
+            }
+        })
+    });
+    // Fig. 11/12: stage-time simulations, both strategies.
+    g.bench_function("fig11_fig12_stage_times", |b| {
+        b.iter(|| {
+            for kind in NetworkKind::PROFILED {
+                for strategy in [Strategy::Original, Strategy::Delayed] {
+                    let trace = ctx.trace(kind, strategy);
+                    black_box(simulate(&trace, Platform::GpuOnly, ctx.soc()));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_evaluation_figures(c: &mut Criterion) {
+    let ctx = ctx();
+    let mut g = c.benchmark_group("evaluation");
+    g.sample_size(10);
+    // Fig. 17: GPU platform, all three strategies, seven networks.
+    g.bench_function("fig17_gpu_three_strategies", |b| {
+        b.iter(|| {
+            for kind in NetworkKind::ALL {
+                for strategy in Strategy::ALL {
+                    let trace = ctx.trace(kind, strategy);
+                    black_box(simulate(&trace, Platform::GpuOnly, ctx.soc()));
+                }
+            }
+        })
+    });
+    // Fig. 18/19: all four platforms.
+    g.bench_function("fig18_fig19_soc_platforms", |b| {
+        b.iter(|| {
+            for kind in NetworkKind::ALL {
+                let orig = ctx.trace(kind, Strategy::Original);
+                let del = ctx.trace(kind, Strategy::Delayed);
+                black_box(simulate(&orig, Platform::GpuNpu, ctx.soc()));
+                black_box(simulate(&del, Platform::MesorasiSw, ctx.soc()));
+                black_box(simulate(&del, Platform::MesorasiHw, ctx.soc()));
+            }
+        })
+    });
+    // Fig. 20: NSE-enabled SoC.
+    let nse = SocConfig::with_nse();
+    g.bench_function("fig20_nse_soc", |b| {
+        b.iter(|| {
+            for kind in NetworkKind::ALL {
+                let del = ctx.trace(kind, Strategy::Delayed);
+                black_box(simulate(&del, Platform::MesorasiHw, &nse));
+            }
+        })
+    });
+    // Fig. 21: systolic-array sweep.
+    g.bench_function("fig21_sa_size_sweep", |b| {
+        let orig = ctx.trace(NetworkKind::PointNetPPSegmentation, Strategy::Original);
+        let del = ctx.trace(NetworkKind::PointNetPPSegmentation, Strategy::Delayed);
+        b.iter(|| {
+            for sa in [8usize, 16, 24, 32, 40, 48] {
+                let cfg = SocConfig {
+                    npu: NpuConfig { rows: sa, cols: sa, ..NpuConfig::default() },
+                    ..SocConfig::default()
+                };
+                black_box(simulate(&orig, Platform::GpuNpu, &cfg));
+                black_box(simulate(&del, Platform::MesorasiHw, &cfg));
+            }
+        })
+    });
+    // Fig. 22: AU buffer sweep (36 configurations × every aggregation).
+    g.bench_function("fig22_au_buffer_sweep", |b| {
+        let trace = ctx.trace(NetworkKind::PointNetPPSegmentation, Strategy::Delayed);
+        b.iter(|| {
+            for pft in [8usize, 16, 32, 64, 128, 256] {
+                for nit in [3usize, 6, 12, 24, 48, 96] {
+                    let au = AuConfig { pft_kb: pft, nit_kb: nit, ..AuConfig::default() };
+                    for agg in trace.aggregations() {
+                        black_box(au.simulate(agg).total_mj());
+                    }
+                }
+            }
+        })
+    });
+    // Area table (§VII-A).
+    g.bench_function("area_model", |b| {
+        b.iter(|| {
+            black_box(mesorasi_sim::area::au_area(&AuConfig::default()).total());
+            black_box(mesorasi_sim::area::npu_mm2(&NpuConfig::default()));
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig16_training_step(c: &mut Criterion) {
+    // Fig. 16's unit of work: one train step of a small network (the full
+    // experiment runs thousands of these across seven networks).
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    let cloud = sample_shape(ShapeClass::Chair, 128, 1);
+    for strategy in [Strategy::Original, Strategy::Delayed] {
+        g.bench_function(format!("train_step_pointnetpp_{strategy}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = mesorasi_pointcloud::seeded_rng(0);
+                    PointNetPP::classification_small(4, &mut rng)
+                },
+                |mut net| {
+                    overfit_single_cloud(&mut net, &cloud, 1, strategy, 1, 1e-3);
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    let _ = TrainConfig::default();
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_motivation_figures,
+    bench_evaluation_figures,
+    bench_fig16_training_step
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p mesorasi-bench --bin repro            # everything
+//! cargo run --release -p mesorasi-bench --bin repro -- fig17   # one figure
+//! cargo run --release -p mesorasi-bench --bin repro -- --list  # list ids
+//! ```
+
+use mesorasi_bench::{experiments, Context};
+use mesorasi_core::Strategy;
+use mesorasi_networks::registry::NetworkKind;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in experiments::all() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ctx = Context::new();
+    let selected: Vec<String> = if args.is_empty() {
+        experiments::all().iter().map(|(id, _)| (*id).to_owned()).collect()
+    } else {
+        args
+    };
+
+    // Warm the trace cache in parallel for the trace-based experiments.
+    let needs_traces = selected.iter().any(|id| {
+        !matches!(id.as_str(), "table1" | "fig06" | "area" | "fig16" | "--list")
+    });
+    if needs_traces {
+        eprintln!("[repro] building paper-scale traces (parallel)...");
+        let t0 = Instant::now();
+        ctx.warm_traces(&NetworkKind::ALL, &Strategy::ALL);
+        eprintln!("[repro] traces ready in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+
+    for id in &selected {
+        let t0 = Instant::now();
+        match experiments::run_one(&ctx, id) {
+            Some(output) => {
+                println!("{output}");
+                eprintln!("[repro] {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("[repro] unknown experiment '{id}'; use --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Shared experiment state: cached paper-scale traces and the SoC models.
+
+use mesorasi_core::{NetworkTrace, Strategy};
+use mesorasi_networks::datasets;
+use mesorasi_networks::registry::{Domain, NetworkKind};
+use mesorasi_nn::Graph;
+use mesorasi_pointcloud::parts;
+use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi_pointcloud::{morton, PointCloud};
+use mesorasi_sim::soc::SocConfig;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Cached traces plus hardware configuration for one experiment session.
+pub struct Context {
+    soc: SocConfig,
+    traces: Mutex<HashMap<(NetworkKind, Strategy), NetworkTrace>>,
+    /// Seed for input generation and centroid sampling; fixed so all
+    /// experiments see identical workloads.
+    seed: u64,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Context::new()
+    }
+}
+
+impl Context {
+    /// Creates a context with the nominal SoC configuration.
+    pub fn new() -> Self {
+        Context { soc: SocConfig::default(), traces: Mutex::new(HashMap::new()), seed: 2020 }
+    }
+
+    /// The SoC configuration shared by all experiments.
+    pub fn soc(&self) -> &SocConfig {
+        &self.soc
+    }
+
+    /// The paper-scale input cloud for `kind`: a Morton-sorted synthetic
+    /// instance of the network's dataset stand-in (spatial sorting gives
+    /// neighbor indices the locality real preprocessed datasets have,
+    /// which the AU's LSB bank interleaving expects — §V-B).
+    pub fn input_cloud(&self, kind: NetworkKind) -> PointCloud {
+        let points = match kind {
+            NetworkKind::PointNetPPSegmentation | NetworkKind::DgcnnSegmentation => 2048,
+            _ => 1024,
+        };
+        let cloud = match kind.domain() {
+            Domain::Classification => sample_shape(ShapeClass::Chair, points, self.seed),
+            Domain::Segmentation => {
+                let cat = parts::categories()[1]; // chair
+                parts::sample_labelled(cat, points, self.seed)
+            }
+            Domain::Detection => {
+                let frustums = datasets::frustums(4, points, self.seed);
+                frustums
+                    .into_iter()
+                    .next()
+                    .expect("synthetic scenes always yield at least one frustum")
+                    .cloud
+            }
+        };
+        sort_labelled(&cloud)
+    }
+
+    /// The trace of `kind` under `strategy` at paper scale, cached.
+    pub fn trace(&self, kind: NetworkKind, strategy: Strategy) -> NetworkTrace {
+        if let Some(t) = self.traces.lock().expect("trace cache poisoned").get(&(kind, strategy))
+        {
+            return t.clone();
+        }
+        let trace = self.build_trace(kind, strategy);
+        self.traces
+            .lock()
+            .expect("trace cache poisoned")
+            .insert((kind, strategy), trace.clone());
+        trace
+    }
+
+    fn build_trace(&self, kind: NetworkKind, strategy: Strategy) -> NetworkTrace {
+        let mut rng = mesorasi_pointcloud::seeded_rng(self.seed ^ 0xfeed);
+        let net = kind.build_paper(&mut rng);
+        let cloud = self.input_cloud(kind);
+        let mut g = Graph::new();
+        let out = net.forward(&mut g, &cloud, strategy, self.seed);
+        out.trace
+    }
+
+    /// Pre-builds the traces for `kinds` × `strategies` in parallel.
+    pub fn warm_traces(&self, kinds: &[NetworkKind], strategies: &[Strategy]) {
+        crossbeam::thread::scope(|scope| {
+            for &kind in kinds {
+                for &strategy in strategies {
+                    scope.spawn(move |_| {
+                        let _ = self.trace(kind, strategy);
+                    });
+                }
+            }
+        })
+        .expect("trace workers must not panic");
+    }
+}
+
+/// Morton-sorts a cloud, preserving labels.
+fn sort_labelled(cloud: &PointCloud) -> PointCloud {
+    let perm = morton::sort_permutation(cloud);
+    cloud.select(&perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_clouds_have_expected_sizes() {
+        let ctx = Context::new();
+        assert_eq!(ctx.input_cloud(NetworkKind::PointNetPPClassification).len(), 1024);
+        assert_eq!(ctx.input_cloud(NetworkKind::DgcnnSegmentation).len(), 2048);
+        let frustum = ctx.input_cloud(NetworkKind::FPointNet);
+        assert_eq!(frustum.len(), 1024);
+        assert!(frustum.labels().is_some(), "detection inputs carry labels");
+    }
+
+    #[test]
+    fn input_clouds_are_deterministic() {
+        let a = Context::new().input_cloud(NetworkKind::PointNetPPClassification);
+        let b = Context::new().input_cloud(NetworkKind::PointNetPPClassification);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,39 @@
+//! §VII-A: area overhead of the Aggregation Unit.
+
+use crate::Context;
+use mesorasi_sim::area;
+use mesorasi_sim::au::AuConfig;
+use mesorasi_sim::npu::NpuConfig;
+use mesorasi_sim::report::Table;
+
+/// Runs the experiment.
+pub fn run(_ctx: &Context) -> String {
+    let au = AuConfig::default();
+    let npu = NpuConfig::default();
+    let breakdown = area::au_area(&au);
+    let npu_area = area::npu_mm2(&npu);
+    let mut t = Table::new(
+        "Sec. VII-A: area overhead (16 nm)",
+        &["Component", "Paper (mm^2)", "Model (mm^2)"],
+    );
+    t.row(vec!["PFT buffer (64 KB, 32 banks)".into(), "0.031".into(), format!("{:.3}", breakdown.pft_buffer)]);
+    t.row(vec!["Avoided crossbar (32x32)".into(), "0.064".into(), format!("{:.3}", area::crossbar_mm2(au.banks, 4))]);
+    t.row(vec!["AU total".into(), "0.059".into(), format!("{:.3}", breakdown.total())]);
+    t.row(vec![
+        "AU / NPU overhead".into(),
+        "< 3.8%".into(),
+        format!("{:.2}%", breakdown.total() / npu_area * 100.0),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_paper_numbers() {
+        let out = super::run(&crate::Context::new());
+        assert!(out.contains("0.031"));
+        assert!(out.contains("0.059"));
+        assert!(out.contains("3.8"));
+    }
+}

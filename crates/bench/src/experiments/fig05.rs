@@ -1,0 +1,39 @@
+//! Fig. 5: execution-time distribution across N / A / F / Others on the
+//! GPU.
+//!
+//! Shape criteria: neighbor search and feature computation together
+//! dominate every network; aggregation is small (≈3 % average — the Fig. 12
+//! "before" value); DGCNN's share of neighbor search exceeds PointNet++'s.
+
+use crate::Context;
+use mesorasi_core::{Stage, Strategy};
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{pct, Table};
+use mesorasi_sim::soc::{simulate, Platform};
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 5: time distribution across N / A / F (GPU, original algorithm)",
+        &["Network", "Neighbor Search", "Aggregation", "Feature Comp.", "Others"],
+    );
+    for kind in NetworkKind::PROFILED {
+        let trace = ctx.trace(kind, Strategy::Original);
+        let sim = simulate(&trace, Platform::GpuOnly, ctx.soc());
+        let total: f64 = Stage::ALL.iter().map(|&s| sim.stage_ms(s)).sum();
+        let share = |s: Stage| pct(sim.stage_ms(s) / total * 100.0);
+        t.row(vec![
+            kind.name().to_owned(),
+            share(Stage::NeighborSearch),
+            share(Stage::Aggregation),
+            share(Stage::FeatureCompute),
+            share(Stage::Other),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "paper: N and F dominate all five networks; A is small (3% avg); \
+         DGCNN variants are the most search-heavy\n",
+    );
+    out
+}

@@ -1,0 +1,49 @@
+//! Fig. 7: MAC comparison — point-cloud networks at a 130 K-point frame
+//! vs conventional CNNs at a similar pixel count.
+//!
+//! Shape criterion: "In feature computation alone, point cloud networks
+//! have an order of magnitude higher MAC counts than conventional CNNs."
+//! Point-cloud MACs are taken from the paper-scale traces and scaled
+//! linearly to 130 K input points (every batched-row count scales with N).
+
+use crate::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::cnn;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{gops, Table};
+
+/// The KITTI frame size the paper uses (64 × 2048 rays ≈ 130 K).
+pub const KITTI_POINTS: usize = 131_072;
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 7: MAC operations, CNNs vs point-cloud networks @ 130K points (GOPs)",
+        &["Model", "Kind", "GMACs"],
+    );
+    for model in cnn::fig7_baselines() {
+        t.row(vec![model.name.to_owned(), "CNN".into(), gops(model.total_macs())]);
+    }
+    let mut min_pc = f64::INFINITY;
+    let mut max_cnn = 0f64;
+    for model in cnn::fig7_baselines() {
+        max_cnn = max_cnn.max(model.total_macs() as f64);
+    }
+    for kind in NetworkKind::PROFILED {
+        let trace = ctx.trace(kind, Strategy::Original);
+        let net = {
+            let mut rng = mesorasi_pointcloud::seeded_rng(0);
+            kind.build_paper(&mut rng)
+        };
+        let scale = KITTI_POINTS as f64 / net.input_points() as f64;
+        let macs = trace.mlp_macs() as f64 * scale;
+        min_pc = min_pc.min(macs);
+        t.row(vec![kind.name().to_owned(), "Point cloud".into(), gops(macs as u64)]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "min point-cloud / max CNN MAC ratio: {:.1}x (paper: about an order of magnitude)\n",
+        min_pc / max_cnn
+    ));
+    out
+}

@@ -1,0 +1,36 @@
+//! Fig. 9: MLP MAC reduction from delayed-aggregation.
+//!
+//! Shape criterion: large per-network reductions averaging 68 %, highest
+//! for the networks whose modules multiply per-edge rows the most.
+
+use crate::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{pct, Table};
+
+/// Per-network MAC reduction (%) of delayed vs original.
+pub fn reductions(ctx: &Context) -> Vec<(NetworkKind, f64)> {
+    NetworkKind::PROFILED
+        .iter()
+        .map(|&kind| {
+            let orig = ctx.trace(kind, Strategy::Original).mlp_macs() as f64;
+            let del = ctx.trace(kind, Strategy::Delayed).mlp_macs() as f64;
+            (kind, (1.0 - del / orig) * 100.0)
+        })
+        .collect()
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 9: MLP MAC reduction by delayed-aggregation",
+        &["Network", "MAC reduction"],
+    );
+    let rows = reductions(ctx);
+    let avg: f64 = rows.iter().map(|(_, r)| r).sum::<f64>() / rows.len() as f64;
+    for (kind, r) in rows {
+        t.row(vec![kind.name().to_owned(), pct(r)]);
+    }
+    t.row(vec!["AVG (paper: 68%)".into(), pct(avg)]);
+    t.render()
+}

@@ -1,0 +1,39 @@
+//! Fig. 10: per-layer MLP output sizes, original vs delayed.
+//!
+//! Shape criteria: original layer outputs "usually exceed 2 MB and could
+//! be as large as 32 MB", far beyond on-chip buffers; delayed outputs drop
+//! to 512 KB – 1 MB, "amenable to be buffered completely on-chip".
+
+use crate::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{bytes, Table};
+
+fn distribution(sizes: &[u64]) -> (u64, u64, u64) {
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let min = *sorted.first().unwrap_or(&0);
+    let max = *sorted.last().unwrap_or(&0);
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0);
+    (min, median, max)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 10: MLP layer output sizes (min / median / max)",
+        &["Network", "Original", "Delayed-Aggr."],
+    );
+    for kind in NetworkKind::PROFILED {
+        let (omin, omed, omax) = distribution(&ctx.trace(kind, Strategy::Original).activation_sizes());
+        let (dmin, dmed, dmax) = distribution(&ctx.trace(kind, Strategy::Delayed).activation_sizes());
+        t.row(vec![
+            kind.name().to_owned(),
+            format!("{} / {} / {}", bytes(omin), bytes(omed), bytes(omax)),
+            format!("{} / {} / {}", bytes(dmin), bytes(dmed), bytes(dmax)),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("paper: original up to 32 MB (spills any on-chip buffer); delayed 512 KB-1 MB\n");
+    out
+}

@@ -1,0 +1,38 @@
+//! Fig. 11: PointNet++ (s) stage times with and without delayed-aggregation
+//! (GPU platform).
+//!
+//! Paper values (ms): original N=9.8, A=0.8, F=24.9; delayed N=9.5, A=3.9,
+//! F=7.8. Shape criteria: F shrinks sharply, N stays put, A grows several
+//! fold (the new bottleneck motivating the AU, §IV-C).
+
+use crate::Context;
+use mesorasi_core::{Stage, Strategy};
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{ms, Table};
+use mesorasi_sim::soc::{simulate, Platform};
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 11: PointNet++ (s) stage times, original vs delayed (GPU)",
+        &["Stage", "Paper orig", "Paper delayed", "Measured orig", "Measured delayed"],
+    );
+    let kind = NetworkKind::PointNetPPSegmentation;
+    let orig = simulate(&ctx.trace(kind, Strategy::Original), Platform::GpuOnly, ctx.soc());
+    let del = simulate(&ctx.trace(kind, Strategy::Delayed), Platform::GpuOnly, ctx.soc());
+    let paper = [
+        (Stage::NeighborSearch, 9.8, 9.5),
+        (Stage::Aggregation, 0.8, 3.9),
+        (Stage::FeatureCompute, 24.9, 7.8),
+    ];
+    for (stage, p_orig, p_del) in paper {
+        t.row(vec![
+            stage.label().to_owned(),
+            ms(p_orig),
+            ms(p_del),
+            ms(orig.stage_ms(stage)),
+            ms(del.stage_ms(stage)),
+        ]);
+    }
+    t.render()
+}

@@ -1,0 +1,48 @@
+//! Fig. 12: aggregation time rises under delayed-aggregation.
+//!
+//! Shape criteria: both the absolute aggregation time and its share of
+//! total execution increase on every network; the average share rises from
+//! ≈3 % to ≈24 %.
+
+use crate::Context;
+use mesorasi_core::{Stage, Strategy};
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{ms, pct, Table};
+use mesorasi_sim::soc::{simulate, Platform};
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 12: aggregation time, original vs delayed (GPU)",
+        &["Network", "Orig (ms)", "Delayed (ms)", "Orig share", "Delayed share"],
+    );
+    let mut orig_shares = 0.0;
+    let mut del_shares = 0.0;
+    for kind in NetworkKind::PROFILED {
+        let orig = simulate(&ctx.trace(kind, Strategy::Original), Platform::GpuOnly, ctx.soc());
+        let del = simulate(&ctx.trace(kind, Strategy::Delayed), Platform::GpuOnly, ctx.soc());
+        let total = |r: &mesorasi_sim::soc::SimReport| -> f64 {
+            Stage::ALL.iter().map(|&s| r.stage_ms(s)).sum()
+        };
+        let o_share = orig.stage_ms(Stage::Aggregation) / total(&orig) * 100.0;
+        let d_share = del.stage_ms(Stage::Aggregation) / total(&del) * 100.0;
+        orig_shares += o_share;
+        del_shares += d_share;
+        t.row(vec![
+            kind.name().to_owned(),
+            ms(orig.stage_ms(Stage::Aggregation)),
+            ms(del.stage_ms(Stage::Aggregation)),
+            pct(o_share),
+            pct(d_share),
+        ]);
+    }
+    let n = NetworkKind::PROFILED.len() as f64;
+    t.row(vec![
+        "AVG (paper: 3% -> 24%)".into(),
+        String::new(),
+        String::new(),
+        pct(orig_shares / n),
+        pct(del_shares / n),
+    ]);
+    t.render()
+}

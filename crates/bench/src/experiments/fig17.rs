@@ -1,0 +1,56 @@
+//! Fig. 17: speedup and energy reduction of delayed-aggregation on the
+//! GPU alone (no hardware support), including the limited (Ltd-Mesorasi)
+//! variant.
+//!
+//! Shape criteria: Mesorasi ≈ 1.6× / 51 % on average; Ltd-Mesorasi lower
+//! (≈1.3× / 28 %); the two coincide on DGCNN (c), LDGCNN and DensePoint
+//! (single-MLP-layer modules).
+
+use crate::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{pct, speedup, Table};
+use mesorasi_sim::soc::{simulate, Platform, SimReport};
+
+fn gpu_sim(ctx: &Context, kind: NetworkKind, strategy: Strategy) -> SimReport {
+    simulate(&ctx.trace(kind, strategy), Platform::GpuOnly, ctx.soc())
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 17: delayed-aggregation on the mobile GPU",
+        &["Network", "Ltd speedup", "Speedup", "Ltd energy red.", "Energy red."],
+    );
+    let mut sums = [0.0f64; 4];
+    for kind in NetworkKind::ALL {
+        let orig = gpu_sim(ctx, kind, Strategy::Original);
+        let ltd = gpu_sim(ctx, kind, Strategy::LtdDelayed);
+        let del = gpu_sim(ctx, kind, Strategy::Delayed);
+        let row = [
+            ltd.speedup_vs(&orig),
+            del.speedup_vs(&orig),
+            ltd.energy_reduction_vs(&orig),
+            del.energy_reduction_vs(&orig),
+        ];
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        t.row(vec![
+            kind.name().to_owned(),
+            speedup(row[0]),
+            speedup(row[1]),
+            pct(row[2]),
+            pct(row[3]),
+        ]);
+    }
+    let n = NetworkKind::ALL.len() as f64;
+    t.row(vec![
+        "AVG (paper: 1.3x / 1.6x / 28.3% / 51.1%)".into(),
+        speedup(sums[0] / n),
+        speedup(sums[1] / n),
+        pct(sums[2] / n),
+        pct(sums[3] / n),
+    ]);
+    t.render()
+}

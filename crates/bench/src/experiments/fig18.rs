@@ -1,0 +1,57 @@
+//! Fig. 18: speedup and normalized energy of Mesorasi-SW and Mesorasi-HW
+//! over the GPU+NPU baseline.
+//!
+//! Shape criteria: the baseline already beats the GPU (~2×, 70 % less
+//! energy, §VII-D); Mesorasi-SW adds ≈1.3× / 22 %; Mesorasi-HW reaches
+//! ≈1.9× average (up to 3.6×) and ≈37.6 % energy reduction.
+
+use crate::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{pct, speedup, Table};
+use mesorasi_sim::soc::{simulate, Platform};
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 18: speedup / normalized energy over the GPU+NPU baseline",
+        &["Network", "GPU", "Mesorasi-SW", "Mesorasi-HW", "SW energy red.", "HW energy red."],
+    );
+    let mut sums = [0.0f64; 5];
+    for kind in NetworkKind::ALL {
+        let orig_trace = ctx.trace(kind, Strategy::Original);
+        let del_trace = ctx.trace(kind, Strategy::Delayed);
+        let baseline = simulate(&orig_trace, Platform::GpuNpu, ctx.soc());
+        let gpu = simulate(&orig_trace, Platform::GpuOnly, ctx.soc());
+        let sw = simulate(&del_trace, Platform::MesorasiSw, ctx.soc());
+        let hw = simulate(&del_trace, Platform::MesorasiHw, ctx.soc());
+        let row = [
+            gpu.speedup_vs(&baseline),
+            sw.speedup_vs(&baseline),
+            hw.speedup_vs(&baseline),
+            sw.energy_reduction_vs(&baseline),
+            hw.energy_reduction_vs(&baseline),
+        ];
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        t.row(vec![
+            kind.name().to_owned(),
+            speedup(row[0]),
+            speedup(row[1]),
+            speedup(row[2]),
+            pct(row[3]),
+            pct(row[4]),
+        ]);
+    }
+    let n = NetworkKind::ALL.len() as f64;
+    t.row(vec![
+        "AVG (paper: ~0.5x / 1.3x / 1.9x / 22% / 37.6%)".into(),
+        speedup(sums[0] / n),
+        speedup(sums[1] / n),
+        speedup(sums[2] / n),
+        pct(sums[3] / n),
+        pct(sums[4] / n),
+    ]);
+    t.render()
+}

@@ -1,0 +1,75 @@
+//! Fig. 19: per-operation gains — feature computation and aggregation.
+//!
+//! Shape criteria (vs the GPU+NPU baseline): feature computation ≈5.1×
+//! faster / 76.3 % less energy (delayed MLP on the NPU vs original MLP on
+//! the NPU); aggregation ≈7.5× faster / 99.4 % less energy (the AU vs the
+//! baseline's GPU aggregation).
+
+use crate::Context;
+use mesorasi_core::{Stage, Strategy};
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{pct, speedup, Table};
+use mesorasi_sim::soc::{simulate, Platform, SimReport};
+
+fn feature_mj(r: &SimReport) -> f64 {
+    // Feature computation runs on the NPU on these platforms.
+    r.modules.iter().map(|m| m.npu_mj).sum()
+}
+
+fn aggregation_mj(r: &SimReport, au: bool) -> f64 {
+    if au {
+        r.modules.iter().map(|m| m.au_mj).sum()
+    } else {
+        // Baseline aggregation is a GPU kernel; approximate its energy by
+        // its share of GPU time.
+        r.modules
+            .iter()
+            .map(|m| {
+                let gpu_ms = m.search_ms + m.agg_ms + m.other_ms;
+                if gpu_ms > 0.0 {
+                    m.gpu_mj * (m.agg_ms / gpu_ms)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Fig. 19: feature computation and aggregation vs GPU+NPU baseline",
+        &["Network", "F speedup", "F energy red.", "A speedup", "A energy red."],
+    );
+    let mut sums = [0.0f64; 4];
+    for kind in NetworkKind::ALL {
+        let baseline =
+            simulate(&ctx.trace(kind, Strategy::Original), Platform::GpuNpu, ctx.soc());
+        let hw = simulate(&ctx.trace(kind, Strategy::Delayed), Platform::MesorasiHw, ctx.soc());
+        let f_speed = baseline.stage_ms(Stage::FeatureCompute) / hw.stage_ms(Stage::FeatureCompute);
+        let f_energy = (1.0 - feature_mj(&hw) / feature_mj(&baseline)) * 100.0;
+        let a_speed = baseline.stage_ms(Stage::Aggregation) / hw.stage_ms(Stage::Aggregation);
+        let a_energy = (1.0 - aggregation_mj(&hw, true) / aggregation_mj(&baseline, false)) * 100.0;
+        sums[0] += f_speed;
+        sums[1] += f_energy;
+        sums[2] += a_speed;
+        sums[3] += a_energy;
+        t.row(vec![
+            kind.name().to_owned(),
+            speedup(f_speed),
+            pct(f_energy),
+            speedup(a_speed),
+            pct(a_energy),
+        ]);
+    }
+    let n = NetworkKind::ALL.len() as f64;
+    t.row(vec![
+        "AVG (paper: 5.1x / 76.3% / 7.5x / 99.4%)".into(),
+        speedup(sums[0] / n),
+        pct(sums[1] / n),
+        speedup(sums[2] / n),
+        pct(sums[3] / n),
+    ]);
+    t.render()
+}

@@ -1,0 +1,49 @@
+//! Fig. 20: Mesorasi on an NSE-enabled SoC (GPU + NPU + neighbor search
+//! engine).
+//!
+//! Shape criteria: the NSE-enabled baseline is ≈4× the GPU; on it,
+//! Mesorasi-SW reaches ≈2.1× and Mesorasi-HW ≈6.7× average (DGCNN highest,
+//! since search dominated them before).
+
+use crate::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::{speedup, Table};
+use mesorasi_sim::soc::{simulate, Platform, SocConfig};
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let nse_cfg = SocConfig::with_nse();
+    let mut t = Table::new(
+        "Fig. 20: speedup over the NSE-enabled baseline (GPU+NPU+NSE)",
+        &["Network", "GPU", "Mesorasi-SW", "Mesorasi-HW"],
+    );
+    let mut sums = [0.0f64; 3];
+    for kind in NetworkKind::ALL {
+        let orig_trace = ctx.trace(kind, Strategy::Original);
+        let del_trace = ctx.trace(kind, Strategy::Delayed);
+        let baseline = simulate(&orig_trace, Platform::GpuNpu, &nse_cfg);
+        let gpu = simulate(&orig_trace, Platform::GpuOnly, ctx.soc()); // plain GPU, no NSE
+        let sw = simulate(&del_trace, Platform::MesorasiSw, &nse_cfg);
+        let hw = simulate(&del_trace, Platform::MesorasiHw, &nse_cfg);
+        let row =
+            [gpu.speedup_vs(&baseline), sw.speedup_vs(&baseline), hw.speedup_vs(&baseline)];
+        for (s, v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+        t.row(vec![
+            kind.name().to_owned(),
+            speedup(row[0]),
+            speedup(row[1]),
+            speedup(row[2]),
+        ]);
+    }
+    let n = NetworkKind::ALL.len() as f64;
+    t.row(vec![
+        "AVG (paper: ~0.25x / 2.1x / 6.7x)".into(),
+        speedup(sums[0] / n),
+        speedup(sums[1] / n),
+        speedup(sums[2] / n),
+    ]);
+    t.render()
+}

@@ -1,0 +1,46 @@
+//! Fig. 22: AU energy sensitivity to the NIT and PFT buffer sizes
+//! (PointNet++ (s)).
+//!
+//! Shape criteria: energy normalized to the nominal design (PFT 64 KB,
+//! NIT 12 KB) grows toward small buffers (more partitions ⇒ more NIT
+//! re-streaming; tiny NIT ⇒ DRAM refetch dominates) and shrinks mildly
+//! toward large ones — the paper's corner values are 31.8× at
+//! (8 KB, 3 KB) and 0.1× at (256 KB, 96 KB).
+
+use crate::Context;
+use mesorasi_core::Strategy;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::au::AuConfig;
+use mesorasi_sim::report::Table;
+
+/// Total AU energy (mJ, including NIT DRAM traffic) for all aggregations
+/// of the PointNet++ (s) delayed trace under `au`.
+fn au_energy(ctx: &Context, au: &AuConfig) -> f64 {
+    let trace = ctx.trace(NetworkKind::PointNetPPSegmentation, Strategy::Delayed);
+    trace.aggregations().map(|agg| au.simulate(agg).total_mj()).sum()
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &Context) -> String {
+    let nominal = au_energy(ctx, &AuConfig::default());
+    let nit_sizes = [3usize, 6, 12, 24, 48, 96];
+    let pft_sizes = [8usize, 16, 32, 64, 128, 256];
+    let mut headers: Vec<String> = vec!["PFT \\ NIT (KB)".into()];
+    headers.extend(nit_sizes.iter().map(|n| n.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Fig. 22: AU energy vs buffer sizes, normalized to (PFT 64 KB, NIT 12 KB)",
+        &header_refs,
+    );
+    for &pft in &pft_sizes {
+        let mut row = vec![format!("{pft} KB")];
+        for &nit in &nit_sizes {
+            let cfg = AuConfig { pft_kb: pft, nit_kb: nit, ..AuConfig::default() };
+            row.push(format!("{:.2}", au_energy(ctx, &cfg) / nominal));
+        }
+        t.row(row);
+    }
+    let mut out = t.render();
+    out.push_str("paper corners: 31.8 at (PFT 8, NIT 3); 0.1 at (PFT 256, NIT 96); 1.0 nominal\n");
+    out
+}

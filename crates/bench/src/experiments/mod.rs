@@ -1,0 +1,66 @@
+//! One module per reproduced table/figure. Every experiment implements
+//! `run(&Context) -> String`, returning a rendered table with paper values
+//! alongside measured ones.
+
+pub mod ablations;
+pub mod area7a;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod table1;
+
+use crate::Context;
+
+/// The experiment registry: id → runner. Ordered as in the paper.
+pub fn all() -> Vec<(&'static str, fn(&Context) -> String)> {
+    vec![
+        ("table1", table1::run as fn(&Context) -> String),
+        ("fig04", fig04::run),
+        ("fig05", fig05::run),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("area", area7a::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+        ("fig18", fig18::run),
+        ("fig19", fig19::run),
+        ("fig20", fig20::run),
+        ("fig21", fig21::run),
+        ("fig22", fig22::run),
+        ("ablations", ablations::run),
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run_one(ctx: &Context, id: &str) -> Option<String> {
+    all().into_iter().find(|(name, _)| *name == id).map(|(_, f)| f(ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_ids_are_unique() {
+        let ids: Vec<&str> = super::all().iter().map(|(id, _)| *id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        assert_eq!(ids.len(), 18);
+    }
+}

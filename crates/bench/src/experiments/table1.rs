@@ -1,0 +1,42 @@
+//! Table I: the benchmark suite.
+
+use crate::Context;
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_sim::report::Table;
+
+/// Renders Table I (networks, domains, datasets, years) with the synthetic
+/// stand-in noted per dataset.
+pub fn run(_ctx: &Context) -> String {
+    let mut t = Table::new(
+        "Table I: evaluation benchmarks",
+        &["Domain", "Algorithm", "Dataset (paper)", "Stand-in (here)", "Year"],
+    );
+    for kind in NetworkKind::ALL {
+        let stand_in = match kind.dataset() {
+            "ModelNet40" => "40-class parametric shapes",
+            "ShapeNet" => "part-labelled parametric shapes",
+            "KITTI" => "ray-cast LiDAR scenes",
+            other => other,
+        };
+        t.row(vec![
+            kind.domain().label().to_owned(),
+            kind.name().to_owned(),
+            kind.dataset().to_owned(),
+            stand_in.to_owned(),
+            kind.year().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_seven_networks() {
+        let out = super::run(&crate::Context::new());
+        assert!(out.contains("PointNet++ (c)"));
+        assert!(out.contains("DensePoint"));
+        assert!(out.contains("KITTI"));
+        assert_eq!(out.matches("20").count() >= 7, true);
+    }
+}

@@ -1,0 +1,164 @@
+//! Closed-form cost accounting, independent of execution.
+//!
+//! The trace layer records what actually ran; this module computes the same
+//! quantities analytically from a [`ModuleConfig`], which the MAC-count and
+//! footprint experiments (Figs. 7, 9, 10) use to sweep input sizes (e.g.
+//! the 130 K-point KITTI frame of Fig. 7) without running anything.
+
+use crate::module::{ModuleConfig, NeighborMode};
+use crate::strategy::Strategy;
+
+/// MLP MACs of one module under `strategy` with `n_in` input points.
+///
+/// * original: every layer over `N_out · K` aggregated rows,
+/// * ltd: layer 1 over `N_in` rows, the tail over `N_out · K` rows,
+/// * delayed: every layer over `N_in` rows (edge modules: layer 1 over
+///   `N_in`, tail over `N_out` reduced rows).
+pub fn mlp_macs(cfg: &ModuleConfig, strategy: Strategy, n_in: usize) -> u64 {
+    let widths = cfg.layer_widths();
+    let layer = |rows: usize, w: &[usize]| -> u64 {
+        w.windows(2).map(|p| (rows as u64) * (p[0] as u64) * (p[1] as u64)).sum()
+    };
+    if matches!(cfg.neighbor, NeighborMode::Global) {
+        return layer(n_in, &widths);
+    }
+    let edge_rows = cfg.n_out * cfg.k;
+    match strategy {
+        Strategy::Original => layer(edge_rows, &widths),
+        Strategy::LtdDelayed => {
+            layer(n_in, &widths[..2]) + layer(edge_rows, &widths[1..])
+        }
+        Strategy::Delayed => {
+            if cfg.edge {
+                layer(n_in, &widths[..2]) + layer(cfg.n_out, &widths[1..])
+            } else {
+                layer(n_in, &widths)
+            }
+        }
+    }
+}
+
+/// Per-layer MLP output sizes in bytes (the Fig. 10 violin data).
+pub fn activation_sizes(cfg: &ModuleConfig, strategy: Strategy, n_in: usize) -> Vec<u64> {
+    let widths = cfg.layer_widths();
+    let outs = |rows: usize, w: &[usize]| -> Vec<u64> {
+        w[1..].iter().map(|&c| 4 * (rows as u64) * (c as u64)).collect()
+    };
+    if matches!(cfg.neighbor, NeighborMode::Global) {
+        return outs(n_in, &widths);
+    }
+    let edge_rows = cfg.n_out * cfg.k;
+    match strategy {
+        Strategy::Original => outs(edge_rows, &widths),
+        Strategy::LtdDelayed => {
+            let mut v = outs(n_in, &widths[..2]);
+            v.extend(outs(edge_rows, &widths[1..]));
+            v
+        }
+        Strategy::Delayed => {
+            if cfg.edge {
+                let mut v = outs(n_in, &widths[..2]);
+                v.extend(outs(cfg.n_out, &widths[1..]));
+                v
+            } else {
+                outs(n_in, &widths)
+            }
+        }
+    }
+}
+
+/// MAC count of a conventional convolution layer: `H·W · C_in·C_out · k²`
+/// (stride folded into the output size). Used by the Fig. 7 CNN baselines.
+pub fn conv2d_macs(out_h: usize, out_w: usize, c_in: usize, c_out: usize, kernel: usize) -> u64 {
+    (out_h as u64) * (out_w as u64) * (c_in as u64) * (c_out as u64) * (kernel as u64).pow(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pn_first_module() -> ModuleConfig {
+        // The Fig. 3 example: 1024 → 512 points, K = 32, MLP [3, 64, 64, 128].
+        ModuleConfig::offset("sa1", 512, 32, NeighborMode::CoordKnn, vec![3, 64, 64, 128])
+    }
+
+    #[test]
+    fn original_macs_match_paper_example() {
+        // Original: 512 NFMs of 32×3 through the MLP = 16384 rows.
+        let cfg = pn_first_module();
+        let rows = 512 * 32;
+        let expect = (rows * (3 * 64 + 64 * 64 + 64 * 128)) as u64;
+        assert_eq!(mlp_macs(&cfg, Strategy::Original, 1024), expect);
+    }
+
+    #[test]
+    fn delayed_macs_run_once_per_input_point() {
+        // Delayed: one 1024×3 matrix through the MLP (paper §IV-B: "the new
+        // algorithm executes MLP only on one 1024×3 matrix").
+        let cfg = pn_first_module();
+        let expect = (1024 * (3 * 64 + 64 * 64 + 64 * 128)) as u64;
+        assert_eq!(mlp_macs(&cfg, Strategy::Delayed, 1024), expect);
+    }
+
+    #[test]
+    fn delayed_reduces_macs_by_an_order_of_magnitude_here() {
+        let cfg = pn_first_module();
+        let orig = mlp_macs(&cfg, Strategy::Original, 1024);
+        let del = mlp_macs(&cfg, Strategy::Delayed, 1024);
+        // 512·32 / 1024 = 16× fewer rows.
+        assert_eq!(orig / del, 16);
+    }
+
+    #[test]
+    fn ltd_saves_only_first_layer() {
+        let cfg = pn_first_module();
+        let ltd = mlp_macs(&cfg, Strategy::LtdDelayed, 1024);
+        let orig = mlp_macs(&cfg, Strategy::Original, 1024);
+        let rows = (512 * 32) as u64;
+        let expect = 1024 * 3 * 64 + rows * (64 * 64 + 64 * 128);
+        assert_eq!(ltd, expect);
+        assert!(ltd < orig);
+        assert!(ltd > mlp_macs(&cfg, Strategy::Delayed, 1024));
+    }
+
+    #[test]
+    fn activation_sizes_shrink_with_delayed() {
+        // Fig. 10: original layer outputs (512·32 rows) vs delayed (1024).
+        let cfg = pn_first_module();
+        let orig = activation_sizes(&cfg, Strategy::Original, 1024);
+        let del = activation_sizes(&cfg, Strategy::Delayed, 1024);
+        assert_eq!(orig.len(), 3);
+        assert_eq!(del.len(), 3);
+        let orig_max = *orig.iter().max().unwrap();
+        let del_max = *del.iter().max().unwrap();
+        // 16384×128×4 B = 8 MB vs 1024×128×4 B = 512 KB.
+        assert_eq!(orig_max, 8 << 20);
+        assert_eq!(del_max, 512 << 10);
+    }
+
+    #[test]
+    fn global_module_is_strategy_invariant() {
+        let cfg = ModuleConfig::global("g", vec![256, 512, 1024]);
+        let a = mlp_macs(&cfg, Strategy::Original, 128);
+        let b = mlp_macs(&cfg, Strategy::Delayed, 128);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn edge_delayed_runs_tail_on_reduced_rows() {
+        let cfg = ModuleConfig::edge("ec", 1024, 20, vec![64, 64, 64]);
+        let del = mlp_macs(&cfg, Strategy::Delayed, 1024);
+        // layer 1: 1024 rows × (128·64); tail: 1024 reduced rows × (64·64).
+        let expect = 1024 * (128 * 64) + 1024 * (64 * 64);
+        assert_eq!(del, expect);
+        let orig = mlp_macs(&cfg, Strategy::Original, 1024);
+        assert!(del < orig / 10, "edge delayed saves ≥ K× on both layers");
+    }
+
+    #[test]
+    fn conv_macs_alexnet_conv1() {
+        // AlexNet conv1: 96 filters of 11×11×3 over a 55×55 output.
+        let macs = conv2d_macs(55, 55, 3, 96, 11);
+        assert_eq!(macs, 55 * 55 * 3 * 96 * 121);
+    }
+}

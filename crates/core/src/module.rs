@@ -1,0 +1,235 @@
+//! Point-cloud module descriptions.
+
+use mesorasi_nn::layers::{NormMode, SharedMlp};
+use rand::rngs::StdRng;
+
+/// How a module finds the neighbors of each centroid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NeighborMode {
+    /// K-nearest-neighbors in the original 3-D coordinate space
+    /// (PointNet++-family modules; paper §V-A: "neighbor searches in all
+    /// modules search in the original 3-D coordinate space").
+    CoordKnn,
+    /// Radius query with padding in 3-D coordinate space (PointNet++'s
+    /// grouping operator).
+    CoordBall {
+        /// Query radius, in the unit-sphere-normalized coordinate system.
+        radius: f32,
+    },
+    /// KNN in the feature space produced by the previous module (DGCNN's
+    /// dynamic graph; §V-A: "the neighbor search in module i searches in
+    /// the output feature space of module (i−1)").
+    FeatureKnn,
+    /// No search: a single group containing every input point (the final
+    /// "group-all" set-abstraction module of PointNet++, and PointNet's
+    /// global max pooling).
+    Global,
+}
+
+/// Static description of one module: sizes, search mode, MLP widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleConfig {
+    /// Human-readable name (used in traces and reports).
+    pub name: String,
+    /// Number of output points (centroids), `N_out`.
+    pub n_out: usize,
+    /// Neighbors per centroid, `K`.
+    pub k: usize,
+    /// Neighbor search mode.
+    pub neighbor: NeighborMode,
+    /// MLP widths starting at the *per-point* input feature dimension,
+    /// e.g. `[3, 64, 64, 128]` for PointNet++'s first module. For edge
+    /// modules the first layer actually consumes `2 × widths[0]` inputs
+    /// (the `[x_i | x_j − x_i]` concatenation); [`Module::new`] handles
+    /// the doubling.
+    pub mlp_widths: Vec<usize>,
+    /// True for DGCNN-style edge modules whose MLP input is the
+    /// concatenation of the centroid feature and the neighbor offset.
+    pub edge: bool,
+}
+
+impl ModuleConfig {
+    /// A PointNet++-style offset module (MLP input = neighbor offsets).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate sizes (`n_out == 0`, `k == 0`, fewer than two
+    /// MLP widths).
+    pub fn offset(
+        name: &str,
+        n_out: usize,
+        k: usize,
+        neighbor: NeighborMode,
+        mlp_widths: Vec<usize>,
+    ) -> Self {
+        let c = ModuleConfig { name: name.to_owned(), n_out, k, neighbor, mlp_widths, edge: false };
+        c.validate();
+        c
+    }
+
+    /// A DGCNN-style edge module (MLP input = `[x_i | x_j − x_i]`) with
+    /// feature-space KNN, DGCNN's dynamic-graph search.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate sizes.
+    pub fn edge(name: &str, n_out: usize, k: usize, mlp_widths: Vec<usize>) -> Self {
+        Self::edge_with(name, n_out, k, NeighborMode::FeatureKnn, mlp_widths)
+    }
+
+    /// An edge module with an explicit neighbor mode — DensePoint's
+    /// enhanced aggregation concatenates the centroid feature like an edge
+    /// module but searches by ball query in coordinate space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate sizes.
+    pub fn edge_with(
+        name: &str,
+        n_out: usize,
+        k: usize,
+        neighbor: NeighborMode,
+        mlp_widths: Vec<usize>,
+    ) -> Self {
+        let c = ModuleConfig {
+            name: name.to_owned(),
+            n_out,
+            k,
+            neighbor,
+            mlp_widths,
+            edge: true,
+        };
+        c.validate();
+        c
+    }
+
+    /// A group-all module: every input point in one group, global max.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate sizes.
+    pub fn global(name: &str, mlp_widths: Vec<usize>) -> Self {
+        let c = ModuleConfig {
+            name: name.to_owned(),
+            n_out: 1,
+            k: 0,
+            neighbor: NeighborMode::Global,
+            mlp_widths,
+            edge: false,
+        };
+        c.validate();
+        c
+    }
+
+    fn validate(&self) {
+        assert!(self.n_out > 0, "{}: n_out must be positive", self.name);
+        assert!(
+            self.mlp_widths.len() >= 2,
+            "{}: MLP needs at least input and output widths",
+            self.name
+        );
+        assert!(
+            self.mlp_widths.iter().all(|&w| w > 0),
+            "{}: MLP widths must be positive",
+            self.name
+        );
+        if !matches!(self.neighbor, NeighborMode::Global) {
+            assert!(self.k > 0, "{}: k must be positive", self.name);
+        }
+    }
+
+    /// Per-point input feature dimension `M_in`.
+    pub fn m_in(&self) -> usize {
+        self.mlp_widths[0]
+    }
+
+    /// Output feature dimension `M_out`.
+    pub fn m_out(&self) -> usize {
+        *self.mlp_widths.last().expect("validated: at least two widths")
+    }
+
+    /// The widths of the MLP as actually constructed (the first width is
+    /// doubled for edge modules).
+    pub fn layer_widths(&self) -> Vec<usize> {
+        let mut w = self.mlp_widths.clone();
+        if self.edge {
+            w[0] *= 2;
+        }
+        w
+    }
+
+    /// Number of MLP layers.
+    pub fn depth(&self) -> usize {
+        self.mlp_widths.len() - 1
+    }
+}
+
+/// A module description bound to its trainable shared MLP.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// The static configuration.
+    pub config: ModuleConfig,
+    /// The shared MLP implementing `F`.
+    pub mlp: SharedMlp,
+}
+
+impl Module {
+    /// Instantiates the MLP for `config` with fresh weights.
+    pub fn new(config: ModuleConfig, norm: NormMode, rng: &mut StdRng) -> Self {
+        let mlp = SharedMlp::new(&config.layer_widths(), norm, true, rng);
+        Module { config, mlp }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_config_dimensions() {
+        let c = ModuleConfig::offset("sa1", 512, 32, NeighborMode::CoordKnn, vec![3, 64, 64, 128]);
+        assert_eq!(c.m_in(), 3);
+        assert_eq!(c.m_out(), 128);
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.layer_widths(), vec![3, 64, 64, 128]);
+    }
+
+    #[test]
+    fn edge_config_doubles_first_width() {
+        let c = ModuleConfig::edge("ec1", 1024, 20, vec![3, 64]);
+        assert_eq!(c.layer_widths(), vec![6, 64]);
+        assert_eq!(c.m_in(), 3);
+        assert!(c.edge);
+        assert_eq!(c.neighbor, NeighborMode::FeatureKnn);
+    }
+
+    #[test]
+    fn global_config_has_no_search() {
+        let c = ModuleConfig::global("sa3", vec![256, 512, 1024]);
+        assert_eq!(c.n_out, 1);
+        assert_eq!(c.neighbor, NeighborMode::Global);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_out must be positive")]
+    fn zero_n_out_panics() {
+        let _ = ModuleConfig::offset("bad", 0, 8, NeighborMode::CoordKnn, vec![3, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = ModuleConfig::offset("bad", 8, 0, NeighborMode::CoordKnn, vec![3, 8]);
+    }
+
+    #[test]
+    fn module_builds_mlp_with_doubled_edge_input() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(0);
+        let m = Module::new(
+            ModuleConfig::edge("ec", 16, 4, vec![5, 7]),
+            NormMode::None,
+            &mut rng,
+        );
+        assert_eq!(m.mlp.widths(), vec![10, 7]);
+    }
+}

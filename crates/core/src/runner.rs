@@ -1,0 +1,569 @@
+//! Module orchestration: centroid sampling, neighbor search, execution,
+//! trace recording.
+//!
+//! [`run_module`] is the single entry point the networks use. It selects
+//! centroids (random sampling, the paper's optimized baseline, §VI), runs
+//! the configured neighbor search, dispatches to the right
+//! [`crate::executor`] variant for the strategy, and records a
+//! [`ModuleTrace`] with the real NIT so the hardware simulator can replay
+//! exactly what happened.
+
+use crate::executor;
+use crate::module::{Module, NeighborMode};
+use crate::strategy::Strategy;
+use crate::trace::{AggregateOp, MatMulOp, ModuleTrace, ReduceOp, SearchOp};
+use mesorasi_knn::{ball, bruteforce, feature::FeatureView, kdtree::KdTree, NeighborIndexTable};
+use mesorasi_nn::layers::SharedMlp;
+use mesorasi_nn::{Graph, VarId};
+use mesorasi_pointcloud::{sampling, Point3, PointCloud};
+use mesorasi_tensor::Matrix;
+
+/// The data flowing between modules: 3-D positions (for coordinate-space
+/// search and interpolation) and the per-point feature rows on the graph.
+#[derive(Debug, Clone)]
+pub struct ModuleState {
+    /// Positions of the current point set.
+    pub positions: PointCloud,
+    /// `N × M` feature rows on the autograd graph.
+    pub features: VarId,
+}
+
+impl ModuleState {
+    /// Initial state: features are the raw `N × 3` coordinates (the paper's
+    /// first-module input).
+    pub fn from_cloud(g: &mut Graph, cloud: &PointCloud) -> Self {
+        let features = g.input(Matrix::from_vec(cloud.len(), 3, cloud.to_xyz_rows()));
+        ModuleState { positions: cloud.clone(), features }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the state holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Result of running one module.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The output point set and features.
+    pub state: ModuleState,
+    /// The recorded workload.
+    pub trace: ModuleTrace,
+    /// The neighbor table used (absent for group-all modules).
+    pub nit: Option<NeighborIndexTable>,
+}
+
+/// Selects `n_out` centroid indices from `n_in` points. Uses the identity
+/// selection when sizes match (DGCNN keeps all points), random sampling
+/// otherwise — matching the paper's optimized baseline, which replaced FPS
+/// with random sampling (§VI, optimization 3).
+pub fn select_centroids(positions: &PointCloud, n_out: usize, seed: u64) -> Vec<usize> {
+    assert!(
+        n_out <= positions.len(),
+        "cannot select {n_out} centroids from {} points",
+        positions.len()
+    );
+    if n_out == positions.len() {
+        (0..n_out).collect()
+    } else {
+        sampling::random_indices(positions, n_out, seed)
+    }
+}
+
+fn run_search(
+    g: &Graph,
+    module: &Module,
+    state: &ModuleState,
+    centroids: &[usize],
+) -> (NeighborIndexTable, SearchOp) {
+    let n_in = state.len();
+    let k = module.config.k;
+    assert!(k <= n_in, "{}: k = {k} exceeds N_in = {n_in}", module.config.name);
+    match module.config.neighbor {
+        NeighborMode::CoordKnn => {
+            let tree = KdTree::build(&state.positions);
+            let nit = tree.knn_indices(&state.positions, centroids, k);
+            (
+                nit,
+                SearchOp {
+                    queries: centroids.len(),
+                    candidates: n_in,
+                    dim: 3,
+                    k,
+                    radius_query: false,
+                },
+            )
+        }
+        NeighborMode::CoordBall { radius } => {
+            let tree = KdTree::build(&state.positions);
+            let nit = ball::ball_query(&state.positions, &tree, centroids, radius, k);
+            (
+                nit,
+                SearchOp {
+                    queries: centroids.len(),
+                    candidates: n_in,
+                    dim: 3,
+                    k,
+                    radius_query: true,
+                },
+            )
+        }
+        NeighborMode::FeatureKnn => {
+            let feats = g.value(state.features);
+            let dim = feats.cols();
+            let view = FeatureView::new(feats.as_slice(), dim)
+                .expect("matrix storage is always rectangular");
+            let nit = mesorasi_knn::feature::knn_rows(view, centroids, k);
+            (
+                nit,
+                SearchOp {
+                    queries: centroids.len(),
+                    candidates: n_in,
+                    dim,
+                    k,
+                    radius_query: false,
+                },
+            )
+        }
+        NeighborMode::Global => unreachable!("global modules never search"),
+    }
+}
+
+/// Builds the MLP-layer trace ops for a batch of `rows` rows through the
+/// module's (constructed) layer widths.
+fn mlp_ops(widths: &[usize], rows: usize) -> Vec<MatMulOp> {
+    widths
+        .windows(2)
+        .map(|w| MatMulOp { rows, inner: w[0], cols: w[1] })
+        .collect()
+}
+
+/// Runs one module under `strategy`, producing the output state, the
+/// workload trace, and the NIT used.
+///
+/// # Panics
+///
+/// Panics when the state is inconsistent with the module configuration
+/// (wrong feature width, `n_out` or `k` larger than the input).
+pub fn run_module(
+    g: &mut Graph,
+    module: &Module,
+    state: &ModuleState,
+    strategy: Strategy,
+    seed: u64,
+) -> RunOutput {
+    let cfg = &module.config;
+    let n_in = state.len();
+    assert_eq!(
+        g.value(state.features).rows(),
+        n_in,
+        "{}: positions and features disagree on N_in",
+        cfg.name
+    );
+
+    if matches!(cfg.neighbor, NeighborMode::Global) {
+        let features = executor::global_module(g, module, state.features);
+        let out_positions = PointCloud::from_points(vec![centroid_or_origin(&state.positions)]);
+        let widths = cfg.layer_widths();
+        let trace = ModuleTrace {
+            name: cfg.name.clone(),
+            search: None,
+            mlp_pre: Vec::new(),
+            aggregate: None,
+            mlp_post: mlp_ops(&widths, n_in),
+            reduce: Some(ReduceOp { groups: 1, k: n_in, width: cfg.m_out() }),
+            other_flops: 0,
+            other_bytes: 0,
+        };
+        return RunOutput {
+            state: ModuleState { positions: out_positions, features },
+            trace,
+            nit: None,
+        };
+    }
+
+    let centroids = select_centroids(&state.positions, cfg.n_out, seed);
+    let (nit, search_op) = run_search(g, module, state, &centroids);
+    let out_positions = state.positions.select(&centroids);
+
+    let features = match (cfg.edge, strategy) {
+        (false, Strategy::Original) => executor::original_offset(g, module, state.features, &nit),
+        (false, Strategy::LtdDelayed) => executor::ltd_offset(g, module, state.features, &nit),
+        (false, Strategy::Delayed) => executor::delayed_offset(g, module, state.features, &nit),
+        (true, Strategy::Original) => executor::original_edge(g, module, state.features, &nit),
+        (true, Strategy::LtdDelayed) => executor::ltd_edge(g, module, state.features, &nit),
+        (true, Strategy::Delayed) => executor::delayed_edge(g, module, state.features, &nit),
+    };
+
+    let trace = build_module_trace(cfg.name.clone(), module, strategy, n_in, &nit, search_op);
+    RunOutput {
+        state: ModuleState { positions: out_positions, features },
+        trace,
+        nit: Some(nit),
+    }
+}
+
+fn centroid_or_origin(cloud: &PointCloud) -> Point3 {
+    if cloud.is_empty() {
+        Point3::ORIGIN
+    } else {
+        cloud.centroid()
+    }
+}
+
+/// Builds the [`ModuleTrace`] describing how `strategy` schedules this
+/// module's work (see [`ModuleTrace`] for the placement rules).
+fn build_module_trace(
+    name: String,
+    module: &Module,
+    strategy: Strategy,
+    n_in: usize,
+    nit: &NeighborIndexTable,
+    search: SearchOp,
+) -> ModuleTrace {
+    let cfg = &module.config;
+    let widths = cfg.layer_widths();
+    let n_out = nit.len();
+    let k = nit.k();
+    let edge_rows = n_out * k;
+    let m_out = cfg.m_out();
+
+    let (mlp_pre, mlp_post, aggregate, reduce) = match strategy {
+        Strategy::Original => {
+            // The grouping gather moves each neighbor row (plus the
+            // centroid row) of the *input* features; the edge concatenation
+            // itself is feature-computation work.
+            let agg_width = cfg.m_in();
+            let rows_per_entry = k + 1;
+            (
+                Vec::new(),
+                mlp_ops(&widths, edge_rows),
+                AggregateOp {
+                    nit: nit.clone(),
+                    table_rows: n_in,
+                    width: agg_width,
+                    rows_per_entry,
+                    fused_reduce: false,
+                },
+                Some(ReduceOp { groups: n_out, k, width: m_out }),
+            )
+        }
+        Strategy::LtdDelayed => {
+            // Layer 1 runs per point before aggregation; the tail per edge.
+            let w1 = widths[1];
+            let pre = vec![MatMulOp { rows: n_in, inner: widths[0], cols: w1 }];
+            let mut post = mlp_ops(&widths[1..], edge_rows);
+            post.retain(|_| true);
+            let rows_per_entry = if cfg.edge { k + 2 } else { k + 1 };
+            (
+                pre,
+                post,
+                AggregateOp {
+                    nit: nit.clone(),
+                    table_rows: n_in,
+                    width: w1,
+                    rows_per_entry,
+                    fused_reduce: false,
+                },
+                Some(ReduceOp { groups: n_out, k, width: m_out }),
+            )
+        }
+        Strategy::Delayed => {
+            // Whole MLP per point; aggregation fused with reduce+subtract.
+            // Edge modules run the tail on the N_out reduced rows.
+            let (pre, post) = if cfg.edge {
+                let w1 = widths[1];
+                let pre = vec![MatMulOp { rows: n_in, inner: widths[0], cols: w1 }];
+                let post = mlp_ops(&widths[1..], n_out);
+                (pre, post)
+            } else {
+                (mlp_ops(&widths, n_in), Vec::new())
+            };
+            let width = if cfg.edge { widths[1] } else { m_out };
+            (
+                pre,
+                post,
+                AggregateOp {
+                    nit: nit.clone(),
+                    table_rows: n_in,
+                    width,
+                    rows_per_entry: k + 1,
+                    fused_reduce: true,
+                },
+                None,
+            )
+        }
+    };
+
+    ModuleTrace {
+        name,
+        search: Some(search),
+        mlp_pre,
+        aggregate: Some(aggregate),
+        mlp_post,
+        reduce,
+        other_flops: 0,
+        other_bytes: 0,
+    }
+}
+
+/// Feature propagation (PointNet++'s segmentation upsampling): for each
+/// fine-level point, interpolate the 3 nearest coarse points' features with
+/// inverse-distance weights, concatenate skip features if given, and run a
+/// unit MLP. The paper's baseline moved this operator (`three_interpolate`)
+/// to the GPU (§VI, optimization 2); delayed-aggregation does not change it.
+///
+/// # Panics
+///
+/// Panics when the coarse state has fewer than 3 points (one remains valid:
+/// the global feature is broadcast instead, PointNet++'s convention).
+pub fn run_feature_propagation(
+    g: &mut Graph,
+    mlp: &SharedMlp,
+    coarse: &ModuleState,
+    fine_positions: &PointCloud,
+    skip_features: Option<VarId>,
+    trace_name: &str,
+) -> (ModuleState, ModuleTrace) {
+    let n_fine = fine_positions.len();
+    let n_coarse = coarse.len();
+    assert!(n_coarse >= 1, "feature propagation needs at least one coarse point");
+    let coarse_width = g.value(coarse.features).cols();
+
+    let interpolated = if n_coarse < 3 {
+        // Broadcast the (global) coarse feature to every fine point.
+        let idx = vec![0usize; n_fine];
+        g.gather(coarse.features, idx)
+    } else {
+        let mut indices = Vec::with_capacity(n_fine * 3);
+        let mut weights = Vec::with_capacity(n_fine * 3);
+        for &p in fine_positions.points() {
+            let nn = bruteforce::knn_point(&coarse.positions, p, 3);
+            let mut w: Vec<f32> = nn.iter().map(|c| 1.0 / (c.dist_sq + 1e-8)).collect();
+            let sum: f32 = w.iter().sum();
+            for wi in &mut w {
+                *wi /= sum;
+            }
+            for (c, &wi) in nn.iter().zip(&w) {
+                indices.push(c.index);
+                weights.push(wi);
+            }
+        }
+        g.weighted_gather(coarse.features, indices, weights, 3)
+    };
+
+    let combined = match skip_features {
+        Some(skip) => g.hstack(skip, interpolated),
+        None => interpolated,
+    };
+    let features = mlp.forward(g, combined);
+
+    let interp_k = if n_coarse < 3 { 1 } else { 3 };
+    let trace = ModuleTrace {
+        name: trace_name.to_owned(),
+        search: Some(SearchOp {
+            queries: n_fine,
+            candidates: n_coarse,
+            dim: 3,
+            k: interp_k,
+            radius_query: false,
+        }),
+        mlp_pre: Vec::new(),
+        aggregate: None,
+        mlp_post: mlp_ops(&mlp.widths(), n_fine),
+        reduce: None,
+        other_flops: (n_fine as u64) * (interp_k as u64) * (coarse_width as u64) * 2,
+        other_bytes: (n_fine as u64) * (interp_k as u64) * (coarse_width as u64) * 4,
+    };
+    (
+        ModuleState { positions: fine_positions.clone(), features },
+        trace,
+    )
+}
+
+/// Runs a plain MLP head (fully-connected classifier layers) and records
+/// its trace as `Other`-stage work.
+pub fn run_head(
+    g: &mut Graph,
+    mlp: &SharedMlp,
+    features: VarId,
+    trace_name: &str,
+) -> (VarId, ModuleTrace) {
+    let rows = g.value(features).rows();
+    let out = mlp.forward(g, features);
+    let trace = ModuleTrace {
+        name: trace_name.to_owned(),
+        mlp_post: mlp_ops(&mlp.widths(), rows),
+        ..ModuleTrace::default()
+    };
+    (out, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleConfig;
+    use mesorasi_nn::layers::NormMode;
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    fn cloud() -> PointCloud {
+        sample_shape(ShapeClass::Lamp, 96, 3)
+    }
+
+    fn offset_module(widths: Vec<usize>) -> Module {
+        let mut rng = mesorasi_pointcloud::seeded_rng(1);
+        Module::new(
+            ModuleConfig::offset("sa", 24, 8, NeighborMode::CoordKnn, widths),
+            NormMode::None,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn run_module_produces_subsampled_state() {
+        let module = offset_module(vec![3, 16, 32]);
+        let mut g = Graph::new();
+        let state = ModuleState::from_cloud(&mut g, &cloud());
+        let out = run_module(&mut g, &module, &state, Strategy::Delayed, 7);
+        assert_eq!(out.state.len(), 24);
+        assert_eq!(g.value(out.state.features).shape(), (24, 32));
+        assert_eq!(out.nit.as_ref().unwrap().len(), 24);
+        // Output positions are a subset of input positions.
+        for p in out.state.positions.points() {
+            assert!(cloud().points().contains(p));
+        }
+    }
+
+    #[test]
+    fn trace_schedules_mlp_per_strategy() {
+        let module = offset_module(vec![3, 16, 32]);
+        for (strategy, pre, post) in [
+            (Strategy::Original, 0usize, 2usize),
+            (Strategy::LtdDelayed, 1, 1),
+            (Strategy::Delayed, 2, 0),
+        ] {
+            let mut g = Graph::new();
+            let state = ModuleState::from_cloud(&mut g, &cloud());
+            let out = run_module(&mut g, &module, &state, strategy, 7);
+            assert_eq!(out.trace.mlp_pre.len(), pre, "{strategy}");
+            assert_eq!(out.trace.mlp_post.len(), post, "{strategy}");
+            let agg = out.trace.aggregate.as_ref().unwrap();
+            assert_eq!(agg.fused_reduce, strategy == Strategy::Delayed);
+            assert_eq!(out.trace.reduce.is_none(), strategy == Strategy::Delayed);
+        }
+    }
+
+    #[test]
+    fn delayed_trace_has_fewer_macs_but_wider_gather() {
+        let module = offset_module(vec![3, 16, 32]);
+        let mut g = Graph::new();
+        let state = ModuleState::from_cloud(&mut g, &cloud());
+        let orig = run_module(&mut g, &module, &state, Strategy::Original, 7);
+        let mut g2 = Graph::new();
+        let state2 = ModuleState::from_cloud(&mut g2, &cloud());
+        let del = run_module(&mut g2, &module, &state2, Strategy::Delayed, 7);
+        assert!(del.trace.mlp_macs() < orig.trace.mlp_macs(), "fewer MACs (Fig. 9)");
+        let wo = orig.trace.aggregate.as_ref().unwrap().working_set_bytes();
+        let wd = del.trace.aggregate.as_ref().unwrap().working_set_bytes();
+        assert!(wd > wo, "wider gather working set (§IV-C)");
+    }
+
+    #[test]
+    fn same_seed_same_nit_across_strategies() {
+        // The comparison experiments rely on all strategies sharing the
+        // neighbor structure for a given input and seed.
+        let module = offset_module(vec![3, 8]);
+        let mut nits = Vec::new();
+        for strategy in Strategy::ALL {
+            let mut g = Graph::new();
+            let state = ModuleState::from_cloud(&mut g, &cloud());
+            let out = run_module(&mut g, &module, &state, strategy, 99);
+            nits.push(out.nit.unwrap());
+        }
+        assert_eq!(nits[0], nits[1]);
+        assert_eq!(nits[1], nits[2]);
+    }
+
+    #[test]
+    fn global_module_state_is_single_point() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(2);
+        let module = Module::new(
+            ModuleConfig::global("g", vec![3, 64]),
+            NormMode::None,
+            &mut rng,
+        );
+        let mut g = Graph::new();
+        let state = ModuleState::from_cloud(&mut g, &cloud());
+        let out = run_module(&mut g, &module, &state, Strategy::Original, 0);
+        assert_eq!(out.state.len(), 1);
+        assert_eq!(g.value(out.state.features).shape(), (1, 64));
+        assert!(out.nit.is_none());
+        assert!(out.trace.search.is_none());
+    }
+
+    #[test]
+    fn feature_knn_module_runs() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(3);
+        let module = Module::new(
+            ModuleConfig::edge("ec", 96, 4, vec![3, 12]),
+            NormMode::None,
+            &mut rng,
+        );
+        let mut g = Graph::new();
+        let state = ModuleState::from_cloud(&mut g, &cloud());
+        let out = run_module(&mut g, &module, &state, Strategy::Delayed, 0);
+        assert_eq!(out.state.len(), 96);
+        assert_eq!(g.value(out.state.features).shape(), (96, 12));
+        // Feature-space search dims recorded.
+        assert_eq!(out.trace.search.as_ref().unwrap().dim, 3);
+    }
+
+    #[test]
+    fn feature_propagation_upsamples() {
+        let module = offset_module(vec![3, 16]);
+        let mut rng = mesorasi_pointcloud::seeded_rng(4);
+        let fp_mlp = SharedMlp::new(&[16, 8], NormMode::None, true, &mut rng);
+        let mut g = Graph::new();
+        let fine = cloud();
+        let state = ModuleState::from_cloud(&mut g, &fine);
+        let coarse = run_module(&mut g, &module, &state, Strategy::Delayed, 7).state;
+        let (up, trace) = run_feature_propagation(&mut g, &fp_mlp, &coarse, &fine, None, "fp1");
+        assert_eq!(up.len(), 96);
+        assert_eq!(g.value(up.features).shape(), (96, 8));
+        assert_eq!(trace.search.as_ref().unwrap().k, 3);
+    }
+
+    #[test]
+    fn feature_propagation_broadcasts_from_global() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(5);
+        let gmod = Module::new(
+            ModuleConfig::global("g", vec![3, 32]),
+            NormMode::None,
+            &mut rng,
+        );
+        let fp_mlp = SharedMlp::new(&[32, 16], NormMode::None, true, &mut rng);
+        let mut g = Graph::new();
+        let fine = cloud();
+        let state = ModuleState::from_cloud(&mut g, &fine);
+        let coarse = run_module(&mut g, &gmod, &state, Strategy::Original, 0).state;
+        let (up, _) = run_feature_propagation(&mut g, &fp_mlp, &coarse, &fine, None, "fp");
+        assert_eq!(g.value(up.features).shape(), (96, 16));
+    }
+
+    #[test]
+    fn head_trace_records_layers() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(6);
+        let head = SharedMlp::new(&[32, 16, 10], NormMode::None, false, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Matrix::zeros(4, 32));
+        let (out, trace) = run_head(&mut g, &head, x, "classifier");
+        assert_eq!(g.value(out).shape(), (4, 10));
+        assert_eq!(trace.mlp_post.len(), 2);
+        assert!(trace.search.is_none() && trace.aggregate.is_none());
+    }
+}

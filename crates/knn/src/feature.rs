@@ -1,0 +1,147 @@
+//! KNN in arbitrary-dimensional feature space.
+//!
+//! DGCNN rebuilds its neighbor graph *per module*, searching in the output
+//! feature space of the previous module rather than in 3-D coordinates
+//! (paper §V-A: "the neighbor search in module i searches in the output
+//! feature space of module i−1"). Feature dimensions reach 64–512, where a
+//! kd-tree degenerates, so implementations — and our GPU cost model — use a
+//! dense pairwise-distance computation. This module provides that search
+//! over row-major feature matrices.
+
+use crate::bruteforce::{select_k_smallest, Candidate};
+use crate::NeighborIndexTable;
+
+/// A borrowed row-major `rows × dim` feature matrix.
+///
+/// # Example
+///
+/// ```
+/// use mesorasi_knn::feature::FeatureView;
+///
+/// let data = [0.0, 0.0, 1.0, 0.0, 0.0, 3.0];
+/// let view = FeatureView::new(&data, 3).expect("2 rows of dim 3");
+/// assert_eq!(view.rows(), 2);
+/// assert_eq!(view.row(1), &[0.0, 0.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FeatureView<'a> {
+    data: &'a [f32],
+    dim: usize,
+}
+
+impl<'a> FeatureView<'a> {
+    /// Wraps `data` as a matrix with `dim` columns.
+    ///
+    /// Returns `None` when `data.len()` is not a multiple of `dim` or `dim`
+    /// is zero.
+    pub fn new(data: &'a [f32], dim: usize) -> Option<Self> {
+        if dim == 0 || data.len() % dim != 0 {
+            return None;
+        }
+        Some(FeatureView { data, dim })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Feature dimension (columns).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn distance_squared(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// KNN over feature rows: for each query row index, the `k` rows nearest in
+/// Euclidean distance (the query row itself is included and, at distance 0,
+/// comes first). Ties break by row index.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > view.rows()`, or a query index is out of range.
+pub fn knn_rows(view: FeatureView<'_>, queries: &[usize], k: usize) -> NeighborIndexTable {
+    assert!(k > 0 && k <= view.rows(), "k = {k} out of range for {} rows", view.rows());
+    let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
+    let mut candidates = Vec::with_capacity(view.rows());
+    for &q in queries {
+        let qrow = view.row(q);
+        candidates.clear();
+        candidates.extend((0..view.rows()).map(|i| Candidate {
+            index: i,
+            dist_sq: distance_squared(qrow, view.row(i)),
+        }));
+        let best = select_k_smallest(&mut candidates, k);
+        let idx: Vec<usize> = best.iter().map(|c| c.index).collect();
+        nit.push_entry(q, &idx);
+    }
+    nit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_rejects_ragged_data() {
+        assert!(FeatureView::new(&[1.0, 2.0, 3.0], 2).is_none());
+        assert!(FeatureView::new(&[1.0, 2.0], 0).is_none());
+        assert!(FeatureView::new(&[], 4).is_some());
+    }
+
+    #[test]
+    fn knn_in_feature_space_finds_closest_rows() {
+        // Rows: 0 at origin, 1 near origin, 2 far, 3 nearest to 2.
+        let data = [
+            0.0, 0.0, //
+            0.1, 0.0, //
+            5.0, 5.0, //
+            5.0, 5.1, //
+        ];
+        let view = FeatureView::new(&data, 2).unwrap();
+        let nit = knn_rows(view, &[0, 2], 2);
+        assert_eq!(nit.neighbors(0), &[0, 1]);
+        assert_eq!(nit.neighbors(1), &[2, 3]);
+    }
+
+    #[test]
+    fn matches_3d_bruteforce_when_dim_is_3() {
+        use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+        let cloud = sample_shape(ShapeClass::Vase, 128, 4);
+        let flat = cloud.to_xyz_rows();
+        let view = FeatureView::new(&flat, 3).unwrap();
+        let queries: Vec<usize> = (0..128).step_by(11).collect();
+        let a = knn_rows(view, &queries, 9);
+        let b = crate::bruteforce::knn_indices(&cloud, &queries, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn self_is_first_neighbor() {
+        let data: Vec<f32> = (0..40).map(|i| i as f32).collect();
+        let view = FeatureView::new(&data, 4).unwrap();
+        let nit = knn_rows(view, &[3, 7], 3);
+        assert_eq!(nit.neighbors(0)[0], 3);
+        assert_eq!(nit.neighbors(1)[0], 7);
+    }
+
+    #[test]
+    fn distance_squared_basic() {
+        assert_eq!(distance_squared(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(distance_squared(&[], &[]), 0.0);
+    }
+}

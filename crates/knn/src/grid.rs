@@ -1,0 +1,192 @@
+//! Uniform-grid neighbor search — the backend real-time pipelines use for
+//! fixed-radius queries (cell size = radius ⇒ only 27 cells to scan).
+//!
+//! Results are identical to [`crate::kdtree`]'s radius queries and to the
+//! padded [`crate::ball`] semantics; the grid trades build simplicity and
+//! cache-friendly scans for the kd-tree's generality. Exposed as an
+//! alternative backend so downstream users (and the benches) can pick per
+//! workload.
+
+use crate::bruteforce::Candidate;
+use crate::NeighborIndexTable;
+use mesorasi_pointcloud::{Aabb, Point3, PointCloud};
+use std::collections::HashMap;
+
+/// A uniform grid with cell edge `cell_size` over a cloud.
+#[derive(Debug)]
+pub struct UniformGrid {
+    bounds: Aabb,
+    cell_size: f32,
+    dims: [usize; 3],
+    cells: HashMap<u64, Vec<usize>>,
+}
+
+impl UniformGrid {
+    /// Builds a grid over `cloud` with the given cell edge length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0` or the cloud is empty.
+    pub fn build(cloud: &PointCloud, cell_size: f32) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let bounds = cloud.bounds().expect("cannot index an empty cloud");
+        let extent = bounds.extent();
+        let dim = |e: f32| ((e / cell_size).ceil() as usize).max(1);
+        let dims = [dim(extent.x), dim(extent.y), dim(extent.z)];
+        let mut grid = UniformGrid { bounds, cell_size, dims, cells: HashMap::new() };
+        for (i, &p) in cloud.points().iter().enumerate() {
+            let key = grid.key(grid.coords(p));
+            grid.cells.entry(key).or_default().push(i);
+        }
+        grid
+    }
+
+    fn coords(&self, p: Point3) -> [isize; 3] {
+        let min = self.bounds.min();
+        let c = |v: f32, lo: f32, d: usize| -> isize {
+            (((v - lo) / self.cell_size) as isize).clamp(0, d as isize - 1)
+        };
+        [
+            c(p.x, min.x, self.dims[0]),
+            c(p.y, min.y, self.dims[1]),
+            c(p.z, min.z, self.dims[2]),
+        ]
+    }
+
+    fn key(&self, c: [isize; 3]) -> u64 {
+        ((c[0] as u64) * self.dims[1] as u64 + c[1] as u64) * self.dims[2] as u64 + c[2] as u64
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// All points within `radius` of `query`, ascending by distance (ties
+    /// by index). Exact as long as `radius <= cell_size`; larger radii scan
+    /// proportionally more cells.
+    pub fn within_radius(
+        &self,
+        cloud: &PointCloud,
+        query: Point3,
+        radius: f32,
+    ) -> Vec<Candidate> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let reach = (radius / self.cell_size).ceil() as isize;
+        let center = self.coords(query);
+        let r2 = radius * radius;
+        let mut found = Vec::new();
+        for dx in -reach..=reach {
+            for dy in -reach..=reach {
+                for dz in -reach..=reach {
+                    let c = [center[0] + dx, center[1] + dy, center[2] + dz];
+                    if c.iter().zip(&self.dims).any(|(&v, &d)| v < 0 || v >= d as isize) {
+                        continue;
+                    }
+                    if let Some(members) = self.cells.get(&self.key(c)) {
+                        for &i in members {
+                            let d = cloud.point(i).distance_squared(query);
+                            if d <= r2 {
+                                found.push(Candidate { index: i, dist_sq: d });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        found.sort_by(|a, b| {
+            (a.dist_sq, a.index)
+                .partial_cmp(&(b.dist_sq, b.index))
+                .expect("distances are finite")
+        });
+        found
+    }
+
+    /// Padded ball query over member-point centroids — same semantics as
+    /// [`crate::ball::ball_query`], different backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or a query index is out of bounds.
+    pub fn ball_query(
+        &self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+    ) -> NeighborIndexTable {
+        assert!(k > 0, "k must be positive");
+        let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
+        let mut entry = Vec::with_capacity(k);
+        for &q in queries {
+            let found = self.within_radius(cloud, cloud.point(q), radius);
+            entry.clear();
+            entry.extend(found.iter().take(k).map(|c| c.index));
+            debug_assert!(!entry.is_empty(), "centroid always finds itself");
+            let pad = entry[0];
+            while entry.len() < k {
+                entry.push(pad);
+            }
+            nit.push_entry(q, &entry);
+        }
+        nit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ball, kdtree::KdTree};
+    use mesorasi_pointcloud::sampling::random_indices;
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    #[test]
+    fn radius_query_matches_kdtree() {
+        let cloud = sample_shape(ShapeClass::Chair, 300, 1);
+        let grid = UniformGrid::build(&cloud, 0.25);
+        let tree = KdTree::build(&cloud);
+        for &q in &[0usize, 57, 123, 299] {
+            let a = grid.within_radius(&cloud, cloud.point(q), 0.25);
+            let b = tree.within_radius(&cloud, cloud.point(q), 0.25);
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn ball_query_matches_kdtree_backend() {
+        let cloud = sample_shape(ShapeClass::Lamp, 256, 2);
+        let grid = UniformGrid::build(&cloud, 0.2);
+        let tree = KdTree::build(&cloud);
+        let queries = random_indices(&cloud, 64, 1);
+        let a = grid.ball_query(&cloud, &queries, 0.2, 16);
+        let b = ball::ball_query(&cloud, &tree, &queries, 0.2, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radius_larger_than_cell_still_exact() {
+        let cloud = sample_shape(ShapeClass::Sphere, 200, 3);
+        let grid = UniformGrid::build(&cloud, 0.1);
+        let tree = KdTree::build(&cloud);
+        let a = grid.within_radius(&cloud, cloud.point(5), 0.45);
+        let b = tree.within_radius(&cloud, cloud.point(5), 0.45);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupied_cells_bounded_by_points() {
+        let cloud = sample_shape(ShapeClass::Cube, 128, 4);
+        let grid = UniformGrid::build(&cloud, 0.3);
+        assert!(grid.occupied_cells() <= 128);
+        assert!(grid.occupied_cells() > 1);
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_duplicates_only() {
+        let cloud = sample_shape(ShapeClass::Cone, 64, 5);
+        let grid = UniformGrid::build(&cloud, 0.2);
+        let found = grid.within_radius(&cloud, cloud.point(7), 0.0);
+        assert!(found.iter().any(|c| c.index == 7));
+        assert!(found.iter().all(|c| c.dist_sq == 0.0));
+    }
+}

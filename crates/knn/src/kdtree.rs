@@ -1,0 +1,277 @@
+//! A kd-tree for exact 3-D KNN and radius queries.
+//!
+//! The functional executors run neighbor search many times per network; the
+//! kd-tree keeps that tractable on the CPU. Results are bit-identical to
+//! [`crate::bruteforce`] (same distance metric, same index tie-breaking), so
+//! either can back the executor — the simulator charges GPU brute-force
+//! cost regardless of which structure produced the indices.
+
+use crate::bruteforce::Candidate;
+use crate::NeighborIndexTable;
+use mesorasi_pointcloud::{Point3, PointCloud};
+
+/// Leaf size below which nodes stop splitting; 16 balances build and query
+/// cost for the 1K–130K point clouds used here.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        /// Indices into the original cloud.
+        points: Vec<usize>,
+    },
+    Split {
+        axis: usize,
+        value: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// An immutable kd-tree over a point cloud.
+///
+/// # Example
+///
+/// ```
+/// use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+/// use mesorasi_knn::kdtree::KdTree;
+///
+/// let cloud = sample_shape(ShapeClass::Torus, 512, 3);
+/// let tree = KdTree::build(&cloud);
+/// let nn = tree.knn(&cloud, cloud.point(7), 1);
+/// assert_eq!(nn[0].index, 7); // a member point is its own nearest neighbor
+/// ```
+#[derive(Debug)]
+pub struct KdTree {
+    root: Node,
+    size: usize,
+}
+
+impl KdTree {
+    /// Builds a tree over `cloud` in O(n log² n).
+    ///
+    /// An empty cloud yields a tree whose queries panic (callers check).
+    pub fn build(cloud: &PointCloud) -> Self {
+        let mut indices: Vec<usize> = (0..cloud.len()).collect();
+        let root = build_node(cloud.points(), &mut indices);
+        KdTree { root, size: cloud.len() }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Exact `k` nearest neighbors of `query`, ascending by distance with
+    /// index tie-breaking — identical ordering to the brute-force search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > self.len()`.
+    pub fn knn(&self, cloud: &PointCloud, query: Point3, k: usize) -> Vec<Candidate> {
+        assert!(k > 0 && k <= self.size, "k = {k} out of range for {} points", self.size);
+        let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
+        search(&self.root, cloud.points(), query, k, &mut best);
+        best
+    }
+
+    /// KNN for a batch of member-point queries, as a [`NeighborIndexTable`].
+    pub fn knn_indices(
+        &self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        k: usize,
+    ) -> NeighborIndexTable {
+        let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
+        for &q in queries {
+            let found = self.knn(cloud, cloud.point(q), k);
+            let idx: Vec<usize> = found.iter().map(|c| c.index).collect();
+            nit.push_entry(q, &idx);
+        }
+        nit
+    }
+
+    /// All points within `radius` of `query`, ascending by distance.
+    pub fn within_radius(
+        &self,
+        cloud: &PointCloud,
+        query: Point3,
+        radius: f32,
+    ) -> Vec<Candidate> {
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let mut found = Vec::new();
+        radius_search(&self.root, cloud.points(), query, radius * radius, &mut found);
+        found.sort_by(|a, b| {
+            (a.dist_sq, a.index)
+                .partial_cmp(&(b.dist_sq, b.index))
+                .expect("distances are finite")
+        });
+        found
+    }
+}
+
+fn build_node(points: &[Point3], indices: &mut [usize]) -> Node {
+    if indices.len() <= LEAF_SIZE {
+        return Node::Leaf { points: indices.to_vec() };
+    }
+    // Split on the widest axis at the median.
+    let mut min = points[indices[0]];
+    let mut max = min;
+    for &i in indices.iter() {
+        min = min.min(points[i]);
+        max = max.max(points[i]);
+    }
+    let extent = max - min;
+    let axis = if extent.x >= extent.y && extent.x >= extent.z {
+        0
+    } else if extent.y >= extent.z {
+        1
+    } else {
+        2
+    };
+    let mid = indices.len() / 2;
+    indices.select_nth_unstable_by(mid, |&a, &b| {
+        points[a][axis]
+            .partial_cmp(&points[b][axis])
+            .expect("coordinates are finite")
+            .then(a.cmp(&b))
+    });
+    let value = points[indices[mid]][axis];
+    let (left_idx, right_idx) = indices.split_at_mut(mid);
+    let left = build_node(points, left_idx);
+    let right = build_node(points, right_idx);
+    Node::Split { axis, value, left: Box::new(left), right: Box::new(right) }
+}
+
+fn push_candidate(best: &mut Vec<Candidate>, k: usize, c: Candidate) {
+    let key = |x: &Candidate| (x.dist_sq, x.index);
+    if best.len() == k && key(&c) >= key(best.last().expect("non-empty")) {
+        return;
+    }
+    let pos = best.partition_point(|b| key(b) < key(&c));
+    best.insert(pos, c);
+    if best.len() > k {
+        best.pop();
+    }
+}
+
+fn search(node: &Node, points: &[Point3], query: Point3, k: usize, best: &mut Vec<Candidate>) {
+    match node {
+        Node::Leaf { points: leaf } => {
+            for &i in leaf {
+                let d = points[i].distance_squared(query);
+                push_candidate(best, k, Candidate { index: i, dist_sq: d });
+            }
+        }
+        Node::Split { axis, value, left, right } => {
+            let delta = query[*axis] - value;
+            let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+            search(near, points, query, k, best);
+            // Visit the far side only if the splitting plane is closer than
+            // the current k-th best (or we have fewer than k yet).
+            let worst = best.last().map_or(f32::INFINITY, |c| c.dist_sq);
+            if best.len() < k || delta * delta <= worst {
+                search(far, points, query, k, best);
+            }
+        }
+    }
+}
+
+fn radius_search(
+    node: &Node,
+    points: &[Point3],
+    query: Point3,
+    radius_sq: f32,
+    found: &mut Vec<Candidate>,
+) {
+    match node {
+        Node::Leaf { points: leaf } => {
+            for &i in leaf {
+                let d = points[i].distance_squared(query);
+                if d <= radius_sq {
+                    found.push(Candidate { index: i, dist_sq: d });
+                }
+            }
+        }
+        Node::Split { axis, value, left, right } => {
+            let delta = query[*axis] - value;
+            let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+            radius_search(near, points, query, radius_sq, found);
+            if delta * delta <= radius_sq {
+                radius_search(far, points, query, radius_sq, found);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce;
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    #[test]
+    fn matches_bruteforce_on_every_class_sample() {
+        for (seed, class) in [(1, ShapeClass::Sphere), (2, ShapeClass::Chair), (3, ShapeClass::Airplane)] {
+            let cloud = sample_shape(class, 300, seed);
+            let tree = KdTree::build(&cloud);
+            let queries: Vec<usize> = (0..300).step_by(7).collect();
+            for k in [1, 4, 33] {
+                let a = bruteforce::knn_indices(&cloud, &queries, k);
+                let b = tree.knn_indices(&cloud, &queries, k);
+                assert_eq!(a, b, "class {:?} k {k}", class);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_query_matches_filtering() {
+        let cloud = sample_shape(ShapeClass::Lamp, 256, 5);
+        let tree = KdTree::build(&cloud);
+        let q = cloud.point(10);
+        let r = 0.3f32;
+        let got: Vec<usize> = tree.within_radius(&cloud, q, r).iter().map(|c| c.index).collect();
+        let mut want: Vec<(f32, usize)> = cloud
+            .points()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_squared(q) <= r * r)
+            .map(|(i, p)| (p.distance_squared(q), i))
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let want: Vec<usize> = want.into_iter().map(|(_, i)| i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn radius_zero_returns_exact_matches_only() {
+        let cloud = sample_shape(ShapeClass::Cube, 64, 5);
+        let tree = KdTree::build(&cloud);
+        let got = tree.within_radius(&cloud, cloud.point(3), 0.0);
+        assert!(got.iter().any(|c| c.index == 3));
+        assert!(got.iter().all(|c| c.dist_sq == 0.0));
+    }
+
+    #[test]
+    fn small_cloud_is_single_leaf() {
+        let cloud = sample_shape(ShapeClass::Cube, 8, 1);
+        let tree = KdTree::build(&cloud);
+        assert_eq!(tree.len(), 8);
+        let nn = tree.knn(&cloud, cloud.point(0), 8);
+        assert_eq!(nn.len(), 8);
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_by_index() {
+        let cloud = PointCloud::from_points(vec![Point3::ORIGIN; 40]);
+        let tree = KdTree::build(&cloud);
+        let nn = tree.knn(&cloud, Point3::ORIGIN, 5);
+        let idx: Vec<usize> = nn.iter().map(|c| c.index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Neighbor search — the `N` operator of point-cloud modules.
+//!
+//! Unlike convolution, where neighbors are found by directly indexing a
+//! regular tensor, point-cloud networks must *search* for neighbors because
+//! points are irregularly scattered (paper §III-A). This crate provides the
+//! search structures the evaluated networks use:
+//!
+//! * [`bruteforce`] — exact KNN by exhaustive distance computation, the
+//!   reference implementation and the cost model the GPU simulator charges,
+//! * [`kdtree`] — a kd-tree for fast exact KNN on the CPU (keeps the
+//!   functional executors fast; the *simulated* GPU still uses the
+//!   brute-force cost, which is what TX2 implementations do),
+//! * [`ball`] — radius (ball) query with padding, PointNet++'s grouping,
+//! * [`feature`] — KNN in arbitrary-dimensional feature space, used by
+//!   DGCNN's dynamic graph construction,
+//! * [`nit`] — the Neighbor Index Table, the `N_out × K` index structure
+//!   that the delayed-aggregation hardware streams through the NIT buffer,
+//! * [`stats`] — neighborhood-membership statistics (reproduces Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+//! use mesorasi_knn::{bruteforce, kdtree::KdTree};
+//!
+//! let cloud = sample_shape(ShapeClass::Sphere, 256, 1);
+//! let queries: Vec<usize> = (0..32).collect();
+//! let exact = bruteforce::knn_indices(&cloud, &queries, 8);
+//! let tree = KdTree::build(&cloud);
+//! let fast = tree.knn_indices(&cloud, &queries, 8);
+//! assert_eq!(exact.neighbors_flat(), fast.neighbors_flat());
+//! ```
+
+pub mod ball;
+pub mod bruteforce;
+pub mod feature;
+pub mod grid;
+pub mod kdtree;
+pub mod nit;
+pub mod stats;
+
+pub use nit::NeighborIndexTable;

@@ -1,0 +1,238 @@
+//! DensePoint \[34\]: densely-connected point convolutions.
+//!
+//! DensePoint stacks narrow single-layer "PConv" modules whose inputs are
+//! the concatenation of all previous outputs within a stage (DenseNet-style
+//! growth), with pooling modules reducing the point count between stages.
+//! All module MLPs are single-layer — the third network for which the paper
+//! observes Mesorasi ≈ Ltd-Mesorasi (§VII-C). The stage/growth parameters
+//! here follow the paper's L = 6, growth-rate-24 flavour at reduced depth;
+//! `DESIGN.md` records this as an approximation.
+
+use crate::{NetForward, PointCloudNetwork};
+use mesorasi_core::module::{Module, ModuleConfig, NeighborMode};
+use mesorasi_core::runner::{self, ModuleState};
+use mesorasi_core::{NetworkTrace, Strategy};
+use mesorasi_nn::layers::{NormMode, SharedMlp};
+use mesorasi_nn::{Graph, Param, VarId};
+use mesorasi_pointcloud::PointCloud;
+use rand::rngs::StdRng;
+
+/// One dense stage: pooling module then densely-connected blocks at fixed
+/// point count.
+#[derive(Debug)]
+struct Stage {
+    /// Pooling module (reduces the point count, like a strided conv).
+    pool: Module,
+    /// Dense blocks; block `i` consumes the concat of the pool output and
+    /// all previous block outputs.
+    blocks: Vec<Module>,
+}
+
+/// The DensePoint classification network.
+#[derive(Debug)]
+pub struct DensePoint {
+    input_points: usize,
+    stages: Vec<Stage>,
+    global: Module,
+    head: SharedMlp,
+}
+
+fn pool_module(
+    name: &str,
+    n_out: usize,
+    k: usize,
+    radius: f32,
+    widths: Vec<usize>,
+    rng: &mut StdRng,
+) -> Module {
+    pool_module_norm(name, n_out, k, radius, widths, NormMode::None, rng)
+}
+
+fn pool_module_norm(
+    name: &str,
+    n_out: usize,
+    k: usize,
+    radius: f32,
+    widths: Vec<usize>,
+    norm: NormMode,
+    rng: &mut StdRng,
+) -> Module {
+    // DensePoint's PConv keeps the centroid feature alongside the neighbor
+    // offsets (edge-style aggregation) and searches by ball query.
+    Module::new(
+        ModuleConfig::edge_with(name, n_out, k, NeighborMode::CoordBall { radius }, widths),
+        norm,
+        rng,
+    )
+}
+
+impl DensePoint {
+    /// Paper-scale network: 1024 points, ball query K = 16, growth rate 24.
+    pub fn paper(rng: &mut StdRng) -> Self {
+        let growth = 24;
+        let stage = |name: &str,
+                     n_out: usize,
+                     radius: f32,
+                     in_w: usize,
+                     pool_w: usize,
+                     blocks: usize,
+                     rng: &mut StdRng| {
+            let pool = pool_module(name, n_out, 16, radius, vec![in_w, pool_w], rng);
+            let blocks = (0..blocks)
+                .map(|i| {
+                    pool_module(
+                        &format!("{name}-b{}", i + 1),
+                        n_out,
+                        16,
+                        radius * 1.25,
+                        vec![pool_w + i * growth, growth],
+                        rng,
+                    )
+                })
+                .collect();
+            Stage { pool, blocks }
+        };
+        let stages = vec![
+            stage("p1", 512, 0.25, 3, 48, 3, rng),
+            stage("p2", 128, 0.4, 48 + 3 * 24, 120, 3, rng),
+        ];
+        let global = Module::new(
+            ModuleConfig::global("gpool", vec![120 + 3 * 24, 512]),
+            NormMode::None,
+            rng,
+        );
+        let head = SharedMlp::new(&[512, 256, 40], NormMode::None, false, rng);
+        DensePoint { input_points: 1024, stages, global, head }
+    }
+
+    /// Small trainable instance.
+    pub fn small(classes: usize, rng: &mut StdRng) -> Self {
+        let stages = vec![Stage {
+            pool: pool_module_norm("p1", 48, 8, 0.35, vec![3, 24], NormMode::Feature, rng),
+            blocks: vec![
+                pool_module_norm("p1-b1", 48, 8, 0.45, vec![24, 12], NormMode::Feature, rng),
+                pool_module_norm("p1-b2", 48, 8, 0.45, vec![36, 12], NormMode::Feature, rng),
+            ],
+        }];
+        let global = Module::new(ModuleConfig::global("gpool", vec![48, 96]), NormMode::Feature, rng);
+        let head = SharedMlp::new(&[96, 48, classes], NormMode::None, false, rng);
+        DensePoint { input_points: 128, stages, global, head }
+    }
+}
+
+impl PointCloudNetwork for DensePoint {
+    fn name(&self) -> &str {
+        "DensePoint"
+    }
+
+    fn input_points(&self) -> usize {
+        self.input_points
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        cloud: &PointCloud,
+        strategy: Strategy,
+        seed: u64,
+    ) -> NetForward {
+        let mut trace = NetworkTrace::new("DensePoint", strategy);
+        let mut state = ModuleState::from_cloud(g, cloud);
+        let mut salt = 0u64;
+        for stage in &self.stages {
+            let out = runner::run_module(g, &stage.pool, &state, strategy, seed.wrapping_add(salt));
+            salt += 1;
+            trace.modules.push(out.trace);
+            state = out.state;
+            // Dense blocks: grow the feature concat at fixed positions.
+            let mut concat: VarId = state.features;
+            for block in &stage.blocks {
+                let block_state =
+                    ModuleState { positions: state.positions.clone(), features: concat };
+                let out =
+                    runner::run_module(g, block, &block_state, strategy, seed.wrapping_add(salt));
+                salt += 1;
+                trace.modules.push(out.trace);
+                concat = g.hstack(concat, out.state.features);
+            }
+            state = ModuleState { positions: state.positions.clone(), features: concat };
+        }
+        let out = runner::run_module(g, &self.global, &state, strategy, seed.wrapping_add(salt));
+        trace.modules.push(out.trace);
+        let (logits, head_trace) = runner::run_head(g, &self.head, out.state.features, "cls-head");
+        trace.modules.push(head_trace);
+        NetForward { logits, trace }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        for stage in &mut self.stages {
+            params.extend(stage.pool.mlp.params_mut());
+            for b in &mut stage.blocks {
+                params.extend(b.mlp.params_mut());
+            }
+        }
+        params.extend(self.global.mlp.params_mut());
+        params.extend(self.head.params_mut());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    #[test]
+    fn small_instance_forward_shapes() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(0);
+        let net = DensePoint::small(10, &mut rng);
+        let cloud = sample_shape(ShapeClass::Bowl, 128, 1);
+        let mut g = Graph::new();
+        let out = net.forward(&mut g, &cloud, Strategy::Original, 3);
+        assert_eq!(g.value(out.logits).shape(), (1, 10));
+        // pool + 2 blocks + global + head.
+        assert_eq!(out.trace.modules.len(), 5);
+    }
+
+    #[test]
+    fn dense_blocks_share_positions_but_grow_features() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(0);
+        let net = DensePoint::small(4, &mut rng);
+        let cloud = sample_shape(ShapeClass::Tent, 128, 1);
+        let mut g = Graph::new();
+        let out = net.forward(&mut g, &cloud, Strategy::Delayed, 3);
+        // All dense-stage modules keep n = 48 outputs; the global module
+        // sees the 16+8+8 = 32-wide concat.
+        let m_ins: Vec<usize> = out
+            .trace
+            .modules
+            .iter()
+            .filter_map(|m| m.search.as_ref().map(|s| s.queries))
+            .collect();
+        assert_eq!(m_ins, vec![48, 48, 48]);
+        assert_eq!(g.value(out.logits).shape(), (1, 4));
+    }
+
+    #[test]
+    fn all_module_mlps_are_single_layer() {
+        // The property that makes Mesorasi ≈ Ltd-Mesorasi on DensePoint.
+        let mut rng = mesorasi_pointcloud::seeded_rng(0);
+        let net = DensePoint::paper(&mut rng);
+        for stage in &net.stages {
+            assert_eq!(stage.pool.config.depth(), 1);
+            for b in &stage.blocks {
+                assert_eq!(b.config.depth(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_stage_widths_chain() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(0);
+        let net = DensePoint::paper(&mut rng);
+        // Stage-2 pool consumes stage-1's 48 + 3·24 = 120-wide concat.
+        assert_eq!(net.stages[1].pool.config.m_in(), 120);
+        assert_eq!(net.global.config.m_in(), 192);
+    }
+}

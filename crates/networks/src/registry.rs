@@ -1,0 +1,222 @@
+//! The benchmark registry (paper Table I).
+
+use crate::{densepoint, dgcnn, fpointnet, ldgcnn, pointnetpp, PointCloudNetwork};
+use rand::rngs::StdRng;
+
+/// Application domain of a benchmark network (Table I, first column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Object classification (ModelNet40 / 40-class synthetic shapes).
+    Classification,
+    /// Part segmentation (ShapeNet / labelled synthetic shapes).
+    Segmentation,
+    /// Object detection (KITTI / synthetic LiDAR frustums).
+    Detection,
+}
+
+impl Domain {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Classification => "Classification",
+            Domain::Segmentation => "Segmentation",
+            Domain::Detection => "Detection",
+        }
+    }
+}
+
+/// One of the seven evaluated networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the benchmark names
+pub enum NetworkKind {
+    PointNetPPClassification,
+    PointNetPPSegmentation,
+    DgcnnClassification,
+    DgcnnSegmentation,
+    FPointNet,
+    Ldgcnn,
+    DensePoint,
+}
+
+impl NetworkKind {
+    /// All seven benchmarks in the paper's reporting order (Figs. 16–18).
+    pub const ALL: [NetworkKind; 7] = [
+        NetworkKind::PointNetPPClassification,
+        NetworkKind::PointNetPPSegmentation,
+        NetworkKind::DgcnnClassification,
+        NetworkKind::DgcnnSegmentation,
+        NetworkKind::FPointNet,
+        NetworkKind::Ldgcnn,
+        NetworkKind::DensePoint,
+    ];
+
+    /// The five networks profiled in the motivation study (Figs. 4–12).
+    pub const PROFILED: [NetworkKind; 5] = [
+        NetworkKind::PointNetPPClassification,
+        NetworkKind::PointNetPPSegmentation,
+        NetworkKind::DgcnnClassification,
+        NetworkKind::DgcnnSegmentation,
+        NetworkKind::FPointNet,
+    ];
+
+    /// Display name as in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkKind::PointNetPPClassification => "PointNet++ (c)",
+            NetworkKind::PointNetPPSegmentation => "PointNet++ (s)",
+            NetworkKind::DgcnnClassification => "DGCNN (c)",
+            NetworkKind::DgcnnSegmentation => "DGCNN (s)",
+            NetworkKind::FPointNet => "F-PointNet",
+            NetworkKind::Ldgcnn => "LDGCNN",
+            NetworkKind::DensePoint => "DensePoint",
+        }
+    }
+
+    /// Application domain (Table I).
+    pub fn domain(self) -> Domain {
+        match self {
+            NetworkKind::PointNetPPClassification
+            | NetworkKind::DgcnnClassification
+            | NetworkKind::Ldgcnn
+            | NetworkKind::DensePoint => Domain::Classification,
+            NetworkKind::PointNetPPSegmentation | NetworkKind::DgcnnSegmentation => {
+                Domain::Segmentation
+            }
+            NetworkKind::FPointNet => Domain::Detection,
+        }
+    }
+
+    /// Dataset the paper evaluates on (Table I); this reproduction uses the
+    /// synthetic stand-ins documented in `DESIGN.md`.
+    pub fn dataset(self) -> &'static str {
+        match self.domain() {
+            Domain::Classification => "ModelNet40",
+            Domain::Segmentation => "ShapeNet",
+            Domain::Detection => "KITTI",
+        }
+    }
+
+    /// Publication year (Table I).
+    pub fn year(self) -> u32 {
+        match self {
+            NetworkKind::PointNetPPClassification | NetworkKind::PointNetPPSegmentation => 2017,
+            NetworkKind::FPointNet => 2018,
+            NetworkKind::DgcnnClassification
+            | NetworkKind::DgcnnSegmentation
+            | NetworkKind::Ldgcnn
+            | NetworkKind::DensePoint => 2019,
+        }
+    }
+
+    /// Paper-reported baseline accuracy (Fig. 16, "Original" bars), in
+    /// percent. Classification: overall accuracy; segmentation: mIoU;
+    /// detection: geometric-mean BEV IoU.
+    pub fn paper_accuracy_original(self) -> f64 {
+        match self {
+            NetworkKind::PointNetPPClassification => 90.8,
+            NetworkKind::PointNetPPSegmentation => 84.0,
+            NetworkKind::DgcnnClassification => 91.5,
+            NetworkKind::DgcnnSegmentation => 84.9,
+            NetworkKind::FPointNet => 71.3,
+            NetworkKind::Ldgcnn => 92.9,
+            NetworkKind::DensePoint => 92.6,
+        }
+    }
+
+    /// Paper-reported Mesorasi accuracy (Fig. 16, "Mesorasi" bars).
+    pub fn paper_accuracy_mesorasi(self) -> f64 {
+        match self {
+            NetworkKind::PointNetPPClassification => 89.9,
+            NetworkKind::PointNetPPSegmentation => 84.0,
+            NetworkKind::DgcnnClassification => 91.5,
+            NetworkKind::DgcnnSegmentation => 84.2,
+            NetworkKind::FPointNet => 72.5,
+            NetworkKind::Ldgcnn => 92.3,
+            NetworkKind::DensePoint => 93.2,
+        }
+    }
+
+    /// Paper-measured GPU latency on TX2 (Fig. 4), milliseconds; `None`
+    /// for the two networks not profiled there.
+    pub fn paper_gpu_latency_ms(self) -> Option<f64> {
+        match self {
+            NetworkKind::PointNetPPClassification => Some(71.1),
+            NetworkKind::PointNetPPSegmentation => Some(132.9),
+            NetworkKind::DgcnnClassification => Some(744.8),
+            NetworkKind::DgcnnSegmentation => Some(5200.8),
+            NetworkKind::FPointNet => Some(141.4),
+            _ => None,
+        }
+    }
+
+    /// Builds the paper-scale instance of this network.
+    pub fn build_paper(self, rng: &mut StdRng) -> Box<dyn PointCloudNetwork> {
+        match self {
+            NetworkKind::PointNetPPClassification => {
+                Box::new(pointnetpp::PointNetPP::classification_paper(rng))
+            }
+            NetworkKind::PointNetPPSegmentation => {
+                Box::new(pointnetpp::PointNetPP::segmentation_paper(50, rng))
+            }
+            NetworkKind::DgcnnClassification => Box::new(dgcnn::Dgcnn::classification_paper(rng)),
+            NetworkKind::DgcnnSegmentation => Box::new(dgcnn::Dgcnn::segmentation_paper(50, rng)),
+            NetworkKind::FPointNet => Box::new(fpointnet::FPointNet::paper(rng)),
+            NetworkKind::Ldgcnn => Box::new(ldgcnn::Ldgcnn::paper(rng)),
+            NetworkKind::DensePoint => Box::new(densepoint::DensePoint::paper(rng)),
+        }
+    }
+
+    /// Builds a small trainable instance (for the Fig. 16 experiment and
+    /// the test suite). `classes` is the label-space size of the task.
+    pub fn build_small(self, classes: usize, rng: &mut StdRng) -> Box<dyn PointCloudNetwork> {
+        match self {
+            NetworkKind::PointNetPPClassification => {
+                Box::new(pointnetpp::PointNetPP::classification_small(classes, rng))
+            }
+            NetworkKind::PointNetPPSegmentation => {
+                Box::new(pointnetpp::PointNetPP::segmentation_small(classes, rng))
+            }
+            NetworkKind::DgcnnClassification => {
+                Box::new(dgcnn::Dgcnn::classification_small(classes, rng))
+            }
+            NetworkKind::DgcnnSegmentation => {
+                Box::new(dgcnn::Dgcnn::segmentation_small(classes, rng))
+            }
+            NetworkKind::FPointNet => Box::new(fpointnet::FPointNet::small(rng)),
+            NetworkKind::Ldgcnn => Box::new(ldgcnn::Ldgcnn::small(classes, rng)),
+            NetworkKind::DensePoint => Box::new(densepoint::DensePoint::small(classes, rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_metadata_matches_paper() {
+        assert_eq!(NetworkKind::ALL.len(), 7);
+        assert_eq!(NetworkKind::PointNetPPClassification.dataset(), "ModelNet40");
+        assert_eq!(NetworkKind::DgcnnSegmentation.dataset(), "ShapeNet");
+        assert_eq!(NetworkKind::FPointNet.dataset(), "KITTI");
+        assert_eq!(NetworkKind::FPointNet.year(), 2018);
+        assert_eq!(NetworkKind::Ldgcnn.year(), 2019);
+    }
+
+    #[test]
+    fn paper_accuracy_deltas_are_within_reported_band() {
+        // Fig. 16: −0.9 % worst loss, +1.2 % best gain.
+        for kind in NetworkKind::ALL {
+            let delta = kind.paper_accuracy_mesorasi() - kind.paper_accuracy_original();
+            assert!((-0.95..=1.25).contains(&delta), "{}: {delta}", kind.name());
+        }
+    }
+
+    #[test]
+    fn profiled_networks_have_fig4_latencies() {
+        for kind in NetworkKind::PROFILED {
+            assert!(kind.paper_gpu_latency_ms().is_some());
+        }
+        assert!(NetworkKind::Ldgcnn.paper_gpu_latency_ms().is_none());
+    }
+}

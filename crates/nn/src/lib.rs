@@ -1,0 +1,55 @@
+//! Hand-rolled DNN substrate: reverse-mode autograd, layers, optimizers.
+//!
+//! The accuracy experiment (paper Fig. 16) requires *training* the evaluated
+//! networks in both formulations — original and delayed-aggregation — and
+//! showing the approximation loss is recovered by training. No mainstream
+//! Rust DNN stack is available in this environment, so this crate implements
+//! the minimum complete training substrate:
+//!
+//! * [`graph`] — a define-by-run autograd tape over `mesorasi-tensor`
+//!   matrices, with the irregular ops point-cloud networks need (row gather,
+//!   grouped max with argmax routing, centroid subtraction, weighted
+//!   interpolation) as first-class differentiable operations,
+//! * [`param`] / [`layers`] — trainable parameters, `Linear`, `SharedMlp`
+//!   and a feature-standardization layer,
+//! * [`optim`] — SGD with momentum and Adam,
+//! * [`loss`] — softmax cross-entropy,
+//! * [`metrics`] — classification accuracy and mean IoU (the paper's
+//!   segmentation metric),
+//! * [`init`] — Xavier/Kaiming initializers.
+//!
+//! # Example: fitting a linear map
+//!
+//! ```
+//! use mesorasi_nn::{graph::Graph, layers::Linear, optim::{Sgd, Optimizer}};
+//! use mesorasi_tensor::Matrix;
+//!
+//! let mut rng = mesorasi_pointcloud::seeded_rng(0);
+//! let mut layer = Linear::new(2, 1, &mut rng);
+//! let mut opt = Sgd::new(0.1, 0.0);
+//! let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+//! let target = Matrix::from_rows(&[&[2.0], &[3.0], &[5.0]]);
+//! for _ in 0..500 {
+//!     let mut g = Graph::new();
+//!     let xv = g.input(x.clone());
+//!     let y = layer.forward(&mut g, xv);
+//!     let t = g.input(target.clone());
+//!     let loss = g.mse(y, t);
+//!     g.backward(loss);
+//!     opt.step(&mut [&mut layer.weight, &mut layer.bias], &g);
+//! }
+//! // weight should approach [[2], [3]]
+//! assert!((layer.weight.value[(0, 0)] - 2.0).abs() < 0.05);
+//! ```
+
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod optim;
+pub mod param;
+pub mod schedule;
+
+pub use graph::{Graph, VarId};
+pub use param::Param;

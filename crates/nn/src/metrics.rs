@@ -1,0 +1,198 @@
+//! Evaluation metrics matching the paper's reporting (§VI "Software Setup"):
+//! overall accuracy for classification (ModelNet40), mean
+//! Intersection-over-Union for segmentation (ShapeNet), and IoU for
+//! detection boxes.
+
+/// Fraction of predictions equal to their label — "the standard overall
+/// accuracy metric".
+///
+/// # Panics
+///
+/// Panics if lengths differ or both are empty.
+pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "one prediction per label");
+    assert!(!labels.is_empty(), "accuracy of empty set");
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// A streaming confusion matrix over `classes` classes.
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    /// `counts[actual][predicted]`, row-major.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records a batch of predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any id is out of range.
+    pub fn record(&mut self, predictions: &[u32], labels: &[u32]) {
+        assert_eq!(predictions.len(), labels.len(), "one prediction per label");
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!((p as usize) < self.classes && (l as usize) < self.classes);
+            self.counts[l as usize * self.classes + p as usize] += 1;
+        }
+    }
+
+    /// Count of `(actual, predicted)` pairs.
+    pub fn count(&self, actual: u32, predicted: u32) -> u64 {
+        self.counts[actual as usize * self.classes + predicted as usize]
+    }
+
+    /// Overall accuracy from the recorded counts.
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c as u32, c as u32)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class IoU: `tp / (tp + fp + fn)`. Classes never seen (no true or
+    /// predicted instances) yield `None`.
+    pub fn per_class_iou(&self) -> Vec<Option<f64>> {
+        (0..self.classes)
+            .map(|c| {
+                let c32 = c as u32;
+                let tp = self.count(c32, c32);
+                let fp: u64 = (0..self.classes)
+                    .filter(|&a| a != c)
+                    .map(|a| self.count(a as u32, c32))
+                    .sum();
+                let fn_: u64 = (0..self.classes)
+                    .filter(|&p| p != c)
+                    .map(|p| self.count(c32, p as u32))
+                    .sum();
+                let denom = tp + fp + fn_;
+                if denom == 0 {
+                    None
+                } else {
+                    Some(tp as f64 / denom as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Mean IoU over the classes that were seen — the ShapeNet metric.
+    pub fn mean_iou(&self) -> f64 {
+        let ious: Vec<f64> = self.per_class_iou().into_iter().flatten().collect();
+        if ious.is_empty() {
+            return 0.0;
+        }
+        ious.iter().sum::<f64>() / ious.len() as f64
+    }
+}
+
+/// Axis-aligned 2-D IoU between two birds-eye-view boxes
+/// `(cx, cy, w, h)` — the BEV detection metric used for F-PointNet.
+pub fn bev_iou(a: (f32, f32, f32, f32), b: (f32, f32, f32, f32)) -> f64 {
+    let half = |b: (f32, f32, f32, f32)| (b.0 - b.2 / 2.0, b.1 - b.3 / 2.0, b.0 + b.2 / 2.0, b.1 + b.3 / 2.0);
+    let (ax0, ay0, ax1, ay1) = half(a);
+    let (bx0, by0, bx1, by1) = half(b);
+    let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0) as f64;
+    let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0) as f64;
+    let inter = ix * iy;
+    let union = (a.2 as f64 * a.3 as f64) + (b.2 as f64 * b.3 as f64) - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Geometric mean of per-class values — the paper reports "the geometric
+/// mean of the IoU metric (BEV) across its classes" for F-PointNet.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is negative.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty set");
+    assert!(values.iter().all(|&v| v >= 0.0), "values must be non-negative");
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_matches_direct() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(&[0, 1, 2, 1], &[0, 1, 1, 1]);
+        assert_eq!(cm.accuracy(), 0.75);
+        assert_eq!(cm.count(1, 2), 1);
+    }
+
+    #[test]
+    fn perfect_prediction_has_miou_one() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(&[0, 1, 0, 1], &[0, 1, 0, 1]);
+        assert_eq!(cm.mean_iou(), 1.0);
+    }
+
+    #[test]
+    fn iou_counts_fp_and_fn() {
+        let mut cm = ConfusionMatrix::new(2);
+        // class 0: tp=1, fn=1 (one 0 predicted as 1), fp=0 → IoU 0.5
+        // class 1: tp=1, fp=1, fn=0 → IoU 0.5
+        cm.record(&[0, 1, 1], &[0, 0, 1]);
+        let ious = cm.per_class_iou();
+        assert_eq!(ious[0], Some(0.5));
+        assert_eq!(ious[1], Some(0.5));
+        assert_eq!(cm.mean_iou(), 0.5);
+    }
+
+    #[test]
+    fn unseen_classes_are_excluded_from_miou() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(&[0, 0], &[0, 0]);
+        assert_eq!(cm.per_class_iou()[2], None);
+        assert_eq!(cm.mean_iou(), 1.0);
+    }
+
+    #[test]
+    fn bev_iou_identical_and_disjoint() {
+        let a = (0.0, 0.0, 2.0, 2.0);
+        assert!((bev_iou(a, a) - 1.0).abs() < 1e-9);
+        let far = (10.0, 10.0, 2.0, 2.0);
+        assert_eq!(bev_iou(a, far), 0.0);
+        // half-overlap: boxes shifted by half a width
+        let shifted = (1.0, 0.0, 2.0, 2.0);
+        let iou = bev_iou(a, shifted);
+        assert!((iou - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-9);
+        assert!((geometric_mean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,192 @@
+//! Optimizers.
+
+use crate::graph::Graph;
+use crate::param::Param;
+use mesorasi_tensor::Matrix;
+
+/// A gradient-descent optimizer. After `Graph::backward`, call
+/// [`Optimizer::step`] with the model's parameters; gradients are looked up
+/// on the graph by parameter id, and parameters that did not participate in
+/// the pass are left untouched.
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, params: &mut [&mut Param], graph: &Graph);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient in `[0, 1)`; 0 disables momentum.
+    pub momentum: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum ∉ [0, 1)`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param], graph: &Graph) {
+        for p in params {
+            let Some(grad) = graph.param_grad(p.id()) else {
+                continue;
+            };
+            if self.momentum == 0.0 {
+                for (v, &g) in p.value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                    *v -= self.lr * g;
+                }
+            } else {
+                let grad = grad.clone();
+                let vel = p
+                    .moment1
+                    .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                for ((m, &g), v) in vel
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(grad.as_slice())
+                    .zip(p.value.as_mut_slice())
+                {
+                    *m = self.momentum * *m + g;
+                    *v -= self.lr * *m;
+                }
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba), the optimizer the paper's networks train with.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param], graph: &Graph) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in params {
+            let Some(grad) = graph.param_grad(p.id()) else {
+                continue;
+            };
+            let grad = grad.clone();
+            let (rows, cols) = grad.shape();
+            let m = p.moment1.get_or_insert_with(|| Matrix::zeros(rows, cols));
+            let v = p.moment2.get_or_insert_with(|| Matrix::zeros(rows, cols));
+            for i in 0..grad.len() {
+                let g = grad.as_slice()[i];
+                let mi = &mut m.as_mut_slice()[i];
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                let vi = &mut v.as_mut_slice()[i];
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let m_hat = *mi / b1t;
+                let v_hat = *vi / b2t;
+                p.value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes f(w) = mean((x·w − t)²) and returns the final loss.
+    fn fit(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut w = Param::new(Matrix::from_rows(&[&[5.0], &[-5.0]]));
+        let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let t = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let mut last = f32::INFINITY;
+        for _ in 0..iters {
+            let mut g = Graph::new();
+            let wv = g.param(&w);
+            let xv = g.input(x.clone());
+            let y = g.matmul(xv, wv);
+            let tv = g.input(t.clone());
+            let loss = g.mse(y, tv);
+            last = g.value(loss)[(0, 0)];
+            g.backward(loss);
+            opt.step(&mut [&mut w], &g);
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.2, 0.0);
+        assert!(fit(&mut opt, 200) < 1e-4);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let plain = fit(&mut Sgd::new(0.05, 0.0), 40);
+        let momentum = fit(&mut Sgd::new(0.05, 0.9), 40);
+        assert!(momentum < plain, "momentum {momentum} should beat plain {plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!(fit(&mut opt, 300) < 1e-3);
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn unused_params_are_untouched() {
+        let mut used = Param::new(Matrix::from_rows(&[&[1.0]]));
+        let mut unused = Param::new(Matrix::from_rows(&[&[42.0]]));
+        let mut g = Graph::new();
+        let w = g.param(&used);
+        let x = g.input(Matrix::from_rows(&[&[2.0]]));
+        let y = g.matmul(x, w);
+        let t = g.input(Matrix::zeros(1, 1));
+        let loss = g.mse(y, t);
+        g.backward(loss);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut used, &mut unused], &g);
+        assert_eq!(unused.value[(0, 0)], 42.0);
+        assert_ne!(used.value[(0, 0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_panics() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

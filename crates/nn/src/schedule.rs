@@ -1,0 +1,114 @@
+//! Learning-rate schedules and dropout masks — the remaining training
+//! utilities the paper's recipes use (PointNet++ trains with step decay and
+//! dropout in its classifier head).
+
+use mesorasi_tensor::Matrix;
+use rand::Rng;
+
+/// A learning-rate schedule mapping the epoch to a rate.
+pub trait LrSchedule {
+    /// Learning rate to use during `epoch`.
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Constant rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr(pub f32);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f32 {
+        self.0
+    }
+}
+
+/// Step decay: `base · gamma^(epoch / step)` with a floor — PointNet++'s
+/// recipe (decay 0.7 every 20 epochs, floored at 1e-5).
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub base: f32,
+    /// Multiplier applied every `step` epochs.
+    pub gamma: f32,
+    /// Epochs between decays.
+    pub step: usize,
+    /// Lower bound on the rate.
+    pub floor: f32,
+}
+
+impl StepDecay {
+    /// PointNet++'s published schedule scaled to a `base` rate.
+    pub fn pointnetpp(base: f32) -> Self {
+        StepDecay { base, gamma: 0.7, step: 20, floor: 1e-5 }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let decays = (epoch / self.step.max(1)) as i32;
+        (self.base * self.gamma.powi(decays)).max(self.floor)
+    }
+}
+
+/// Generates an inverted-dropout mask: each element is `0` with probability
+/// `p` and `1/(1−p)` otherwise, so activations keep their expectation and
+/// inference needs no rescaling. Feed to `Graph::mul_const`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1)`.
+pub fn dropout_mask<R: Rng>(rows: usize, cols: usize, p: f32, rng: &mut R) -> Matrix {
+    assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+    let keep = 1.0 / (1.0 - p);
+    Matrix::from_fn(rows, cols, |_, _| if rng.gen::<f32>() < p { 0.0 } else { keep })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_is_constant() {
+        let s = ConstantLr(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1000), 0.01);
+    }
+
+    #[test]
+    fn step_decay_follows_the_recipe() {
+        let s = StepDecay::pointnetpp(1e-3);
+        assert_eq!(s.lr_at(0), 1e-3);
+        assert_eq!(s.lr_at(19), 1e-3);
+        assert!((s.lr_at(20) - 7e-4).abs() < 1e-9);
+        assert!((s.lr_at(40) - 4.9e-4).abs() < 1e-9);
+        // Floors out eventually.
+        assert_eq!(s.lr_at(100_000), 1e-5);
+    }
+
+    #[test]
+    fn dropout_mask_preserves_expectation() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(1);
+        let mask = dropout_mask(200, 50, 0.3, &mut rng);
+        let mean: f32 = mask.as_slice().iter().sum::<f32>() / mask.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean} should be ~1");
+        // Values are exactly 0 or 1/(1-p).
+        let keep = 1.0 / 0.7;
+        assert!(mask
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - keep).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity_mask() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(2);
+        let mask = dropout_mask(8, 8, 0.0, &mut rng);
+        assert!(mask.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn dropout_one_panics() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(3);
+        let _ = dropout_mask(2, 2, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,287 @@
+//! The [`PointCloud`] container.
+
+use crate::{Aabb, Point3};
+
+/// An unordered set of 3-D points with optional per-point integer labels
+/// (used by the segmentation and detection tasks).
+///
+/// The paper represents a module's input as an `N_in × M_in` matrix whose
+/// first module has `M_in = 3` (raw coordinates). `PointCloud` is that
+/// initial representation; deeper feature matrices live in
+/// `mesorasi-tensor::Matrix`.
+///
+/// # Example
+///
+/// ```
+/// use mesorasi_pointcloud::{PointCloud, Point3};
+///
+/// let mut cloud = PointCloud::new();
+/// cloud.push(Point3::new(0.0, 0.0, 0.0));
+/// cloud.push(Point3::new(1.0, 0.0, 0.0));
+/// assert_eq!(cloud.len(), 2);
+/// assert_eq!(cloud.centroid(), Point3::new(0.5, 0.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointCloud {
+    points: Vec<Point3>,
+    labels: Option<Vec<u32>>,
+}
+
+impl PointCloud {
+    /// Creates an empty cloud.
+    pub fn new() -> Self {
+        PointCloud { points: Vec::new(), labels: None }
+    }
+
+    /// Creates an empty cloud with room for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        PointCloud { points: Vec::with_capacity(n), labels: None }
+    }
+
+    /// Creates a cloud from a vector of points.
+    pub fn from_points(points: Vec<Point3>) -> Self {
+        PointCloud { points, labels: None }
+    }
+
+    /// Creates a labelled cloud (per-point labels, e.g. part ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `labels` have different lengths.
+    pub fn from_labelled_points(points: Vec<Point3>, labels: Vec<u32>) -> Self {
+        assert_eq!(points.len(), labels.len(), "one label per point required");
+        PointCloud { points, labels: Some(labels) }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the cloud holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points as a slice.
+    #[inline]
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Mutable access to the points (used by augmentation).
+    #[inline]
+    pub fn points_mut(&mut self) -> &mut [Point3] {
+        &mut self.points
+    }
+
+    /// Per-point labels, if this cloud is labelled.
+    #[inline]
+    pub fn labels(&self) -> Option<&[u32]> {
+        self.labels.as_deref()
+    }
+
+    /// Appends an unlabelled point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud already carries labels (labels would fall out of
+    /// sync); use [`PointCloud::push_labelled`] instead.
+    pub fn push(&mut self, p: Point3) {
+        assert!(self.labels.is_none(), "labelled cloud requires push_labelled");
+        debug_assert!(p.is_finite(), "point must be finite: {p}");
+        self.points.push(p);
+    }
+
+    /// Appends a labelled point, converting an unlabelled empty cloud into a
+    /// labelled one on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud already holds unlabelled points.
+    pub fn push_labelled(&mut self, p: Point3, label: u32) {
+        debug_assert!(p.is_finite(), "point must be finite: {p}");
+        if self.labels.is_none() {
+            assert!(self.points.is_empty(), "cannot add labels to an unlabelled cloud");
+            self.labels = Some(Vec::new());
+        }
+        self.points.push(p);
+        self.labels.as_mut().expect("labels initialized above").push(label);
+    }
+
+    /// The point at `index`.
+    #[inline]
+    pub fn point(&self, index: usize) -> Point3 {
+        self.points[index]
+    }
+
+    /// Arithmetic mean of all points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is empty.
+    pub fn centroid(&self) -> Point3 {
+        assert!(!self.is_empty(), "centroid of empty cloud");
+        let sum = self.points.iter().fold(Point3::ORIGIN, |acc, &p| acc + p);
+        sum / self.points.len() as f32
+    }
+
+    /// Tight bounding box, or `None` when empty.
+    pub fn bounds(&self) -> Option<Aabb> {
+        Aabb::from_points(self.points.iter().copied())
+    }
+
+    /// Returns a new cloud containing the points (and labels) selected by
+    /// `indices`, in order. Indices may repeat — the paper's ball query pads
+    /// under-full neighborhoods with repeated indices, and sampling with
+    /// replacement relies on this too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> PointCloud {
+        let points: Vec<Point3> = indices.iter().map(|&i| self.points[i]).collect();
+        let labels = self
+            .labels
+            .as_ref()
+            .map(|l| indices.iter().map(|&i| l[i]).collect());
+        PointCloud { points, labels }
+    }
+
+    /// Flattens the cloud into a row-major `N×3` coordinate buffer — the
+    /// `N_in × M_in` input matrix of the first module (paper §III-A).
+    pub fn to_xyz_rows(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.points.len() * 3);
+        for p in &self.points {
+            out.extend_from_slice(&p.to_array());
+        }
+        out
+    }
+
+    /// Recenters the cloud on its centroid and scales it to fit in the unit
+    /// sphere — the standard ModelNet-style normalization applied before
+    /// training and before the workload generators.
+    pub fn normalize_to_unit_sphere(&mut self) {
+        if self.is_empty() {
+            return;
+        }
+        let c = self.centroid();
+        for p in &mut self.points {
+            *p -= c;
+        }
+        let max_norm = self
+            .points
+            .iter()
+            .map(|p| p.norm())
+            .fold(0.0f32, f32::max);
+        if max_norm > 0.0 {
+            for p in &mut self.points {
+                *p = *p / max_norm;
+            }
+        }
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point3> {
+        self.points.iter()
+    }
+}
+
+impl FromIterator<Point3> for PointCloud {
+    fn from_iter<T: IntoIterator<Item = Point3>>(iter: T) -> Self {
+        PointCloud::from_points(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Point3> for PointCloud {
+    fn extend<T: IntoIterator<Item = Point3>>(&mut self, iter: T) {
+        assert!(self.labels.is_none(), "labelled cloud requires push_labelled");
+        self.points.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a PointCloud {
+    type Item = &'a Point3;
+    type IntoIter = std::slice::Iter<'a, Point3>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointCloud {
+        PointCloud::from_points(vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 0.0),
+            Point3::new(0.0, 2.0, 0.0),
+            Point3::new(0.0, 0.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn centroid_of_tetrahedron_corners() {
+        assert_eq!(sample().centroid(), Point3::new(0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn centroid_of_empty_panics() {
+        let _ = PointCloud::new().centroid();
+    }
+
+    #[test]
+    fn select_with_repeats() {
+        let c = sample().select(&[1, 1, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.point(0), Point3::new(2.0, 0.0, 0.0));
+        assert_eq!(c.point(1), Point3::new(2.0, 0.0, 0.0));
+        assert_eq!(c.point(2), Point3::new(0.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn select_preserves_labels() {
+        let c = PointCloud::from_labelled_points(
+            vec![Point3::ORIGIN, Point3::splat(1.0)],
+            vec![10, 20],
+        );
+        let s = c.select(&[1, 0]);
+        assert_eq!(s.labels(), Some(&[20, 10][..]));
+    }
+
+    #[test]
+    fn to_xyz_rows_is_row_major() {
+        let rows = sample().to_xyz_rows();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(&rows[3..6], &[2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_to_unit_sphere_centers_and_bounds_norm() {
+        let mut c = sample();
+        c.normalize_to_unit_sphere();
+        let centroid = c.centroid();
+        assert!(centroid.norm() < 1e-6);
+        let max_norm = c.iter().map(|p| p.norm()).fold(0.0f32, f32::max);
+        assert!((max_norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labelled_push_mismatch_panics() {
+        let mut c = sample();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.push_labelled(Point3::ORIGIN, 1);
+        }));
+        assert!(result.is_err(), "adding labels to unlabelled cloud must panic");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: PointCloud = (0..5).map(|i| Point3::splat(i as f32)).collect();
+        assert_eq!(c.len(), 5);
+    }
+}

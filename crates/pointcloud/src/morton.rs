@@ -1,0 +1,197 @@
+//! Z-order (Morton) curves for spatially-coherent point ordering.
+//!
+//! The Aggregation Unit's PFT buffer interleaves rows across banks by the
+//! low bits of the row index (paper §V-B: "an LSB-interleaving reduces bank
+//! conflicts"). That only helps when spatially-close points — which are what
+//! a neighbor search returns — have *close indices*. Real datasets have this
+//! property because scanners emit points in sweep order; our synthetic
+//! generators recover it by sorting points along a Morton curve. The
+//! `ablations` bench quantifies how many extra conflict rounds a shuffled
+//! ordering costs.
+
+use crate::{Aabb, Point3, PointCloud};
+
+/// Number of bits per axis in a Morton code (3 × 21 = 63 bits total).
+pub const BITS_PER_AXIS: u32 = 21;
+
+/// Spreads the low 21 bits of `v` so that there are two zero bits between
+/// every payload bit (the classic "part 1 by 2" bit trick).
+#[inline]
+fn part1by2(v: u32) -> u64 {
+    let mut x = u64::from(v) & 0x1f_ffff; // keep 21 bits
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`part1by2`]: compacts every third bit into the low 21 bits.
+#[inline]
+fn compact1by2(x: u64) -> u32 {
+    let mut v = x & 0x1249_2492_4924_9249;
+    v = (v ^ (v >> 2)) & 0x10c3_0c30_c30c_30c3;
+    v = (v ^ (v >> 4)) & 0x100f_00f0_0f00_f00f;
+    v = (v ^ (v >> 8)) & 0x001f_0000_ff00_00ff;
+    v = (v ^ (v >> 16)) & 0x001f_0000_0000_ffff;
+    v = (v ^ (v >> 32)) & 0x1f_ffff;
+    v as u32
+}
+
+/// Interleaves three 21-bit coordinates into a 63-bit Morton code.
+///
+/// # Example
+///
+/// ```
+/// use mesorasi_pointcloud::morton::{encode, decode};
+/// let code = encode(3, 5, 7);
+/// assert_eq!(decode(code), (3, 5, 7));
+/// ```
+#[inline]
+pub fn encode(x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(x < (1 << BITS_PER_AXIS));
+    debug_assert!(y < (1 << BITS_PER_AXIS));
+    debug_assert!(z < (1 << BITS_PER_AXIS));
+    part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+}
+
+/// Recovers the three coordinates from a Morton code produced by [`encode`].
+#[inline]
+pub fn decode(code: u64) -> (u32, u32, u32) {
+    (compact1by2(code), compact1by2(code >> 1), compact1by2(code >> 2))
+}
+
+/// Quantizes a point inside `bounds` to the Morton grid and encodes it.
+pub fn code_for_point(p: Point3, bounds: &Aabb) -> u64 {
+    let n = bounds.normalize(p);
+    let max = ((1u32 << BITS_PER_AXIS) - 1) as f32;
+    let q = |v: f32| -> u32 { (v * max) as u32 };
+    encode(q(n.x), q(n.y), q(n.z))
+}
+
+/// Returns the permutation that sorts `cloud` along the Morton curve.
+///
+/// An empty cloud yields an empty permutation.
+pub fn sort_permutation(cloud: &PointCloud) -> Vec<usize> {
+    let Some(bounds) = cloud.bounds() else {
+        return Vec::new();
+    };
+    let mut order: Vec<usize> = (0..cloud.len()).collect();
+    let codes: Vec<u64> = cloud
+        .points()
+        .iter()
+        .map(|&p| code_for_point(p, &bounds))
+        .collect();
+    order.sort_by_key(|&i| codes[i]);
+    order
+}
+
+/// Reorders the cloud in place along the Morton curve so that spatially
+/// nearby points get nearby indices.
+pub fn sort_cloud(cloud: &PointCloud) -> PointCloud {
+    let perm = sort_permutation(cloud);
+    cloud.select(&perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn encode_decode_round_trip_exhaustive_small() {
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    assert_eq!(decode(encode(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_random_large() {
+        let mut rng = crate::seeded_rng(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..(1u32 << BITS_PER_AXIS));
+            let y = rng.gen_range(0..(1u32 << BITS_PER_AXIS));
+            let z = rng.gen_range(0..(1u32 << BITS_PER_AXIS));
+            assert_eq!(decode(encode(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn morton_order_is_monotone_along_single_axis() {
+        // Along one axis with others fixed, the Morton code is increasing.
+        let mut prev = encode(0, 5, 9);
+        for x in 1..100 {
+            let c = encode(x, 5, 9);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn sort_cloud_improves_neighbor_index_locality() {
+        // Points on a dense 3-D grid, shuffled; after Morton sorting, points
+        // that are spatial neighbors should have much closer indices than in
+        // the shuffled order.
+        use rand::seq::SliceRandom;
+        let mut pts = Vec::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                for z in 0..10 {
+                    pts.push(Point3::new(x as f32, y as f32, z as f32));
+                }
+            }
+        }
+        let mut rng = crate::seeded_rng(3);
+        pts.shuffle(&mut rng);
+        let shuffled = PointCloud::from_points(pts);
+        let sorted = sort_cloud(&shuffled);
+
+        // Mean index distance between consecutive-in-space pairs.
+        let mean_gap = |cloud: &PointCloud| -> f64 {
+            let pts = cloud.points();
+            let mut total = 0f64;
+            let mut count = 0f64;
+            for i in 0..pts.len() {
+                // find index of the +x spatial neighbor, if present
+                let target = pts[i] + Point3::new(1.0, 0.0, 0.0);
+                if let Some(j) = pts.iter().position(|&q| q == target) {
+                    total += (i as f64 - j as f64).abs();
+                    count += 1.0;
+                }
+            }
+            total / count
+        };
+        let gap_shuffled = mean_gap(&shuffled);
+        let gap_sorted = mean_gap(&sorted);
+        assert!(
+            gap_sorted < gap_shuffled / 4.0,
+            "morton sort should tighten index locality: sorted {gap_sorted} vs shuffled {gap_shuffled}"
+        );
+    }
+
+    #[test]
+    fn sort_permutation_empty_cloud() {
+        assert!(sort_permutation(&PointCloud::new()).is_empty());
+    }
+
+    #[test]
+    fn sort_preserves_multiset_of_points() {
+        let mut rng = crate::seeded_rng(9);
+        let pts: Vec<Point3> = (0..256)
+            .map(|_| Point3::new(rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+        let cloud = PointCloud::from_points(pts.clone());
+        let sorted = sort_cloud(&cloud);
+        assert_eq!(sorted.len(), cloud.len());
+        let mut a: Vec<_> = pts.iter().map(|p| p.to_array().map(f32::to_bits)).collect();
+        let mut b: Vec<_> = sorted.iter().map(|p| p.to_array().map(f32::to_bits)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,707 @@
+//! Parametric 40-class shape dataset — the ModelNet40 stand-in.
+//!
+//! The paper evaluates classification on ModelNet40 \[58\]. That dataset is not
+//! redistributable here, so this module builds a 40-class family of
+//! parametric CAD-like shapes (each class a fixed composition of geometric
+//! primitives with per-instance randomized proportions). What the
+//! substitution must preserve — and does — is:
+//!
+//! * irregular point scattering (surface sampling, not a grid),
+//! * non-uniform density and overlapping neighborhoods (Fig. 6 statistics),
+//! * a classification task hard enough that accuracy differences between the
+//!   original and delayed-aggregation formulations are measurable (Fig. 16).
+//!
+//! Class names mirror ModelNet40's so experiment output reads like the paper.
+
+use crate::{Point3, PointCloud};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::f32::consts::PI;
+
+/// One of the 40 shape classes. The discriminant is the class label used by
+/// the classification networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u32)]
+#[allow(missing_docs)] // the variants are the dataset's class names
+pub enum ShapeClass {
+    Airplane = 0,
+    Bathtub,
+    Bed,
+    Bench,
+    Bookshelf,
+    Bottle,
+    Bowl,
+    Car,
+    Chair,
+    Cone,
+    Cup,
+    Curtain,
+    Desk,
+    Door,
+    Dresser,
+    FlowerPot,
+    GlassBox,
+    Guitar,
+    Keyboard,
+    Lamp,
+    Laptop,
+    Mantel,
+    Monitor,
+    NightStand,
+    Person,
+    Piano,
+    Plant,
+    Radio,
+    RangeHood,
+    Sink,
+    Sofa,
+    Stairs,
+    Stool,
+    Table,
+    Tent,
+    Toilet,
+    TvStand,
+    Vase,
+    Wardrobe,
+    Sphere,
+    // Extra primitive classes used by unit tests and examples; not part of
+    // the 40-way label space.
+    Cube,
+    Cylinder,
+    Torus,
+}
+
+impl ShapeClass {
+    /// The 40 classes that form the classification label space.
+    pub const ALL: [ShapeClass; 40] = [
+        ShapeClass::Airplane,
+        ShapeClass::Bathtub,
+        ShapeClass::Bed,
+        ShapeClass::Bench,
+        ShapeClass::Bookshelf,
+        ShapeClass::Bottle,
+        ShapeClass::Bowl,
+        ShapeClass::Car,
+        ShapeClass::Chair,
+        ShapeClass::Cone,
+        ShapeClass::Cup,
+        ShapeClass::Curtain,
+        ShapeClass::Desk,
+        ShapeClass::Door,
+        ShapeClass::Dresser,
+        ShapeClass::FlowerPot,
+        ShapeClass::GlassBox,
+        ShapeClass::Guitar,
+        ShapeClass::Keyboard,
+        ShapeClass::Lamp,
+        ShapeClass::Laptop,
+        ShapeClass::Mantel,
+        ShapeClass::Monitor,
+        ShapeClass::NightStand,
+        ShapeClass::Person,
+        ShapeClass::Piano,
+        ShapeClass::Plant,
+        ShapeClass::Radio,
+        ShapeClass::RangeHood,
+        ShapeClass::Sink,
+        ShapeClass::Sofa,
+        ShapeClass::Stairs,
+        ShapeClass::Stool,
+        ShapeClass::Table,
+        ShapeClass::Tent,
+        ShapeClass::Toilet,
+        ShapeClass::TvStand,
+        ShapeClass::Vase,
+        ShapeClass::Wardrobe,
+        ShapeClass::Sphere,
+    ];
+
+    /// Class label as an integer in `0..40` (extra primitive classes map
+    /// beyond 39 and must not be used for classification).
+    #[inline]
+    pub fn label(self) -> u32 {
+        self as u32
+    }
+
+    /// Human-readable class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShapeClass::Airplane => "airplane",
+            ShapeClass::Bathtub => "bathtub",
+            ShapeClass::Bed => "bed",
+            ShapeClass::Bench => "bench",
+            ShapeClass::Bookshelf => "bookshelf",
+            ShapeClass::Bottle => "bottle",
+            ShapeClass::Bowl => "bowl",
+            ShapeClass::Car => "car",
+            ShapeClass::Chair => "chair",
+            ShapeClass::Cone => "cone",
+            ShapeClass::Cup => "cup",
+            ShapeClass::Curtain => "curtain",
+            ShapeClass::Desk => "desk",
+            ShapeClass::Door => "door",
+            ShapeClass::Dresser => "dresser",
+            ShapeClass::FlowerPot => "flower_pot",
+            ShapeClass::GlassBox => "glass_box",
+            ShapeClass::Guitar => "guitar",
+            ShapeClass::Keyboard => "keyboard",
+            ShapeClass::Lamp => "lamp",
+            ShapeClass::Laptop => "laptop",
+            ShapeClass::Mantel => "mantel",
+            ShapeClass::Monitor => "monitor",
+            ShapeClass::NightStand => "night_stand",
+            ShapeClass::Person => "person",
+            ShapeClass::Piano => "piano",
+            ShapeClass::Plant => "plant",
+            ShapeClass::Radio => "radio",
+            ShapeClass::RangeHood => "range_hood",
+            ShapeClass::Sink => "sink",
+            ShapeClass::Sofa => "sofa",
+            ShapeClass::Stairs => "stairs",
+            ShapeClass::Stool => "stool",
+            ShapeClass::Table => "table",
+            ShapeClass::Tent => "tent",
+            ShapeClass::Toilet => "toilet",
+            ShapeClass::TvStand => "tv_stand",
+            ShapeClass::Vase => "vase",
+            ShapeClass::Wardrobe => "wardrobe",
+            ShapeClass::Sphere => "sphere",
+            ShapeClass::Cube => "cube",
+            ShapeClass::Cylinder => "cylinder",
+            ShapeClass::Torus => "torus",
+        }
+    }
+}
+
+/// A geometric primitive that can be surface-sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Primitive {
+    /// Sphere of radius `r`.
+    Sphere { r: f32 },
+    /// Ellipsoid with semi-axes `(a, b, c)`.
+    Ellipsoid { a: f32, b: f32, c: f32 },
+    /// Axis-aligned box with half-extents `(hx, hy, hz)`.
+    Cuboid { hx: f32, hy: f32, hz: f32 },
+    /// Cylinder along +z with radius `r`, height `h` (includes caps).
+    Cylinder { r: f32, h: f32 },
+    /// Open tube along +z (no caps) — bottles, vases, poles.
+    Tube { r: f32, h: f32 },
+    /// Cone along +z with base radius `r`, height `h`.
+    Cone { r: f32, h: f32 },
+    /// Torus in the xy-plane with major radius `major` and tube radius `minor`.
+    Torus { major: f32, minor: f32 },
+    /// Rectangular plate in the xy-plane with half-extents `(hx, hy)`.
+    Plate { hx: f32, hy: f32 },
+    /// Hemisphere (upper half of a sphere of radius `r`) — bowls, sinks.
+    Hemisphere { r: f32 },
+}
+
+impl Primitive {
+    /// Approximate surface area, used to distribute sample counts across the
+    /// primitives of a composite shape proportionally.
+    pub fn area(&self) -> f32 {
+        match *self {
+            Primitive::Sphere { r } => 4.0 * PI * r * r,
+            Primitive::Ellipsoid { a, b, c } => {
+                // Knud Thomsen approximation (p = 1.6075).
+                let p = 1.6075f32;
+                let ap = a.powf(p);
+                let bp = b.powf(p);
+                let cp = c.powf(p);
+                4.0 * PI * ((ap * bp + ap * cp + bp * cp) / 3.0).powf(1.0 / p)
+            }
+            Primitive::Cuboid { hx, hy, hz } => 8.0 * (hx * hy + hy * hz + hx * hz),
+            Primitive::Cylinder { r, h } => 2.0 * PI * r * h + 2.0 * PI * r * r,
+            Primitive::Tube { r, h } => 2.0 * PI * r * h,
+            Primitive::Cone { r, h } => {
+                let slant = (r * r + h * h).sqrt();
+                PI * r * slant + PI * r * r
+            }
+            Primitive::Torus { major, minor } => 4.0 * PI * PI * major * minor,
+            Primitive::Plate { hx, hy } => 4.0 * hx * hy,
+            Primitive::Hemisphere { r } => 2.0 * PI * r * r,
+        }
+    }
+
+    /// Samples one point uniformly (approximately, for the ellipsoid) on the
+    /// primitive's surface.
+    pub fn sample_surface(&self, rng: &mut StdRng) -> Point3 {
+        match *self {
+            Primitive::Sphere { r } => unit_sphere_dir(rng) * r,
+            Primitive::Ellipsoid { a, b, c } => {
+                let d = unit_sphere_dir(rng);
+                Point3::new(d.x * a, d.y * b, d.z * c)
+            }
+            Primitive::Cuboid { hx, hy, hz } => {
+                // Pick a face weighted by area, then a uniform point on it.
+                let ax = hy * hz;
+                let ay = hx * hz;
+                let az = hx * hy;
+                let t = rng.gen_range(0.0..(ax + ay + az));
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                let u = rng.gen_range(-1.0f32..1.0);
+                let v = rng.gen_range(-1.0f32..1.0);
+                if t < ax {
+                    Point3::new(sign * hx, u * hy, v * hz)
+                } else if t < ax + ay {
+                    Point3::new(u * hx, sign * hy, v * hz)
+                } else {
+                    Point3::new(u * hx, v * hy, sign * hz)
+                }
+            }
+            Primitive::Cylinder { r, h } => {
+                let side = 2.0 * PI * r * h;
+                let caps = 2.0 * PI * r * r;
+                if rng.gen_range(0.0..(side + caps)) < side {
+                    let theta = rng.gen_range(0.0..(2.0 * PI));
+                    Point3::new(r * theta.cos(), r * theta.sin(), rng.gen_range(0.0..h))
+                } else {
+                    let z = if rng.gen::<bool>() { h } else { 0.0 };
+                    let d = unit_disk(rng);
+                    Point3::new(d.0 * r, d.1 * r, z)
+                }
+            }
+            Primitive::Tube { r, h } => {
+                let theta = rng.gen_range(0.0..(2.0 * PI));
+                Point3::new(r * theta.cos(), r * theta.sin(), rng.gen_range(0.0..h))
+            }
+            Primitive::Cone { r, h } => {
+                let slant = PI * r * (r * r + h * h).sqrt();
+                let base = PI * r * r;
+                if rng.gen_range(0.0..(slant + base)) < slant {
+                    // Uniform on lateral surface: radius ∝ sqrt(u).
+                    let u: f32 = rng.gen();
+                    let rr = r * u.sqrt();
+                    let theta = rng.gen_range(0.0..(2.0 * PI));
+                    Point3::new(rr * theta.cos(), rr * theta.sin(), h * (1.0 - rr / r))
+                } else {
+                    let d = unit_disk(rng);
+                    Point3::new(d.0 * r, d.1 * r, 0.0)
+                }
+            }
+            Primitive::Torus { major, minor } => {
+                let u = rng.gen_range(0.0..(2.0 * PI));
+                let v = rng.gen_range(0.0..(2.0 * PI));
+                let ring = major + minor * v.cos();
+                Point3::new(ring * u.cos(), ring * u.sin(), minor * v.sin())
+            }
+            Primitive::Plate { hx, hy } => Point3::new(
+                rng.gen_range(-hx..hx.max(f32::MIN_POSITIVE)),
+                rng.gen_range(-hy..hy.max(f32::MIN_POSITIVE)),
+                0.0,
+            ),
+            Primitive::Hemisphere { r } => {
+                let mut d = unit_sphere_dir(rng);
+                d.z = d.z.abs();
+                d * r
+            }
+        }
+    }
+}
+
+fn unit_sphere_dir(rng: &mut StdRng) -> Point3 {
+    // Marsaglia rejection sampling.
+    loop {
+        let x = rng.gen_range(-1.0f32..1.0);
+        let y = rng.gen_range(-1.0f32..1.0);
+        let z = rng.gen_range(-1.0f32..1.0);
+        let n2 = x * x + y * y + z * z;
+        if n2 > 1e-6 && n2 <= 1.0 {
+            let n = n2.sqrt();
+            return Point3::new(x / n, y / n, z / n);
+        }
+    }
+}
+
+fn unit_disk(rng: &mut StdRng) -> (f32, f32) {
+    loop {
+        let x = rng.gen_range(-1.0f32..1.0);
+        let y = rng.gen_range(-1.0f32..1.0);
+        if x * x + y * y <= 1.0 {
+            return (x, y);
+        }
+    }
+}
+
+/// One placed primitive inside a composite shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Part {
+    /// The primitive surface to sample.
+    pub primitive: Primitive,
+    /// Translation applied after sampling.
+    pub offset: Point3,
+    /// Rotation about the z axis in radians, applied before translation.
+    pub yaw: f32,
+}
+
+impl Part {
+    /// Places `primitive` at `offset` with no rotation.
+    pub fn at(primitive: Primitive, offset: Point3) -> Self {
+        Part { primitive, offset, yaw: 0.0 }
+    }
+
+    /// Places `primitive` at `offset`, yawed by `yaw` radians.
+    pub fn at_yawed(primitive: Primitive, offset: Point3, yaw: f32) -> Self {
+        Part { primitive, offset, yaw }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Point3 {
+        let p = self.primitive.sample_surface(rng);
+        let (s, c) = self.yaw.sin_cos();
+        Point3::new(c * p.x - s * p.y, s * p.x + c * p.y, p.z) + self.offset
+    }
+}
+
+/// Builds the part list for `class`, with proportions perturbed by `v` — a
+/// per-instance variation factor drawn from `[0.8, 1.2]` components.
+///
+/// Exposed so `parts.rs` can reuse the same geometry with per-part labels.
+pub fn class_parts(class: ShapeClass, v: &mut StdRng) -> Vec<Part> {
+    let mut j = |base: f32| base * v.gen_range(0.85..1.15f32);
+    use Primitive::*;
+    match class {
+        ShapeClass::Airplane => vec![
+            Part::at(Ellipsoid { a: j(1.0), b: j(0.16), c: j(0.16) }, Point3::ORIGIN),
+            Part::at(Plate { hx: j(0.25), hy: j(0.9) }, Point3::new(0.1, 0.0, 0.02)),
+            Part::at(Plate { hx: j(0.12), hy: j(0.35) }, Point3::new(-0.85, 0.0, 0.05)),
+            Part::at(Plate { hx: j(0.12), hy: j(0.2) }, Point3::new(-0.9, 0.0, 0.18)),
+        ],
+        ShapeClass::Bathtub => vec![
+            Part::at(Cuboid { hx: j(0.8), hy: j(0.45), hz: j(0.28) }, Point3::ORIGIN),
+            Part::at(Ellipsoid { a: j(0.65), b: j(0.33), c: j(0.2) }, Point3::new(0.0, 0.0, 0.15)),
+        ],
+        ShapeClass::Bed => vec![
+            Part::at(Cuboid { hx: j(0.9), hy: j(0.55), hz: j(0.18) }, Point3::ORIGIN),
+            Part::at(Plate { hx: j(0.55), hy: j(0.55) }, Point3::new(-0.9, 0.0, 0.35)),
+            Part::at(Cuboid { hx: j(0.85), hy: j(0.5), hz: j(0.08) }, Point3::new(0.0, 0.0, 0.22)),
+        ],
+        ShapeClass::Bench => vec![
+            Part::at(Cuboid { hx: j(0.9), hy: j(0.22), hz: j(0.05) }, Point3::new(0.0, 0.0, 0.4)),
+            Part::at(Cuboid { hx: j(0.05), hy: j(0.2), hz: j(0.2) }, Point3::new(-0.7, 0.0, 0.2)),
+            Part::at(Cuboid { hx: j(0.05), hy: j(0.2), hz: j(0.2) }, Point3::new(0.7, 0.0, 0.2)),
+        ],
+        ShapeClass::Bookshelf => vec![
+            Part::at(Cuboid { hx: j(0.5), hy: j(0.18), hz: j(0.95) }, Point3::ORIGIN),
+            Part::at(Plate { hx: j(0.48), hy: j(0.17) }, Point3::new(0.0, 0.0, 0.45)),
+            Part::at(Plate { hx: j(0.48), hy: j(0.17) }, Point3::new(0.0, 0.0, 0.0)),
+            Part::at(Plate { hx: j(0.48), hy: j(0.17) }, Point3::new(0.0, 0.0, -0.45)),
+        ],
+        ShapeClass::Bottle => vec![
+            Part::at(Tube { r: j(0.25), h: j(0.8) }, Point3::new(0.0, 0.0, -0.5)),
+            Part::at(Cone { r: j(0.25), h: j(0.3) }, Point3::new(0.0, 0.0, 0.3)),
+            Part::at(Tube { r: j(0.08), h: j(0.25) }, Point3::new(0.0, 0.0, 0.55)),
+        ],
+        ShapeClass::Bowl => vec![Part::at(Hemisphere { r: j(0.8) }, Point3::ORIGIN)],
+        ShapeClass::Car => vec![
+            Part::at(Cuboid { hx: j(0.9), hy: j(0.4), hz: j(0.2) }, Point3::ORIGIN),
+            Part::at(Cuboid { hx: j(0.45), hy: j(0.35), hz: j(0.15) }, Point3::new(-0.1, 0.0, 0.33)),
+            Part::at_yawed(Cylinder { r: j(0.15), h: j(0.08) }, Point3::new(0.5, 0.42, -0.2), 0.0),
+            Part::at_yawed(Cylinder { r: j(0.15), h: j(0.08) }, Point3::new(-0.5, 0.42, -0.2), 0.0),
+            Part::at_yawed(Cylinder { r: j(0.15), h: j(0.08) }, Point3::new(0.5, -0.5, -0.2), 0.0),
+            Part::at_yawed(Cylinder { r: j(0.15), h: j(0.08) }, Point3::new(-0.5, -0.5, -0.2), 0.0),
+        ],
+        ShapeClass::Chair => vec![
+            Part::at(Plate { hx: j(0.4), hy: j(0.4) }, Point3::new(0.0, 0.0, 0.0)),
+            Part::at(Cuboid { hx: j(0.4), hy: j(0.04), hz: j(0.45) }, Point3::new(0.0, -0.38, 0.45)),
+            Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(0.33, 0.33, -0.45)),
+            Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(-0.33, 0.33, -0.45)),
+            Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(0.33, -0.33, -0.45)),
+            Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(-0.33, -0.33, -0.45)),
+        ],
+        ShapeClass::Cone => vec![Part::at(Cone { r: j(0.6), h: j(1.2) }, Point3::new(0.0, 0.0, -0.6))],
+        ShapeClass::Cup => vec![
+            Part::at(Tube { r: j(0.35), h: j(0.8) }, Point3::new(0.0, 0.0, -0.4)),
+            Part::at(Torus { major: j(0.42), minor: j(0.05) }, Point3::new(0.35, 0.0, 0.0)),
+        ],
+        ShapeClass::Curtain => vec![
+            Part::at(Plate { hx: j(0.7), hy: j(0.02) }, Point3::new(0.0, 0.0, 0.0)),
+            Part::at(Plate { hx: j(0.7), hy: j(0.02) }, Point3::new(0.0, 0.08, 0.1)),
+            Part::at(Tube { r: j(0.03), h: j(1.5) }, Point3::new(0.0, 0.0, 0.9)),
+        ],
+        ShapeClass::Desk => vec![
+            Part::at(Plate { hx: j(0.9), hy: j(0.5) }, Point3::new(0.0, 0.0, 0.4)),
+            Part::at(Cuboid { hx: j(0.25), hy: j(0.45), hz: j(0.4) }, Point3::new(0.6, 0.0, 0.0)),
+            Part::at(Cuboid { hx: j(0.25), hy: j(0.45), hz: j(0.4) }, Point3::new(-0.6, 0.0, 0.0)),
+        ],
+        ShapeClass::Door => vec![
+            Part::at(Cuboid { hx: j(0.45), hy: j(0.04), hz: j(1.0) }, Point3::ORIGIN),
+            Part::at(Sphere { r: j(0.05) }, Point3::new(0.35, 0.08, 0.0)),
+        ],
+        ShapeClass::Dresser => vec![
+            Part::at(Cuboid { hx: j(0.6), hy: j(0.35), hz: j(0.6) }, Point3::ORIGIN),
+            Part::at(Plate { hx: j(0.55), hy: j(0.02) }, Point3::new(0.0, 0.36, 0.2)),
+            Part::at(Plate { hx: j(0.55), hy: j(0.02) }, Point3::new(0.0, 0.36, -0.2)),
+        ],
+        ShapeClass::FlowerPot => vec![
+            Part::at(Cone { r: j(0.5), h: j(0.6) }, Point3::new(0.0, 0.0, -0.6)),
+            Part::at(Sphere { r: j(0.3) }, Point3::new(0.0, 0.0, 0.35)),
+        ],
+        ShapeClass::GlassBox => vec![Part::at(Cuboid { hx: j(0.6), hy: j(0.45), hz: j(0.45) }, Point3::ORIGIN)],
+        ShapeClass::Guitar => vec![
+            Part::at(Ellipsoid { a: j(0.45), b: j(0.35), c: j(0.1) }, Point3::new(0.0, 0.0, -0.4)),
+            Part::at(Ellipsoid { a: j(0.3), b: j(0.26), c: j(0.1) }, Point3::new(0.0, 0.0, 0.05)),
+            Part::at(Cuboid { hx: j(0.05), hy: j(0.02), hz: j(0.6) }, Point3::new(0.0, 0.0, 0.6)),
+        ],
+        ShapeClass::Keyboard => vec![Part::at(Cuboid { hx: j(0.9), hy: j(0.35), hz: j(0.03) }, Point3::ORIGIN)],
+        ShapeClass::Lamp => vec![
+            Part::at(Cylinder { r: j(0.35), h: j(0.06) }, Point3::new(0.0, 0.0, -0.9)),
+            Part::at(Tube { r: j(0.04), h: j(1.3) }, Point3::new(0.0, 0.0, -0.85)),
+            Part::at(Cone { r: j(0.4), h: j(0.4) }, Point3::new(0.0, 0.0, 0.45)),
+        ],
+        ShapeClass::Laptop => vec![
+            Part::at(Cuboid { hx: j(0.55), hy: j(0.4), hz: j(0.02) }, Point3::ORIGIN),
+            Part::at(Cuboid { hx: j(0.55), hy: j(0.02), hz: j(0.4) }, Point3::new(0.0, -0.4, 0.4)),
+        ],
+        ShapeClass::Mantel => vec![
+            Part::at(Cuboid { hx: j(0.8), hy: j(0.2), hz: j(0.08) }, Point3::new(0.0, 0.0, 0.55)),
+            Part::at(Cuboid { hx: j(0.12), hy: j(0.18), hz: j(0.55) }, Point3::new(0.6, 0.0, 0.0)),
+            Part::at(Cuboid { hx: j(0.12), hy: j(0.18), hz: j(0.55) }, Point3::new(-0.6, 0.0, 0.0)),
+        ],
+        ShapeClass::Monitor => vec![
+            Part::at(Cuboid { hx: j(0.7), hy: j(0.04), hz: j(0.45) }, Point3::new(0.0, 0.0, 0.3)),
+            Part::at(Tube { r: j(0.06), h: j(0.35) }, Point3::new(0.0, 0.0, -0.5)),
+            Part::at(Plate { hx: j(0.3), hy: j(0.2) }, Point3::new(0.0, 0.0, -0.55)),
+        ],
+        ShapeClass::NightStand => vec![
+            Part::at(Cuboid { hx: j(0.4), hy: j(0.35), hz: j(0.45) }, Point3::ORIGIN),
+            Part::at(Sphere { r: j(0.04) }, Point3::new(0.0, 0.38, 0.15)),
+        ],
+        ShapeClass::Person => vec![
+            Part::at(Sphere { r: j(0.16) }, Point3::new(0.0, 0.0, 0.75)),
+            Part::at(Ellipsoid { a: j(0.22), b: j(0.14), c: j(0.4) }, Point3::new(0.0, 0.0, 0.2)),
+            Part::at(Tube { r: j(0.06), h: j(0.65) }, Point3::new(0.12, 0.0, -0.85)),
+            Part::at(Tube { r: j(0.06), h: j(0.65) }, Point3::new(-0.12, 0.0, -0.85)),
+            Part::at_yawed(Tube { r: j(0.045), h: j(0.55) }, Point3::new(0.3, 0.0, -0.2), 0.3),
+            Part::at_yawed(Tube { r: j(0.045), h: j(0.55) }, Point3::new(-0.3, 0.0, -0.2), -0.3),
+        ],
+        ShapeClass::Piano => vec![
+            Part::at(Cuboid { hx: j(0.85), hy: j(0.35), hz: j(0.5) }, Point3::new(0.0, 0.0, 0.2)),
+            Part::at(Cuboid { hx: j(0.8), hy: j(0.15), hz: j(0.03) }, Point3::new(0.0, -0.45, 0.05)),
+            Part::at(Tube { r: j(0.04), h: j(0.5) }, Point3::new(0.7, -0.45, -0.6)),
+            Part::at(Tube { r: j(0.04), h: j(0.5) }, Point3::new(-0.7, -0.45, -0.6)),
+        ],
+        ShapeClass::Plant => vec![
+            Part::at(Cone { r: j(0.3), h: j(0.35) }, Point3::new(0.0, 0.0, -0.9)),
+            Part::at(Tube { r: j(0.03), h: j(0.6) }, Point3::new(0.0, 0.0, -0.55)),
+            Part::at(Ellipsoid { a: j(0.5), b: j(0.5), c: j(0.4) }, Point3::new(0.0, 0.0, 0.4)),
+        ],
+        ShapeClass::Radio => vec![
+            Part::at(Cuboid { hx: j(0.55), hy: j(0.2), hz: j(0.35) }, Point3::ORIGIN),
+            Part::at(Tube { r: j(0.015), h: j(0.55) }, Point3::new(0.3, 0.0, 0.35)),
+        ],
+        ShapeClass::RangeHood => vec![
+            Part::at(Cone { r: j(0.65), h: j(0.45) }, Point3::new(0.0, 0.0, -0.4)),
+            Part::at(Cuboid { hx: j(0.2), hy: j(0.2), hz: j(0.45) }, Point3::new(0.0, 0.0, 0.45)),
+        ],
+        ShapeClass::Sink => vec![
+            Part::at(Hemisphere { r: j(0.55) }, Point3::new(0.0, 0.0, -0.3)),
+            Part::at(Plate { hx: j(0.75), hy: j(0.55) }, Point3::new(0.0, 0.0, 0.25)),
+            Part::at(Tube { r: j(0.035), h: j(0.3) }, Point3::new(0.0, 0.45, 0.25)),
+        ],
+        ShapeClass::Sofa => vec![
+            Part::at(Cuboid { hx: j(0.9), hy: j(0.4), hz: j(0.25) }, Point3::ORIGIN),
+            Part::at(Cuboid { hx: j(0.9), hy: j(0.12), hz: j(0.35) }, Point3::new(0.0, -0.4, 0.4)),
+            Part::at(Cuboid { hx: j(0.12), hy: j(0.4), hz: j(0.2) }, Point3::new(0.85, 0.0, 0.3)),
+            Part::at(Cuboid { hx: j(0.12), hy: j(0.4), hz: j(0.2) }, Point3::new(-0.85, 0.0, 0.3)),
+        ],
+        ShapeClass::Stairs => (0..5)
+            .map(|i| {
+                Part::at(
+                    Primitive::Cuboid { hx: 0.5, hy: 0.12, hz: 0.05 },
+                    Point3::new(0.0, -0.5 + 0.22 * i as f32, -0.5 + 0.22 * i as f32),
+                )
+            })
+            .collect(),
+        ShapeClass::Stool => vec![
+            Part::at(Cylinder { r: j(0.35), h: j(0.08) }, Point3::new(0.0, 0.0, 0.3)),
+            Part::at(Tube { r: j(0.04), h: j(0.7) }, Point3::new(0.2, 0.2, -0.45)),
+            Part::at(Tube { r: j(0.04), h: j(0.7) }, Point3::new(-0.2, 0.2, -0.45)),
+            Part::at(Tube { r: j(0.04), h: j(0.7) }, Point3::new(0.0, -0.28, -0.45)),
+        ],
+        ShapeClass::Table => vec![
+            Part::at(Plate { hx: j(0.8), hy: j(0.8) }, Point3::new(0.0, 0.0, 0.4)),
+            Part::at(Tube { r: j(0.05), h: j(0.8) }, Point3::new(0.65, 0.65, -0.4)),
+            Part::at(Tube { r: j(0.05), h: j(0.8) }, Point3::new(-0.65, 0.65, -0.4)),
+            Part::at(Tube { r: j(0.05), h: j(0.8) }, Point3::new(0.65, -0.65, -0.4)),
+            Part::at(Tube { r: j(0.05), h: j(0.8) }, Point3::new(-0.65, -0.65, -0.4)),
+        ],
+        ShapeClass::Tent => vec![
+            Part::at(Cone { r: j(0.85), h: j(0.9) }, Point3::new(0.0, 0.0, -0.45)),
+        ],
+        ShapeClass::Toilet => vec![
+            Part::at(Ellipsoid { a: j(0.35), b: j(0.45), c: j(0.15) }, Point3::new(0.0, 0.1, 0.0)),
+            Part::at(Cuboid { hx: j(0.3), hy: j(0.12), hz: j(0.35) }, Point3::new(0.0, -0.45, 0.25)),
+            Part::at(Cylinder { r: j(0.25), h: j(0.35) }, Point3::new(0.0, 0.1, -0.5)),
+        ],
+        ShapeClass::TvStand => vec![
+            Part::at(Cuboid { hx: j(0.9), hy: j(0.3), hz: j(0.25) }, Point3::ORIGIN),
+            Part::at(Plate { hx: j(0.85), hy: j(0.28) }, Point3::new(0.0, 0.0, 0.28)),
+        ],
+        ShapeClass::Vase => vec![
+            Part::at(Tube { r: j(0.3), h: j(0.5) }, Point3::new(0.0, 0.0, -0.6)),
+            Part::at(Ellipsoid { a: j(0.4), b: j(0.4), c: j(0.3) }, Point3::new(0.0, 0.0, 0.0)),
+            Part::at(Tube { r: j(0.15), h: j(0.4) }, Point3::new(0.0, 0.0, 0.3)),
+        ],
+        ShapeClass::Wardrobe => vec![
+            Part::at(Cuboid { hx: j(0.55), hy: j(0.35), hz: j(1.0) }, Point3::ORIGIN),
+            Part::at(Sphere { r: j(0.035) }, Point3::new(0.1, 0.37, 0.0)),
+            Part::at(Sphere { r: j(0.035) }, Point3::new(-0.1, 0.37, 0.0)),
+        ],
+        ShapeClass::Sphere => vec![Part::at(Sphere { r: j(0.9) }, Point3::ORIGIN)],
+        ShapeClass::Cube => vec![Part::at(Cuboid { hx: j(0.7), hy: j(0.7), hz: j(0.7) }, Point3::ORIGIN)],
+        ShapeClass::Cylinder => vec![Part::at(Cylinder { r: j(0.45), h: j(1.3) }, Point3::new(0.0, 0.0, -0.65))],
+        ShapeClass::Torus => vec![Part::at(Torus { major: j(0.6), minor: j(0.22) }, Point3::ORIGIN)],
+    }
+}
+
+/// Samples `n` points from the surface of one random instance of `class`,
+/// normalized to the unit sphere (ModelNet-style preprocessing).
+///
+/// Instances drawn with different seeds differ in proportions, so a
+/// classifier must learn shape, not memorize coordinates.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sample_shape(class: ShapeClass, n: usize, seed: u64) -> PointCloud {
+    assert!(n > 0, "cannot sample an empty shape");
+    let mut rng = crate::seeded_rng(seed ^ (u64::from(class.label()) << 32));
+    let parts = class_parts(class, &mut rng);
+    let mut cloud = sample_parts(&parts, n, &mut rng);
+    cloud.normalize_to_unit_sphere();
+    cloud
+}
+
+/// Samples `n` points across `parts`, allocating counts proportionally to
+/// surface area (with every part receiving at least one point).
+pub fn sample_parts(parts: &[Part], n: usize, rng: &mut StdRng) -> PointCloud {
+    assert!(!parts.is_empty(), "shape must have at least one part");
+    let areas: Vec<f32> = parts.iter().map(|p| p.primitive.area()).collect();
+    let total: f32 = areas.iter().sum();
+    let mut cloud = PointCloud::with_capacity(n);
+    let mut assigned = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        let share = if i + 1 == parts.len() {
+            n - assigned
+        } else {
+            (((areas[i] / total) * n as f32).round() as usize)
+                .max(1)
+                .min(n - assigned - (parts.len() - 1 - i))
+        };
+        for _ in 0..share {
+            cloud.push(part.sample(rng));
+        }
+        assigned += share;
+    }
+    debug_assert_eq!(cloud.len(), n);
+    cloud
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_classes_have_distinct_labels() {
+        let mut labels: Vec<u32> = ShapeClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 40);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[39], 39);
+    }
+
+    #[test]
+    fn every_class_samples_requested_count() {
+        for &class in &ShapeClass::ALL {
+            let cloud = sample_shape(class, 257, 42);
+            assert_eq!(cloud.len(), 257, "class {}", class.name());
+            assert!(cloud.iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn shapes_are_normalized_to_unit_sphere() {
+        for &class in &[ShapeClass::Airplane, ShapeClass::Table, ShapeClass::Vase] {
+            let cloud = sample_shape(class, 512, 7);
+            let max_norm = cloud.iter().map(|p| p.norm()).fold(0.0f32, f32::max);
+            assert!(max_norm <= 1.0 + 1e-5, "class {}: {max_norm}", class.name());
+            assert!(cloud.centroid().norm() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_instances() {
+        let a = sample_shape(ShapeClass::Chair, 64, 1);
+        let b = sample_shape(ShapeClass::Chair, 64, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let a = sample_shape(ShapeClass::Guitar, 64, 5);
+        let b = sample_shape(ShapeClass::Guitar, 64, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sphere_samples_lie_on_sphere_before_normalization() {
+        let mut rng = crate::seeded_rng(0);
+        let prim = Primitive::Sphere { r: 2.0 };
+        for _ in 0..100 {
+            let p = prim.sample_surface(&mut rng);
+            assert!((p.norm() - 2.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn torus_samples_satisfy_implicit_equation() {
+        let mut rng = crate::seeded_rng(0);
+        let (major, minor) = (1.0f32, 0.25f32);
+        let prim = Primitive::Torus { major, minor };
+        for _ in 0..100 {
+            let p = prim.sample_surface(&mut rng);
+            let ring = (p.x * p.x + p.y * p.y).sqrt() - major;
+            let d = (ring * ring + p.z * p.z).sqrt();
+            assert!((d - minor).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cuboid_samples_lie_on_faces() {
+        let mut rng = crate::seeded_rng(0);
+        let prim = Primitive::Cuboid { hx: 1.0, hy: 2.0, hz: 3.0 };
+        for _ in 0..200 {
+            let p = prim.sample_surface(&mut rng);
+            let on_face = (p.x.abs() - 1.0).abs() < 1e-5
+                || (p.y.abs() - 2.0).abs() < 1e-5
+                || (p.z.abs() - 3.0).abs() < 1e-5;
+            assert!(on_face, "point {p} not on any face");
+            assert!(p.x.abs() <= 1.0 + 1e-5 && p.y.abs() <= 2.0 + 1e-5 && p.z.abs() <= 3.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn area_is_positive_for_all_primitives() {
+        let prims = [
+            Primitive::Sphere { r: 1.0 },
+            Primitive::Ellipsoid { a: 1.0, b: 0.5, c: 0.25 },
+            Primitive::Cuboid { hx: 1.0, hy: 1.0, hz: 1.0 },
+            Primitive::Cylinder { r: 0.5, h: 2.0 },
+            Primitive::Tube { r: 0.5, h: 2.0 },
+            Primitive::Cone { r: 0.5, h: 1.0 },
+            Primitive::Torus { major: 1.0, minor: 0.2 },
+            Primitive::Plate { hx: 1.0, hy: 2.0 },
+            Primitive::Hemisphere { r: 1.0 },
+        ];
+        for p in prims {
+            assert!(p.area() > 0.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn sphere_area_matches_formula() {
+        let a = Primitive::Sphere { r: 2.0 }.area();
+        assert!((a - 16.0 * PI).abs() < 1e-3);
+    }
+}

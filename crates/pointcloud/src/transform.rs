@@ -1,0 +1,158 @@
+//! Data augmentation used when training the networks for Fig. 16.
+//!
+//! These match the standard PointNet++-style augmentations: random rotation
+//! about the up axis, per-point Gaussian jitter, anisotropic scaling, and
+//! random point dropout.
+
+use crate::{Point3, PointCloud};
+use rand::Rng;
+use std::f32::consts::PI;
+
+/// Rotates every point about the z (up) axis by `angle` radians.
+pub fn rotate_z(cloud: &mut PointCloud, angle: f32) {
+    let (s, c) = angle.sin_cos();
+    for p in cloud.points_mut() {
+        *p = Point3::new(c * p.x - s * p.y, s * p.x + c * p.y, p.z);
+    }
+}
+
+/// Applies a uniformly random z rotation.
+pub fn random_rotate_z(cloud: &mut PointCloud, seed: u64) {
+    let mut rng = crate::seeded_rng(seed);
+    rotate_z(cloud, rng.gen_range(0.0..(2.0 * PI)));
+}
+
+/// Adds clipped Gaussian jitter to every point, the PointNet++ recipe
+/// (`sigma = 0.01`, `clip = 0.05` for unit-sphere clouds).
+pub fn jitter(cloud: &mut PointCloud, sigma: f32, clip: f32, seed: u64) {
+    assert!(sigma >= 0.0 && clip >= 0.0);
+    let mut rng = crate::seeded_rng(seed);
+    let mut noise = || (sigma * gaussian(&mut rng)).clamp(-clip, clip);
+    for p in cloud.points_mut() {
+        *p += Point3::new(noise(), noise(), noise());
+    }
+}
+
+/// Scales the cloud anisotropically by factors drawn from `[lo, hi]`.
+pub fn random_scale(cloud: &mut PointCloud, lo: f32, hi: f32, seed: u64) {
+    assert!(0.0 < lo && lo <= hi);
+    let mut rng = crate::seeded_rng(seed);
+    let sx = rng.gen_range(lo..=hi);
+    let sy = rng.gen_range(lo..=hi);
+    let sz = rng.gen_range(lo..=hi);
+    for p in cloud.points_mut() {
+        *p = Point3::new(p.x * sx, p.y * sy, p.z * sz);
+    }
+}
+
+/// Randomly replaces a `ratio` fraction of points with the first point
+/// (PointNet++'s "random input dropout": keeps the tensor shape fixed while
+/// destroying information).
+pub fn random_dropout(cloud: &mut PointCloud, ratio: f32, seed: u64) {
+    assert!((0.0..=1.0).contains(&ratio));
+    if cloud.is_empty() {
+        return;
+    }
+    let mut rng = crate::seeded_rng(seed);
+    let first = cloud.point(0);
+    for p in cloud.points_mut() {
+        if rng.gen::<f32>() < ratio {
+            *p = first;
+        }
+    }
+}
+
+/// One standard normal sample via Box–Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+/// Applies the full training augmentation pipeline with one seed.
+pub fn augment_for_training(cloud: &mut PointCloud, seed: u64) {
+    random_rotate_z(cloud, seed.wrapping_mul(3));
+    random_scale(cloud, 0.8, 1.25, seed.wrapping_mul(5));
+    jitter(cloud, 0.01, 0.05, seed.wrapping_mul(7));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{sample_shape, ShapeClass};
+
+    #[test]
+    fn rotate_z_preserves_norms_and_height() {
+        let mut cloud = sample_shape(ShapeClass::Chair, 128, 0);
+        let before: Vec<(f32, f32)> = cloud.iter().map(|p| (p.norm(), p.z)).collect();
+        rotate_z(&mut cloud, 1.2345);
+        for (p, (norm, z)) in cloud.iter().zip(&before) {
+            assert!((p.norm() - norm).abs() < 1e-5);
+            assert!((p.z - z).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rotate_z_full_circle_is_identity() {
+        let mut cloud = sample_shape(ShapeClass::Cube, 64, 0);
+        let original = cloud.clone();
+        rotate_z(&mut cloud, 2.0 * PI);
+        for (a, b) in cloud.iter().zip(original.iter()) {
+            assert!(a.distance(*b) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_by_clip() {
+        let mut cloud = sample_shape(ShapeClass::Sphere, 256, 0);
+        let original = cloud.clone();
+        jitter(&mut cloud, 0.5, 0.05, 9);
+        for (a, b) in cloud.iter().zip(original.iter()) {
+            let d = *a - *b;
+            assert!(d.x.abs() <= 0.05 + 1e-6 && d.y.abs() <= 0.05 + 1e-6 && d.z.abs() <= 0.05 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn jitter_zero_sigma_is_identity() {
+        let mut cloud = sample_shape(ShapeClass::Sphere, 64, 0);
+        let original = cloud.clone();
+        jitter(&mut cloud, 0.0, 0.05, 9);
+        assert_eq!(cloud, original);
+    }
+
+    #[test]
+    fn random_scale_stays_in_bounds() {
+        let mut cloud = PointCloud::from_points(vec![Point3::splat(1.0)]);
+        random_scale(&mut cloud, 0.5, 2.0, 4);
+        let p = cloud.point(0);
+        for v in [p.x, p.y, p.z] {
+            assert!((0.5..=2.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn dropout_ratio_one_collapses_to_first_point() {
+        let mut cloud = sample_shape(ShapeClass::Cone, 32, 0);
+        let first = cloud.point(0);
+        random_dropout(&mut cloud, 1.0, 2);
+        assert!(cloud.iter().all(|&p| p == first));
+    }
+
+    #[test]
+    fn dropout_ratio_zero_is_identity() {
+        let mut cloud = sample_shape(ShapeClass::Cone, 32, 0);
+        let original = cloud.clone();
+        random_dropout(&mut cloud, 0.0, 2);
+        assert_eq!(cloud, original);
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_per_seed() {
+        let mut a = sample_shape(ShapeClass::Lamp, 64, 1);
+        let mut b = sample_shape(ShapeClass::Lamp, 64, 1);
+        augment_for_training(&mut a, 77);
+        augment_for_training(&mut b, 77);
+        assert_eq!(a, b);
+    }
+}

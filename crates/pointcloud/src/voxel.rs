@@ -1,0 +1,162 @@
+//! Voxelization — the alternative representation the paper positions
+//! delayed-aggregation against (§II: voxel grids "suffer from low accuracy
+//! and/or consume excessively high memory"; §VIII discusses PVCNN's hybrid).
+//!
+//! Provided so downstream users can quantify that trade-off themselves:
+//! [`VoxelGrid::build`] bins a cloud, exposes occupancy/centroid queries,
+//! memory accounting (the §II "excessively high memory" claim is checkable
+//! with [`VoxelGrid::dense_bytes`]), and voxel-grid downsampling — the
+//! standard preprocessing alternative to point sampling.
+
+use crate::{Aabb, Point3, PointCloud};
+use std::collections::HashMap;
+
+/// A sparse voxel grid over a cloud.
+#[derive(Debug, Clone)]
+pub struct VoxelGrid {
+    bounds: Aabb,
+    resolution: usize,
+    /// Occupied cells: linear index → point indices.
+    cells: HashMap<u64, Vec<usize>>,
+}
+
+impl VoxelGrid {
+    /// Bins `cloud` into a `resolution³` grid over its bounding box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution == 0` or the cloud is empty.
+    pub fn build(cloud: &PointCloud, resolution: usize) -> Self {
+        assert!(resolution > 0, "resolution must be positive");
+        let bounds = cloud.bounds().expect("cannot voxelize an empty cloud");
+        let mut cells: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, &p) in cloud.points().iter().enumerate() {
+            let key = Self::key_for(&bounds, resolution, p);
+            cells.entry(key).or_default().push(i);
+        }
+        VoxelGrid { bounds, resolution, cells }
+    }
+
+    fn key_for(bounds: &Aabb, resolution: usize, p: Point3) -> u64 {
+        let n = bounds.normalize(p);
+        let r = resolution as f32;
+        let q = |v: f32| -> u64 { ((v * r) as usize).min(resolution - 1) as u64 };
+        (q(n.x) * resolution as u64 + q(n.y)) * resolution as u64 + q(n.z)
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Number of occupied voxels.
+    pub fn occupied(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Occupancy fraction: occupied voxels over total cells.
+    pub fn occupancy(&self) -> f64 {
+        self.occupied() as f64 / (self.resolution as f64).powi(3)
+    }
+
+    /// Bytes a dense occupancy tensor of this grid would take at
+    /// `bytes_per_cell` (1 for a binary grid, 4 for a float feature) — the
+    /// §II memory cost of the voxel representation.
+    pub fn dense_bytes(&self, bytes_per_cell: usize) -> u64 {
+        (self.resolution as u64).pow(3) * bytes_per_cell as u64
+    }
+
+    /// The point indices in the voxel containing `p`, if occupied.
+    pub fn points_in_voxel_of(&self, p: Point3) -> Option<&[usize]> {
+        let key = Self::key_for(&self.bounds, self.resolution, p);
+        self.cells.get(&key).map(Vec::as_slice)
+    }
+
+    /// Voxel-grid downsampling: one point per occupied voxel (the centroid
+    /// of its members) — the classic preprocessing reduction.
+    pub fn downsample(&self, cloud: &PointCloud) -> PointCloud {
+        // Deterministic order: sort by cell key.
+        let mut keys: Vec<&u64> = self.cells.keys().collect();
+        keys.sort_unstable();
+        let mut out = PointCloud::with_capacity(self.cells.len());
+        for key in keys {
+            let members = &self.cells[key];
+            let sum = members
+                .iter()
+                .fold(Point3::ORIGIN, |acc, &i| acc + cloud.point(i));
+            out.push(sum / members.len() as f32);
+        }
+        out
+    }
+}
+
+/// Compares the memory footprint of the raw point representation against a
+/// dense voxel grid at `resolution` — the quantified form of the paper's
+/// §II argument for operating on raw points.
+pub fn representation_bytes(cloud: &PointCloud, resolution: usize) -> (u64, u64) {
+    let raw = (cloud.len() * 3 * 4) as u64;
+    let grid = VoxelGrid::build(cloud, resolution);
+    (raw, grid.dense_bytes(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{sample_shape, ShapeClass};
+
+    #[test]
+    fn every_point_lands_in_exactly_one_voxel() {
+        let cloud = sample_shape(ShapeClass::Chair, 256, 1);
+        let grid = VoxelGrid::build(&cloud, 8);
+        let total: usize = grid.cells.values().map(Vec::len).sum();
+        assert_eq!(total, 256);
+        for &p in cloud.points() {
+            assert!(grid.points_in_voxel_of(p).is_some());
+        }
+    }
+
+    #[test]
+    fn surface_clouds_are_sparse_in_voxel_space() {
+        // A 2-D surface in a 3-D grid occupies O(r²) of r³ cells.
+        let cloud = sample_shape(ShapeClass::Sphere, 2048, 2);
+        let grid = VoxelGrid::build(&cloud, 32);
+        assert!(grid.occupancy() < 0.2, "occupancy {}", grid.occupancy());
+    }
+
+    #[test]
+    fn dense_voxels_cost_more_memory_than_points_at_high_resolution() {
+        // The §II claim: dense grids at useful resolutions dwarf raw points.
+        let cloud = sample_shape(ShapeClass::Car, 1024, 3);
+        let (raw, dense) = representation_bytes(&cloud, 64);
+        assert!(dense > 50 * raw, "dense {dense} vs raw {raw}");
+    }
+
+    #[test]
+    fn downsample_returns_one_point_per_occupied_voxel() {
+        let cloud = sample_shape(ShapeClass::Vase, 512, 4);
+        let grid = VoxelGrid::build(&cloud, 6);
+        let down = grid.downsample(&cloud);
+        assert_eq!(down.len(), grid.occupied());
+        assert!(down.len() < cloud.len());
+        // Every centroid lies within the original bounds.
+        let bounds = cloud.bounds().unwrap();
+        for &p in down.points() {
+            assert!(bounds.contains(p));
+        }
+    }
+
+    #[test]
+    fn resolution_one_collapses_to_single_cell() {
+        let cloud = sample_shape(ShapeClass::Cube, 64, 5);
+        let grid = VoxelGrid::build(&cloud, 1);
+        assert_eq!(grid.occupied(), 1);
+        assert_eq!(grid.downsample(&cloud).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_panics() {
+        let cloud = sample_shape(ShapeClass::Cube, 8, 5);
+        let _ = VoxelGrid::build(&cloud, 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Area accounting (§VII-A).
+//!
+//! The paper's 16 nm synthesis results: the AU adds 0.059 mm² —
+//! less than 3.8 % of the NPU — dominated by the 64 KB PFT buffer
+//! (0.031 mm²) and the 2×12 KB NIT buffers; the crossbar-free PFT design
+//! avoids a 0.064 mm² crossbar that a conventional 32-bank / 32-port SRAM
+//! would need.
+
+use crate::au::AuConfig;
+use crate::energy::SRAM_MM2_PER_KB;
+use crate::npu::NpuConfig;
+
+/// Area of an SRAM of `kb` kilobytes, mm².
+pub fn sram_mm2(kb: f64) -> f64 {
+    kb * SRAM_MM2_PER_KB
+}
+
+/// Area of a `banks × banks` word-wide crossbar, mm². Quadratic in port
+/// count; the constant is set so a 32×32 4-byte crossbar costs the 0.064
+/// mm² the paper reports avoiding.
+pub fn crossbar_mm2(banks: usize, word_bytes: usize) -> f64 {
+    let reference = 0.064; // 32 banks × 4-byte words
+    reference * ((banks * banks * word_bytes) as f64) / ((32 * 32 * 4) as f64)
+}
+
+/// Estimated NPU core area (PE array + global buffer), mm². Calibrated so
+/// the AU overhead lands at the paper's "less than 3.8 %".
+pub fn npu_mm2(npu: &NpuConfig) -> f64 {
+    // PE area: a TPU-style 16-bit MAC, two input registers, accumulator
+    // and control ≈ 3200 µm² at 16 nm (calibrated so the nominal NPU is
+    // ≈1.55 mm², putting the paper's 0.059 mm² AU at its 3.8 % overhead).
+    let pe_mm2 = 3200e-6;
+    let array = (npu.rows * npu.cols) as f64 * pe_mm2;
+    let buffer = sram_mm2(npu.global_buffer_kb as f64);
+    array + buffer
+}
+
+/// AU area breakdown, mm².
+#[derive(Debug, Clone, Copy)]
+pub struct AuArea {
+    /// PFT buffer (banked, crossbar-free).
+    pub pft_buffer: f64,
+    /// Both NIT buffer halves.
+    pub nit_buffers: f64,
+    /// Datapath: max tree, subtract units, AGU muxes, shift registers.
+    pub datapath: f64,
+}
+
+impl AuArea {
+    /// Total AU area.
+    pub fn total(&self) -> f64 {
+        self.pft_buffer + self.nit_buffers + self.datapath
+    }
+}
+
+/// Computes the AU area for a configuration.
+pub fn au_area(au: &AuConfig) -> AuArea {
+    AuArea {
+        pft_buffer: sram_mm2(au.pft_kb as f64),
+        nit_buffers: sram_mm2(2.0 * au.nit_kb as f64),
+        // 33-input max + 256 subtractors + 32 muxes + 2×256 flops: small
+        // standard-cell logic, ≈ 0.016 mm² at the nominal configuration.
+        datapath: 0.016,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pft_buffer_matches_papers_0_031_mm2() {
+        let a = au_area(&AuConfig::default());
+        assert!((a.pft_buffer - 0.031).abs() < 1e-3);
+    }
+
+    #[test]
+    fn total_au_area_matches_papers_0_059_mm2() {
+        let a = au_area(&AuConfig::default());
+        assert!((a.total() - 0.059).abs() < 0.004, "got {}", a.total());
+    }
+
+    #[test]
+    fn au_overhead_is_under_3_8_percent_of_npu() {
+        let au = au_area(&AuConfig::default()).total();
+        let npu = npu_mm2(&NpuConfig::default());
+        let pct = au / npu * 100.0;
+        assert!(pct < 3.8, "AU should be < 3.8 % of NPU, got {pct:.2} %");
+        assert!(pct > 1.0, "sanity: overhead is not negligible, got {pct:.2} %");
+    }
+
+    #[test]
+    fn avoided_crossbar_matches_papers_0_064_mm2() {
+        assert!((crossbar_mm2(32, 4) - 0.064).abs() < 1e-9);
+        // The crossbar would have doubled the PFT buffer cost (§VII-A).
+        assert!(crossbar_mm2(32, 4) > au_area(&AuConfig::default()).pft_buffer);
+    }
+
+    #[test]
+    fn crossbar_grows_quadratically() {
+        assert!(crossbar_mm2(64, 4) > 3.9 * crossbar_mm2(32, 4));
+    }
+}

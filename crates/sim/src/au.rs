@@ -1,0 +1,299 @@
+//! The Aggregation Unit (AU) — the paper's hardware contribution (§V-B).
+//!
+//! The AU executes delayed aggregation inside the NPU: it streams Neighbor
+//! Index Table entries from a double-buffered SRAM, gathers the referenced
+//! Point Feature Table rows from a 32-bank crossbar-free SRAM, max-reduces
+//! them through a 33-input max unit into a shift register, and subtracts
+//! the centroid's feature row. Bank conflicts are resolved by multi-round
+//! issue; PFTs larger than the buffer are processed in column-major
+//! partitions with the NIT re-streamed per partition (Fig. 15).
+//!
+//! This simulator replays *real* NITs, so conflict rounds reflect actual
+//! neighbor index distributions (spatially sorted clouds have index
+//! locality, which LSB interleaving converts into conflict-freedom — the
+//! `ablations` bench quantifies this).
+
+use crate::energy;
+use mesorasi_core::trace::AggregateOp;
+
+/// AU configuration (§VI: 64 KB / 32-bank PFT buffer, 12 KB double-buffered
+/// NIT buffer, 1 GHz).
+#[derive(Debug, Clone, Copy)]
+pub struct AuConfig {
+    /// Independently-addressed single-ported PFT banks.
+    pub banks: usize,
+    /// PFT buffer capacity, KB.
+    pub pft_kb: usize,
+    /// NIT buffer capacity per half (double-buffered), KB.
+    pub nit_kb: usize,
+    /// Clock, GHz.
+    pub freq_ghz: f64,
+}
+
+impl Default for AuConfig {
+    fn default() -> Self {
+        AuConfig { banks: 32, pft_kb: 64, nit_kb: 12, freq_ghz: 1.0 }
+    }
+}
+
+/// Result of simulating one aggregation on the AU.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AuReport {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Latency, ms.
+    pub ms: f64,
+    /// Energy, mJ (SRAM + datapath + NIT DRAM traffic).
+    pub mj: f64,
+    /// Column partitions the PFT was split into.
+    pub partitions: usize,
+    /// Words read from the PFT buffer.
+    pub pft_word_reads: u64,
+    /// Fraction of PFT accesses issued in rounds after the first —
+    /// "accesses to serve previous bank conflicts" (§VII-D reports 27 %).
+    pub conflict_access_fraction: f64,
+    /// Actual PFT-read time over the conflict-free ideal (§VII-D: 1.5×).
+    pub time_vs_ideal: f64,
+    /// NIT bytes fetched from DRAM (re-fetched once per partition when the
+    /// NIT exceeds its buffer).
+    pub nit_dram_bytes: u64,
+    /// Total DRAM traffic attributable to the AU.
+    pub dram_bytes: u64,
+}
+
+impl AuReport {
+    /// AU energy including the DRAM energy of its NIT traffic — the
+    /// quantity Fig. 22 sweeps. (Platform simulations instead use [`Self::mj`]
+    /// plus global DRAM accounting to avoid double counting.)
+    pub fn total_mj(&self) -> f64 {
+        self.mj + energy::pj_to_mj(self.dram_bytes as f64 * energy::DRAM_PJ_PER_BYTE)
+    }
+}
+
+impl AuConfig {
+    /// Simulates one (fused) aggregation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op's table width is zero.
+    pub fn simulate(&self, op: &AggregateOp) -> AuReport {
+        assert!(op.width > 0, "aggregation width must be positive");
+        let nit = &op.nit;
+        let entries = nit.len() as u64;
+        if entries == 0 {
+            return AuReport::default();
+        }
+        let k = nit.k();
+
+        // Column-major partitioning (Fig. 15): the buffer holds all rows of
+        // a column slice.
+        let table_bytes = op.working_set_bytes();
+        let capacity = (self.pft_kb as u64) * 1024;
+        let partitions = table_bytes.div_ceil(capacity).max(1) as usize;
+        let cols_per_partition = op.width.div_ceil(partitions) as u64;
+
+        // Per-entry conflict rounds from real indices: bank = row mod B.
+        // Duplicate row indices within an entry (ball-query padding, §VI)
+        // coalesce: the AGU compares addresses, and max is idempotent, so a
+        // repeated row is read once.
+        let mut occupancy = vec![0u32; self.banks];
+        let mut scratch: Vec<usize> = Vec::new();
+        let mut total_rounds: u64 = 0;
+        let mut total_distinct_banks: u64 = 0;
+        let mut total_unique_rows: u64 = 0;
+        for e in 0..nit.len() {
+            occupancy.fill(0);
+            scratch.clear();
+            scratch.extend_from_slice(nit.neighbors(e));
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &r in &scratch {
+                occupancy[r % self.banks] += 1;
+            }
+            let rounds = occupancy.iter().copied().max().unwrap_or(0) as u64;
+            let distinct = occupancy.iter().filter(|&&c| c > 0).count() as u64;
+            total_rounds += rounds.max(1);
+            total_distinct_banks += distinct;
+            total_unique_rows += scratch.len() as u64;
+        }
+
+        // Cycles: each entry spends rounds × cols cycles streaming its
+        // neighbors per partition; the centroid-row read and the
+        // subtraction drain pipeline behind the max unit (+2 cycles/entry).
+        let read_cycles: u64 = total_rounds * cols_per_partition * partitions as u64;
+        let ideal_cycles: u64 = entries * cols_per_partition * partitions as u64;
+        let cycles = read_cycles + 2 * entries * partitions as u64;
+
+        // PFT accesses: every unique neighbor row read once per partition
+        // column slice, plus the centroid row.
+        let pft_word_reads =
+            (total_unique_rows + entries) * cols_per_partition * partitions as u64;
+        let conflict_access_fraction = if total_unique_rows == 0 {
+            0.0
+        } else {
+            1.0 - (total_distinct_banks as f64) / (total_unique_rows as f64)
+        };
+        let _ = k;
+
+        // NIT traffic: streamed once per partition. Entries still resident
+        // in the buffer from the previous partition pass need no DRAM
+        // re-fetch, so the re-fetched fraction shrinks as the buffer grows
+        // (the Fig. 22 NIT-axis effect: "a smaller NIT requires more DRAM
+        // accesses").
+        let nit_bytes = nit.hardware_bytes() as u64;
+        let capacity_bytes = (self.nit_kb as u64) * 1024;
+        let retained = (capacity_bytes as f64 / nit_bytes.max(1) as f64).min(1.0);
+        let refetch =
+            nit_bytes as f64 * (partitions as u64 - 1) as f64 * (1.0 - retained);
+        let nit_dram_bytes = nit_bytes + refetch as u64;
+        let nit_sram_bytes = nit_bytes * partitions as u64;
+
+        // PFT fill: the feature table arrives from the NPU global buffer
+        // (never through DRAM, Fig. 13), once per partition pass.
+        let pft_fill_bytes = table_bytes;
+        // Output write-back to the global buffer.
+        let out_bytes = entries * op.width as u64 * 4;
+
+        let ms = cycles as f64 / (self.freq_ghz * 1e9) * 1e3;
+        let datapath_ops = pft_word_reads + entries * op.width as u64;
+        // DRAM energy for `dram_bytes` is charged by the SoC scheduler, not
+        // here, so platform totals never double-count it.
+        let mj = energy::pj_to_mj(
+            (pft_word_reads * 4) as f64 * energy::SMALL_SRAM_PJ_PER_BYTE
+                + nit_sram_bytes as f64 * energy::SMALL_SRAM_PJ_PER_BYTE
+                + (pft_fill_bytes + out_bytes) as f64 * energy::SRAM_PJ_PER_BYTE
+                + datapath_ops as f64 * 0.05,
+        );
+
+        AuReport {
+            cycles,
+            ms,
+            mj,
+            partitions,
+            pft_word_reads,
+            conflict_access_fraction,
+            time_vs_ideal: read_cycles as f64 / ideal_cycles.max(1) as f64,
+            nit_dram_bytes,
+            dram_bytes: nit_dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesorasi_knn::NeighborIndexTable;
+
+    /// NIT whose neighbor indices are consecutive — conflict-free under
+    /// LSB interleaving with k ≤ banks.
+    fn sequential_nit(entries: usize, k: usize) -> NeighborIndexTable {
+        let mut nit = NeighborIndexTable::new(k);
+        for e in 0..entries {
+            let base = e * 7;
+            let row: Vec<usize> = (0..k).map(|j| base + j).collect();
+            nit.push_entry(base, &row);
+        }
+        nit
+    }
+
+    /// NIT where every neighbor maps to the same bank — worst case.
+    fn pathological_nit(entries: usize, k: usize, banks: usize) -> NeighborIndexTable {
+        let mut nit = NeighborIndexTable::new(k);
+        for e in 0..entries {
+            let row: Vec<usize> = (0..k).map(|j| j * banks).collect();
+            nit.push_entry(e, &row);
+        }
+        nit
+    }
+
+    fn op(nit: NeighborIndexTable, table_rows: usize, width: usize) -> AggregateOp {
+        let k = nit.k();
+        AggregateOp { nit, table_rows, width, rows_per_entry: k + 1, fused_reduce: true }
+    }
+
+    #[test]
+    fn sequential_indices_are_conflict_free() {
+        let au = AuConfig::default();
+        let r = au.simulate(&op(sequential_nit(128, 32), 1024, 16));
+        assert_eq!(r.time_vs_ideal, 1.0, "consecutive rows hit distinct banks");
+        assert!(r.conflict_access_fraction.abs() < 1e-9);
+    }
+
+    #[test]
+    fn pathological_indices_serialize_fully() {
+        let au = AuConfig::default();
+        let k = 16;
+        let r = au.simulate(&op(pathological_nit(64, k, au.banks), 1024, 8));
+        assert!((r.time_vs_ideal - k as f64).abs() < 1e-9, "all rows in one bank ⇒ k rounds");
+    }
+
+    #[test]
+    fn k_larger_than_banks_needs_multiple_rounds() {
+        let au = AuConfig::default();
+        let r = au.simulate(&op(sequential_nit(32, 64), 1024, 8));
+        // 64 consecutive rows over 32 banks ⇒ exactly 2 per bank.
+        assert!((r.time_vs_ideal - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partitioning_kicks_in_beyond_buffer_capacity() {
+        let au = AuConfig::default();
+        // 1024 rows × 128 cols × 4 B = 512 KB over a 64 KB buffer ⇒ 8 parts.
+        let r = au.simulate(&op(sequential_nit(512, 32), 1024, 128));
+        assert_eq!(r.partitions, 8);
+        // A table that fits ⇒ 1 partition.
+        let r2 = au.simulate(&op(sequential_nit(512, 32), 1024, 3));
+        assert_eq!(r2.partitions, 1);
+    }
+
+    #[test]
+    fn small_nit_buffer_pays_dram_refetch() {
+        let big = AuConfig::default();
+        let tiny = AuConfig { nit_kb: 3, ..AuConfig::default() };
+        // 512 entries × 64 neighbors ≈ 50 KB NIT, 8 partitions.
+        let a = big.simulate(&op(sequential_nit(512, 64), 2048, 128));
+        let b = tiny.simulate(&op(sequential_nit(512, 64), 2048, 128));
+        assert!(b.nit_dram_bytes > a.nit_dram_bytes);
+        assert!(b.total_mj() > a.total_mj(), "Fig. 22: smaller NIT buffer costs energy");
+    }
+
+    #[test]
+    fn smaller_pft_buffer_costs_energy() {
+        // Fig. 22's other axis: more partitions ⇒ more NIT re-reads.
+        let nominal = AuConfig::default();
+        let tiny = AuConfig { pft_kb: 8, ..AuConfig::default() };
+        let a = nominal.simulate(&op(sequential_nit(512, 32), 1024, 128));
+        let b = tiny.simulate(&op(sequential_nit(512, 32), 1024, 128));
+        assert!(b.partitions > a.partitions);
+        assert!(b.total_mj() > a.total_mj());
+    }
+
+    #[test]
+    fn empty_nit_is_free() {
+        let au = AuConfig::default();
+        let r = au.simulate(&op(NeighborIndexTable::new(4), 16, 8));
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.mj, 0.0);
+    }
+
+    #[test]
+    fn realistic_morton_sorted_cloud_has_low_conflict_overhead() {
+        // The §VII-D observation (≈27 % conflict accesses, 1.5× ideal time)
+        // depends on spatial index locality. Build a real NIT from a
+        // Morton-sorted cloud and check the overhead is mild.
+        use mesorasi_knn::bruteforce;
+        use mesorasi_pointcloud::{morton, sampling, shapes};
+        let cloud = shapes::sample_shape(shapes::ShapeClass::Chair, 1024, 3);
+        let sorted = morton::sort_cloud(&cloud);
+        let centroids = sampling::random_indices(&sorted, 512, 1);
+        let nit = bruteforce::knn_indices(&sorted, &centroids, 32);
+        let au = AuConfig::default();
+        let r = au.simulate(&op(nit, 1024, 128));
+        assert!(
+            r.time_vs_ideal < 3.0,
+            "sorted cloud should stay well below worst case, got {}",
+            r.time_vs_ideal
+        );
+        assert!(r.conflict_access_fraction < 0.5);
+    }
+}

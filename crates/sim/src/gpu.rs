@@ -1,0 +1,267 @@
+//! The mobile GPU model (TX2-class Pascal).
+//!
+//! A roofline-plus-overhead model: each kernel's latency is
+//! `max(compute, memory) + launch`, with per-kernel-class efficiency
+//! factors standing in for the (large) gap between peak throughput and
+//! what TensorFlow-style point-cloud kernels achieve on a mobile GPU. The
+//! factors were calibrated once against the paper's published
+//! characterization (Fig. 4 ordering, Fig. 5 stage split, Fig. 11 absolute
+//! stage times) and then frozen; `EXPERIMENTS.md` records the residual
+//! absolute-scale gap.
+
+use crate::energy;
+use mesorasi_core::trace::{AggregateOp, MatMulOp, ReduceOp, SearchOp};
+
+/// GPU configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuConfig {
+    /// Peak FP32 throughput, GFLOP/s (mobile Pascal @ ~1.3 GHz ≈ 665).
+    pub peak_gflops: f64,
+    /// Sustained DRAM bandwidth available to the GPU, GB/s.
+    pub mem_bw_gbs: f64,
+    /// L1/shared-memory capacity per SM × SMs, KB (paper's estimate:
+    /// 48–96 KB).
+    pub l1_kb: f64,
+    /// L2 capacity, KB.
+    pub l2_kb: f64,
+    /// Fixed overhead per kernel launch, ms (framework + driver; the paper
+    /// measures kernel launch time explicitly, §VI).
+    pub launch_ms: f64,
+    /// Dense matmul efficiency (fraction of peak).
+    pub eff_matmul: f64,
+    /// Pairwise-distance (matmul-trick) efficiency.
+    pub eff_distance: f64,
+    /// Top-K selection throughput, Gops/s — selection is control-flow
+    /// bound and achieves a tiny fraction of peak on mobile GPUs.
+    pub topk_gops: f64,
+    /// Elementwise/streaming bandwidth efficiency.
+    pub eff_stream: f64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            peak_gflops: 665.0,
+            mem_bw_gbs: 25.6,
+            l1_kb: 96.0,
+            l2_kb: 2048.0,
+            launch_ms: 0.1,
+            eff_matmul: 0.07,
+            eff_distance: 0.25,
+            topk_gops: 0.18,
+            eff_stream: 0.6,
+        }
+    }
+}
+
+/// Latency and energy of one kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCost {
+    /// Latency, milliseconds.
+    pub ms: f64,
+    /// Energy, millijoules (compute + static; DRAM accounted separately).
+    pub mj: f64,
+    /// DRAM traffic, bytes.
+    pub dram_bytes: u64,
+}
+
+impl KernelCost {
+    /// Combines two kernel costs executed back-to-back.
+    pub fn plus(self, other: KernelCost) -> KernelCost {
+        KernelCost {
+            ms: self.ms + other.ms,
+            mj: self.mj + other.mj,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+        }
+    }
+}
+
+impl GpuConfig {
+    fn cost(&self, flops: f64, eff: f64, bytes: f64) -> KernelCost {
+        let compute_ms = flops / (self.peak_gflops * 1e9 * eff) * 1e3;
+        let memory_ms = bytes / (self.mem_bw_gbs * 1e9 * self.eff_stream) * 1e3;
+        let ms = compute_ms.max(memory_ms) + self.launch_ms;
+        let mj = energy::pj_to_mj(flops * energy::GPU_PJ_PER_FLOP)
+            + energy::GPU_STATIC_W * ms * 1e-3 * 1e3;
+        KernelCost { ms, mj, dram_bytes: bytes as u64 }
+    }
+
+    /// One brute-force KNN kernel: pairwise distances via the matmul trick
+    /// plus a top-K selection pass over the `Q × C` distance matrix.
+    pub fn search(&self, op: &SearchOp) -> KernelCost {
+        let q = op.queries as f64;
+        let c = op.candidates as f64;
+        let d = op.dim as f64;
+        // Distance phase: 2·Q·C·D flops; traffic: read both point sets,
+        // write + re-read the Q×C distance matrix.
+        let dist_flops = 2.0 * q * c * d;
+        let dist_bytes = 4.0 * (q * d + c * d + 2.0 * q * c);
+        let dist = self.cost(dist_flops, self.eff_distance, dist_bytes);
+        if op.radius_query {
+            // Ball query: threshold scan + compaction, no sort — but
+            // framework implementations chain ~16 broadcast kernels over
+            // Q×C×(D+2)-shaped intermediates (tile, sub, square, sum,
+            // less, where, gather, pad), each materialized to memory.
+            let scan_bytes = 3.0 * q * c * (d + 2.0) * 4.0;
+            let scan_ms = scan_bytes / (self.mem_bw_gbs * 1e9 * self.eff_stream) * 1e3
+                + 16.0 * self.launch_ms;
+            let scan_mj = energy::pj_to_mj(q * c * energy::GPU_PJ_PER_FLOP * 0.5)
+                + energy::GPU_STATIC_W * scan_ms;
+            return dist.plus(KernelCost {
+                ms: scan_ms,
+                mj: scan_mj,
+                dram_bytes: scan_bytes as u64,
+            });
+        }
+        // KNN selection phase: control-bound partial sort.
+        let logk = (op.k.max(2) as f64).log2().ceil();
+        let sel_ops = q * c * logk;
+        let sel_ms = sel_ops / (self.topk_gops * 1e9) * 1e3 + self.launch_ms;
+        let sel_mj = energy::pj_to_mj(sel_ops * energy::GPU_PJ_PER_FLOP * 0.5)
+            + energy::GPU_STATIC_W * sel_ms;
+        dist.plus(KernelCost { ms: sel_ms, mj: sel_mj, dram_bytes: (4.0 * q * c) as u64 })
+    }
+
+    /// One batched-MLP layer (matrix-matrix product + activation).
+    pub fn matmul(&self, op: &MatMulOp) -> KernelCost {
+        let flops = 2.0 * op.macs() as f64;
+        let bytes = (op.input_bytes() + op.output_bytes() + op.weight_bytes()) as f64;
+        self.cost(flops, self.eff_matmul, bytes)
+    }
+
+    /// One aggregation (irregular gather + subtract). Bandwidth-bound; the
+    /// effective bandwidth degrades with the gather working set (§IV-C:
+    /// the delayed PFT "is much larger than the L1 cache size") and small
+    /// rows waste cache-line transfers.
+    pub fn aggregate(&self, op: &AggregateOp) -> KernelCost {
+        let ws_kb = op.working_set_bytes() as f64 / 1024.0;
+        let locality = if ws_kb <= self.l1_kb {
+            0.8
+        } else if ws_kb <= self.l2_kb {
+            0.25
+        } else {
+            0.12
+        };
+        // A gathered row narrower than a 32 B sector still moves a sector.
+        let row_bytes = (op.width * 4) as f64;
+        let amplification = (32.0 / row_bytes).max(1.0);
+        // Fused (delayed) aggregation also reduces and subtracts in this
+        // kernel; the original order's per-edge subtraction streams with
+        // the following MLP kernel instead (it reads the gathered rows
+        // anyway), which is how the paper's baselines keep original-order
+        // aggregation at ~3 % of runtime (Fig. 12).
+        let subtract_bytes =
+            if op.fused_reduce { op.subtract_ops() as f64 * 4.0 * 2.0 } else { 0.0 };
+        let bytes = op.bytes_gathered() as f64 * amplification + subtract_bytes;
+        let flops = op.subtract_ops() as f64;
+        let memory_ms = bytes / (self.mem_bw_gbs * 1e9 * locality) * 1e3;
+        let compute_ms = flops / (self.peak_gflops * 1e9 * self.eff_stream) * 1e3;
+        let ms = memory_ms.max(compute_ms) + self.launch_ms;
+        let mj = energy::pj_to_mj(flops * energy::GPU_PJ_PER_FLOP)
+            + energy::GPU_STATIC_W * ms;
+        KernelCost { ms, mj, dram_bytes: bytes as u64 }
+    }
+
+    /// One grouped max reduction.
+    pub fn reduce(&self, op: &ReduceOp) -> KernelCost {
+        let in_bytes = 4.0 * (op.groups * op.k * op.width) as f64;
+        let flops = op.compare_ops() as f64;
+        self.cost(flops, self.eff_stream, in_bytes)
+    }
+
+    /// Unclassified streaming work (`other_flops` / `other_bytes`).
+    pub fn other(&self, flops: u64, bytes: u64) -> KernelCost {
+        if flops == 0 && bytes == 0 {
+            return KernelCost::default();
+        }
+        self.cost(flops as f64, self.eff_stream, bytes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesorasi_knn::NeighborIndexTable;
+
+    fn nit(entries: usize, k: usize) -> NeighborIndexTable {
+        let mut t = NeighborIndexTable::new(k);
+        for e in 0..entries {
+            let row: Vec<usize> = (0..k).map(|j| (e * k + j) % (entries * k)).collect();
+            t.push_entry(e, &row);
+        }
+        t
+    }
+
+    #[test]
+    fn search_cost_grows_with_dimension() {
+        let g = GpuConfig::default();
+        let small = g.search(&SearchOp {
+            queries: 512,
+            candidates: 1024,
+            dim: 3,
+            k: 32,
+            radius_query: false,
+        });
+        let big = g.search(&SearchOp {
+            queries: 2048,
+            candidates: 2048,
+            dim: 256,
+            k: 40,
+            radius_query: false,
+        });
+        assert!(big.ms > 5.0 * small.ms, "feature-space KNN must dominate (DGCNN)");
+    }
+
+    #[test]
+    fn matmul_cost_scales_with_rows() {
+        let g = GpuConfig::default();
+        let a = g.matmul(&MatMulOp { rows: 16384, inner: 64, cols: 128 });
+        let b = g.matmul(&MatMulOp { rows: 1024, inner: 64, cols: 128 });
+        assert!(a.ms > b.ms);
+        assert!(a.mj > b.mj);
+    }
+
+    #[test]
+    fn aggregation_slows_down_when_working_set_spills() {
+        // §IV-C: the delayed gather working set exceeds L1 and aggregation
+        // time rises. Same bytes gathered, different table widths.
+        let g = GpuConfig::default();
+        let small_ws = AggregateOp {
+            nit: nit(512, 32),
+            table_rows: 1024,
+            width: 3,
+            rows_per_entry: 33,
+            fused_reduce: false,
+        };
+        let large_ws = AggregateOp {
+            nit: nit(512, 32),
+            table_rows: 1024,
+            width: 128,
+            rows_per_entry: 33,
+            fused_reduce: true,
+        };
+        let a = g.aggregate(&small_ws);
+        let b = g.aggregate(&large_ws);
+        assert!(
+            b.ms > 3.0 * a.ms,
+            "delayed aggregation must be slower on GPU: {} vs {}",
+            b.ms,
+            a.ms
+        );
+    }
+
+    #[test]
+    fn every_kernel_pays_launch_overhead() {
+        let g = GpuConfig::default();
+        let tiny = g.reduce(&ReduceOp { groups: 1, k: 2, width: 1 });
+        assert!(tiny.ms >= g.launch_ms);
+    }
+
+    #[test]
+    fn costs_are_positive_and_finite() {
+        let g = GpuConfig::default();
+        let c = g.search(&SearchOp { queries: 1, candidates: 1, dim: 1, k: 1, radius_query: true });
+        assert!(c.ms.is_finite() && c.ms > 0.0);
+        assert!(c.mj.is_finite() && c.mj > 0.0);
+    }
+}

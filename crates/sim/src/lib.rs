@@ -1,0 +1,43 @@
+//! Hardware models for the Mesorasi evaluation.
+//!
+//! The paper evaluates on a mobile SoC: a TX2-class Pascal GPU (measured),
+//! a TPU-style 16×16 systolic NPU (synthesized RTL), the proposed
+//! Aggregation Unit inside the NPU, LPDDR3 DRAM, and optionally a neighbor
+//! search engine (NSE, \[59\]). None of that hardware is available here, so
+//! this crate models each component analytically — calibrated to the
+//! published characteristics — and replays the *real workload traces*
+//! recorded by `mesorasi-core` (including actual neighbor index tables, so
+//! bank conflicts in the AU are simulated on real index distributions).
+//!
+//! Components:
+//!
+//! * [`energy`] — 16 nm-class energy and area constants (DRAM ≈ 70× SRAM
+//!   per bit, §VI),
+//! * [`gpu`] — roofline-plus-overhead model of the mobile GPU,
+//! * [`npu`] — cycle model of the systolic array and its global buffer,
+//! * [`au`] — the Aggregation Unit: banked PFT buffer, multi-round
+//!   conflict resolution, column-major partitioning (§V-B),
+//! * [`nse`] — the neighbor-search engine of \[59\] (60× the GPU),
+//! * [`soc`] — platform assembly and the critical-path scheduler,
+//! * [`area`] — §VII-A's area accounting,
+//! * [`report`] — plain-text table formatting for the experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use mesorasi_sim::soc::{simulate, Platform, SocConfig};
+//! use mesorasi_core::{NetworkTrace, Strategy};
+//!
+//! let trace = NetworkTrace::new("empty", Strategy::Original);
+//! let report = simulate(&trace, Platform::GpuOnly, &SocConfig::default());
+//! assert_eq!(report.total_ms(), 0.0);
+//! ```
+
+pub mod area;
+pub mod au;
+pub mod energy;
+pub mod gpu;
+pub mod npu;
+pub mod nse;
+pub mod report;
+pub mod soc;

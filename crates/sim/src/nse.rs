@@ -1,0 +1,51 @@
+//! The neighbor search engine (NSE) model.
+//!
+//! §VII-E evaluates Mesorasi on a futuristic SoC with a dedicated neighbor
+//! search accelerator (\[59\], Tigris). The paper characterizes it as "over
+//! 60× speedup over the GPU" for the neighbor searches in these networks;
+//! we model exactly that — a fixed speedup and a proportional energy
+//! scaling — because the NSE's internals are not Mesorasi's contribution
+//! (the paper: "the NSE is not our contribution").
+
+use crate::gpu::KernelCost;
+
+/// NSE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NseConfig {
+    /// Latency speedup over the GPU search kernel.
+    pub speedup_vs_gpu: f64,
+    /// Energy ratio vs the GPU search kernel (ASICs also save energy).
+    pub energy_ratio: f64,
+}
+
+impl Default for NseConfig {
+    fn default() -> Self {
+        NseConfig { speedup_vs_gpu: 60.0, energy_ratio: 0.02 }
+    }
+}
+
+impl NseConfig {
+    /// Converts a GPU search cost into the NSE's.
+    pub fn from_gpu(&self, gpu_cost: KernelCost) -> KernelCost {
+        KernelCost {
+            ms: gpu_cost.ms / self.speedup_vs_gpu,
+            mj: gpu_cost.mj * self.energy_ratio,
+            dram_bytes: gpu_cost.dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nse_is_60x_faster() {
+        let nse = NseConfig::default();
+        let gpu = KernelCost { ms: 60.0, mj: 100.0, dram_bytes: 1000 };
+        let got = nse.from_gpu(gpu);
+        assert!((got.ms - 1.0).abs() < 1e-9);
+        assert!(got.mj < gpu.mj);
+        assert_eq!(got.dram_bytes, gpu.dram_bytes);
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text table formatting for experiment output.
+//!
+//! The experiment drivers print paper-style tables; this module keeps the
+//! formatting in one place (fixed-width columns, consistent number
+//! formats) so `repro` output is easy to diff against `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table builder.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(s, " {cell:<w$} |");
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.headers);
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<1$}|", "", w + 2);
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats milliseconds with sensible precision.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a speedup factor.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Formats bytes with binary units.
+pub fn bytes(v: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * 1024;
+    if v >= MB {
+        format!("{:.1} MB", v as f64 / MB as f64)
+    } else if v >= KB {
+        format!("{:.1} KB", v as f64 / KB as f64)
+    } else {
+        format!("{v} B")
+    }
+}
+
+/// Formats a MAC count in GOPs.
+pub fn gops(v: u64) -> String {
+    format!("{:.2}", v as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_alignment() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| longer-name |"));
+        assert!(s.contains("| a           |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(ms(1234.5), "1234");
+        assert_eq!(ms(12.34), "12.3");
+        assert_eq!(ms(0.1234), "0.123");
+        assert_eq!(speedup(1.6), "1.60x");
+        assert_eq!(pct(51.13), "51.1%");
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(2048), "2.0 KB");
+        assert_eq!(bytes(8 << 20), "8.0 MB");
+        assert_eq!(gops(2_500_000_000), "2.50");
+    }
+}

@@ -1,0 +1,453 @@
+//! Platform assembly and the critical-path scheduler.
+//!
+//! Reproduces the paper's system model (§V-A, §VI):
+//!
+//! * neighbor search runs on the GPU (or the NSE when present),
+//! * feature computation runs on the GPU (GPU-only platform) or the NPU,
+//! * aggregation runs on the GPU, except on `MesorasiHw` where fused
+//!   (delayed) aggregations run on the Aggregation Unit,
+//! * latency composes serially except that delayed-aggregation traces
+//!   overlap neighbor search with the hoisted MLP layers when they execute
+//!   on different engines (the paper found TX2's GPU could not actually
+//!   co-run both kernels, so the GPU-only platform never overlaps —
+//!   §VII-C),
+//! * energy = GPU + NPU(+AU) + DRAM, with DRAM charged per byte of traffic
+//!   (§VI's accounting: input cloud, MLP kernels and spilled activations,
+//!   NIT write + read).
+
+use crate::au::AuConfig;
+use crate::gpu::{GpuConfig, KernelCost};
+use crate::npu::NpuConfig;
+use crate::nse::NseConfig;
+use crate::energy;
+use mesorasi_core::trace::{ModuleTrace, NetworkTrace};
+use mesorasi_core::Stage;
+
+/// The evaluated platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Everything on the mobile GPU (the Fig. 4 / Fig. 17 platform).
+    GpuOnly,
+    /// The paper's baseline SoC: GPU for `N` and `A`, NPU for `F`,
+    /// original execution order.
+    GpuNpu,
+    /// Delayed-aggregation in software: GPU for `N` and `A`, NPU for `F`,
+    /// `N ∥ F` overlap (§VI "Variants").
+    MesorasiSw,
+    /// Delayed-aggregation with the AU: GPU for `N`, AU for `A`, NPU for
+    /// `F`.
+    MesorasiHw,
+}
+
+impl Platform {
+    /// All platforms in baseline-to-proposed order.
+    pub const ALL: [Platform; 4] =
+        [Platform::GpuOnly, Platform::GpuNpu, Platform::MesorasiSw, Platform::MesorasiHw];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::GpuOnly => "GPU",
+            Platform::GpuNpu => "GPU+NPU baseline",
+            Platform::MesorasiSw => "Mesorasi-SW",
+            Platform::MesorasiHw => "Mesorasi-HW",
+        }
+    }
+
+    fn uses_npu(self) -> bool {
+        !matches!(self, Platform::GpuOnly)
+    }
+
+    fn uses_au(self) -> bool {
+        matches!(self, Platform::MesorasiHw)
+    }
+
+    /// Whether `N` (GPU/NSE) and the hoisted MLP layers (NPU) can run
+    /// concurrently — requires two engines.
+    fn overlaps(self) -> bool {
+        self.uses_npu()
+    }
+}
+
+/// Full SoC configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SocConfig {
+    /// The GPU model.
+    pub gpu: GpuConfig,
+    /// The NPU model.
+    pub npu: NpuConfig,
+    /// The AU model (used by [`Platform::MesorasiHw`]).
+    pub au: AuConfig,
+    /// Optional neighbor search engine (§VII-E); when present, all
+    /// platforms run `N` on it instead of the GPU.
+    pub nse: Option<NseConfig>,
+}
+
+impl SocConfig {
+    /// The §VII-E configuration: the same SoC plus the Tigris-style NSE.
+    pub fn with_nse() -> Self {
+        SocConfig { nse: Some(NseConfig::default()), ..SocConfig::default() }
+    }
+}
+
+/// Simulated cost of one module on a platform.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleSim {
+    /// Module name from the trace.
+    pub name: String,
+    /// Raw (unscheduled) per-stage latencies, ms.
+    pub search_ms: f64,
+    /// MLP layers that may overlap with search.
+    pub pre_ms: f64,
+    /// Aggregation.
+    pub agg_ms: f64,
+    /// MLP layers after aggregation plus standalone reductions.
+    pub post_ms: f64,
+    /// Interpolation / miscellaneous.
+    pub other_ms: f64,
+    /// Scheduled (critical-path) latency of this module.
+    pub critical_ms: f64,
+    /// Energy by component, mJ: GPU, NPU, AU.
+    pub gpu_mj: f64,
+    /// NPU energy, mJ.
+    pub npu_mj: f64,
+    /// AU energy, mJ.
+    pub au_mj: f64,
+    /// DRAM traffic, bytes.
+    pub dram_bytes: u64,
+}
+
+/// Simulation result for one network on one platform.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Network name.
+    pub network: String,
+    /// Platform simulated.
+    pub platform: Platform,
+    /// Per-module costs.
+    pub modules: Vec<ModuleSim>,
+}
+
+impl SimReport {
+    /// End-to-end latency (scheduled), ms.
+    pub fn total_ms(&self) -> f64 {
+        self.modules.iter().map(|m| m.critical_ms).sum()
+    }
+
+    /// Raw time spent in a stage (unscheduled, as Figs. 5/11/12 report).
+    pub fn stage_ms(&self, stage: Stage) -> f64 {
+        self.modules
+            .iter()
+            .map(|m| match stage {
+                Stage::NeighborSearch => m.search_ms,
+                Stage::Aggregation => m.agg_ms,
+                Stage::FeatureCompute => m.pre_ms + m.post_ms,
+                Stage::Other => m.other_ms,
+            })
+            .sum()
+    }
+
+    /// Total energy, mJ (components + DRAM).
+    pub fn total_mj(&self) -> f64 {
+        let component: f64 =
+            self.modules.iter().map(|m| m.gpu_mj + m.npu_mj + m.au_mj).sum();
+        component + self.dram_mj()
+    }
+
+    /// DRAM energy, mJ.
+    pub fn dram_mj(&self) -> f64 {
+        let bytes: u64 = self.modules.iter().map(|m| m.dram_bytes).sum();
+        energy::pj_to_mj(bytes as f64 * energy::DRAM_PJ_PER_BYTE)
+    }
+
+    /// Total DRAM traffic, bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.modules.iter().map(|m| m.dram_bytes).sum()
+    }
+
+    /// Latency speedup of this report relative to `baseline`.
+    pub fn speedup_vs(&self, baseline: &SimReport) -> f64 {
+        baseline.total_ms() / self.total_ms()
+    }
+
+    /// Energy reduction (%) relative to `baseline`.
+    pub fn energy_reduction_vs(&self, baseline: &SimReport) -> f64 {
+        (1.0 - self.total_mj() / baseline.total_mj()) * 100.0
+    }
+}
+
+fn simulate_module(m: &ModuleTrace, platform: Platform, cfg: &SocConfig) -> ModuleSim {
+    let gpu = &cfg.gpu;
+    let npu = &cfg.npu;
+    let mut sim = ModuleSim { name: m.name.clone(), ..ModuleSim::default() };
+
+    // --- neighbor search ---------------------------------------------------
+    if let Some(search) = &m.search {
+        let gpu_cost = gpu.search(search);
+        let cost: KernelCost = match &cfg.nse {
+            Some(nse) => nse.from_gpu(gpu_cost),
+            None => gpu_cost,
+        };
+        sim.search_ms = cost.ms;
+        sim.gpu_mj += cost.mj; // NSE energy is folded into this component
+        sim.dram_bytes += cost.dram_bytes;
+    }
+
+    // --- hoisted MLP layers -------------------------------------------------
+    for op in &m.mlp_pre {
+        if platform.uses_npu() {
+            let c = npu.matmul(op);
+            sim.pre_ms += c.ms;
+            sim.npu_mj += c.mj;
+            sim.dram_bytes += c.dram_bytes;
+        } else {
+            let c = gpu.matmul(op);
+            sim.pre_ms += c.ms;
+            sim.gpu_mj += c.mj;
+            sim.dram_bytes += c.dram_bytes;
+        }
+    }
+
+    // --- aggregation ----------------------------------------------------------
+    if let Some(agg) = &m.aggregate {
+        if platform.uses_au() && agg.fused_reduce {
+            let r = cfg.au.simulate(agg);
+            sim.agg_ms = r.ms;
+            sim.au_mj += r.mj;
+            sim.dram_bytes += r.dram_bytes;
+        } else {
+            let c = gpu.aggregate(agg);
+            sim.agg_ms = c.ms;
+            sim.gpu_mj += c.mj;
+            sim.dram_bytes += c.dram_bytes;
+        }
+    }
+
+    // --- post-aggregation MLP layers and reduction ---------------------------
+    for op in &m.mlp_post {
+        if platform.uses_npu() {
+            let c = npu.matmul(op);
+            sim.post_ms += c.ms;
+            sim.npu_mj += c.mj;
+            sim.dram_bytes += c.dram_bytes;
+        } else {
+            let c = gpu.matmul(op);
+            sim.post_ms += c.ms;
+            sim.gpu_mj += c.mj;
+            sim.dram_bytes += c.dram_bytes;
+        }
+    }
+    if let Some(reduce) = &m.reduce {
+        if platform.uses_npu() {
+            let c = npu.reduce(reduce);
+            sim.post_ms += c.ms;
+            sim.npu_mj += c.mj;
+        } else {
+            let c = gpu.reduce(reduce);
+            sim.post_ms += c.ms;
+            sim.gpu_mj += c.mj;
+            sim.dram_bytes += c.dram_bytes;
+        }
+    }
+
+    // --- other ---------------------------------------------------------------
+    if m.other_flops > 0 || m.other_bytes > 0 {
+        let c = gpu.other(m.other_flops, m.other_bytes);
+        sim.other_ms = c.ms;
+        sim.gpu_mj += c.mj;
+        sim.dram_bytes += c.dram_bytes;
+    }
+
+    // --- schedule --------------------------------------------------------------
+    // Search and the hoisted layers overlap across engines; everything else
+    // serializes (paper §IV: N→A→F serialization is what delayed
+    // aggregation breaks).
+    let head = if platform.overlaps() {
+        sim.search_ms.max(sim.pre_ms)
+    } else {
+        sim.search_ms + sim.pre_ms
+    };
+    sim.critical_ms = head + sim.agg_ms + sim.post_ms + sim.other_ms;
+    sim
+}
+
+/// Simulates `trace` on `platform`.
+pub fn simulate(trace: &NetworkTrace, platform: Platform, cfg: &SocConfig) -> SimReport {
+    SimReport {
+        network: trace.name.clone(),
+        platform,
+        modules: trace.modules.iter().map(|m| simulate_module(m, platform, cfg)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesorasi_core::trace::{AggregateOp, MatMulOp, ReduceOp, SearchOp};
+    use mesorasi_core::Strategy;
+    use mesorasi_knn::NeighborIndexTable;
+
+    fn nit(entries: usize, k: usize) -> NeighborIndexTable {
+        let mut t = NeighborIndexTable::new(k);
+        for e in 0..entries {
+            let row: Vec<usize> = (0..k).map(|j| e + j).collect();
+            t.push_entry(e, &row);
+        }
+        t
+    }
+
+    /// An original-strategy module trace (PointNet++ module-1 shaped).
+    fn original_module() -> ModuleTrace {
+        ModuleTrace {
+            name: "sa1".into(),
+            search: Some(SearchOp {
+                queries: 512,
+                candidates: 1024,
+                dim: 3,
+                k: 32,
+                radius_query: true,
+            }),
+            mlp_pre: vec![],
+            aggregate: Some(AggregateOp {
+                nit: nit(512, 32),
+                table_rows: 1024,
+                width: 3,
+                rows_per_entry: 33,
+                fused_reduce: false,
+            }),
+            mlp_post: vec![
+                MatMulOp { rows: 512 * 32, inner: 3, cols: 64 },
+                MatMulOp { rows: 512 * 32, inner: 64, cols: 64 },
+                MatMulOp { rows: 512 * 32, inner: 64, cols: 128 },
+            ],
+            reduce: Some(ReduceOp { groups: 512, k: 32, width: 128 }),
+            other_flops: 0,
+            other_bytes: 0,
+        }
+    }
+
+    /// The same module under delayed aggregation.
+    fn delayed_module() -> ModuleTrace {
+        ModuleTrace {
+            name: "sa1".into(),
+            search: Some(SearchOp {
+                queries: 512,
+                candidates: 1024,
+                dim: 3,
+                k: 32,
+                radius_query: true,
+            }),
+            mlp_pre: vec![
+                MatMulOp { rows: 1024, inner: 3, cols: 64 },
+                MatMulOp { rows: 1024, inner: 64, cols: 64 },
+                MatMulOp { rows: 1024, inner: 64, cols: 128 },
+            ],
+            aggregate: Some(AggregateOp {
+                nit: nit(512, 32),
+                table_rows: 1024,
+                width: 128,
+                rows_per_entry: 33,
+                fused_reduce: true,
+            }),
+            mlp_post: vec![],
+            reduce: None,
+            other_flops: 0,
+            other_bytes: 0,
+        }
+    }
+
+    fn trace_of(module: ModuleTrace, strategy: Strategy) -> NetworkTrace {
+        let mut t = NetworkTrace::new("test", strategy);
+        t.modules.push(module);
+        t
+    }
+
+    #[test]
+    fn delayed_on_gpu_beats_original_on_gpu() {
+        // Fig. 17: the algorithm alone speeds up the GPU platform.
+        let cfg = SocConfig::default();
+        let orig = simulate(&trace_of(original_module(), Strategy::Original), Platform::GpuOnly, &cfg);
+        let del = simulate(&trace_of(delayed_module(), Strategy::Delayed), Platform::GpuOnly, &cfg);
+        assert!(
+            del.total_ms() < orig.total_ms(),
+            "delayed {} should beat original {}",
+            del.total_ms(),
+            orig.total_ms()
+        );
+        assert!(del.total_mj() < orig.total_mj());
+    }
+
+    #[test]
+    fn gpu_npu_baseline_beats_gpu_only() {
+        // §VII-D: the baseline is ~2× faster than GPU-only.
+        let cfg = SocConfig::default();
+        let t = trace_of(original_module(), Strategy::Original);
+        let gpu = simulate(&t, Platform::GpuOnly, &cfg);
+        let base = simulate(&t, Platform::GpuNpu, &cfg);
+        assert!(base.total_ms() < gpu.total_ms());
+        assert!(base.total_mj() < gpu.total_mj());
+    }
+
+    #[test]
+    fn mesorasi_hw_accelerates_aggregation() {
+        // Fig. 19b: the AU executes aggregation much faster than the GPU.
+        let cfg = SocConfig::default();
+        let t = trace_of(delayed_module(), Strategy::Delayed);
+        let sw = simulate(&t, Platform::MesorasiSw, &cfg);
+        let hw = simulate(&t, Platform::MesorasiHw, &cfg);
+        assert!(hw.modules[0].agg_ms < sw.modules[0].agg_ms / 2.0);
+        assert!(hw.total_ms() < sw.total_ms());
+    }
+
+    #[test]
+    fn overlap_hides_the_shorter_of_n_and_f() {
+        let cfg = SocConfig::default();
+        let t = trace_of(delayed_module(), Strategy::Delayed);
+        let r = simulate(&t, Platform::MesorasiSw, &cfg);
+        let m = &r.modules[0];
+        let expected = m.search_ms.max(m.pre_ms) + m.agg_ms + m.post_ms;
+        assert!((m.critical_ms - expected).abs() < 1e-9);
+        assert!(m.critical_ms < m.search_ms + m.pre_ms + m.agg_ms + m.post_ms);
+    }
+
+    #[test]
+    fn gpu_only_never_overlaps() {
+        // §VII-C: concurrent kernels do not co-run on the TX2 GPU.
+        let cfg = SocConfig::default();
+        let t = trace_of(delayed_module(), Strategy::Delayed);
+        let r = simulate(&t, Platform::GpuOnly, &cfg);
+        let m = &r.modules[0];
+        assert!((m.critical_ms - (m.search_ms + m.pre_ms + m.agg_ms)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nse_removes_the_search_bottleneck() {
+        // Fig. 20: with the NSE the remaining bottleneck shifts.
+        let plain = SocConfig::default();
+        let with_nse = SocConfig::with_nse();
+        let t = trace_of(delayed_module(), Strategy::Delayed);
+        let a = simulate(&t, Platform::MesorasiHw, &plain);
+        let b = simulate(&t, Platform::MesorasiHw, &with_nse);
+        assert!(b.modules[0].search_ms < a.modules[0].search_ms / 30.0);
+        assert!(b.total_ms() < a.total_ms());
+    }
+
+    #[test]
+    fn stage_accounting_sums_to_components() {
+        let cfg = SocConfig::default();
+        let t = trace_of(original_module(), Strategy::Original);
+        let r = simulate(&t, Platform::GpuOnly, &cfg);
+        let sum: f64 = Stage::ALL.iter().map(|&s| r.stage_ms(s)).sum();
+        let m = &r.modules[0];
+        assert!((sum - (m.search_ms + m.pre_ms + m.agg_ms + m.post_ms + m.other_ms)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_free() {
+        let cfg = SocConfig::default();
+        let t = NetworkTrace::new("empty", Strategy::Original);
+        let r = simulate(&t, Platform::MesorasiHw, &cfg);
+        assert_eq!(r.total_ms(), 0.0);
+        assert_eq!(r.total_mj(), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Irregular kernels: gather, grouped reduction, scatter.
+//!
+//! These implement the aggregation (`A`) and reduction steps of a
+//! point-cloud module. Both execution strategies use them:
+//!
+//! * the original formulation gathers *input* rows per neighborhood,
+//!   subtracts the centroid row, runs the MLP, then max-reduces;
+//! * the delayed formulation max-reduces gathered rows of the *Point
+//!   Feature Table* and subtracts the centroid's feature row afterwards
+//!   (`max(p1−pi, p2−pi) = max(p1,p2) − pi`, paper §IV-A).
+//!
+//! The reduce kernels also return argmax indices so the training substrate
+//! can route gradients through the max (only the winning row receives
+//! gradient).
+
+use crate::Matrix;
+
+/// Gathers `indices.len()` rows of `src` into a new matrix (row `i` of the
+/// result is `src.row(indices[i])`). Indices may repeat — this *is* the
+/// irregular gather whose memory behaviour the Aggregation Unit accelerates.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_rows(src: &Matrix, indices: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(indices.len(), src.cols());
+    for (r, &i) in indices.iter().enumerate() {
+        assert!(i < src.rows(), "gather index {i} out of bounds for {} rows", src.rows());
+        out.row_mut(r).copy_from_slice(src.row(i));
+    }
+    out
+}
+
+/// Adds each row of `grad` into row `indices[i]` of `acc` — the transpose
+/// (backward pass) of [`gather_rows`].
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any index is out of bounds.
+pub fn scatter_add_rows(acc: &mut Matrix, indices: &[usize], grad: &Matrix) {
+    assert_eq!(indices.len(), grad.rows(), "one gradient row per index");
+    assert_eq!(acc.cols(), grad.cols(), "column widths must match");
+    for (r, &i) in indices.iter().enumerate() {
+        assert!(i < acc.rows(), "scatter index {i} out of bounds for {} rows", acc.rows());
+        for (a, &g) in acc.row_mut(i).iter_mut().zip(grad.row(r)) {
+            *a += g;
+        }
+    }
+}
+
+/// Subtracts `centroid_rows.row(i / k)` from each row `i` of `grouped` —
+/// the aggregation normalization `p_k − p_i` applied to a gathered
+/// `(N_out·K) × M` matrix with `k` consecutive rows per group.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn subtract_centroid_per_group(grouped: &Matrix, centroid_rows: &Matrix, k: usize) -> Matrix {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(grouped.rows() % k, 0, "grouped rows must be a multiple of k");
+    assert_eq!(grouped.rows() / k, centroid_rows.rows(), "one centroid per group");
+    assert_eq!(grouped.cols(), centroid_rows.cols(), "widths must match");
+    let mut out = grouped.clone();
+    for g in 0..centroid_rows.rows() {
+        let c = centroid_rows.row(g);
+        for r in g * k..(g + 1) * k {
+            for (o, &cv) in out.row_mut(r).iter_mut().zip(c) {
+                *o -= cv;
+            }
+        }
+    }
+    out
+}
+
+/// Column-wise max over each group of `k` consecutive rows, producing a
+/// `(rows/k) × cols` matrix plus, per output element, the index of the
+/// winning input row (for gradient routing).
+///
+/// # Panics
+///
+/// Panics if `rows` is not a multiple of `k` or `k == 0`.
+pub fn group_max_reduce(grouped: &Matrix, k: usize) -> (Matrix, Vec<usize>) {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(grouped.rows() % k, 0, "rows must be a multiple of k");
+    let n_out = grouped.rows() / k;
+    let cols = grouped.cols();
+    let mut out = Matrix::zeros(n_out, cols);
+    let mut arg = vec![0usize; n_out * cols];
+    for g in 0..n_out {
+        let first = g * k;
+        out.row_mut(g).copy_from_slice(grouped.row(first));
+        for c in 0..cols {
+            arg[g * cols + c] = first;
+        }
+        for r in first + 1..first + k {
+            for (c, &v) in grouped.row(r).iter().enumerate() {
+                if v > out[(g, c)] {
+                    out[(g, c)] = v;
+                    arg[g * cols + c] = r;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Like [`group_max_reduce`] but the groups are given as explicit row-index
+/// lists into `src` (the delayed-aggregation path: groups are NIT entries
+/// indexing the Point Feature Table, no gathered intermediate needed).
+///
+/// `groups` is a flattened `n_groups × k` index matrix. Returns the reduced
+/// `n_groups × cols` matrix and, per output element, the *source row in
+/// `src`* that won the max.
+///
+/// # Panics
+///
+/// Panics if `groups.len()` is not a multiple of `k`, `k == 0`, or an index
+/// is out of bounds.
+pub fn gather_max_reduce(src: &Matrix, groups: &[usize], k: usize) -> (Matrix, Vec<usize>) {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(groups.len() % k, 0, "groups must be a multiple of k");
+    let n_out = groups.len() / k;
+    let cols = src.cols();
+    let mut out = Matrix::zeros(n_out, cols);
+    let mut arg = vec![0usize; n_out * cols];
+    for g in 0..n_out {
+        let entry = &groups[g * k..(g + 1) * k];
+        let first = entry[0];
+        assert!(first < src.rows(), "group index {first} out of bounds");
+        out.row_mut(g).copy_from_slice(src.row(first));
+        for c in 0..cols {
+            arg[g * cols + c] = first;
+        }
+        for &i in &entry[1..] {
+            assert!(i < src.rows(), "group index {i} out of bounds");
+            for (c, &v) in src.row(i).iter().enumerate() {
+                if v > out[(g, c)] {
+                    out[(g, c)] = v;
+                    arg[g * cols + c] = i;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Routes gradients back through a max reduction: for every output element
+/// `(g, c)`, adds `grad[(g, c)]` to `acc[(arg[g*cols+c], c)]`.
+///
+/// # Panics
+///
+/// Panics if `arg.len() != grad.len()` or widths disagree.
+pub fn max_reduce_backward(acc: &mut Matrix, arg: &[usize], grad: &Matrix) {
+    assert_eq!(arg.len(), grad.len(), "one argmax per gradient element");
+    assert_eq!(acc.cols(), grad.cols(), "widths must match");
+    let cols = grad.cols();
+    for g in 0..grad.rows() {
+        for c in 0..cols {
+            let src_row = arg[g * cols + c];
+            acc[(src_row, c)] += grad[(g, c)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_copies_rows_with_repeats() {
+        let src = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let out = gather_rows(&src, &[2, 0, 2]);
+        assert_eq!(out, Matrix::from_rows(&[&[3.0, 3.0], &[1.0, 1.0], &[3.0, 3.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_out_of_bounds_panics() {
+        let src = Matrix::zeros(2, 2);
+        let _ = gather_rows(&src, &[2]);
+    }
+
+    #[test]
+    fn scatter_is_gather_transpose() {
+        // For any y = gather(x, idx): scatter_add(ones_like(y)) accumulates
+        // occurrence counts, i.e. gatherᵀ · 1.
+        let mut acc = Matrix::zeros(3, 2);
+        let grad = Matrix::full(4, 2, 1.0);
+        scatter_add_rows(&mut acc, &[0, 2, 2, 2], &grad);
+        assert_eq!(acc, Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0], &[3.0, 3.0]]));
+    }
+
+    #[test]
+    fn subtract_centroid_per_group_known() {
+        let grouped = Matrix::from_rows(&[&[1.0], &[2.0], &[10.0], &[20.0]]);
+        let centroids = Matrix::from_rows(&[&[1.0], &[10.0]]);
+        let out = subtract_centroid_per_group(&grouped, &centroids, 2);
+        assert_eq!(out, Matrix::from_rows(&[&[0.0], &[1.0], &[0.0], &[10.0]]));
+    }
+
+    #[test]
+    fn group_max_reduce_tracks_argmax() {
+        let grouped = Matrix::from_rows(&[
+            &[1.0, 9.0],
+            &[5.0, 2.0], // group 0: max = [5, 9], arg rows = [1, 0]
+            &[0.0, 0.0],
+            &[-1.0, 3.0], // group 1: max = [0, 3], arg rows = [2, 3]
+        ]);
+        let (out, arg) = group_max_reduce(&grouped, 2);
+        assert_eq!(out, Matrix::from_rows(&[&[5.0, 9.0], &[0.0, 3.0]]));
+        assert_eq!(arg, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn gather_max_reduce_equals_gather_then_reduce() {
+        let src = Matrix::from_fn(6, 3, |r, c| ((r * 7 + c * 13) % 9) as f32);
+        let groups = [0usize, 3, 5, 1, 1, 4];
+        let k = 3;
+        let (a, _) = gather_max_reduce(&src, &groups, k);
+        let (b, _) = group_max_reduce(&gather_rows(&src, &groups), k);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gather_max_arg_points_into_src() {
+        let src = Matrix::from_rows(&[&[0.0], &[5.0], &[3.0]]);
+        let (out, arg) = gather_max_reduce(&src, &[0, 1, 2], 3);
+        assert_eq!(out, Matrix::from_rows(&[&[5.0]]));
+        assert_eq!(arg, vec![1]); // row 1 of src won
+    }
+
+    #[test]
+    fn max_backward_routes_to_winner_only() {
+        let mut acc = Matrix::zeros(3, 2);
+        // one group, winners: col0 → row 1, col1 → row 2
+        let arg = vec![1usize, 2];
+        let grad = Matrix::from_rows(&[&[10.0, 20.0]]);
+        max_reduce_backward(&mut acc, &arg, &grad);
+        assert_eq!(
+            acc,
+            Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 0.0], &[0.0, 20.0]])
+        );
+    }
+
+    #[test]
+    fn max_before_subtract_identity() {
+        // max(p1−pi, ..., pk−pi) == max(p1, ..., pk) − pi  (paper §IV-A).
+        let pft = Matrix::from_fn(8, 4, |r, c| ((r * 31 + c * 17) % 11) as f32 - 5.0);
+        let centroid = 3usize;
+        let group = [0usize, 2, 5, 7];
+        // subtract-then-max
+        let gathered = gather_rows(&pft, &group);
+        let centroid_rows = gather_rows(&pft, &[centroid]);
+        let offsets = subtract_centroid_per_group(&gathered, &centroid_rows, group.len());
+        let (a, _) = group_max_reduce(&offsets, group.len());
+        // max-then-subtract
+        let (reduced, _) = gather_max_reduce(&pft, &group, group.len());
+        let b = crate::ops::sub(&reduced, &centroid_rows);
+        assert_eq!(a, b);
+    }
+}

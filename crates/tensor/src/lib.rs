@@ -1,0 +1,32 @@
+//! Dense row-major `f32` matrices and the kernels point-cloud networks need.
+//!
+//! The paper's feature computation is a shared MLP over batched rows —
+//! matrix-matrix products (Fig. 3) — plus a handful of irregular operators
+//! that regular DNN stacks lack: row gather by neighbor index, grouped max
+//! reduction, and centroid subtraction. The Rust ecosystem has no DNN stack
+//! we are allowed to depend on here ("thin DNN ecosystem; point-cloud ops
+//! hand-rolled"), so this crate implements exactly the kernel set the seven
+//! evaluated networks require, with nothing speculative:
+//!
+//! * [`Matrix`] — the storage type,
+//! * [`ops`] — matmul (three transpose variants), bias broadcast,
+//!   elementwise arithmetic, ReLU and its gradient mask, column statistics,
+//! * [`group`] — gather / grouped-reduce / scatter kernels used by
+//!   aggregation in both the original and the delayed formulation.
+//!
+//! # Example
+//!
+//! ```
+//! use mesorasi_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = mesorasi_tensor::ops::matmul(&a, &b);
+//! assert_eq!(c, a);
+//! ```
+
+pub mod group;
+pub mod matrix;
+pub mod ops;
+
+pub use matrix::Matrix;

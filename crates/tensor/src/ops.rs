@@ -1,0 +1,384 @@
+//! Dense kernels: matrix products, broadcasts, activations, statistics.
+
+use crate::Matrix;
+
+/// `A · B` for `A: m×k`, `B: k×n`.
+///
+/// Uses the cache-friendly i-k-j loop order; the inner loop is a
+/// scalar-times-row AXPY that the compiler auto-vectorizes.
+///
+/// # Panics
+///
+/// Panics when the inner dimensions disagree.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {:?} × {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+    out
+}
+
+/// `Aᵀ · B` for `A: k×m`, `B: k×n` — the weight-gradient product of a
+/// linear layer (`dW = Xᵀ · dY`), computed without materializing `Aᵀ`.
+///
+/// # Panics
+///
+/// Panics when the row counts disagree.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_b shape mismatch: {:?}ᵀ × {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_pi * b_pj;
+            }
+        }
+    }
+    out
+}
+
+/// `A · Bᵀ` for `A: m×k`, `B: n×k` — the input-gradient product of a linear
+/// layer (`dX = dY · Wᵀ`), computed without materializing `Bᵀ`.
+///
+/// # Panics
+///
+/// Panics when the column counts disagree.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt shape mismatch: {:?} × {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, _k) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate().take(n) {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Elementwise `a + b`.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    let mut out = a.clone();
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o += v;
+    }
+    out
+}
+
+/// Elementwise `a - b`.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    let mut out = a.clone();
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o -= v;
+    }
+    out
+}
+
+/// Elementwise (Hadamard) product.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    let mut out = a.clone();
+    for (o, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *o *= v;
+    }
+    out
+}
+
+/// `a * s` for a scalar `s`.
+pub fn scale(a: &Matrix, s: f32) -> Matrix {
+    a.map(|v| v * s)
+}
+
+/// Adds the `1 × cols` row vector `bias` to every row of `a` — the bias
+/// broadcast of a linear layer.
+///
+/// # Panics
+///
+/// Panics when `bias` is not a single row of matching width.
+pub fn add_bias_row(a: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), a.cols(), "bias width must match");
+    let mut out = a.clone();
+    let b = bias.row(0);
+    for r in 0..out.rows() {
+        for (o, &v) in out.row_mut(r).iter_mut().zip(b) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// ReLU: `max(v, 0)` elementwise — the non-linearity φ whose presence makes
+/// delayed-aggregation *approximate* (paper Equ. 3).
+pub fn relu(a: &Matrix) -> Matrix {
+    a.map(|v| v.max(0.0))
+}
+
+/// The ReLU gradient mask: 1 where `pre_activation > 0`, else 0.
+pub fn relu_mask(pre_activation: &Matrix) -> Matrix {
+    pre_activation.map(|v| if v > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Column-wise sum of `a` as a `1 × cols` row — the bias gradient.
+pub fn sum_rows(a: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        for (o, &v) in out.row_mut(0).iter_mut().zip(a.row(r)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Per-column mean and (population) variance — batch-normalization
+/// statistics. Returns `(mean, var)` as `1 × cols` rows.
+///
+/// # Panics
+///
+/// Panics on an empty matrix.
+pub fn column_stats(a: &Matrix) -> (Matrix, Matrix) {
+    assert!(a.rows() > 0, "column stats of empty matrix");
+    let n = a.rows() as f32;
+    let mean = scale(&sum_rows(a), 1.0 / n);
+    let mut var = Matrix::zeros(1, a.cols());
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            let d = a[(r, c)] - mean[(0, c)];
+            var[(0, c)] += d * d;
+        }
+    }
+    var.map_inplace(|v| v / n);
+    (mean, var)
+}
+
+/// Row-wise softmax (numerically stable).
+pub fn softmax_rows(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element in each row (ties: first).
+pub fn argmax_rows(a: &Matrix) -> Vec<usize> {
+    (0..a.rows())
+        .map(|r| {
+            let row = a.row(r);
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Column-wise max over all rows, as a `1 × cols` row, with the arg rows —
+/// the global max-pool closing PointNet-style networks.
+///
+/// # Panics
+///
+/// Panics on an empty matrix.
+pub fn max_pool_columns(a: &Matrix) -> (Matrix, Vec<usize>) {
+    assert!(a.rows() > 0, "max pool of empty matrix");
+    let mut out = Matrix::from_vec(1, a.cols(), a.row(0).to_vec());
+    let mut arg = vec![0usize; a.cols()];
+    for r in 1..a.rows() {
+        for (c, &v) in a.row(r).iter().enumerate() {
+            if v > out[(0, c)] {
+                out[(0, c)] = v;
+                arg[c] = r;
+            }
+        }
+    }
+    (out, arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        assert_eq!(matmul(&a, &Matrix::identity(4)), a);
+        assert_eq!(matmul(&Matrix::identity(3), &a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_bad_shapes_panic() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn transpose_variants_match_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5);
+        let b = Matrix::from_fn(4, 5, |r, c| (r + 2 * c) as f32 * 0.25);
+        assert!(approx_eq(&matmul_at_b(&a, &b), &matmul(&a.transposed(), &b), 1e-5));
+        let c = Matrix::from_fn(2, 3, |r, c| (r * 7 + c) as f32);
+        let d = Matrix::from_fn(5, 3, |r, c| (r + c) as f32);
+        assert!(approx_eq(&matmul_a_bt(&c, &d), &matmul(&c, &d.transposed()), 1e-5));
+    }
+
+    #[test]
+    fn matmul_is_distributive_over_sub() {
+        // The algebraic heart of delayed-aggregation: (A - B)·W = A·W - B·W.
+        let a = Matrix::from_fn(3, 3, |r, c| (r * c) as f32 + 1.0);
+        let b = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        let w = Matrix::from_fn(3, 2, |r, c| (r as f32 - c as f32) * 0.5);
+        let lhs = matmul(&sub(&a, &b), &w);
+        let rhs = sub(&matmul(&a, &w), &matmul(&b, &w));
+        assert!(approx_eq(&lhs, &rhs, 1e-5));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(add(&a, &b), Matrix::from_rows(&[&[4.0, 2.0]]));
+        assert_eq!(sub(&a, &b), Matrix::from_rows(&[&[-2.0, -6.0]]));
+        assert_eq!(hadamard(&a, &b), Matrix::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(scale(&a, 2.0), Matrix::from_rows(&[&[2.0, -4.0]]));
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let out = add_bias_row(&a, &b);
+        for r in 0..3 {
+            assert_eq!(out.row(r), &[1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn relu_and_mask() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(relu(&a), Matrix::from_rows(&[&[0.0, 0.0, 2.0]]));
+        assert_eq!(relu_mask(&a), Matrix::from_rows(&[&[0.0, 0.0, 1.0]]));
+    }
+
+    #[test]
+    fn column_stats_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 10.0], &[3.0, 10.0]]);
+        let (mean, var) = column_stats(&a);
+        assert_eq!(mean, Matrix::from_rows(&[&[2.0, 10.0]]));
+        assert_eq!(var, Matrix::from_rows(&[&[1.0, 0.0]]));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = softmax_rows(&a);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+        assert!((s[(1, 0)] - 1.0 / 3.0).abs() < 1e-5, "large inputs stay stable");
+    }
+
+    #[test]
+    fn argmax_and_max_pool() {
+        let a = Matrix::from_rows(&[&[1.0, 9.0], &[5.0, 2.0]]);
+        assert_eq!(argmax_rows(&a), vec![1, 0]);
+        let (pooled, arg) = max_pool_columns(&a);
+        assert_eq!(pooled, Matrix::from_rows(&[&[5.0, 9.0]]));
+        assert_eq!(arg, vec![1, 0]);
+    }
+
+    #[test]
+    fn sum_rows_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(sum_rows(&a), Matrix::from_rows(&[&[4.0, 6.0]]));
+    }
+}

@@ -1,0 +1,60 @@
+//! Scenario: shape classification — train a small PointNet++ on the
+//! synthetic 40-class dataset (ModelNet40 stand-in), in both execution
+//! orders, and compare accuracy. A miniature of the paper's Fig. 16.
+//!
+//! ```text
+//! cargo run --release --example classify_shapes
+//! ```
+
+use mesorasi::core::Strategy;
+use mesorasi::networks::datasets;
+use mesorasi::networks::pointnetpp::PointNetPP;
+use mesorasi::networks::PointCloudNetwork;
+use mesorasi::nn::optim::{Adam, Optimizer};
+use mesorasi::nn::{loss, Graph};
+
+fn train(strategy: Strategy, ds: &datasets::Dataset, classes: usize, epochs: usize) -> f64 {
+    let mut rng = mesorasi::pointcloud::seeded_rng(11);
+    let mut net = PointNetPP::classification_small(classes, &mut rng);
+    let mut opt = Adam::new(5e-4);
+    for epoch in 0..epochs {
+        let mut total = 0.0f32;
+        for (i, ex) in ds.train.iter().enumerate() {
+            let cloud = ds.augmented_train_cloud(i, epoch as u64);
+            let mut g = Graph::new();
+            let out = net.forward(&mut g, &cloud, strategy, 7);
+            let l = g.softmax_cross_entropy(out.logits, vec![ex.label]);
+            total += g.value(l)[(0, 0)];
+            g.backward(l);
+            opt.step(&mut net.params_mut(), &g);
+        }
+        if epoch % 5 == 0 {
+            println!("  [{strategy}] epoch {epoch:>2}: mean loss {:.3}", total / ds.train.len() as f32);
+        }
+    }
+    // Evaluate on held-out shapes.
+    let mut correct = 0;
+    for ex in &ds.test {
+        let mut g = Graph::new();
+        let out = net.forward(&mut g, &ex.cloud, strategy, 7);
+        if loss::predictions(g.value(out.logits))[0] == ex.label {
+            correct += 1;
+        }
+    }
+    correct as f64 / ds.test.len() as f64 * 100.0
+}
+
+fn main() {
+    let classes = 5;
+    let ds = datasets::classification(classes, 128, 12, 6, 5);
+    println!(
+        "training PointNet++ (small) on {} shapes, {} held out, {classes} classes\n",
+        ds.train.len(),
+        ds.test.len()
+    );
+    let acc_orig = train(Strategy::Original, &ds, classes, 20);
+    let acc_delayed = train(Strategy::Delayed, &ds, classes, 20);
+    println!("\ntest accuracy, original formulation: {acc_orig:.1}%");
+    println!("test accuracy, delayed-aggregation:  {acc_delayed:.1}%");
+    println!("delta: {:+.1}% (paper's full-scale band: −0.9% .. +1.2%)", acc_delayed - acc_orig);
+}

@@ -1,0 +1,66 @@
+//! Scenario: architecture co-design — explore the Aggregation Unit and
+//! systolic-array design space for one network and print the
+//! latency/energy/area frontier, the loop an SoC architect would run with
+//! this library.
+//!
+//! ```text
+//! cargo run --release --example codesign_explorer
+//! ```
+
+use mesorasi::core::Strategy;
+use mesorasi::networks::registry::NetworkKind;
+use mesorasi::sim::area;
+use mesorasi::sim::au::AuConfig;
+use mesorasi::sim::npu::NpuConfig;
+use mesorasi::sim::soc::{simulate, Platform, SocConfig};
+use mesorasi_bench::Context;
+
+fn main() {
+    let kind = NetworkKind::PointNetPPClassification;
+    println!("building the {} delayed-aggregation trace...", kind.name());
+    let ctx = Context::new();
+    let del = ctx.trace(kind, Strategy::Delayed);
+    let orig = ctx.trace(kind, Strategy::Original);
+
+    println!("\n== systolic array size vs Mesorasi-HW gain =====================");
+    println!("{:>8} {:>12} {:>12} {:>10}", "SA", "baseline ms", "mesorasi ms", "speedup");
+    for sa in [8usize, 16, 32, 48] {
+        let cfg = SocConfig {
+            npu: NpuConfig { rows: sa, cols: sa, ..NpuConfig::default() },
+            ..SocConfig::default()
+        };
+        let baseline = simulate(&orig, Platform::GpuNpu, &cfg);
+        let hw = simulate(&del, Platform::MesorasiHw, &cfg);
+        println!(
+            "{:>5}x{:<2} {:>12.2} {:>12.2} {:>9.2}x",
+            sa,
+            sa,
+            baseline.total_ms(),
+            hw.total_ms(),
+            hw.speedup_vs(&baseline)
+        );
+    }
+
+    println!("\n== AU buffer sizing: energy vs area =============================");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>10}",
+        "PFT KB", "NIT KB", "AU mJ", "AU mm^2", "partitions"
+    );
+    for (pft, nit) in [(16usize, 6usize), (32, 12), (64, 12), (128, 24), (256, 96)] {
+        let au = AuConfig { pft_kb: pft, nit_kb: nit, ..AuConfig::default() };
+        let mj: f64 = del.aggregations().map(|a| au.simulate(a).total_mj()).sum();
+        let parts = del
+            .aggregations()
+            .map(|a| au.simulate(a).partitions)
+            .max()
+            .unwrap_or(1);
+        println!(
+            "{pft:>8} {nit:>8} {:>12.4} {:>12.3} {parts:>10}",
+            mj,
+            area::au_area(&au).total()
+        );
+    }
+
+    println!("\nnominal design (64 KB / 12 KB) balances energy against area,");
+    println!("matching the paper's sizing argument in Sec. VII-F.");
+}

@@ -1,0 +1,11 @@
+//! Mesorasi — algorithm-architecture co-design for point cloud analytics.
+//!
+//! Facade crate re-exporting the workspace. See the README for the map.
+
+pub use mesorasi_core as core;
+pub use mesorasi_knn as knn;
+pub use mesorasi_networks as networks;
+pub use mesorasi_nn as nn;
+pub use mesorasi_pointcloud as pointcloud;
+pub use mesorasi_sim as sim;
+pub use mesorasi_tensor as tensor;

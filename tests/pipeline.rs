@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests: data generation → network → training →
+//! trace → hardware simulation, exercising every crate in one pass.
+
+use mesorasi::core::Strategy;
+use mesorasi::networks::datasets;
+use mesorasi::networks::pointnetpp::PointNetPP;
+use mesorasi::networks::registry::NetworkKind;
+use mesorasi::networks::PointCloudNetwork;
+use mesorasi::nn::optim::{Adam, Optimizer};
+use mesorasi::nn::Graph;
+use mesorasi::sim::soc::{simulate, Platform, SocConfig};
+use mesorasi_bench::training;
+
+#[test]
+fn training_reduces_loss_in_both_formulations() {
+    let ds = datasets::classification(3, 96, 4, 2, 5);
+    for strategy in [Strategy::Original, Strategy::Delayed] {
+        let mut rng = mesorasi::pointcloud::seeded_rng(11);
+        let mut net = PointNetPP::classification_small(3, &mut rng);
+        let mut opt = Adam::new(1e-3);
+        let mut first = None;
+        let mut last = 0.0f32;
+        for epoch in 0..6 {
+            let mut total = 0.0;
+            for (i, ex) in ds.train.iter().enumerate() {
+                let cloud = ds.augmented_train_cloud(i, epoch);
+                let mut g = Graph::new();
+                let out = net.forward(&mut g, &cloud, strategy, 7);
+                let l = g.softmax_cross_entropy(out.logits, vec![ex.label]);
+                total += g.value(l)[(0, 0)];
+                g.backward(l);
+                opt.step(&mut net.params_mut(), &g);
+            }
+            if first.is_none() {
+                first = Some(total);
+            }
+            last = total;
+        }
+        let first = first.expect("at least one epoch");
+        assert!(
+            last < first * 0.8,
+            "{strategy}: loss should drop, {first} -> {last}"
+        );
+    }
+}
+
+#[test]
+fn single_cloud_overfit_converges_quickly() {
+    let cloud = mesorasi::pointcloud::shapes::sample_shape(
+        mesorasi::pointcloud::shapes::ShapeClass::Lamp,
+        96,
+        3,
+    );
+    let mut rng = mesorasi::pointcloud::seeded_rng(0);
+    let mut net = PointNetPP::classification_small(4, &mut rng);
+    let final_loss =
+        training::overfit_single_cloud(&mut net, &cloud, 2, Strategy::Delayed, 30, 5e-3);
+    assert!(final_loss < 0.2, "overfit loss {final_loss}");
+}
+
+#[test]
+fn all_seven_networks_run_all_strategies_on_all_platforms() {
+    let cfg = SocConfig::default();
+    for kind in NetworkKind::ALL {
+        let mut rng = mesorasi::pointcloud::seeded_rng(1);
+        let net = kind.build_small(4, &mut rng);
+        let cloud = match kind {
+            NetworkKind::FPointNet => {
+                datasets::frustums(3, net.input_points(), 5)
+                    .into_iter()
+                    .next()
+                    .expect("frustum")
+                    .cloud
+            }
+            NetworkKind::PointNetPPSegmentation | NetworkKind::DgcnnSegmentation => {
+                mesorasi::pointcloud::parts::sample_labelled(
+                    mesorasi::pointcloud::parts::categories()[0],
+                    net.input_points(),
+                    5,
+                )
+            }
+            _ => mesorasi::pointcloud::shapes::sample_shape(
+                mesorasi::pointcloud::shapes::ShapeClass::Car,
+                net.input_points(),
+                5,
+            ),
+        };
+        for strategy in Strategy::ALL {
+            let mut g = Graph::new();
+            let out = net.forward(&mut g, &cloud, strategy, 7);
+            assert!(g.value(out.logits).is_finite(), "{} {strategy}", kind.name());
+            for platform in Platform::ALL {
+                let sim = simulate(&out.trace, platform, &cfg);
+                assert!(sim.total_ms() > 0.0, "{} {strategy} {platform:?}", kind.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn platform_ordering_holds_for_the_flagship_network() {
+    // The paper's headline ordering on PointNet++ (c):
+    // GPU slowest, baseline faster, Mesorasi-SW faster still, HW fastest.
+    let mut rng = mesorasi::pointcloud::seeded_rng(1);
+    let net = NetworkKind::PointNetPPClassification.build_small(4, &mut rng);
+    let cloud = mesorasi::pointcloud::shapes::sample_shape(
+        mesorasi::pointcloud::shapes::ShapeClass::Chair,
+        net.input_points(),
+        5,
+    );
+    let cfg = SocConfig::default();
+    let mut g1 = Graph::new();
+    let orig = net.forward(&mut g1, &cloud, Strategy::Original, 7).trace;
+    let mut g2 = Graph::new();
+    let del = net.forward(&mut g2, &cloud, Strategy::Delayed, 7).trace;
+
+    let gpu = simulate(&orig, Platform::GpuOnly, &cfg).total_ms();
+    let baseline = simulate(&orig, Platform::GpuNpu, &cfg).total_ms();
+    let sw = simulate(&del, Platform::MesorasiSw, &cfg).total_ms();
+    let hw = simulate(&del, Platform::MesorasiHw, &cfg).total_ms();
+    assert!(baseline < gpu, "baseline {baseline} !< gpu {gpu}");
+    assert!(sw < baseline, "sw {sw} !< baseline {baseline}");
+    assert!(hw <= sw, "hw {hw} !<= sw {sw}");
+}
+
+#[test]
+fn detector_pipeline_trains_and_scores() {
+    let frustums = datasets::frustums(6, 96, 5);
+    let (train, test) = training::split_frustums(frustums, 0.3);
+    let mut rng = mesorasi::pointcloud::seeded_rng(11);
+    let mut net = mesorasi::networks::fpointnet::FPointNet::small(&mut rng);
+    let cfg = training::TrainConfig { epochs: 4, ..Default::default() };
+    let iou = training::train_detector(&mut net, &train, &test, Strategy::Delayed, cfg);
+    assert!((0.0..=100.0).contains(&iou));
+    let mask_acc = training::detector_mask_accuracy(&net, &test, Strategy::Delayed, 7);
+    assert!(mask_acc > 40.0, "mask accuracy {mask_acc} should beat noise");
+}

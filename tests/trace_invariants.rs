@@ -1,0 +1,169 @@
+//! Invariants linking the algorithm layer to the hardware models: what the
+//! paper claims structurally must hold on every trace this implementation
+//! produces.
+
+use mesorasi::core::Strategy;
+use mesorasi::networks::registry::NetworkKind;
+use mesorasi::nn::Graph;
+use mesorasi::pointcloud::parts;
+use mesorasi::pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi::pointcloud::PointCloud;
+use mesorasi::sim::soc::{simulate, Platform, SocConfig};
+use mesorasi_core::NetworkTrace;
+
+fn input_for(kind: NetworkKind, points: usize) -> PointCloud {
+    match kind {
+        NetworkKind::PointNetPPSegmentation | NetworkKind::DgcnnSegmentation => {
+            parts::sample_labelled(parts::categories()[1], points, 5)
+        }
+        NetworkKind::FPointNet => {
+            let frustums = mesorasi::networks::datasets::frustums(3, points, 5);
+            frustums.into_iter().next().expect("at least one frustum").cloud
+        }
+        _ => sample_shape(ShapeClass::Chair, points, 5),
+    }
+}
+
+fn small_traces(kind: NetworkKind) -> Vec<(Strategy, NetworkTrace)> {
+    let mut rng = mesorasi::pointcloud::seeded_rng(1);
+    let net = kind.build_small(4, &mut rng);
+    let cloud = input_for(kind, net.input_points());
+    Strategy::ALL
+        .iter()
+        .map(|&s| {
+            let mut g = Graph::new();
+            (s, net.forward(&mut g, &cloud, s, 7).trace)
+        })
+        .collect()
+}
+
+#[test]
+fn mac_ordering_delayed_le_ltd_le_original_for_all_networks() {
+    for kind in NetworkKind::ALL {
+        let traces = small_traces(kind);
+        let macs: Vec<u64> = traces.iter().map(|(_, t)| t.mlp_macs()).collect();
+        let (orig, ltd, delayed) = (macs[0], macs[1], macs[2]);
+        assert!(delayed <= ltd, "{}: delayed {delayed} > ltd {ltd}", kind.name());
+        assert!(ltd <= orig, "{}: ltd {ltd} > original {orig}", kind.name());
+        assert!(delayed < orig, "{}: delayed must strictly reduce MACs", kind.name());
+    }
+}
+
+#[test]
+fn delayed_widens_the_gather_working_set() {
+    // §IV-C: aggregation gathers from N_in × M_out instead of N_in × M_in.
+    for kind in [NetworkKind::PointNetPPClassification, NetworkKind::FPointNet] {
+        let traces = small_traces(kind);
+        let ws = |t: &NetworkTrace| -> u64 {
+            t.aggregations().map(|a| a.working_set_bytes()).sum()
+        };
+        let orig = ws(&traces[0].1);
+        let delayed = ws(&traces[2].1);
+        assert!(delayed > orig, "{}: {delayed} <= {orig}", kind.name());
+    }
+}
+
+#[test]
+fn strategies_share_neighbor_structure() {
+    for kind in NetworkKind::ALL {
+        if matches!(kind, NetworkKind::DgcnnClassification | NetworkKind::DgcnnSegmentation) {
+            // DGCNN searches in evolving feature spaces, which legitimately
+            // differ across strategies after module 1.
+            continue;
+        }
+        let traces = small_traces(kind);
+        let firsts: Vec<_> = traces
+            .iter()
+            .map(|(_, t)| {
+                t.aggregations().next().map(|a| a.nit.neighbors_flat().to_vec())
+            })
+            .collect();
+        assert_eq!(firsts[0], firsts[1], "{}: original vs ltd", kind.name());
+        assert_eq!(firsts[1], firsts[2], "{}: ltd vs delayed", kind.name());
+    }
+}
+
+#[test]
+fn overlap_never_increases_latency() {
+    let cfg = SocConfig::default();
+    for kind in NetworkKind::ALL {
+        for (strategy, trace) in small_traces(kind) {
+            let sw = simulate(&trace, Platform::MesorasiSw, &cfg);
+            for m in &sw.modules {
+                let serial = m.search_ms + m.pre_ms + m.agg_ms + m.post_ms + m.other_ms;
+                assert!(
+                    m.critical_ms <= serial + 1e-12,
+                    "{} {strategy} {}: scheduled {} > serial {serial}",
+                    kind.name(),
+                    m.name,
+                    m.critical_ms
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn au_is_never_slower_than_gpu_on_fused_aggregations() {
+    let cfg = SocConfig::default();
+    for kind in NetworkKind::ALL {
+        let traces = small_traces(kind);
+        let delayed = &traces[2].1;
+        let sw = simulate(delayed, Platform::MesorasiSw, &cfg);
+        let hw = simulate(delayed, Platform::MesorasiHw, &cfg);
+        for (m_sw, m_hw) in sw.modules.iter().zip(&hw.modules) {
+            if m_sw.agg_ms > 0.0 {
+                assert!(
+                    m_hw.agg_ms <= m_sw.agg_ms * 1.01,
+                    "{} {}: AU {} ms vs GPU {} ms",
+                    kind.name(),
+                    m_sw.name,
+                    m_hw.agg_ms,
+                    m_sw.agg_ms
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_outputs_are_finite_and_positive() {
+    let cfg = SocConfig::default();
+    for kind in NetworkKind::ALL {
+        for (strategy, trace) in small_traces(kind) {
+            for platform in Platform::ALL {
+                let r = simulate(&trace, platform, &cfg);
+                assert!(
+                    r.total_ms().is_finite() && r.total_ms() > 0.0,
+                    "{} {strategy} {platform:?}: ms = {}",
+                    kind.name(),
+                    r.total_ms()
+                );
+                assert!(
+                    r.total_mj().is_finite() && r.total_mj() > 0.0,
+                    "{} {strategy} {platform:?}: mj = {}",
+                    kind.name(),
+                    r.total_mj()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn nse_strictly_reduces_search_time() {
+    let plain = SocConfig::default();
+    let with_nse = SocConfig::with_nse();
+    for kind in [NetworkKind::DgcnnClassification, NetworkKind::PointNetPPClassification] {
+        let traces = small_traces(kind);
+        let delayed = &traces[2].1;
+        let a = simulate(delayed, Platform::MesorasiHw, &plain);
+        let b = simulate(delayed, Platform::MesorasiHw, &with_nse);
+        assert!(
+            b.stage_ms(mesorasi::core::Stage::NeighborSearch)
+                < a.stage_ms(mesorasi::core::Stage::NeighborSearch),
+            "{}",
+            kind.name()
+        );
+    }
+}
