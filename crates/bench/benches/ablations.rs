@@ -72,9 +72,7 @@ fn bench_partitioning(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_partitioning");
     g.sample_size(20);
     g.bench_function("au_64kb_partitioned", |b| b.iter(|| black_box(nominal.simulate(&agg))));
-    g.bench_function("au_4mb_single_partition", |b| {
-        b.iter(|| black_box(oversized.simulate(&agg)))
-    });
+    g.bench_function("au_4mb_single_partition", |b| b.iter(|| black_box(oversized.simulate(&agg))));
     g.finish();
 }
 

@@ -13,6 +13,15 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("Regenerates the paper's tables and figures.");
+        println!();
+        println!("usage: repro [--list] [EXPERIMENT_ID ...]");
+        println!();
+        println!("With no arguments every experiment runs in order. Paper-scale");
+        println!("traces are built once (in parallel) and shared.");
+        return;
+    }
     if args.iter().any(|a| a == "--list") {
         for (id, _) in experiments::all() {
             println!("{id}");
@@ -21,16 +30,21 @@ fn main() {
     }
 
     let ctx = Context::new();
-    let selected: Vec<String> = if args.is_empty() {
-        experiments::all().iter().map(|(id, _)| (*id).to_owned()).collect()
-    } else {
-        args
-    };
+    let known = experiments::all();
+    let selected: Vec<String> =
+        if args.is_empty() { known.iter().map(|(id, _)| (*id).to_owned()).collect() } else { args };
+
+    // Reject unknown ids before the expensive trace warm-up.
+    for id in &selected {
+        if !known.iter().any(|(name, _)| name == id) {
+            eprintln!("[repro] unknown experiment '{id}'; use --list");
+            std::process::exit(2);
+        }
+    }
 
     // Warm the trace cache in parallel for the trace-based experiments.
-    let needs_traces = selected.iter().any(|id| {
-        !matches!(id.as_str(), "table1" | "fig06" | "area" | "fig16" | "--list")
-    });
+    let needs_traces =
+        selected.iter().any(|id| !matches!(id.as_str(), "table1" | "fig06" | "area" | "fig16"));
     if needs_traces {
         eprintln!("[repro] building paper-scale traces (parallel)...");
         let t0 = Instant::now();
@@ -40,15 +54,8 @@ fn main() {
 
     for id in &selected {
         let t0 = Instant::now();
-        match experiments::run_one(&ctx, id) {
-            Some(output) => {
-                println!("{output}");
-                eprintln!("[repro] {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
-            }
-            None => {
-                eprintln!("[repro] unknown experiment '{id}'; use --list");
-                std::process::exit(2);
-            }
-        }
+        let output = experiments::run_one(&ctx, id).expect("ids validated above");
+        println!("{output}");
+        eprintln!("[repro] {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
     }
 }

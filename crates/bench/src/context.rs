@@ -66,15 +66,11 @@ impl Context {
 
     /// The trace of `kind` under `strategy` at paper scale, cached.
     pub fn trace(&self, kind: NetworkKind, strategy: Strategy) -> NetworkTrace {
-        if let Some(t) = self.traces.lock().expect("trace cache poisoned").get(&(kind, strategy))
-        {
+        if let Some(t) = self.traces.lock().expect("trace cache poisoned").get(&(kind, strategy)) {
             return t.clone();
         }
         let trace = self.build_trace(kind, strategy);
-        self.traces
-            .lock()
-            .expect("trace cache poisoned")
-            .insert((kind, strategy), trace.clone());
+        self.traces.lock().expect("trace cache poisoned").insert((kind, strategy), trace.clone());
         trace
     }
 
@@ -89,16 +85,15 @@ impl Context {
 
     /// Pre-builds the traces for `kinds` × `strategies` in parallel.
     pub fn warm_traces(&self, kinds: &[NetworkKind], strategies: &[Strategy]) {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for &kind in kinds {
                 for &strategy in strategies {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let _ = self.trace(kind, strategy);
                     });
                 }
             }
-        })
-        .expect("trace workers must not panic");
+        });
     }
 }
 

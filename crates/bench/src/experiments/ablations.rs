@@ -161,10 +161,7 @@ fn ignore_conflicts_ablation() -> String {
         &["Metric", "Value"],
     );
     t.row(vec!["relative output error (Frobenius)".into(), format!("{err:.4}")]);
-    t.row(vec![
-        "elements changed".into(),
-        pct(mismatched as f64 / exact.len() as f64 * 100.0),
-    ]);
+    t.row(vec!["elements changed".into(), pct(mismatched as f64 / exact.len() as f64 * 100.0)]);
     t.render()
 }
 

@@ -16,8 +16,16 @@ pub fn run(_ctx: &Context) -> String {
         "Sec. VII-A: area overhead (16 nm)",
         &["Component", "Paper (mm^2)", "Model (mm^2)"],
     );
-    t.row(vec!["PFT buffer (64 KB, 32 banks)".into(), "0.031".into(), format!("{:.3}", breakdown.pft_buffer)]);
-    t.row(vec!["Avoided crossbar (32x32)".into(), "0.064".into(), format!("{:.3}", area::crossbar_mm2(au.banks, 4))]);
+    t.row(vec![
+        "PFT buffer (64 KB, 32 banks)".into(),
+        "0.031".into(),
+        format!("{:.3}", breakdown.pft_buffer),
+    ]);
+    t.row(vec![
+        "Avoided crossbar (32x32)".into(),
+        "0.064".into(),
+        format!("{:.3}", area::crossbar_mm2(au.banks, 4)),
+    ]);
     t.row(vec!["AU total".into(), "0.059".into(), format!("{:.3}", breakdown.total())]);
     t.row(vec![
         "AU / NPU overhead".into(),

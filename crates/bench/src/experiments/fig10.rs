@@ -25,8 +25,10 @@ pub fn run(ctx: &Context) -> String {
         &["Network", "Original", "Delayed-Aggr."],
     );
     for kind in NetworkKind::PROFILED {
-        let (omin, omed, omax) = distribution(&ctx.trace(kind, Strategy::Original).activation_sizes());
-        let (dmin, dmed, dmax) = distribution(&ctx.trace(kind, Strategy::Delayed).activation_sizes());
+        let (omin, omed, omax) =
+            distribution(&ctx.trace(kind, Strategy::Original).activation_sizes());
+        let (dmin, dmed, dmax) =
+            distribution(&ctx.trace(kind, Strategy::Delayed).activation_sizes());
         t.row(vec![
             kind.name().to_owned(),
             format!("{} / {} / {}", bytes(omin), bytes(omed), bytes(omax)),

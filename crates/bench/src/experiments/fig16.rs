@@ -47,8 +47,7 @@ impl Default for Fig16Scale {
 pub fn accuracy_pair(kind: NetworkKind, scale: Fig16Scale) -> (f64, f64) {
     const SEEDS: [u64; 3] = [11, 21, 31];
     let mean = |strategy: Strategy| -> f64 {
-        SEEDS.iter().map(|&s| run_once(kind, scale, strategy, s)).sum::<f64>()
-            / SEEDS.len() as f64
+        SEEDS.iter().map(|&s| run_once(kind, scale, strategy, s)).sum::<f64>() / SEEDS.len() as f64
     };
     (mean(Strategy::Original), mean(Strategy::Delayed))
 }
@@ -96,24 +95,16 @@ pub fn run(_ctx: &Context) -> String {
     let scale = Fig16Scale::default();
     let mut t = Table::new(
         "Fig. 16: accuracy, original vs delayed-aggregation (synthetic tasks)",
-        &[
-            "Network",
-            "Paper orig",
-            "Paper Mesorasi",
-            "Measured orig",
-            "Measured delayed",
-            "Delta",
-        ],
+        &["Network", "Paper orig", "Paper Mesorasi", "Measured orig", "Measured delayed", "Delta"],
     );
     // Train the seven networks in parallel (each pair is independent).
-    let results: Vec<(NetworkKind, (f64, f64))> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(NetworkKind, (f64, f64))> = std::thread::scope(|scope| {
         let handles: Vec<_> = NetworkKind::ALL
             .iter()
-            .map(|&kind| scope.spawn(move |_| (kind, accuracy_pair(kind, scale))))
+            .map(|&kind| scope.spawn(move || (kind, accuracy_pair(kind, scale))))
             .collect();
         handles.into_iter().map(|h| h.join().expect("training worker")).collect()
-    })
-    .expect("training scope");
+    });
 
     for (kind, (orig, delayed)) in results {
         t.row(vec![

@@ -44,8 +44,7 @@ pub fn run(ctx: &Context) -> String {
     );
     let mut sums = [0.0f64; 4];
     for kind in NetworkKind::ALL {
-        let baseline =
-            simulate(&ctx.trace(kind, Strategy::Original), Platform::GpuNpu, ctx.soc());
+        let baseline = simulate(&ctx.trace(kind, Strategy::Original), Platform::GpuNpu, ctx.soc());
         let hw = simulate(&ctx.trace(kind, Strategy::Delayed), Platform::MesorasiHw, ctx.soc());
         let f_speed = baseline.stage_ms(Stage::FeatureCompute) / hw.stage_ms(Stage::FeatureCompute);
         let f_energy = (1.0 - feature_mj(&hw) / feature_mj(&baseline)) * 100.0;

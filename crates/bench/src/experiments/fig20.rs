@@ -26,17 +26,11 @@ pub fn run(ctx: &Context) -> String {
         let gpu = simulate(&orig_trace, Platform::GpuOnly, ctx.soc()); // plain GPU, no NSE
         let sw = simulate(&del_trace, Platform::MesorasiSw, &nse_cfg);
         let hw = simulate(&del_trace, Platform::MesorasiHw, &nse_cfg);
-        let row =
-            [gpu.speedup_vs(&baseline), sw.speedup_vs(&baseline), hw.speedup_vs(&baseline)];
+        let row = [gpu.speedup_vs(&baseline), sw.speedup_vs(&baseline), hw.speedup_vs(&baseline)];
         for (s, v) in sums.iter_mut().zip(row) {
             *s += v;
         }
-        t.row(vec![
-            kind.name().to_owned(),
-            speedup(row[0]),
-            speedup(row[1]),
-            speedup(row[2]),
-        ]);
+        t.row(vec![kind.name().to_owned(), speedup(row[0]), speedup(row[1]), speedup(row[2])]);
     }
     let n = NetworkKind::ALL.len() as f64;
     t.row(vec![

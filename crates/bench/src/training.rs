@@ -275,8 +275,7 @@ mod tests {
         let mut rng = mesorasi_pointcloud::seeded_rng(0);
         let mut net = PointNetPP::classification_small(4, &mut rng);
         let cloud = sample_shape(ShapeClass::Chair, 128, 1);
-        let final_loss =
-            overfit_single_cloud(&mut net, &cloud, 2, Strategy::Delayed, 30, 5e-3);
+        let final_loss = overfit_single_cloud(&mut net, &cloud, 2, Strategy::Delayed, 30, 5e-3);
         assert!(final_loss < 0.2, "single-sample overfit must converge, got {final_loss}");
     }
 

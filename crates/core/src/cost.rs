@@ -25,9 +25,7 @@ pub fn mlp_macs(cfg: &ModuleConfig, strategy: Strategy, n_in: usize) -> u64 {
     let edge_rows = cfg.n_out * cfg.k;
     match strategy {
         Strategy::Original => layer(edge_rows, &widths),
-        Strategy::LtdDelayed => {
-            layer(n_in, &widths[..2]) + layer(edge_rows, &widths[1..])
-        }
+        Strategy::LtdDelayed => layer(n_in, &widths[..2]) + layer(edge_rows, &widths[1..]),
         Strategy::Delayed => {
             if cfg.edge {
                 layer(n_in, &widths[..2]) + layer(cfg.n_out, &widths[1..])

@@ -24,7 +24,12 @@ fn check_nit(g: &Graph, features: VarId, module: &Module, nit: &NeighborIndexTab
         "{}: feature width must equal the module's M_in",
         module.config.name
     );
-    assert_eq!(nit.len(), module.config.n_out, "{}: NIT entries must equal N_out", module.config.name);
+    assert_eq!(
+        nit.len(),
+        module.config.n_out,
+        "{}: NIT entries must equal N_out",
+        module.config.name
+    );
     assert_eq!(nit.k(), module.config.k, "{}: NIT K must match config", module.config.name);
     if let Some(max) = nit.max_index() {
         assert!(max < n_in, "{}: NIT references row {max} >= N_in = {n_in}", module.config.name);
@@ -125,11 +130,8 @@ pub fn original_edge(
 ) -> VarId {
     check_nit(g, features, module, nit);
     let k = nit.k();
-    let repeated_centroids: Vec<usize> = nit
-        .centroids()
-        .iter()
-        .flat_map(|&c| std::iter::repeat(c).take(k))
-        .collect();
+    let repeated_centroids: Vec<usize> =
+        nit.centroids().iter().flat_map(|&c| std::iter::repeat(c).take(k)).collect();
     let gathered = g.gather(features, nit.neighbors_flat().to_vec());
     let centroid_rows = g.gather(features, repeated_centroids);
     let offsets = g.sub(gathered, centroid_rows);
@@ -154,11 +156,8 @@ pub fn ltd_edge(
     check_nit(g, features, module, nit);
     let k = nit.k();
     let (u, v) = edge_first_layer_halves(g, module, features);
-    let repeated_centroids: Vec<usize> = nit
-        .centroids()
-        .iter()
-        .flat_map(|&c| std::iter::repeat(c).take(k))
-        .collect();
+    let repeated_centroids: Vec<usize> =
+        nit.centroids().iter().flat_map(|&c| std::iter::repeat(c).take(k)).collect();
     let u_i = g.gather(u, repeated_centroids.clone());
     let v_i = g.gather(v, repeated_centroids);
     let v_j = g.gather(v, nit.neighbors_flat().to_vec());
@@ -346,11 +345,7 @@ mod tests {
     #[test]
     fn global_module_reduces_to_single_row() {
         let mut rng = mesorasi_pointcloud::seeded_rng(5);
-        let module = Module::new(
-            ModuleConfig::global("g", vec![8, 16]),
-            NormMode::None,
-            &mut rng,
-        );
+        let module = Module::new(ModuleConfig::global("g", vec![8, 16]), NormMode::None, &mut rng);
         let mut g = Graph::new();
         let x = g.input(Matrix::from_fn(32, 8, |r, c| ((r * c) as f32).sin()));
         let y = global_module(&mut g, &module, x);

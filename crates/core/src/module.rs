@@ -91,14 +91,7 @@ impl ModuleConfig {
         neighbor: NeighborMode,
         mlp_widths: Vec<usize>,
     ) -> Self {
-        let c = ModuleConfig {
-            name: name.to_owned(),
-            n_out,
-            k,
-            neighbor,
-            mlp_widths,
-            edge: true,
-        };
+        let c = ModuleConfig { name: name.to_owned(), n_out, k, neighbor, mlp_widths, edge: true };
         c.validate();
         c
     }
@@ -225,11 +218,7 @@ mod tests {
     #[test]
     fn module_builds_mlp_with_doubled_edge_input() {
         let mut rng = mesorasi_pointcloud::seeded_rng(0);
-        let m = Module::new(
-            ModuleConfig::edge("ec", 16, 4, vec![5, 7]),
-            NormMode::None,
-            &mut rng,
-        );
+        let m = Module::new(ModuleConfig::edge("ec", 16, 4, vec![5, 7]), NormMode::None, &mut rng);
         assert_eq!(m.mlp.widths(), vec![10, 7]);
     }
 }

@@ -137,10 +137,7 @@ fn run_search(
 /// Builds the MLP-layer trace ops for a batch of `rows` rows through the
 /// module's (constructed) layer widths.
 fn mlp_ops(widths: &[usize], rows: usize) -> Vec<MatMulOp> {
-    widths
-        .windows(2)
-        .map(|w| MatMulOp { rows, inner: w[0], cols: w[1] })
-        .collect()
+    widths.windows(2).map(|w| MatMulOp { rows, inner: w[0], cols: w[1] }).collect()
 }
 
 /// Runs one module under `strategy`, producing the output state, the
@@ -201,11 +198,7 @@ pub fn run_module(
     };
 
     let trace = build_module_trace(cfg.name.clone(), module, strategy, n_in, &nit, search_op);
-    RunOutput {
-        state: ModuleState { positions: out_positions, features },
-        trace,
-        nit: Some(nit),
-    }
+    RunOutput { state: ModuleState { positions: out_positions, features }, trace, nit: Some(nit) }
 }
 
 fn centroid_or_origin(cloud: &PointCloud) -> Point3 {
@@ -380,10 +373,7 @@ pub fn run_feature_propagation(
         other_flops: (n_fine as u64) * (interp_k as u64) * (coarse_width as u64) * 2,
         other_bytes: (n_fine as u64) * (interp_k as u64) * (coarse_width as u64) * 4,
     };
-    (
-        ModuleState { positions: fine_positions.clone(), features },
-        trace,
-    )
+    (ModuleState { positions: fine_positions.clone(), features }, trace)
 }
 
 /// Runs a plain MLP head (fully-connected classifier layers) and records
@@ -492,11 +482,7 @@ mod tests {
     #[test]
     fn global_module_state_is_single_point() {
         let mut rng = mesorasi_pointcloud::seeded_rng(2);
-        let module = Module::new(
-            ModuleConfig::global("g", vec![3, 64]),
-            NormMode::None,
-            &mut rng,
-        );
+        let module = Module::new(ModuleConfig::global("g", vec![3, 64]), NormMode::None, &mut rng);
         let mut g = Graph::new();
         let state = ModuleState::from_cloud(&mut g, &cloud());
         let out = run_module(&mut g, &module, &state, Strategy::Original, 0);
@@ -509,11 +495,8 @@ mod tests {
     #[test]
     fn feature_knn_module_runs() {
         let mut rng = mesorasi_pointcloud::seeded_rng(3);
-        let module = Module::new(
-            ModuleConfig::edge("ec", 96, 4, vec![3, 12]),
-            NormMode::None,
-            &mut rng,
-        );
+        let module =
+            Module::new(ModuleConfig::edge("ec", 96, 4, vec![3, 12]), NormMode::None, &mut rng);
         let mut g = Graph::new();
         let state = ModuleState::from_cloud(&mut g, &cloud());
         let out = run_module(&mut g, &module, &state, Strategy::Delayed, 0);
@@ -541,11 +524,7 @@ mod tests {
     #[test]
     fn feature_propagation_broadcasts_from_global() {
         let mut rng = mesorasi_pointcloud::seeded_rng(5);
-        let gmod = Module::new(
-            ModuleConfig::global("g", vec![3, 32]),
-            NormMode::None,
-            &mut rng,
-        );
+        let gmod = Module::new(ModuleConfig::global("g", vec![3, 32]), NormMode::None, &mut rng);
         let fp_mlp = SharedMlp::new(&[32, 16], NormMode::None, true, &mut rng);
         let mut g = Graph::new();
         let fine = cloud();

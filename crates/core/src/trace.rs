@@ -215,11 +215,7 @@ impl ModuleTrace {
 
     /// Output activation sizes of every MLP layer, in bytes (Fig. 10).
     pub fn activation_sizes(&self) -> Vec<u64> {
-        self.mlp_pre
-            .iter()
-            .chain(&self.mlp_post)
-            .map(MatMulOp::output_bytes)
-            .collect()
+        self.mlp_pre.iter().chain(&self.mlp_post).map(MatMulOp::output_bytes).collect()
     }
 }
 
@@ -377,9 +373,6 @@ mod tests {
     #[test]
     fn stage_labels_cover_paper_categories() {
         let labels: Vec<_> = Stage::ALL.iter().map(|s| s.label()).collect();
-        assert_eq!(
-            labels,
-            vec!["Neighbor Search", "Aggregation", "Feature Computation", "Others"]
-        );
+        assert_eq!(labels, vec!["Neighbor Search", "Aggregation", "Feature Computation", "Others"]);
     }
 }

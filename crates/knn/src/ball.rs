@@ -55,10 +55,7 @@ mod tests {
     fn sparse_region_pads_with_first_index() {
         // Two tight clusters far apart; querying a point in the small
         // cluster with a small radius must pad.
-        let mut pts = vec![
-            Point3::new(0.0, 0.0, 0.0),
-            Point3::new(0.01, 0.0, 0.0),
-        ];
+        let mut pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(0.01, 0.0, 0.0)];
         for i in 0..30 {
             pts.push(Point3::new(10.0 + 0.01 * i as f32, 0.0, 0.0));
         }
@@ -99,10 +96,7 @@ mod tests {
     fn padding_inflates_membership_counts() {
         // The Fig. 6 effect: with padding, a point in a sparse region can
         // appear many times within one entry.
-        let cloud = PointCloud::from_points(vec![
-            Point3::ORIGIN,
-            Point3::new(100.0, 0.0, 0.0),
-        ]);
+        let cloud = PointCloud::from_points(vec![Point3::ORIGIN, Point3::new(100.0, 0.0, 0.0)]);
         let tree = KdTree::build(&cloud);
         let nit = ball_query(&cloud, &tree, &[0], 1.0, 4);
         let occurrences = nit.neighbors(0).iter().filter(|&&i| i == 0).count();

@@ -32,8 +32,7 @@ impl Candidate {
 pub(crate) fn select_k_smallest(candidates: &mut Vec<Candidate>, k: usize) -> Vec<Candidate> {
     let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
     for &c in candidates.iter() {
-        if best.len() == k
-            && c.key() >= best.last().expect("best is non-empty when len == k").key()
+        if best.len() == k && c.key() >= best.last().expect("best is non-empty when len == k").key()
         {
             continue;
         }

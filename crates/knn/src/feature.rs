@@ -81,10 +81,10 @@ pub fn knn_rows(view: FeatureView<'_>, queries: &[usize], k: usize) -> NeighborI
     for &q in queries {
         let qrow = view.row(q);
         candidates.clear();
-        candidates.extend((0..view.rows()).map(|i| Candidate {
-            index: i,
-            dist_sq: distance_squared(qrow, view.row(i)),
-        }));
+        candidates.extend(
+            (0..view.rows())
+                .map(|i| Candidate { index: i, dist_sq: distance_squared(qrow, view.row(i)) }),
+        );
         let best = select_k_smallest(&mut candidates, k);
         let idx: Vec<usize> = best.iter().map(|c| c.index).collect();
         nit.push_entry(q, &idx);

@@ -46,11 +46,7 @@ impl UniformGrid {
         let c = |v: f32, lo: f32, d: usize| -> isize {
             (((v - lo) / self.cell_size) as isize).clamp(0, d as isize - 1)
         };
-        [
-            c(p.x, min.x, self.dims[0]),
-            c(p.y, min.y, self.dims[1]),
-            c(p.z, min.z, self.dims[2]),
-        ]
+        [c(p.x, min.x, self.dims[0]), c(p.y, min.y, self.dims[1]), c(p.z, min.z, self.dims[2])]
     }
 
     fn key(&self, c: [isize; 3]) -> u64 {
@@ -65,12 +61,7 @@ impl UniformGrid {
     /// All points within `radius` of `query`, ascending by distance (ties
     /// by index). Exact as long as `radius <= cell_size`; larger radii scan
     /// proportionally more cells.
-    pub fn within_radius(
-        &self,
-        cloud: &PointCloud,
-        query: Point3,
-        radius: f32,
-    ) -> Vec<Candidate> {
+    pub fn within_radius(&self, cloud: &PointCloud, query: Point3, radius: f32) -> Vec<Candidate> {
         assert!(radius >= 0.0, "radius must be non-negative");
         let reach = (radius / self.cell_size).ceil() as isize;
         let center = self.coords(query);
@@ -95,9 +86,7 @@ impl UniformGrid {
             }
         }
         found.sort_by(|a, b| {
-            (a.dist_sq, a.index)
-                .partial_cmp(&(b.dist_sq, b.index))
-                .expect("distances are finite")
+            (a.dist_sq, a.index).partial_cmp(&(b.dist_sq, b.index)).expect("distances are finite")
         });
         found
     }

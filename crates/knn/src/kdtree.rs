@@ -97,19 +97,12 @@ impl KdTree {
     }
 
     /// All points within `radius` of `query`, ascending by distance.
-    pub fn within_radius(
-        &self,
-        cloud: &PointCloud,
-        query: Point3,
-        radius: f32,
-    ) -> Vec<Candidate> {
+    pub fn within_radius(&self, cloud: &PointCloud, query: Point3, radius: f32) -> Vec<Candidate> {
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut found = Vec::new();
         radius_search(&self.root, cloud.points(), query, radius * radius, &mut found);
         found.sort_by(|a, b| {
-            (a.dist_sq, a.index)
-                .partial_cmp(&(b.dist_sq, b.index))
-                .expect("distances are finite")
+            (a.dist_sq, a.index).partial_cmp(&(b.dist_sq, b.index)).expect("distances are finite")
         });
         found
     }
@@ -217,7 +210,9 @@ mod tests {
 
     #[test]
     fn matches_bruteforce_on_every_class_sample() {
-        for (seed, class) in [(1, ShapeClass::Sphere), (2, ShapeClass::Chair), (3, ShapeClass::Airplane)] {
+        for (seed, class) in
+            [(1, ShapeClass::Sphere), (2, ShapeClass::Chair), (3, ShapeClass::Airplane)]
+        {
             let cloud = sample_shape(class, 300, seed);
             let tree = KdTree::build(&cloud);
             let queries: Vec<usize> = (0..300).step_by(7).collect();

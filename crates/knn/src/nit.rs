@@ -63,12 +63,7 @@ impl NeighborIndexTable {
     ///
     /// Panics if `neighbors.len() != self.k()`.
     pub fn push_entry(&mut self, centroid: usize, neighbors: &[usize]) {
-        assert_eq!(
-            neighbors.len(),
-            self.k,
-            "entry must have exactly k = {} neighbors",
-            self.k
-        );
+        assert_eq!(neighbors.len(), self.k, "entry must have exactly k = {} neighbors", self.k);
         self.centroids.push(centroid);
         self.neighbors.extend_from_slice(neighbors);
     }
@@ -117,10 +112,7 @@ impl NeighborIndexTable {
 
     /// Iterates over `(centroid, neighbors)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> + '_ {
-        self.centroids
-            .iter()
-            .copied()
-            .zip(self.neighbors.chunks_exact(self.k))
+        self.centroids.iter().copied().zip(self.neighbors.chunks_exact(self.k))
     }
 
     /// Size of the table in the hardware encoding, in bytes: one entry is
@@ -135,11 +127,7 @@ impl NeighborIndexTable {
     /// Largest index referenced (centroid or neighbor); `None` when empty.
     /// Executors validate this against the searched cloud's size.
     pub fn max_index(&self) -> Option<usize> {
-        self.centroids
-            .iter()
-            .chain(self.neighbors.iter())
-            .copied()
-            .max()
+        self.centroids.iter().chain(self.neighbors.iter()).copied().max()
     }
 }
 

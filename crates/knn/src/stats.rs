@@ -38,9 +38,7 @@ pub fn membership_counts(nit: &NeighborIndexTable, n_points: usize) -> Vec<u32> 
 /// Accumulates membership counts across the modules of one network run —
 /// the figure profiles whole-network behaviour, and deeper modules reuse
 /// points from earlier ones.
-pub fn accumulate_membership(
-    tables: &[(&NeighborIndexTable, usize)],
-) -> Vec<u32> {
+pub fn accumulate_membership(tables: &[(&NeighborIndexTable, usize)]) -> Vec<u32> {
     let n = tables.iter().map(|&(_, n)| n).max().unwrap_or(0);
     let mut total = vec![0u32; n];
     for &(nit, n_points) in tables {

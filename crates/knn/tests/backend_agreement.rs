@@ -1,0 +1,153 @@
+//! Deterministic backend-agreement tests: `kdtree`, `grid`, and `ball`
+//! results must match `bruteforce::knn_indices` (the reference
+//! implementation) on seeded clouds, including the edge cases the proptest
+//! suite's randomized inputs rarely hit: k = 1, k = n, and duplicate
+//! points (distance ties, broken by index in every backend).
+
+use mesorasi_knn::grid::UniformGrid;
+use mesorasi_knn::kdtree::KdTree;
+use mesorasi_knn::{ball, bruteforce};
+use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi_pointcloud::{Point3, PointCloud};
+
+fn all_queries(cloud: &PointCloud) -> Vec<usize> {
+    (0..cloud.len()).collect()
+}
+
+/// A cloud where several coordinates appear two or three times, so the
+/// k-th neighbor is frequently decided purely by the index tie-break.
+fn cloud_with_duplicates() -> PointCloud {
+    let mut pts = Vec::new();
+    for i in 0..8 {
+        let p = Point3::new(i as f32 * 0.25, (i % 3) as f32 * 0.5, 0.0);
+        pts.push(p);
+        pts.push(p); // exact duplicate
+        if i % 2 == 0 {
+            pts.push(p); // triplicate
+        }
+    }
+    PointCloud::from_points(pts)
+}
+
+#[test]
+fn kdtree_matches_bruteforce_on_seeded_clouds() {
+    for (shape, n, seed) in
+        [(ShapeClass::Chair, 64, 1), (ShapeClass::Sphere, 200, 2), (ShapeClass::Torus, 33, 3)]
+    {
+        let cloud = sample_shape(shape, n, seed);
+        let tree = KdTree::build(&cloud);
+        let queries = all_queries(&cloud);
+        for k in [1, 2, 7, n / 2, n] {
+            let want = bruteforce::knn_indices(&cloud, &queries, k);
+            let got = tree.knn_indices(&cloud, &queries, k);
+            assert_eq!(want, got, "kdtree vs bruteforce, shape {shape:?}, n {n}, k {k}");
+        }
+    }
+}
+
+#[test]
+fn kdtree_matches_bruteforce_k_equals_one_is_self() {
+    let cloud = sample_shape(ShapeClass::Car, 100, 4);
+    let tree = KdTree::build(&cloud);
+    let queries = all_queries(&cloud);
+    let want = bruteforce::knn_indices(&cloud, &queries, 1);
+    let got = tree.knn_indices(&cloud, &queries, 1);
+    assert_eq!(want, got);
+    // With k = 1 and unique coordinates, each point's nearest neighbor is
+    // itself (distance 0 sorts first).
+    for (q, neighbors) in got.iter() {
+        assert_eq!(neighbors, &[q], "point {q} should be its own nearest neighbor");
+    }
+}
+
+#[test]
+fn kdtree_matches_bruteforce_k_equals_n_is_full_ranking() {
+    let cloud = sample_shape(ShapeClass::Lamp, 24, 5);
+    let n = cloud.len();
+    let tree = KdTree::build(&cloud);
+    let queries = all_queries(&cloud);
+    let want = bruteforce::knn_indices(&cloud, &queries, n);
+    let got = tree.knn_indices(&cloud, &queries, n);
+    assert_eq!(want, got);
+    // k = n returns every index exactly once per entry.
+    for (_, neighbors) in got.iter() {
+        let mut sorted = neighbors.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn kdtree_matches_bruteforce_with_duplicate_points() {
+    let cloud = cloud_with_duplicates();
+    let n = cloud.len();
+    let tree = KdTree::build(&cloud);
+    let queries = all_queries(&cloud);
+    for k in [1, 2, 3, n] {
+        let want = bruteforce::knn_indices(&cloud, &queries, k);
+        let got = tree.knn_indices(&cloud, &queries, k);
+        assert_eq!(want, got, "duplicate-point cloud, k {k}");
+    }
+}
+
+#[test]
+fn grid_ball_query_matches_kdtree_ball_query() {
+    for (shape, n, seed, radius, k) in [
+        (ShapeClass::Chair, 150, 6, 0.2, 8),
+        (ShapeClass::Sphere, 80, 7, 0.35, 4),
+        (ShapeClass::Guitar, 60, 8, 0.15, 1),
+    ] {
+        let cloud = sample_shape(shape, n, seed);
+        let tree = KdTree::build(&cloud);
+        // Exactness of the grid requires radius <= cell_size.
+        let grid = UniformGrid::build(&cloud, radius);
+        let queries = all_queries(&cloud);
+        let want = ball::ball_query(&cloud, &tree, &queries, radius, k);
+        let got = grid.ball_query(&cloud, &queries, radius, k);
+        assert_eq!(want, got, "grid vs kdtree ball query, shape {shape:?}, r {radius}, k {k}");
+    }
+}
+
+#[test]
+fn ball_query_with_covering_radius_matches_bruteforce_knn() {
+    // `sample_shape` normalizes to the unit sphere, so radius 3 covers
+    // every pair; an unpadded ball query then degenerates to exact KNN.
+    let cloud = sample_shape(ShapeClass::Table, 90, 9);
+    let n = cloud.len();
+    let tree = KdTree::build(&cloud);
+    let grid = UniformGrid::build(&cloud, 3.0);
+    let queries = all_queries(&cloud);
+    for k in [1, 5, n] {
+        let want = bruteforce::knn_indices(&cloud, &queries, k);
+        let via_tree = ball::ball_query(&cloud, &tree, &queries, 3.0, k);
+        let via_grid = grid.ball_query(&cloud, &queries, 3.0, k);
+        assert_eq!(want, via_tree, "kdtree ball query with covering radius, k {k}");
+        assert_eq!(want, via_grid, "grid ball query with covering radius, k {k}");
+    }
+}
+
+#[test]
+fn ball_query_backends_agree_on_duplicate_points() {
+    let cloud = cloud_with_duplicates();
+    let tree = KdTree::build(&cloud);
+    let radius = 0.3;
+    let grid = UniformGrid::build(&cloud, radius);
+    let queries = all_queries(&cloud);
+    for k in [1, 4, 9] {
+        let want = ball::ball_query(&cloud, &tree, &queries, radius, k);
+        let got = grid.ball_query(&cloud, &queries, radius, k);
+        assert_eq!(want, got, "duplicate-point ball query, k {k}");
+    }
+}
+
+#[test]
+fn single_point_cloud_every_backend_returns_the_point() {
+    let cloud = PointCloud::from_points(vec![Point3::new(0.5, -0.25, 1.0)]);
+    let tree = KdTree::build(&cloud);
+    let grid = UniformGrid::build(&cloud, 0.1);
+    let want = bruteforce::knn_indices(&cloud, &[0], 1);
+    assert_eq!(want.neighbors(0), &[0]);
+    assert_eq!(tree.knn_indices(&cloud, &[0], 1), want);
+    assert_eq!(ball::ball_query(&cloud, &tree, &[0], 0.5, 1), want);
+    assert_eq!(grid.ball_query(&cloud, &[0], 0.5, 1), want);
+}

@@ -88,10 +88,7 @@ pub fn segmentation(
     seed: u64,
 ) -> (Dataset, Vec<Category>, u32) {
     let cats = parts::categories();
-    assert!(
-        categories_used > 0 && categories_used <= cats.len(),
-        "categories out of range"
-    );
+    assert!(categories_used > 0 && categories_used <= cats.len(), "categories out of range");
     let used: Vec<Category> = cats.into_iter().take(categories_used).collect();
     let total_parts: u32 = used.iter().map(|c| c.part_offset + c.part_count).max().unwrap_or(0);
     let mut train = Vec::new();
@@ -124,11 +121,7 @@ pub struct FrustumExample {
 
 /// Generates frustum detection examples by ray-casting scenes and cropping
 /// a frustum per object that received LiDAR returns.
-pub fn frustums(
-    scenes: usize,
-    points_per_frustum: usize,
-    seed: u64,
-) -> Vec<FrustumExample> {
+pub fn frustums(scenes: usize, points_per_frustum: usize, seed: u64) -> Vec<FrustumExample> {
     let config = LidarConfig::small();
     let mut out = Vec::new();
     for s in 0..scenes {
@@ -216,8 +209,6 @@ mod tests {
             assert!(f.class <= 2);
         }
         // At least one frustum should actually contain object points.
-        assert!(fr
-            .iter()
-            .any(|f| f.cloud.labels().unwrap().iter().any(|&l| l == 1)));
+        assert!(fr.iter().any(|f| f.cloud.labels().unwrap().iter().any(|&l| l == 1)));
     }
 }

@@ -114,7 +114,8 @@ impl DensePoint {
                 pool_module_norm("p1-b2", 48, 8, 0.45, vec![36, 12], NormMode::Feature, rng),
             ],
         }];
-        let global = Module::new(ModuleConfig::global("gpool", vec![48, 96]), NormMode::Feature, rng);
+        let global =
+            Module::new(ModuleConfig::global("gpool", vec![48, 96]), NormMode::Feature, rng);
         let head = SharedMlp::new(&[96, 48, classes], NormMode::None, false, rng);
         DensePoint { input_points: 128, stages, global, head }
     }
@@ -204,12 +205,8 @@ mod tests {
         let out = net.forward(&mut g, &cloud, Strategy::Delayed, 3);
         // All dense-stage modules keep n = 48 outputs; the global module
         // sees the 16+8+8 = 32-wide concat.
-        let m_ins: Vec<usize> = out
-            .trace
-            .modules
-            .iter()
-            .filter_map(|m| m.search.as_ref().map(|s| s.queries))
-            .collect();
+        let m_ins: Vec<usize> =
+            out.trace.modules.iter().filter_map(|m| m.search.as_ref().map(|s| s.queries)).collect();
         assert_eq!(m_ins, vec![48, 48, 48]);
         assert_eq!(g.value(out.logits).shape(), (1, 4));
     }

@@ -46,14 +46,7 @@ impl Dgcnn {
         ];
         let fuse = SharedMlp::new(&[64 + 64 + 128 + 256, 1024], NormMode::None, true, rng);
         let head = SharedMlp::new(&[1024, 512, 256, 40], NormMode::None, false, rng);
-        Dgcnn {
-            name: "DGCNN (c)".into(),
-            input_points: n,
-            edges,
-            fuse,
-            head,
-            segmentation: false,
-        }
+        Dgcnn { name: "DGCNN (c)".into(), input_points: n, edges, fuse, head, segmentation: false }
     }
 
     /// Small trainable classification instance.
@@ -66,14 +59,7 @@ impl Dgcnn {
         ];
         let fuse = SharedMlp::new(&[24 + 32, 96], NormMode::Feature, true, rng);
         let head = SharedMlp::new(&[96, 48, classes], NormMode::None, false, rng);
-        Dgcnn {
-            name: "DGCNN (c)".into(),
-            input_points: n,
-            edges,
-            fuse,
-            head,
-            segmentation: false,
-        }
+        Dgcnn { name: "DGCNN (c)".into(), input_points: n, edges, fuse, head, segmentation: false }
     }
 
     /// Paper-scale segmentation: 2048 points, K = 40, deeper EdgeConvs with
@@ -90,14 +76,7 @@ impl Dgcnn {
         let fuse = SharedMlp::new(&[64 + 64 + 64, 1024], NormMode::None, true, rng);
         // Per-point head input: global (1024) + concatenated locals (192).
         let head = SharedMlp::new(&[1024 + 192, 256, 256, 128, parts], NormMode::None, false, rng);
-        Dgcnn {
-            name: "DGCNN (s)".into(),
-            input_points: n,
-            edges,
-            fuse,
-            head,
-            segmentation: true,
-        }
+        Dgcnn { name: "DGCNN (s)".into(), input_points: n, edges, fuse, head, segmentation: true }
     }
 
     /// Small trainable segmentation instance.
@@ -110,14 +89,7 @@ impl Dgcnn {
         ];
         let fuse = SharedMlp::new(&[24 + 32, 64], NormMode::Feature, true, rng);
         let head = SharedMlp::new(&[64 + 56, 48, parts], NormMode::None, false, rng);
-        Dgcnn {
-            name: "DGCNN (s)".into(),
-            input_points: n,
-            edges,
-            fuse,
-            head,
-            segmentation: true,
-        }
+        Dgcnn { name: "DGCNN (s)".into(), input_points: n, edges, fuse, head, segmentation: true }
     }
 
     /// The EdgeConv modules.
@@ -226,12 +198,8 @@ mod tests {
         let mut g = Graph::new();
         let out = net.forward(&mut g, &cloud, Strategy::Original, 3);
         // First module searches in 3-D, second in the 24-wide feature space.
-        let dims: Vec<usize> = out
-            .trace
-            .modules
-            .iter()
-            .filter_map(|m| m.search.as_ref().map(|s| s.dim))
-            .collect();
+        let dims: Vec<usize> =
+            out.trace.modules.iter().filter_map(|m| m.search.as_ref().map(|s| s.dim)).collect();
         assert_eq!(dims, vec![3, 24]);
     }
 
@@ -249,21 +217,14 @@ mod tests {
         ];
         let fuse = SharedMlp::new(&[32, 32], NormMode::None, true, &mut rng);
         let head = SharedMlp::new(&[32, 4], NormMode::None, false, &mut rng);
-        let net = Dgcnn {
-            name: "test".into(),
-            input_points: n,
-            edges,
-            fuse,
-            head,
-            segmentation: false,
-        };
+        let net =
+            Dgcnn { name: "test".into(), input_points: n, edges, fuse, head, segmentation: false };
         let cloud = sample_shape(ShapeClass::Sphere, 64, 2);
         let mut g1 = Graph::new();
         let a = net.forward(&mut g1, &cloud, Strategy::Original, 5);
         let mut g2 = Graph::new();
         let b = net.forward(&mut g2, &cloud, Strategy::Delayed, 5);
-        let diff =
-            mesorasi_tensor::ops::sub(g1.value(a.logits), g2.value(b.logits)).max_abs();
+        let diff = mesorasi_tensor::ops::sub(g1.value(a.logits), g2.value(b.logits)).max_abs();
         assert!(diff < 1e-3, "single-layer DGCNN delayed must be near-exact, diff {diff}");
     }
 

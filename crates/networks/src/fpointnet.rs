@@ -99,11 +99,8 @@ impl FPointNet {
             SharedMlp::new(&[256 + 3, 256, 128], NormMode::None, true, rng),
         ];
         let seg_head = SharedMlp::new(&[128, 128, 2], NormMode::None, false, rng);
-        let tnet = Module::new(
-            ModuleConfig::global("tnet", vec![3, 128, 256, 512]),
-            NormMode::None,
-            rng,
-        );
+        let tnet =
+            Module::new(ModuleConfig::global("tnet", vec![3, 128, 256, 512]), NormMode::None, rng);
         let tnet_head = SharedMlp::new(&[512, 256, 3], NormMode::None, false, rng);
         let box_sa = vec![
             Module::new(
@@ -117,11 +114,7 @@ impl FPointNet {
                 NormMode::None,
                 rng,
             ),
-            Module::new(
-                ModuleConfig::global("box-sa2", vec![256, 256, 512]),
-                NormMode::None,
-                rng,
-            ),
+            Module::new(ModuleConfig::global("box-sa2", vec![256, 256, 512]), NormMode::None, rng),
         ];
         let mut box_head = SharedMlp::new(&[512, 256, 7], NormMode::None, false, rng);
         init_box_prior(&mut box_head);
@@ -159,7 +152,8 @@ impl FPointNet {
             SharedMlp::new(&[48 + 3, 32], NormMode::Feature, true, rng),
         ];
         let seg_head = SharedMlp::new(&[32, 2], NormMode::None, false, rng);
-        let tnet = Module::new(ModuleConfig::global("tnet", vec![3, 32, 64]), NormMode::Feature, rng);
+        let tnet =
+            Module::new(ModuleConfig::global("tnet", vec![3, 32, 64]), NormMode::Feature, rng);
         let tnet_head = SharedMlp::new(&[64, 3], NormMode::None, false, rng);
         let box_sa = vec![
             Module::new(
@@ -240,7 +234,8 @@ impl FPointNet {
             trace.modules.push(fp_trace);
             current = state;
         }
-        let (seg_logits, head_trace) = runner::run_head(g, &self.seg_head, current.features, "seg-head");
+        let (seg_logits, head_trace) =
+            runner::run_head(g, &self.seg_head, current.features, "seg-head");
         trace.modules.push(head_trace);
 
         // --- mask & recenter ----------------------------------------------
@@ -337,7 +332,7 @@ mod tests {
                 // object points in a tight box
                 cloud.push_labelled(
                     Point3::new(
-                        0.3 + rng.gen_range(-0.1..0.1),
+                        0.3 + rng.gen_range(-0.1f32..0.1),
                         rng.gen_range(-0.1..0.1),
                         rng.gen_range(-0.1..0.1),
                     ),
@@ -345,11 +340,7 @@ mod tests {
                 );
             } else {
                 cloud.push_labelled(
-                    Point3::new(
-                        rng.gen_range(-1.0..1.0),
-                        rng.gen_range(-1.0..1.0),
-                        -0.5,
-                    ),
+                    Point3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), -0.5),
                     0,
                 );
             }

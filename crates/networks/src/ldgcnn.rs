@@ -132,12 +132,8 @@ mod tests {
         let cloud = sample_shape(ShapeClass::Radio, 128, 1);
         let mut g = Graph::new();
         let out = net.forward(&mut g, &cloud, Strategy::Delayed, 3);
-        let dims: Vec<usize> = out
-            .trace
-            .modules
-            .iter()
-            .filter_map(|m| m.search.as_ref().map(|s| s.dim))
-            .collect();
+        let dims: Vec<usize> =
+            out.trace.modules.iter().filter_map(|m| m.search.as_ref().map(|s| s.dim)).collect();
         // Module 2 searches in the 3+16 = 19-wide linked feature space.
         assert_eq!(dims, vec![3, 19]);
     }
@@ -151,8 +147,16 @@ mod tests {
         let net = Ldgcnn {
             input_points: 128,
             edges: vec![
-                Module::new(ModuleConfig::edge("lec1", 128, 8, vec![3, 16]), NormMode::None, &mut rng),
-                Module::new(ModuleConfig::edge("lec2", 128, 8, vec![19, 24]), NormMode::None, &mut rng),
+                Module::new(
+                    ModuleConfig::edge("lec1", 128, 8, vec![3, 16]),
+                    NormMode::None,
+                    &mut rng,
+                ),
+                Module::new(
+                    ModuleConfig::edge("lec2", 128, 8, vec![19, 24]),
+                    NormMode::None,
+                    &mut rng,
+                ),
             ],
             fuse: SharedMlp::new(&[43, 64], NormMode::None, true, &mut rng),
             head: SharedMlp::new(&[64, 32, 4], NormMode::None, false, &mut rng),

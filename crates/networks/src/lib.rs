@@ -18,8 +18,8 @@
 
 pub mod cnn;
 pub mod datasets;
-pub mod dgcnn;
 pub mod densepoint;
+pub mod dgcnn;
 pub mod fpointnet;
 pub mod ldgcnn;
 pub mod pointnetpp;

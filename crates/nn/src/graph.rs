@@ -582,12 +582,8 @@ mod tests {
     #[test]
     fn weighted_gather_gradient() {
         check_input_gradient(Matrix::from_fn(4, 2, |r, c| (r * 3 + c) as f32 * 0.11), |g, x| {
-            let y = g.weighted_gather(
-                x,
-                vec![0, 1, 2, 1, 2, 3],
-                vec![0.2, 0.3, 0.5, 0.6, 0.1, 0.3],
-                3,
-            );
+            let y =
+                g.weighted_gather(x, vec![0, 1, 2, 1, 2, 3], vec![0.2, 0.3, 0.5, 0.6, 0.1, 0.3], 3);
             let t = g.input(Matrix::zeros(2, 2));
             g.mse(y, t)
         });

@@ -18,12 +18,7 @@ pub fn predictions(logits: &Matrix) -> Vec<u32> {
 /// # Panics
 ///
 /// Panics if `eps ∉ [0, 1)` or labels are out of range.
-pub fn smoothed_cross_entropy(
-    g: &mut Graph,
-    logits: VarId,
-    labels: &[u32],
-    eps: f32,
-) -> VarId {
+pub fn smoothed_cross_entropy(g: &mut Graph, logits: VarId, labels: &[u32], eps: f32) -> VarId {
     assert!((0.0..1.0).contains(&eps), "smoothing must be in [0, 1)");
     if eps == 0.0 {
         return g.softmax_cross_entropy(logits, labels.to_vec());

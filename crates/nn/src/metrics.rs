@@ -75,14 +75,10 @@ impl ConfusionMatrix {
             .map(|c| {
                 let c32 = c as u32;
                 let tp = self.count(c32, c32);
-                let fp: u64 = (0..self.classes)
-                    .filter(|&a| a != c)
-                    .map(|a| self.count(a as u32, c32))
-                    .sum();
-                let fn_: u64 = (0..self.classes)
-                    .filter(|&p| p != c)
-                    .map(|p| self.count(c32, p as u32))
-                    .sum();
+                let fp: u64 =
+                    (0..self.classes).filter(|&a| a != c).map(|a| self.count(a as u32, c32)).sum();
+                let fn_: u64 =
+                    (0..self.classes).filter(|&p| p != c).map(|p| self.count(c32, p as u32)).sum();
                 let denom = tp + fp + fn_;
                 if denom == 0 {
                     None
@@ -106,7 +102,9 @@ impl ConfusionMatrix {
 /// Axis-aligned 2-D IoU between two birds-eye-view boxes
 /// `(cx, cy, w, h)` — the BEV detection metric used for F-PointNet.
 pub fn bev_iou(a: (f32, f32, f32, f32), b: (f32, f32, f32, f32)) -> f64 {
-    let half = |b: (f32, f32, f32, f32)| (b.0 - b.2 / 2.0, b.1 - b.3 / 2.0, b.0 + b.2 / 2.0, b.1 + b.3 / 2.0);
+    let half = |b: (f32, f32, f32, f32)| {
+        (b.0 - b.2 / 2.0, b.1 - b.3 / 2.0, b.0 + b.2 / 2.0, b.1 + b.3 / 2.0)
+    };
     let (ax0, ay0, ax1, ay1) = half(a);
     let (bx0, by0, bx1, by1) = half(b);
     let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0) as f64;

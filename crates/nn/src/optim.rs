@@ -47,14 +47,9 @@ impl Optimizer for Sgd {
                 }
             } else {
                 let grad = grad.clone();
-                let vel = p
-                    .moment1
-                    .get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
-                for ((m, &g), v) in vel
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(grad.as_slice())
-                    .zip(p.value.as_mut_slice())
+                let vel = p.moment1.get_or_insert_with(|| Matrix::zeros(grad.rows(), grad.cols()));
+                for ((m, &g), v) in
+                    vel.as_mut_slice().iter_mut().zip(grad.as_slice()).zip(p.value.as_mut_slice())
                 {
                     *m = self.momentum * *m + g;
                     *v -= self.lr * *m;

@@ -92,10 +92,7 @@ mod tests {
         assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean} should be ~1");
         // Values are exactly 0 or 1/(1-p).
         let keep = 1.0 / 0.7;
-        assert!(mask
-            .as_slice()
-            .iter()
-            .all(|&v| v == 0.0 || (v - keep).abs() < 1e-6));
+        assert!(mask.as_slice().iter().all(|&v| v == 0.0 || (v - keep).abs() < 1e-6));
     }
 
     #[test]

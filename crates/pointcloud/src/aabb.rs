@@ -132,11 +132,8 @@ mod tests {
 
     #[test]
     fn from_points_is_tight() {
-        let pts = [
-            Point3::new(1.0, 2.0, 3.0),
-            Point3::new(-1.0, 5.0, 0.0),
-            Point3::new(0.0, 0.0, 9.0),
-        ];
+        let pts =
+            [Point3::new(1.0, 2.0, 3.0), Point3::new(-1.0, 5.0, 0.0), Point3::new(0.0, 0.0, 9.0)];
         let b = Aabb::from_points(pts).unwrap();
         assert_eq!(b.min(), Point3::new(-1.0, 0.0, 0.0));
         assert_eq!(b.max(), Point3::new(1.0, 5.0, 9.0));

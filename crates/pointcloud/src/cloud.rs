@@ -143,10 +143,7 @@ impl PointCloud {
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> PointCloud {
         let points: Vec<Point3> = indices.iter().map(|&i| self.points[i]).collect();
-        let labels = self
-            .labels
-            .as_ref()
-            .map(|l| indices.iter().map(|&i| l[i]).collect());
+        let labels = self.labels.as_ref().map(|l| indices.iter().map(|&i| l[i]).collect());
         PointCloud { points, labels }
     }
 
@@ -171,11 +168,7 @@ impl PointCloud {
         for p in &mut self.points {
             *p -= c;
         }
-        let max_norm = self
-            .points
-            .iter()
-            .map(|p| p.norm())
-            .fold(0.0f32, f32::max);
+        let max_norm = self.points.iter().map(|p| p.norm()).fold(0.0f32, f32::max);
         if max_norm > 0.0 {
             for p in &mut self.points {
                 *p = *p / max_norm;

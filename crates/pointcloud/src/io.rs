@@ -80,12 +80,14 @@ pub fn read_xyz<R: Read>(reader: R) -> Result<PointCloud, ReadCloudError> {
         }
         let fields: Vec<&str> = content.split_whitespace().collect();
         if fields.len() != 3 && fields.len() != 4 {
-            return Err(parse_err(line_no, format!("expected 3 or 4 fields, got {}", fields.len())));
+            return Err(parse_err(
+                line_no,
+                format!("expected 3 or 4 fields, got {}", fields.len()),
+            ));
         }
         let coord = |s: &str| -> Result<f32, ReadCloudError> {
-            let v: f32 = s
-                .parse()
-                .map_err(|_| parse_err(line_no, format!("bad coordinate '{s}'")))?;
+            let v: f32 =
+                s.parse().map_err(|_| parse_err(line_no, format!("bad coordinate '{s}'")))?;
             if !v.is_finite() {
                 return Err(parse_err(line_no, format!("non-finite coordinate '{s}'")));
             }
@@ -203,8 +205,7 @@ pub fn read_ply<R: Read>(reader: R) -> Result<PointCloud, ReadCloudError> {
             _ => return Err(parse_err(n, format!("unrecognized header line '{line}'"))),
         }
     }
-    let vertex_count =
-        vertex_count.ok_or_else(|| parse_err(0, "header has no vertex element"))?;
+    let vertex_count = vertex_count.ok_or_else(|| parse_err(0, "header has no vertex element"))?;
     for (role, name) in [(0usize, "x"), (1, "y"), (2, "z")] {
         if !columns.contains(&Some(role)) {
             return Err(parse_err(0, format!("vertex element lacks property '{name}'")));
@@ -220,7 +221,11 @@ pub fn read_ply<R: Read>(reader: R) -> Result<PointCloud, ReadCloudError> {
         if fields.len() < columns.len() {
             return Err(parse_err(
                 n,
-                format!("vertex row has {} fields, header declares {}", fields.len(), columns.len()),
+                format!(
+                    "vertex row has {} fields, header declares {}",
+                    fields.len(),
+                    columns.len()
+                ),
             ));
         }
         let mut coords = [0.0f32; 3];
@@ -337,10 +342,7 @@ mod tests {
 
     #[test]
     fn xyz_rejects_bad_rows() {
-        assert!(matches!(
-            read_xyz("1 2\n".as_bytes()),
-            Err(ReadCloudError::Parse { line: 1, .. })
-        ));
+        assert!(matches!(read_xyz("1 2\n".as_bytes()), Err(ReadCloudError::Parse { line: 1, .. })));
         assert!(matches!(
             read_xyz("1 2 zebra\n".as_bytes()),
             Err(ReadCloudError::Parse { line: 1, .. })

@@ -209,10 +209,7 @@ fn cast_ray(
         let o = Point3::new(c * rel.x + s * rel.y, -s * rel.x + c * rel.y, rel.z);
         let d = Point3::new(c * dir.x + s * dir.y, -s * dir.x + c * dir.y, dir.z);
         if let Some(t) = slab_intersect(o, d, hx, hy, hz) {
-            if t > 0.1
-                && t <= config.max_range
-                && best.map_or(true, |(bt, _)| t < bt)
-            {
+            if t > 0.1 && t <= config.max_range && best.map_or(true, |(bt, _)| t < bt) {
                 best = Some((t, i as u32 + 1));
             }
         }
@@ -311,8 +308,8 @@ mod tests {
         let scene = generate_scene(&LidarConfig::small(), 4, 11);
         // pick an object that actually received returns
         let labels = scene.cloud.labels().unwrap();
-        let Some(target) = (0..scene.objects.len())
-            .find(|&i| labels.iter().any(|&l| l == i as u32 + 1))
+        let Some(target) =
+            (0..scene.objects.len()).find(|&i| labels.iter().any(|&l| l == i as u32 + 1))
         else {
             panic!("no object received returns");
         };
@@ -329,10 +326,12 @@ mod tests {
     #[test]
     fn slab_intersection_hits_and_misses() {
         // Ray along +x toward a unit box at origin.
-        let t = slab_intersect(Point3::new(-5.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0), 1.0, 1.0, 1.0);
+        let t =
+            slab_intersect(Point3::new(-5.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0), 1.0, 1.0, 1.0);
         assert!((t.unwrap() - 4.0).abs() < 1e-5);
         // Ray that misses.
-        let miss = slab_intersect(Point3::new(-5.0, 3.0, 0.0), Point3::new(1.0, 0.0, 0.0), 1.0, 1.0, 1.0);
+        let miss =
+            slab_intersect(Point3::new(-5.0, 3.0, 0.0), Point3::new(1.0, 0.0, 0.0), 1.0, 1.0, 1.0);
         assert!(miss.is_none());
         // Ray starting inside.
         let inside = slab_intersect(Point3::ORIGIN, Point3::new(1.0, 0.0, 0.0), 1.0, 1.0, 1.0);

@@ -78,11 +78,7 @@ pub fn sort_permutation(cloud: &PointCloud) -> Vec<usize> {
         return Vec::new();
     };
     let mut order: Vec<usize> = (0..cloud.len()).collect();
-    let codes: Vec<u64> = cloud
-        .points()
-        .iter()
-        .map(|&p| code_for_point(p, &bounds))
-        .collect();
+    let codes: Vec<u64> = cloud.points().iter().map(|&p| code_for_point(p, &bounds)).collect();
     order.sort_by_key(|&i| codes[i]);
     order
 }
@@ -182,9 +178,8 @@ mod tests {
     #[test]
     fn sort_preserves_multiset_of_points() {
         let mut rng = crate::seeded_rng(9);
-        let pts: Vec<Point3> = (0..256)
-            .map(|_| Point3::new(rng.gen(), rng.gen(), rng.gen()))
-            .collect();
+        let pts: Vec<Point3> =
+            (0..256).map(|_| Point3::new(rng.gen(), rng.gen(), rng.gen())).collect();
         let cloud = PointCloud::from_points(pts.clone());
         let sorted = sort_cloud(&cloud);
         assert_eq!(sorted.len(), cloud.len());

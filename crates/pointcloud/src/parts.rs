@@ -144,10 +144,7 @@ mod tests {
         let mut seen: Vec<u32> = cloud.labels().unwrap().to_vec();
         seen.sort_unstable();
         seen.dedup();
-        assert!(
-            seen.len() >= 2,
-            "airplane should produce at least 2 part labels, got {seen:?}"
-        );
+        assert!(seen.len() >= 2, "airplane should produce at least 2 part labels, got {seen:?}");
     }
 
     #[test]

@@ -117,21 +117,13 @@ impl Point3 {
     /// Component-wise minimum, used to grow bounding boxes.
     #[inline]
     pub fn min(self, other: Point3) -> Point3 {
-        Point3 {
-            x: self.x.min(other.x),
-            y: self.y.min(other.y),
-            z: self.z.min(other.z),
-        }
+        Point3 { x: self.x.min(other.x), y: self.y.min(other.y), z: self.z.min(other.z) }
     }
 
     /// Component-wise maximum, used to grow bounding boxes.
     #[inline]
     pub fn max(self, other: Point3) -> Point3 {
-        Point3 {
-            x: self.x.max(other.x),
-            y: self.y.max(other.y),
-            z: self.z.max(other.z),
-        }
+        Point3 { x: self.x.max(other.x), y: self.y.max(other.y), z: self.z.max(other.z) }
     }
 
     /// Linear interpolation between `self` (t = 0) and `other` (t = 1).

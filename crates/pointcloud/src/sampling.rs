@@ -21,11 +21,7 @@ use rand::Rng;
 ///
 /// Panics if `count > cloud.len()`.
 pub fn random_indices(cloud: &PointCloud, count: usize, seed: u64) -> Vec<usize> {
-    assert!(
-        count <= cloud.len(),
-        "cannot sample {count} centroids from {} points",
-        cloud.len()
-    );
+    assert!(count <= cloud.len(), "cannot sample {count} centroids from {} points", cloud.len());
     let mut rng = crate::seeded_rng(seed);
     let mut all: Vec<usize> = (0..cloud.len()).collect();
     all.shuffle(&mut rng);
@@ -41,11 +37,7 @@ pub fn random_indices(cloud: &PointCloud, count: usize, seed: u64) -> Vec<usize>
 ///
 /// Panics if `count > cloud.len()` or the cloud is empty while `count > 0`.
 pub fn farthest_point_indices(cloud: &PointCloud, count: usize, seed: u64) -> Vec<usize> {
-    assert!(
-        count <= cloud.len(),
-        "cannot sample {count} centroids from {} points",
-        cloud.len()
-    );
+    assert!(count <= cloud.len(), "cannot sample {count} centroids from {} points", cloud.len());
     if count == 0 {
         return Vec::new();
     }
@@ -58,11 +50,8 @@ pub fn farthest_point_indices(cloud: &PointCloud, count: usize, seed: u64) -> Ve
     // dist[i] = squared distance from point i to the nearest picked point.
     let mut dist: Vec<f32> = pts.iter().map(|&p| p.distance_squared(pts[first])).collect();
     while picked.len() < count {
-        let (next, _) = dist
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty cloud");
+        let (next, _) =
+            dist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty cloud");
         picked.push(next);
         let np = pts[next];
         for (d, &p) in dist.iter_mut().zip(pts) {
@@ -109,9 +98,7 @@ pub fn min_pairwise_distance(cloud: &PointCloud, indices: &[usize]) -> f32 {
 /// Mean of the sampled points, handy for quick sanity checks in tests.
 pub fn sampled_centroid(cloud: &PointCloud, indices: &[usize]) -> Point3 {
     assert!(!indices.is_empty());
-    let sum = indices
-        .iter()
-        .fold(Point3::ORIGIN, |acc, &i| acc + cloud.point(i));
+    let sum = indices.iter().fold(Point3::ORIGIN, |acc, &i| acc + cloud.point(i));
     sum / indices.len() as f32
 }
 
@@ -145,10 +132,7 @@ mod tests {
         let rnd = random_indices(&cloud, 32, 1);
         let d_fps = min_pairwise_distance(&cloud, &fps);
         let d_rnd = min_pairwise_distance(&cloud, &rnd);
-        assert!(
-            d_fps > d_rnd,
-            "FPS min pairwise distance {d_fps} should beat random {d_rnd}"
-        );
+        assert!(d_fps > d_rnd, "FPS min pairwise distance {d_fps} should beat random {d_rnd}");
     }
 
     #[test]

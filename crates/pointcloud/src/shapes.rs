@@ -394,7 +394,10 @@ pub fn class_parts(class: ShapeClass, v: &mut StdRng) -> Vec<Part> {
         ShapeClass::Bowl => vec![Part::at(Hemisphere { r: j(0.8) }, Point3::ORIGIN)],
         ShapeClass::Car => vec![
             Part::at(Cuboid { hx: j(0.9), hy: j(0.4), hz: j(0.2) }, Point3::ORIGIN),
-            Part::at(Cuboid { hx: j(0.45), hy: j(0.35), hz: j(0.15) }, Point3::new(-0.1, 0.0, 0.33)),
+            Part::at(
+                Cuboid { hx: j(0.45), hy: j(0.35), hz: j(0.15) },
+                Point3::new(-0.1, 0.0, 0.33),
+            ),
             Part::at_yawed(Cylinder { r: j(0.15), h: j(0.08) }, Point3::new(0.5, 0.42, -0.2), 0.0),
             Part::at_yawed(Cylinder { r: j(0.15), h: j(0.08) }, Point3::new(-0.5, 0.42, -0.2), 0.0),
             Part::at_yawed(Cylinder { r: j(0.15), h: j(0.08) }, Point3::new(0.5, -0.5, -0.2), 0.0),
@@ -402,13 +405,18 @@ pub fn class_parts(class: ShapeClass, v: &mut StdRng) -> Vec<Part> {
         ],
         ShapeClass::Chair => vec![
             Part::at(Plate { hx: j(0.4), hy: j(0.4) }, Point3::new(0.0, 0.0, 0.0)),
-            Part::at(Cuboid { hx: j(0.4), hy: j(0.04), hz: j(0.45) }, Point3::new(0.0, -0.38, 0.45)),
+            Part::at(
+                Cuboid { hx: j(0.4), hy: j(0.04), hz: j(0.45) },
+                Point3::new(0.0, -0.38, 0.45),
+            ),
             Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(0.33, 0.33, -0.45)),
             Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(-0.33, 0.33, -0.45)),
             Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(0.33, -0.33, -0.45)),
             Part::at(Tube { r: j(0.035), h: j(0.45) }, Point3::new(-0.33, -0.33, -0.45)),
         ],
-        ShapeClass::Cone => vec![Part::at(Cone { r: j(0.6), h: j(1.2) }, Point3::new(0.0, 0.0, -0.6))],
+        ShapeClass::Cone => {
+            vec![Part::at(Cone { r: j(0.6), h: j(1.2) }, Point3::new(0.0, 0.0, -0.6))]
+        }
         ShapeClass::Cup => vec![
             Part::at(Tube { r: j(0.35), h: j(0.8) }, Point3::new(0.0, 0.0, -0.4)),
             Part::at(Torus { major: j(0.42), minor: j(0.05) }, Point3::new(0.35, 0.0, 0.0)),
@@ -436,13 +444,17 @@ pub fn class_parts(class: ShapeClass, v: &mut StdRng) -> Vec<Part> {
             Part::at(Cone { r: j(0.5), h: j(0.6) }, Point3::new(0.0, 0.0, -0.6)),
             Part::at(Sphere { r: j(0.3) }, Point3::new(0.0, 0.0, 0.35)),
         ],
-        ShapeClass::GlassBox => vec![Part::at(Cuboid { hx: j(0.6), hy: j(0.45), hz: j(0.45) }, Point3::ORIGIN)],
+        ShapeClass::GlassBox => {
+            vec![Part::at(Cuboid { hx: j(0.6), hy: j(0.45), hz: j(0.45) }, Point3::ORIGIN)]
+        }
         ShapeClass::Guitar => vec![
             Part::at(Ellipsoid { a: j(0.45), b: j(0.35), c: j(0.1) }, Point3::new(0.0, 0.0, -0.4)),
             Part::at(Ellipsoid { a: j(0.3), b: j(0.26), c: j(0.1) }, Point3::new(0.0, 0.0, 0.05)),
             Part::at(Cuboid { hx: j(0.05), hy: j(0.02), hz: j(0.6) }, Point3::new(0.0, 0.0, 0.6)),
         ],
-        ShapeClass::Keyboard => vec![Part::at(Cuboid { hx: j(0.9), hy: j(0.35), hz: j(0.03) }, Point3::ORIGIN)],
+        ShapeClass::Keyboard => {
+            vec![Part::at(Cuboid { hx: j(0.9), hy: j(0.35), hz: j(0.03) }, Point3::ORIGIN)]
+        }
         ShapeClass::Lamp => vec![
             Part::at(Cylinder { r: j(0.35), h: j(0.06) }, Point3::new(0.0, 0.0, -0.9)),
             Part::at(Tube { r: j(0.04), h: j(1.3) }, Point3::new(0.0, 0.0, -0.85)),
@@ -476,7 +488,10 @@ pub fn class_parts(class: ShapeClass, v: &mut StdRng) -> Vec<Part> {
         ],
         ShapeClass::Piano => vec![
             Part::at(Cuboid { hx: j(0.85), hy: j(0.35), hz: j(0.5) }, Point3::new(0.0, 0.0, 0.2)),
-            Part::at(Cuboid { hx: j(0.8), hy: j(0.15), hz: j(0.03) }, Point3::new(0.0, -0.45, 0.05)),
+            Part::at(
+                Cuboid { hx: j(0.8), hy: j(0.15), hz: j(0.03) },
+                Point3::new(0.0, -0.45, 0.05),
+            ),
             Part::at(Tube { r: j(0.04), h: j(0.5) }, Point3::new(0.7, -0.45, -0.6)),
             Part::at(Tube { r: j(0.04), h: j(0.5) }, Point3::new(-0.7, -0.45, -0.6)),
         ],
@@ -525,12 +540,15 @@ pub fn class_parts(class: ShapeClass, v: &mut StdRng) -> Vec<Part> {
             Part::at(Tube { r: j(0.05), h: j(0.8) }, Point3::new(0.65, -0.65, -0.4)),
             Part::at(Tube { r: j(0.05), h: j(0.8) }, Point3::new(-0.65, -0.65, -0.4)),
         ],
-        ShapeClass::Tent => vec![
-            Part::at(Cone { r: j(0.85), h: j(0.9) }, Point3::new(0.0, 0.0, -0.45)),
-        ],
+        ShapeClass::Tent => {
+            vec![Part::at(Cone { r: j(0.85), h: j(0.9) }, Point3::new(0.0, 0.0, -0.45))]
+        }
         ShapeClass::Toilet => vec![
             Part::at(Ellipsoid { a: j(0.35), b: j(0.45), c: j(0.15) }, Point3::new(0.0, 0.1, 0.0)),
-            Part::at(Cuboid { hx: j(0.3), hy: j(0.12), hz: j(0.35) }, Point3::new(0.0, -0.45, 0.25)),
+            Part::at(
+                Cuboid { hx: j(0.3), hy: j(0.12), hz: j(0.35) },
+                Point3::new(0.0, -0.45, 0.25),
+            ),
             Part::at(Cylinder { r: j(0.25), h: j(0.35) }, Point3::new(0.0, 0.1, -0.5)),
         ],
         ShapeClass::TvStand => vec![
@@ -548,9 +566,15 @@ pub fn class_parts(class: ShapeClass, v: &mut StdRng) -> Vec<Part> {
             Part::at(Sphere { r: j(0.035) }, Point3::new(-0.1, 0.37, 0.0)),
         ],
         ShapeClass::Sphere => vec![Part::at(Sphere { r: j(0.9) }, Point3::ORIGIN)],
-        ShapeClass::Cube => vec![Part::at(Cuboid { hx: j(0.7), hy: j(0.7), hz: j(0.7) }, Point3::ORIGIN)],
-        ShapeClass::Cylinder => vec![Part::at(Cylinder { r: j(0.45), h: j(1.3) }, Point3::new(0.0, 0.0, -0.65))],
-        ShapeClass::Torus => vec![Part::at(Torus { major: j(0.6), minor: j(0.22) }, Point3::ORIGIN)],
+        ShapeClass::Cube => {
+            vec![Part::at(Cuboid { hx: j(0.7), hy: j(0.7), hz: j(0.7) }, Point3::ORIGIN)]
+        }
+        ShapeClass::Cylinder => {
+            vec![Part::at(Cylinder { r: j(0.45), h: j(1.3) }, Point3::new(0.0, 0.0, -0.65))]
+        }
+        ShapeClass::Torus => {
+            vec![Part::at(Torus { major: j(0.6), minor: j(0.22) }, Point3::ORIGIN)]
+        }
     }
 }
 

@@ -109,7 +109,9 @@ mod tests {
         jitter(&mut cloud, 0.5, 0.05, 9);
         for (a, b) in cloud.iter().zip(original.iter()) {
             let d = *a - *b;
-            assert!(d.x.abs() <= 0.05 + 1e-6 && d.y.abs() <= 0.05 + 1e-6 && d.z.abs() <= 0.05 + 1e-6);
+            assert!(
+                d.x.abs() <= 0.05 + 1e-6 && d.y.abs() <= 0.05 + 1e-6 && d.z.abs() <= 0.05 + 1e-6
+            );
         }
     }
 

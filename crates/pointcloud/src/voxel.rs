@@ -81,9 +81,7 @@ impl VoxelGrid {
         let mut out = PointCloud::with_capacity(self.cells.len());
         for key in keys {
             let members = &self.cells[key];
-            let sum = members
-                .iter()
-                .fold(Point3::ORIGIN, |acc, &i| acc + cloud.point(i));
+            let sum = members.iter().fold(Point3::ORIGIN, |acc, &i| acc + cloud.point(i));
             out.push(sum / members.len() as f32);
         }
         out

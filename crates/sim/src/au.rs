@@ -126,8 +126,7 @@ impl AuConfig {
 
         // PFT accesses: every unique neighbor row read once per partition
         // column slice, plus the centroid row.
-        let pft_word_reads =
-            (total_unique_rows + entries) * cols_per_partition * partitions as u64;
+        let pft_word_reads = (total_unique_rows + entries) * cols_per_partition * partitions as u64;
         let conflict_access_fraction = if total_unique_rows == 0 {
             0.0
         } else {
@@ -143,8 +142,7 @@ impl AuConfig {
         let nit_bytes = nit.hardware_bytes() as u64;
         let capacity_bytes = (self.nit_kb as u64) * 1024;
         let retained = (capacity_bytes as f64 / nit_bytes.max(1) as f64).min(1.0);
-        let refetch =
-            nit_bytes as f64 * (partitions as u64 - 1) as f64 * (1.0 - retained);
+        let refetch = nit_bytes as f64 * (partitions as u64 - 1) as f64 * (1.0 - retained);
         let nit_dram_bytes = nit_bytes + refetch as u64;
         let nit_sram_bytes = nit_bytes * partitions as u64;
 

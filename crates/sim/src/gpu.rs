@@ -157,8 +157,7 @@ impl GpuConfig {
         let memory_ms = bytes / (self.mem_bw_gbs * 1e9 * locality) * 1e3;
         let compute_ms = flops / (self.peak_gflops * 1e9 * self.eff_stream) * 1e3;
         let ms = memory_ms.max(compute_ms) + self.launch_ms;
-        let mj = energy::pj_to_mj(flops * energy::GPU_PJ_PER_FLOP)
-            + energy::GPU_STATIC_W * ms;
+        let mj = energy::pj_to_mj(flops * energy::GPU_PJ_PER_FLOP) + energy::GPU_STATIC_W * ms;
         KernelCost { ms, mj, dram_bytes: bytes as u64 }
     }
 

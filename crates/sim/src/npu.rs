@@ -86,8 +86,7 @@ impl NpuConfig {
         let ms = compute_ms.max(memory_ms);
         let static_w = energy::NPU_STATIC_W * (self.rows * self.cols) as f64 / 256.0;
         let mj = energy::pj_to_mj(
-            op.macs() as f64 * energy::NPU_MAC_PJ
-                + act_bytes as f64 * energy::SRAM_PJ_PER_BYTE,
+            op.macs() as f64 * energy::NPU_MAC_PJ + act_bytes as f64 * energy::SRAM_PJ_PER_BYTE,
         ) + static_w * ms;
         NpuCost { ms, mj, dram_bytes }
     }

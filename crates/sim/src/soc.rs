@@ -16,10 +16,10 @@
 //!   NIT write + read).
 
 use crate::au::AuConfig;
+use crate::energy;
 use crate::gpu::{GpuConfig, KernelCost};
 use crate::npu::NpuConfig;
 use crate::nse::NseConfig;
-use crate::energy;
 use mesorasi_core::trace::{ModuleTrace, NetworkTrace};
 use mesorasi_core::Stage;
 
@@ -149,8 +149,7 @@ impl SimReport {
 
     /// Total energy, mJ (components + DRAM).
     pub fn total_mj(&self) -> f64 {
-        let component: f64 =
-            self.modules.iter().map(|m| m.gpu_mj + m.npu_mj + m.au_mj).sum();
+        let component: f64 = self.modules.iter().map(|m| m.gpu_mj + m.npu_mj + m.au_mj).sum();
         component + self.dram_mj()
     }
 
@@ -366,7 +365,8 @@ mod tests {
     fn delayed_on_gpu_beats_original_on_gpu() {
         // Fig. 17: the algorithm alone speeds up the GPU platform.
         let cfg = SocConfig::default();
-        let orig = simulate(&trace_of(original_module(), Strategy::Original), Platform::GpuOnly, &cfg);
+        let orig =
+            simulate(&trace_of(original_module(), Strategy::Original), Platform::GpuOnly, &cfg);
         let del = simulate(&trace_of(delayed_module(), Strategy::Delayed), Platform::GpuOnly, &cfg);
         assert!(
             del.total_ms() < orig.total_ms(),

@@ -236,10 +236,7 @@ mod tests {
         let arg = vec![1usize, 2];
         let grad = Matrix::from_rows(&[&[10.0, 20.0]]);
         max_reduce_backward(&mut acc, &arg, &grad);
-        assert_eq!(
-            acc,
-            Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 0.0], &[0.0, 20.0]])
-        );
+        assert_eq!(acc, Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 0.0], &[0.0, 20.0]]));
     }
 
     #[test]

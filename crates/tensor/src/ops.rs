@@ -11,13 +11,7 @@ use crate::Matrix;
 ///
 /// Panics when the inner dimensions disagree.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "matmul shape mismatch: {:?} × {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} × {:?}", a.shape(), b.shape());
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
@@ -272,10 +266,7 @@ mod tests {
 
     fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
         a.shape() == b.shape()
-            && a.as_slice()
-                .iter()
-                .zip(b.as_slice())
-                .all(|(x, y)| (x - y).abs() <= tol)
+            && a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| (x - y).abs() <= tol)
     }
 
     #[test]

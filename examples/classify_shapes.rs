@@ -29,7 +29,10 @@ fn train(strategy: Strategy, ds: &datasets::Dataset, classes: usize, epochs: usi
             opt.step(&mut net.params_mut(), &g);
         }
         if epoch % 5 == 0 {
-            println!("  [{strategy}] epoch {epoch:>2}: mean loss {:.3}", total / ds.train.len() as f32);
+            println!(
+                "  [{strategy}] epoch {epoch:>2}: mean loss {:.3}",
+                total / ds.train.len() as f32
+            );
         }
     }
     // Evaluate on held-out shapes.

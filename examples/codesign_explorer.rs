@@ -49,16 +49,8 @@ fn main() {
     for (pft, nit) in [(16usize, 6usize), (32, 12), (64, 12), (128, 24), (256, 96)] {
         let au = AuConfig { pft_kb: pft, nit_kb: nit, ..AuConfig::default() };
         let mj: f64 = del.aggregations().map(|a| au.simulate(a).total_mj()).sum();
-        let parts = del
-            .aggregations()
-            .map(|a| au.simulate(a).partitions)
-            .max()
-            .unwrap_or(1);
-        println!(
-            "{pft:>8} {nit:>8} {:>12.4} {:>12.3} {parts:>10}",
-            mj,
-            area::au_area(&au).total()
-        );
+        let parts = del.aggregations().map(|a| au.simulate(a).partitions).max().unwrap_or(1);
+        println!("{pft:>8} {nit:>8} {:>12.4} {:>12.3} {parts:>10}", mj, area::au_area(&au).total());
     }
 
     println!("\nnominal design (64 KB / 12 KB) balances energy against area,");

@@ -65,11 +65,7 @@ fn delayed_offset_is_exact_without_nonlinearity_in_path() {
     let mut rng = mesorasi::pointcloud::seeded_rng(1);
     let config = ModuleConfig::offset("o", 16, 4, NeighborMode::CoordKnn, vec![3, 8]);
     let mut module = Module::new(config, NormMode::None, &mut rng);
-    module
-        .mlp
-        .params_mut()
-        .into_iter()
-        .for_each(|p| p.value.map_inplace(|v| v.abs() * 0.1));
+    module.mlp.params_mut().into_iter().for_each(|p| p.value.map_inplace(|v| v.abs() * 0.1));
     // Non-negative, *sorted-coordinate* features so that offsets of
     // later-indexed neighbors stay non-negative is too restrictive; instead
     // verify the distributivity identity directly on the linear part.
@@ -170,9 +166,7 @@ fn gradients_match_between_fused_and_unfused_delayed_paths() {
             let t = g.input(Matrix::zeros(16, 8));
             let l = g.mse(y, t);
             g.backward(l);
-            g.param_grad(module.mlp.first_layer().weight.id())
-                .expect("weight gradient")
-                .clone()
+            g.param_grad(module.mlp.first_layer().weight.id()).expect("weight gradient").clone()
         })
         .collect();
     let diff = ops::sub(&grads[0], &grads[1]).max_abs();

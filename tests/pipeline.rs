@@ -37,10 +37,7 @@ fn training_reduces_loss_in_both_formulations() {
             last = total;
         }
         let first = first.expect("at least one epoch");
-        assert!(
-            last < first * 0.8,
-            "{strategy}: loss should drop, {first} -> {last}"
-        );
+        assert!(last < first * 0.8, "{strategy}: loss should drop, {first} -> {last}");
     }
 }
 

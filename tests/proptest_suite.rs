@@ -9,15 +9,17 @@ use mesorasi_sim::npu::NpuConfig;
 use proptest::prelude::*;
 
 fn arb_cloud(max_points: usize) -> impl Strategy<Value = PointCloud> {
-    prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 8..max_points)
-        .prop_map(|pts| {
+    prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 8..max_points).prop_map(
+        |pts| {
             PointCloud::from_points(pts.into_iter().map(|(x, y, z)| Point3::new(x, y, z)).collect())
-        })
+        },
+    )
 }
 
-fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>)
-    -> impl Strategy<Value = Matrix>
-{
+fn arb_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         prop::collection::vec(-2.0f32..2.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))

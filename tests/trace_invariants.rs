@@ -54,9 +54,8 @@ fn delayed_widens_the_gather_working_set() {
     // §IV-C: aggregation gathers from N_in × M_out instead of N_in × M_in.
     for kind in [NetworkKind::PointNetPPClassification, NetworkKind::FPointNet] {
         let traces = small_traces(kind);
-        let ws = |t: &NetworkTrace| -> u64 {
-            t.aggregations().map(|a| a.working_set_bytes()).sum()
-        };
+        let ws =
+            |t: &NetworkTrace| -> u64 { t.aggregations().map(|a| a.working_set_bytes()).sum() };
         let orig = ws(&traces[0].1);
         let delayed = ws(&traces[2].1);
         assert!(delayed > orig, "{}: {delayed} <= {orig}", kind.name());
@@ -74,9 +73,7 @@ fn strategies_share_neighbor_structure() {
         let traces = small_traces(kind);
         let firsts: Vec<_> = traces
             .iter()
-            .map(|(_, t)| {
-                t.aggregations().next().map(|a| a.nit.neighbors_flat().to_vec())
-            })
+            .map(|(_, t)| t.aggregations().next().map(|a| a.nit.neighbors_flat().to_vec()))
             .collect();
         assert_eq!(firsts[0], firsts[1], "{}: original vs ltd", kind.name());
         assert_eq!(firsts[1], firsts[2], "{}: ltd vs delayed", kind.name());

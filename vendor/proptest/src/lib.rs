@@ -1,0 +1,215 @@
+//! Offline drop-in shim for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no network access, so this crate provides a
+//! minimal property-testing engine: random-input generation via [`Strategy`]
+//! (ranges, tuples, `collection::vec`, `prop_map`, `prop_flat_map`), a
+//! deterministic per-test-name seeded runner, and the `proptest!` /
+//! `prop_assert*!` / `prop_assume!` macros. Unlike upstream there is no
+//! shrinking: a failing case reports its seed so it can be replayed, but is
+//! not minimized.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs `cases` accepted executions of `case`, feeding each a distinct
+/// deterministically-seeded RNG. `case` returns `Ok` (counted), a rejection
+/// (retried, bounded), or a failure (panics with the replay seed).
+pub fn run_cases(
+    test_name: &str,
+    config: &test_runner::ProptestConfig,
+    mut case: impl FnMut(&mut rand::rngs::StdRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    use rand::SeedableRng;
+
+    // PROPTEST_REPLAY=<seed> re-runs exactly the one failing case a
+    // previous failure message reported.
+    if let Ok(replay) = std::env::var("PROPTEST_REPLAY") {
+        let seed: u64 = replay.parse().unwrap_or_else(|_| {
+            panic!("PROPTEST_REPLAY must be a u64 seed, got '{replay}'");
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => return,
+            Err(test_runner::TestCaseError::Reject(why)) => {
+                panic!("proptest '{test_name}' replay seed {seed}: input rejected ({why})")
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("proptest '{test_name}' replay seed {seed} failed: {msg}")
+            }
+        }
+    }
+
+    let base = test_name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = config.cases as u64 * 16 + 64;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(attempts);
+        attempts += 1;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                if attempts >= max_attempts {
+                    panic!(
+                        "proptest '{test_name}': too many input rejections \
+                         ({accepted}/{} cases accepted after {attempts} attempts)",
+                        config.cases
+                    );
+                }
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed: {msg}\n\
+                     replay with: PROPTEST_REPLAY={seed} cargo test {test_name}"
+                );
+            }
+        }
+    }
+}
+
+/// Generates one `#[test]` per contained `fn name(arg in strategy, ...)`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __strategy = ($($strat,)+);
+                $crate::run_cases(stringify!($name), &__config, |__rng| {
+                    let ($($argpat,)+) =
+                        $crate::strategy::Strategy::new_value(&__strategy, __rng);
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Rejects the current case (retried with fresh inputs) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vec_compose(v in prop::collection::vec((0u32..10, 0u32..10), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&(a, b)| a < 10 && b < 10));
+        }
+
+        #[test]
+        fn map_and_flat_map(n in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0i32..100, n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = n;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(k in 0u32..10) {
+            prop_assume!(k % 2 == 0);
+            prop_assert_eq!(k % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPTEST_REPLAY=")]
+    fn failing_case_reports_seed() {
+        crate::run_cases("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::Fail("nope".into()))
+        });
+    }
+}
