@@ -1,30 +1,121 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, and runs the perf harness.
 //!
 //! ```text
 //! cargo run --release -p mesorasi-bench --bin repro            # everything
 //! cargo run --release -p mesorasi-bench --bin repro -- fig17   # one figure
 //! cargo run --release -p mesorasi-bench --bin repro -- --list  # list ids
+//! cargo run --release -p mesorasi-bench --bin repro -- bench --json --smoke
 //! ```
 
-use mesorasi_bench::{experiments, Context};
+use mesorasi_bench::{experiments, perf, Context};
 use mesorasi_core::Strategy;
 use mesorasi_networks::registry::NetworkKind;
+use std::io::Write;
 use std::time::Instant;
+
+/// Writes `s` plus a newline to stdout. A closed pipe (`repro ... | head`)
+/// is a clean exit, not a panic — the standard Rust CLI SIGPIPE wart.
+fn emit(s: &str) {
+    let mut out = std::io::stdout().lock();
+    if let Err(e) = writeln!(out, "{s}") {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        panic!("failed writing to stdout: {e}");
+    }
+}
+
+/// Runs the perf harness (`repro bench [--json] [--smoke] [--out PATH]`).
+fn run_bench(args: &[String]) -> ! {
+    let mut json = false;
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("[repro] --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("[repro] unknown bench flag '{other}' (use --json, --smoke, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "[repro] bench: {} workloads on {} host thread(s)...",
+        if smoke { "smoke" } else { "full" },
+        mesorasi_par::current_threads()
+    );
+    let report = perf::run(smoke);
+
+    // The JSON artifact and the regression gate are the point of this
+    // subcommand — neither may be skipped because stdout went away
+    // (`repro bench ... | head`), so both happen before, and independently
+    // of, table printing. A broken pipe here only silences the table.
+    if json {
+        let path = out_path.unwrap_or_else(|| report.filename());
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[repro] wrote {path}");
+    }
+
+    {
+        let mut out = std::io::stdout().lock();
+        if let Err(e) = writeln!(out, "{}", report.to_table().trim_end()) {
+            if e.kind() != std::io::ErrorKind::BrokenPipe {
+                panic!("failed writing to stdout: {e}");
+            }
+        }
+    }
+
+    let regressions = report.regressions();
+    if smoke && !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!(
+                "[repro] REGRESSION: {}/{} at {} threads is {:.2}x the sequential time \
+                 (gate: 1.5x)",
+                r.op,
+                r.backend,
+                r.threads,
+                1.0 / r.speedup_vs_1t
+            );
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("Regenerates the paper's tables and figures.");
-        println!();
-        println!("usage: repro [--list] [EXPERIMENT_ID ...]");
-        println!();
-        println!("With no arguments every experiment runs in order. Paper-scale");
-        println!("traces are built once (in parallel) and shared.");
+        emit("Regenerates the paper's tables and figures.");
+        emit("");
+        emit("usage: repro [--list] [EXPERIMENT_ID ...]");
+        emit("       repro bench [--json] [--smoke] [--out PATH]");
+        emit("");
+        emit("With no arguments every experiment runs in order. Paper-scale");
+        emit("traces are built once (in parallel) and shared.");
+        emit("");
+        emit("`repro bench` times the parallel kernels across a thread sweep;");
+        emit("--json writes BENCH_<date>.json, --smoke runs reduced workloads");
+        emit("and exits non-zero if a parallel path is >1.5x slower than the");
+        emit("sequential baseline. MESORASI_THREADS caps the pool.");
         return;
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
     }
     if args.iter().any(|a| a == "--list") {
         for (id, _) in experiments::all() {
-            println!("{id}");
+            emit(id);
         }
         return;
     }
@@ -55,7 +146,7 @@ fn main() {
     for id in &selected {
         let t0 = Instant::now();
         let output = experiments::run_one(&ctx, id).expect("ids validated above");
-        println!("{output}");
+        emit(&output);
         eprintln!("[repro] {id} done in {:.1}s\n", t0.elapsed().as_secs_f64());
     }
 }

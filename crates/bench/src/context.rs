@@ -83,17 +83,20 @@ impl Context {
         out.trace
     }
 
-    /// Pre-builds the traces for `kinds` × `strategies` in parallel.
+    /// Pre-builds the traces for `kinds` × `strategies` in parallel on the
+    /// shared pool (one task per network × strategy pair; the pool bounds
+    /// concurrency at the effective thread count instead of spawning all
+    /// ~21 builders at once).
     pub fn warm_traces(&self, kinds: &[NetworkKind], strategies: &[Strategy]) {
-        std::thread::scope(|scope| {
-            for &kind in kinds {
-                for &strategy in strategies {
-                    scope.spawn(move || {
-                        let _ = self.trace(kind, strategy);
-                    });
-                }
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for &kind in kinds {
+            for &strategy in strategies {
+                tasks.push(Box::new(move || {
+                    let _ = self.trace(kind, strategy);
+                }));
             }
-        });
+        }
+        mesorasi_par::par_run_tasks(tasks);
     }
 }
 

@@ -23,10 +23,13 @@ pub mod table1;
 
 use crate::Context;
 
+/// An experiment runner: renders one table/figure from the shared context.
+pub type Runner = fn(&Context) -> String;
+
 /// The experiment registry: id → runner. Ordered as in the paper.
-pub fn all() -> Vec<(&'static str, fn(&Context) -> String)> {
+pub fn all() -> Vec<(&'static str, Runner)> {
     vec![
-        ("table1", table1::run as fn(&Context) -> String),
+        ("table1", table1::run as Runner),
         ("fig04", fig04::run),
         ("fig05", fig05::run),
         ("fig06", fig06::run),

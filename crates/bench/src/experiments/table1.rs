@@ -37,6 +37,6 @@ mod tests {
         assert!(out.contains("PointNet++ (c)"));
         assert!(out.contains("DensePoint"));
         assert!(out.contains("KITTI"));
-        assert_eq!(out.matches("20").count() >= 7, true);
+        assert!(out.matches("20").count() >= 7);
     }
 }

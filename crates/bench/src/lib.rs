@@ -11,6 +11,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod perf;
 pub mod training;
 
 pub use context::Context;

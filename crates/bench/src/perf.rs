@@ -1,0 +1,387 @@
+//! Machine-readable performance harness (`repro bench`).
+//!
+//! Measures the hot kernels — the matmul family, the grouped reductions,
+//! and every neighbor-search backend — across a thread sweep, and emits the
+//! results as `BENCH_<date>.json` so the ROADMAP's performance trajectory
+//! accumulates comparable data points across PRs.
+//!
+//! JSON schema (`mesorasi-bench/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "mesorasi-bench/1",
+//!   "date": "2026-07-28",
+//!   "unix_time": 1785000000,
+//!   "host_threads": 8,
+//!   "smoke": false,
+//!   "records": [
+//!     { "op": "matmul", "backend": "tensor", "threads": 2,
+//!       "ns_per_op": 812345.6, "speedup_vs_1t": 1.94 }
+//!   ]
+//! }
+//! ```
+//!
+//! `speedup_vs_1t` is the same op/backend's 1-thread time divided by this
+//! record's time (1.0 for the 1-thread record itself). The smoke gate used
+//! by CI fails when any parallel record is more than 1.5× slower than its
+//! sequential baseline — the determinism contract says parallelism may
+//! never change results, and this gate says it may not wreck performance
+//! either.
+
+use mesorasi_knn::feature::FeatureView;
+use mesorasi_knn::{ball, bruteforce, feature, grid::UniformGrid, kdtree::KdTree};
+use mesorasi_par as par;
+use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi_pointcloud::{sampling, PointCloud};
+use mesorasi_tensor::{group, ops, Matrix};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Kernel name (`matmul`, `knn`, `ball`, ...).
+    pub op: &'static str,
+    /// Implementation / search structure the kernel ran on.
+    pub backend: &'static str,
+    /// Effective thread count the measurement ran at.
+    pub threads: usize,
+    /// Mean wall time per operation, in nanoseconds.
+    pub ns_per_op: f64,
+    /// `ns(1 thread) / ns(this)` for the same op/backend.
+    pub speedup_vs_1t: f64,
+}
+
+/// A full harness run: records plus the metadata the JSON header carries.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// ISO `YYYY-MM-DD` of the run (UTC).
+    pub date: String,
+    /// Seconds since the Unix epoch at the start of the run.
+    pub unix_time: u64,
+    /// Hardware/env thread budget ([`par::current_threads`] outside any
+    /// override) at run time.
+    pub host_threads: usize,
+    /// Whether the reduced smoke workloads were used.
+    pub smoke: bool,
+    /// All measurements, in (op, backend, threads) order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// `BENCH_<date>.json`, the canonical artifact name.
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+
+    /// Serializes the report (no external JSON dependency in this
+    /// environment, so the writer is hand-rolled; the schema is flat).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"mesorasi-bench/1\",\n");
+        s.push_str(&format!("  \"date\": \"{}\",\n", self.date));
+        s.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
+        s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        s.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        s.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{ \"op\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
+                 \"ns_per_op\": {:.1}, \"speedup_vs_1t\": {:.3} }}{}\n",
+                r.op,
+                r.backend,
+                r.threads,
+                r.ns_per_op,
+                r.speedup_vs_1t,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Plain-text table for the terminal.
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "# bench {} (host threads: {}{})\n",
+            self.date,
+            self.host_threads,
+            if self.smoke { ", smoke" } else { "" }
+        ));
+        s.push_str(&format!(
+            "{:<18} {:<11} {:>7} {:>14} {:>12}\n",
+            "op", "backend", "threads", "ns/op", "speedup"
+        ));
+        for r in &self.records {
+            s.push_str(&format!(
+                "{:<18} {:<11} {:>7} {:>14.0} {:>11.2}x\n",
+                r.op, r.backend, r.threads, r.ns_per_op, r.speedup_vs_1t
+            ));
+        }
+        s
+    }
+
+    /// The CI smoke gate: parallel configurations more than 1.5× slower
+    /// than their own sequential baseline. Empty means the gate passes.
+    pub fn regressions(&self) -> Vec<&BenchRecord> {
+        self.records.iter().filter(|r| r.threads > 1 && r.speedup_vs_1t < 1.0 / 1.5).collect()
+    }
+}
+
+/// Time budget per measured configuration.
+fn budget(smoke: bool) -> Duration {
+    if smoke {
+        Duration::from_millis(25)
+    } else {
+        Duration::from_millis(150)
+    }
+}
+
+/// Mean ns per call of `f` under `budget`, after one warm-up call.
+fn time_ns<R>(budget: Duration, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        black_box(f());
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The thread counts swept: 1 (sequential baseline), 2, and the host
+/// budget — but never more threads than the host actually has, because
+/// oversubscribing a smaller machine measures scheduler contention, not
+/// the backend (`MESORASI_THREADS` raises the budget when that is really
+/// wanted).
+fn thread_sweep(host: usize) -> Vec<usize> {
+    let mut sweep = vec![1, 2, host];
+    sweep.retain(|&t| t <= host);
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
+
+/// A deterministic test matrix (no RNG needed: a fixed mixing formula).
+fn bench_matrix(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 17) % 29) as f32 * 0.1 - 1.4)
+}
+
+struct Workloads {
+    mm_a: Matrix,
+    mm_b: Matrix,
+    red_src: Matrix,
+    red_groups: Vec<usize>,
+    red_k: usize,
+    cloud: PointCloud,
+    queries: Vec<usize>,
+    knn_k: usize,
+    radius: f32,
+    feat_dim: usize,
+}
+
+impl Workloads {
+    fn new(smoke: bool) -> Self {
+        let (m, k, n) = if smoke { (96, 64, 64) } else { (256, 128, 128) };
+        let (points, n_queries, knn_k) = if smoke { (512, 128, 8) } else { (2048, 512, 16) };
+        let (n_groups, red_k, red_cols) = if smoke { (128, 16, 64) } else { (512, 32, 128) };
+        let red_src = bench_matrix(points, red_cols);
+        let red_groups: Vec<usize> =
+            (0..n_groups * red_k).map(|i| (i * 7 + i / red_k) % points).collect();
+        let cloud = sample_shape(ShapeClass::Chair, points, 2020);
+        let queries = sampling::random_indices(&cloud, n_queries, 7);
+        Workloads {
+            mm_a: bench_matrix(m, k),
+            mm_b: bench_matrix(k, n),
+            red_src,
+            red_groups,
+            red_k,
+            cloud,
+            queries,
+            knn_k,
+            radius: 0.25,
+            feat_dim: if smoke { 16 } else { 32 },
+        }
+    }
+}
+
+/// Runs the full harness: every kernel at every swept thread count.
+pub fn run(smoke: bool) -> BenchReport {
+    let host_threads = par::current_threads();
+    let sweep = thread_sweep(host_threads);
+    let budget = budget(smoke);
+    let w = Workloads::new(smoke);
+
+    let grid = UniformGrid::build(&w.cloud, w.radius);
+    let tree = KdTree::build(&w.cloud);
+    let feat = bench_matrix(w.cloud.len(), w.feat_dim);
+    let mm_at = w.mm_a.transposed();
+
+    // (op, backend, runner) — each runner is one timed call.
+    type Kernel<'a> = (&'static str, &'static str, Box<dyn Fn() + 'a>);
+    let kernels: Vec<Kernel<'_>> = vec![
+        ("matmul", "tensor", Box::new(|| drop(black_box(ops::matmul(&w.mm_a, &w.mm_b))))),
+        ("matmul_at_b", "tensor", Box::new(|| drop(black_box(ops::matmul_at_b(&mm_at, &w.mm_b))))),
+        (
+            "group_max_reduce",
+            "tensor",
+            Box::new(|| {
+                let gathered = group::gather_rows(&w.red_src, &w.red_groups);
+                drop(black_box(group::group_max_reduce(&gathered, w.red_k)))
+            }),
+        ),
+        (
+            "gather_max_reduce",
+            "tensor",
+            Box::new(|| {
+                drop(black_box(group::gather_max_reduce(&w.red_src, &w.red_groups, w.red_k)))
+            }),
+        ),
+        (
+            "knn",
+            "bruteforce",
+            Box::new(|| drop(black_box(bruteforce::knn_indices(&w.cloud, &w.queries, w.knn_k)))),
+        ),
+        (
+            "knn",
+            "kdtree",
+            Box::new(|| drop(black_box(tree.knn_indices(&w.cloud, &w.queries, w.knn_k)))),
+        ),
+        (
+            "ball",
+            "kdtree",
+            Box::new(|| {
+                drop(black_box(ball::ball_query(&w.cloud, &tree, &w.queries, w.radius, w.knn_k)))
+            }),
+        ),
+        (
+            "ball",
+            "grid",
+            Box::new(|| drop(black_box(grid.ball_query(&w.cloud, &w.queries, w.radius, w.knn_k)))),
+        ),
+        (
+            "knn",
+            "feature",
+            Box::new(|| {
+                let view = FeatureView::new(feat.as_slice(), w.feat_dim)
+                    .expect("bench feature matrix is rectangular");
+                drop(black_box(feature::knn_rows(view, &w.queries, w.knn_k)))
+            }),
+        ),
+    ];
+
+    let mut records = Vec::new();
+    for (op, backend, kernel) in &kernels {
+        let mut base_ns = 0.0f64;
+        for &threads in &sweep {
+            let ns = par::with_threads(threads, || time_ns(budget, kernel));
+            if threads == 1 {
+                base_ns = ns;
+            }
+            let speedup = if ns > 0.0 && base_ns > 0.0 { base_ns / ns } else { 1.0 };
+            records.push(BenchRecord {
+                op,
+                backend,
+                threads,
+                ns_per_op: ns,
+                speedup_vs_1t: speedup,
+            });
+        }
+    }
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    BenchReport { date: utc_date(unix_time), unix_time, host_threads, smoke, records }
+}
+
+/// `YYYY-MM-DD` (UTC) for a Unix timestamp — civil-from-days, Hinnant's
+/// algorithm, so the harness needs no date dependency.
+fn utc_date(unix_time: u64) -> String {
+    let days = (unix_time / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_date_known_values() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(951_782_400), "2000-02-29"); // leap day
+        assert_eq!(utc_date(1_753_660_800), "2025-07-28");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_enough() {
+        let report = BenchReport {
+            date: "2026-07-28".into(),
+            unix_time: 1,
+            host_threads: 4,
+            smoke: true,
+            records: vec![BenchRecord {
+                op: "matmul",
+                backend: "tensor",
+                threads: 2,
+                ns_per_op: 1234.5,
+                speedup_vs_1t: 1.8,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mesorasi-bench/1\""));
+        assert!(json.contains("\"op\": \"matmul\""));
+        assert!(json.contains("\"speedup_vs_1t\": 1.800"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(report.filename(), "BENCH_2026-07-28.json");
+    }
+
+    #[test]
+    fn regressions_flags_slow_parallel_records_only() {
+        let rec = |threads, speedup| BenchRecord {
+            op: "knn",
+            backend: "bruteforce",
+            threads,
+            ns_per_op: 100.0,
+            speedup_vs_1t: speedup,
+        };
+        let report = BenchReport {
+            date: String::new(),
+            unix_time: 0,
+            host_threads: 4,
+            smoke: true,
+            records: vec![rec(1, 1.0), rec(2, 0.5), rec(4, 0.7), rec(8, 2.0)],
+        };
+        let slow: Vec<usize> = report.regressions().iter().map(|r| r.threads).collect();
+        assert_eq!(slow, vec![2]); // 0.5 < 1/1.5; 0.7 and 2.0 pass
+    }
+
+    #[test]
+    fn smoke_run_produces_full_sweep() {
+        // A micro smoke run: every kernel must yield one record per swept
+        // thread count, and 1-thread records must have speedup 1.0.
+        let report = par::with_threads(2, || run(true));
+        assert!(report.smoke);
+        let sweep = thread_sweep(2);
+        assert_eq!(report.records.len() % sweep.len(), 0);
+        for r in report.records.iter().filter(|r| r.threads == 1) {
+            assert!((r.speedup_vs_1t - 1.0).abs() < 1e-9);
+        }
+        assert!(report.records.iter().all(|r| r.ns_per_op > 0.0));
+    }
+}

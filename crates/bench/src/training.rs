@@ -68,21 +68,20 @@ pub fn train_classifier(
     evaluate_classifier(net, ds, strategy, cfg.seed)
 }
 
-/// Test accuracy (%) of a classification network.
+/// Test accuracy (%) of a classification network. Test examples are
+/// evaluated in parallel (each forward pass builds its own graph).
 pub fn evaluate_classifier(
     net: &dyn PointCloudNetwork,
     ds: &Dataset,
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let mut predictions = Vec::with_capacity(ds.test.len());
-    let mut labels = Vec::with_capacity(ds.test.len());
-    for ex in &ds.test {
+    let predictions = mesorasi_par::par_map_collect(&ds.test, |_, ex| {
         let mut g = Graph::new();
         let out = net.forward(&mut g, &ex.cloud, strategy, seed);
-        predictions.push(loss::predictions(g.value(out.logits))[0]);
-        labels.push(ex.label);
-    }
+        loss::predictions(g.value(out.logits))[0]
+    });
+    let labels: Vec<u32> = ds.test.iter().map(|ex| ex.label).collect();
     accuracy(&predictions, &labels) * 100.0
 }
 
@@ -117,12 +116,14 @@ pub fn evaluate_segmenter(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let mut cm = ConfusionMatrix::new(parts as usize);
-    for ex in &ds.test {
+    let per_example = mesorasi_par::par_map_collect(&ds.test, |_, ex| {
         let mut g = Graph::new();
         let out = net.forward(&mut g, &ex.cloud, strategy, seed);
-        let predictions = loss::predictions(g.value(out.logits));
-        cm.record(&predictions, ex.cloud.labels().expect("labelled"));
+        loss::predictions(g.value(out.logits))
+    });
+    let mut cm = ConfusionMatrix::new(parts as usize);
+    for (ex, predictions) in ds.test.iter().zip(&per_example) {
+        cm.record(predictions, ex.cloud.labels().expect("labelled"));
     }
     cm.mean_iou() * 100.0
 }
@@ -180,14 +181,16 @@ pub fn evaluate_detector(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let mut per_class: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for ex in test {
+    let ious = mesorasi_par::par_map_collect(test, |_, ex| {
         let mut g = Graph::new();
         let det = net.forward_detection(&mut g, &ex.cloud, strategy, seed);
         let p = g.value(det.box_params);
         let m = mask_centroid(net, &ex.cloud);
         let predicted = (m.x + p[(0, 0)], m.y + p[(0, 1)], p[(0, 3)].abs(), p[(0, 4)].abs());
-        let iou = bev_iou(predicted, ex.bev_box);
+        bev_iou(predicted, ex.bev_box)
+    });
+    let mut per_class: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (ex, iou) in test.iter().zip(ious) {
         per_class[ex.class as usize].push(iou);
     }
     let class_means: Vec<f64> = per_class
@@ -209,12 +212,15 @@ pub fn detector_mask_accuracy(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let mut predictions = Vec::new();
-    let mut labels = Vec::new();
-    for ex in test {
+    let per_example = mesorasi_par::par_map_collect(test, |_, ex| {
         let mut g = Graph::new();
         let out = net.forward(&mut g, &ex.cloud, strategy, seed);
-        predictions.extend(loss::predictions(g.value(out.logits)));
+        loss::predictions(g.value(out.logits))
+    });
+    let mut predictions = Vec::new();
+    let mut labels = Vec::new();
+    for (ex, p) in test.iter().zip(per_example) {
+        predictions.extend(p);
         labels.extend_from_slice(ex.cloud.labels().expect("labelled"));
     }
     accuracy(&predictions, &labels) * 100.0

@@ -131,7 +131,7 @@ pub fn original_edge(
     check_nit(g, features, module, nit);
     let k = nit.k();
     let repeated_centroids: Vec<usize> =
-        nit.centroids().iter().flat_map(|&c| std::iter::repeat(c).take(k)).collect();
+        nit.centroids().iter().flat_map(|&c| std::iter::repeat_n(c, k)).collect();
     let gathered = g.gather(features, nit.neighbors_flat().to_vec());
     let centroid_rows = g.gather(features, repeated_centroids);
     let offsets = g.sub(gathered, centroid_rows);
@@ -157,7 +157,7 @@ pub fn ltd_edge(
     let k = nit.k();
     let (u, v) = edge_first_layer_halves(g, module, features);
     let repeated_centroids: Vec<usize> =
-        nit.centroids().iter().flat_map(|&c| std::iter::repeat(c).take(k)).collect();
+        nit.centroids().iter().flat_map(|&c| std::iter::repeat_n(c, k)).collect();
     let u_i = g.gather(u, repeated_centroids.clone());
     let v_i = g.gather(v, repeated_centroids);
     let v_j = g.gather(v, nit.neighbors_flat().to_vec());

@@ -333,19 +333,24 @@ pub fn run_feature_propagation(
         let idx = vec![0usize; n_fine];
         g.gather(coarse.features, idx)
     } else {
+        // Each fine point's 3-NN interpolation stencil is independent —
+        // search them in parallel, then flatten in fine-point order.
+        let stencils =
+            mesorasi_par::par_map_collect_cost(fine_positions.points(), n_coarse * 8, |_, &p| {
+                let nn = bruteforce::knn_point(&coarse.positions, p, 3);
+                let mut w = [0f32; 3];
+                for (wi, c) in w.iter_mut().zip(&nn) {
+                    *wi = 1.0 / (c.dist_sq + 1e-8);
+                }
+                let sum: f32 = w.iter().sum();
+                let idx = [nn[0].index, nn[1].index, nn[2].index];
+                (idx, [w[0] / sum, w[1] / sum, w[2] / sum])
+            });
         let mut indices = Vec::with_capacity(n_fine * 3);
         let mut weights = Vec::with_capacity(n_fine * 3);
-        for &p in fine_positions.points() {
-            let nn = bruteforce::knn_point(&coarse.positions, p, 3);
-            let mut w: Vec<f32> = nn.iter().map(|c| 1.0 / (c.dist_sq + 1e-8)).collect();
-            let sum: f32 = w.iter().sum();
-            for wi in &mut w {
-                *wi /= sum;
-            }
-            for (c, &wi) in nn.iter().zip(&w) {
-                indices.push(c.index);
-                weights.push(wi);
-            }
+        for (idx, w) in &stencils {
+            indices.extend_from_slice(idx);
+            weights.extend_from_slice(w);
         }
         g.weighted_gather(coarse.features, indices, weights, 3)
     };

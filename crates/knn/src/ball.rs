@@ -10,7 +10,21 @@ use crate::kdtree::KdTree;
 use crate::NeighborIndexTable;
 use mesorasi_pointcloud::PointCloud;
 
-/// Runs a padded ball query for every centroid in `queries`.
+/// Pads `entry` (the in-radius indices, nearest first) with its first index
+/// until it holds exactly `k` entries — the original implementation's
+/// behaviour for sparse neighborhoods.
+pub(crate) fn pad_entry(mut entry: Vec<usize>, k: usize) -> Vec<usize> {
+    debug_assert!(!entry.is_empty(), "centroid always finds itself");
+    entry.truncate(k);
+    let pad = entry[0];
+    while entry.len() < k {
+        entry.push(pad);
+    }
+    entry
+}
+
+/// Runs a padded ball query for every centroid in `queries`, in parallel
+/// per query.
 ///
 /// For each centroid, collects at most `k` points within `radius`
 /// (ascending by distance; the centroid itself, at distance 0, is first) and
@@ -29,20 +43,10 @@ pub fn ball_query(
 ) -> NeighborIndexTable {
     assert!(k > 0, "k must be positive");
     assert!(radius >= 0.0, "radius must be non-negative");
-    let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
-    let mut entry = Vec::with_capacity(k);
-    for &q in queries {
+    crate::batch_entries(k, queries, crate::kdtree::per_query_cost(tree.len(), k), |q| {
         let found = tree.within_radius(cloud, cloud.point(q), radius);
-        entry.clear();
-        entry.extend(found.iter().take(k).map(|c| c.index));
-        debug_assert!(!entry.is_empty(), "centroid always finds itself");
-        let pad = entry[0];
-        while entry.len() < k {
-            entry.push(pad);
-        }
-        nit.push_entry(q, &entry);
-    }
-    nit
+        pad_entry(found.iter().take(k).map(|c| c.index).collect(), k)
+    })
 }
 
 #[cfg(test)]

@@ -64,7 +64,8 @@ pub fn knn_point(cloud: &PointCloud, query: Point3, k: usize) -> Vec<Candidate> 
 }
 
 /// Runs KNN for every centroid in `queries` (indices into `cloud`) and
-/// collects the results into a [`NeighborIndexTable`].
+/// collects the results into a [`NeighborIndexTable`]. Queries are searched
+/// in parallel (each is an independent exhaustive scan).
 ///
 /// Matches the paper's module semantics: the query set is a subset of the
 /// input points ("the neighbor search might be applied to only a subset of
@@ -74,13 +75,9 @@ pub fn knn_point(cloud: &PointCloud, query: Point3, k: usize) -> Vec<Candidate> 
 ///
 /// Panics if any query index is out of bounds or `k > cloud.len()`.
 pub fn knn_indices(cloud: &PointCloud, queries: &[usize], k: usize) -> NeighborIndexTable {
-    let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
-    for &q in queries {
-        let found = knn_point(cloud, cloud.point(q), k);
-        let idx: Vec<usize> = found.iter().map(|c| c.index).collect();
-        nit.push_entry(q, &idx);
-    }
-    nit
+    crate::batch_entries(k, queries, cloud.len() * 8, |q| {
+        knn_point(cloud, cloud.point(q), k).iter().map(|c| c.index).collect()
+    })
 }
 
 /// The number of distance computations a brute-force KNN performs — the

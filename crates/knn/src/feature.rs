@@ -35,7 +35,7 @@ impl<'a> FeatureView<'a> {
     /// Returns `None` when `data.len()` is not a multiple of `dim` or `dim`
     /// is zero.
     pub fn new(data: &'a [f32], dim: usize) -> Option<Self> {
-        if dim == 0 || data.len() % dim != 0 {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
             return None;
         }
         Some(FeatureView { data, dim })
@@ -76,20 +76,14 @@ pub fn distance_squared(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if `k == 0`, `k > view.rows()`, or a query index is out of range.
 pub fn knn_rows(view: FeatureView<'_>, queries: &[usize], k: usize) -> NeighborIndexTable {
     assert!(k > 0 && k <= view.rows(), "k = {k} out of range for {} rows", view.rows());
-    let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
-    let mut candidates = Vec::with_capacity(view.rows());
-    for &q in queries {
+    // One dense scan of all rows per query; queries run in parallel.
+    crate::batch_entries(k, queries, view.rows() * view.dim() * 3, |q| {
         let qrow = view.row(q);
-        candidates.clear();
-        candidates.extend(
-            (0..view.rows())
-                .map(|i| Candidate { index: i, dist_sq: distance_squared(qrow, view.row(i)) }),
-        );
-        let best = select_k_smallest(&mut candidates, k);
-        let idx: Vec<usize> = best.iter().map(|c| c.index).collect();
-        nit.push_entry(q, &idx);
-    }
-    nit
+        let mut candidates: Vec<Candidate> = (0..view.rows())
+            .map(|i| Candidate { index: i, dist_sq: distance_squared(qrow, view.row(i)) })
+            .collect();
+        select_k_smallest(&mut candidates, k).iter().map(|c| c.index).collect()
+    })
 }
 
 #[cfg(test)]

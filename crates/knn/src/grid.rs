@@ -92,7 +92,8 @@ impl UniformGrid {
     }
 
     /// Padded ball query over member-point centroids — same semantics as
-    /// [`crate::ball::ball_query`], different backend.
+    /// [`crate::ball::ball_query`], different backend. Parallel per query
+    /// (the cell scan is read-only).
     ///
     /// # Panics
     ///
@@ -105,20 +106,12 @@ impl UniformGrid {
         k: usize,
     ) -> NeighborIndexTable {
         assert!(k > 0, "k must be positive");
-        let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
-        let mut entry = Vec::with_capacity(k);
-        for &q in queries {
+        // 27 cells of roughly n / occupied points each is the nominal scan.
+        let cost = 27 * cloud.len().div_ceil(self.occupied_cells().max(1)) * 8;
+        crate::batch_entries(k, queries, cost, |q| {
             let found = self.within_radius(cloud, cloud.point(q), radius);
-            entry.clear();
-            entry.extend(found.iter().take(k).map(|c| c.index));
-            debug_assert!(!entry.is_empty(), "centroid always finds itself");
-            let pad = entry[0];
-            while entry.len() < k {
-                entry.push(pad);
-            }
-            nit.push_entry(q, &entry);
-        }
-        nit
+            crate::ball::pad_entry(found.iter().take(k).map(|c| c.index).collect(), k)
+        })
     }
 }
 

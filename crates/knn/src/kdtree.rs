@@ -81,19 +81,16 @@ impl KdTree {
     }
 
     /// KNN for a batch of member-point queries, as a [`NeighborIndexTable`].
+    /// Queries run in parallel (tree descent is read-only).
     pub fn knn_indices(
         &self,
         cloud: &PointCloud,
         queries: &[usize],
         k: usize,
     ) -> NeighborIndexTable {
-        let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
-        for &q in queries {
-            let found = self.knn(cloud, cloud.point(q), k);
-            let idx: Vec<usize> = found.iter().map(|c| c.index).collect();
-            nit.push_entry(q, &idx);
-        }
-        nit
+        crate::batch_entries(k, queries, per_query_cost(self.size, k), |q| {
+            self.knn(cloud, cloud.point(q), k).iter().map(|c| c.index).collect()
+        })
     }
 
     /// All points within `radius` of `query`, ascending by distance.
@@ -106,6 +103,13 @@ impl KdTree {
         });
         found
     }
+}
+
+/// Rough per-query work estimate for a tree descent — `O(k · log n)` leaf
+/// scans plus backtracking — used to gate batch-query parallelism.
+pub(crate) fn per_query_cost(size: usize, k: usize) -> usize {
+    let depth = usize::BITS as usize - size.max(2).leading_zeros() as usize;
+    LEAF_SIZE * depth * (k + 8)
 }
 
 fn build_node(points: &[Point3], indices: &mut [usize]) -> Node {

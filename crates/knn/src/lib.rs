@@ -40,3 +40,23 @@ pub mod nit;
 pub mod stats;
 
 pub use nit::NeighborIndexTable;
+
+/// Shared batched-query driver: runs `entry_for(query)` for every query —
+/// in parallel when the workload justifies it (`cost_per_query` is the
+/// approximate per-query work in inner-loop operations) — and assembles the
+/// results into a [`NeighborIndexTable`] in query order. Queries are
+/// independent, so parallel and sequential execution produce identical
+/// tables.
+pub(crate) fn batch_entries(
+    k: usize,
+    queries: &[usize],
+    cost_per_query: usize,
+    entry_for: impl Fn(usize) -> Vec<usize> + Sync,
+) -> NeighborIndexTable {
+    let entries = mesorasi_par::par_map_collect_cost(queries, cost_per_query, |_, &q| entry_for(q));
+    let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
+    for (&q, idx) in queries.iter().zip(&entries) {
+        nit.push_entry(q, idx);
+    }
+    nit
+}

@@ -42,7 +42,7 @@ impl Dataset {
     /// for the full recipe.
     pub fn augmented_train_cloud(&self, i: usize, epoch: u64) -> PointCloud {
         let mut cloud = self.train[i].cloud.clone();
-        let seed = (i as u64) * 1_000_003 ^ epoch;
+        let seed = ((i as u64) * 1_000_003) ^ epoch;
         transform::random_scale(&mut cloud, 0.9, 1.1, seed.wrapping_mul(5));
         transform::jitter(&mut cloud, 0.01, 0.05, seed.wrapping_mul(7));
         cloud
@@ -129,7 +129,7 @@ pub fn frustums(scenes: usize, points_per_frustum: usize, seed: u64) -> Vec<Frus
         let labels = scene.cloud.labels().expect("scene clouds are labelled");
         for (i, obj) in scene.objects.iter().enumerate() {
             let tag = i as u32 + 1;
-            if !labels.iter().any(|&l| l == tag) {
+            if !labels.contains(&tag) {
                 continue; // occluded or out of range: no returns
             }
             let frustum = scene.frustum(i, 0.15);
@@ -209,6 +209,6 @@ mod tests {
             assert!(f.class <= 2);
         }
         // At least one frustum should actually contain object points.
-        assert!(fr.iter().any(|f| f.cloud.labels().unwrap().iter().any(|&l| l == 1)));
+        assert!(fr.iter().any(|f| f.cloud.labels().unwrap().contains(&1)));
     }
 }

@@ -43,7 +43,11 @@ pub struct NetForward {
 }
 
 /// Common interface over the seven evaluated networks.
-pub trait PointCloudNetwork {
+///
+/// `Sync` is a supertrait so evaluation loops can fan a shared `&dyn
+/// PointCloudNetwork` out across threads (forward passes take `&self`; all
+/// implementations are plain data).
+pub trait PointCloudNetwork: Sync {
     /// Display name matching the paper's tables (e.g. "PointNet++ (c)").
     fn name(&self) -> &str;
 

@@ -234,7 +234,7 @@ impl Graph {
         k: usize,
     ) -> VarId {
         assert_eq!(indices.len(), weights.len(), "one weight per index");
-        assert!(k > 0 && indices.len() % k == 0, "indices must be n × k");
+        assert!(k > 0 && indices.len().is_multiple_of(k), "indices must be n × k");
         let src = self.value(x);
         let n_out = indices.len() / k;
         let mut value = Matrix::zeros(n_out, src.cols());

@@ -1,0 +1,159 @@
+//! The persistent worker pool behind the `par_*` primitives.
+//!
+//! Spawning OS threads per parallel region costs tens of microseconds —
+//! comparable to an entire paper-scale matmul — so the pool keeps a set of
+//! detached workers parked on a condvar and hands them *jobs*: type-erased
+//! `&(dyn Fn() + Sync)` bodies that internally claim chunks from an atomic
+//! queue. Workers are spawned lazily and grown on demand (a
+//! `with_threads(8)` sweep on a 2-core host still gets 8 real threads, so
+//! thread-count equivalence tests exercise true concurrency everywhere).
+//!
+//! # Safety protocol
+//!
+//! A job body borrows the caller's stack (output slices, closures). The
+//! caller publishes the job, runs the body itself, then *removes the job
+//! from the queue and waits until no worker is still inside the body*
+//! before returning. Workers register themselves (`active += 1`) under the
+//! same lock that queue membership is changed under, so a worker can never
+//! join a job after the caller started tearing it down.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+struct Job {
+    /// The body with its borrow lifetime erased. Only dereferenced by
+    /// workers registered in `active`, which the caller waits out before
+    /// the real borrow ends.
+    body: &'static (dyn Fn() + Sync),
+    /// Additional workers this job still wants (decremented on join; the
+    /// worker taking the last slot removes the job from the queue).
+    slots: Mutex<usize>,
+    /// Workers currently executing the body, plus a condvar the caller
+    /// waits on for it to reach zero.
+    active: Mutex<usize>,
+    done: Condvar,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_ready: Condvar,
+    /// Workers spawned so far (grown on demand, bounded by the caller).
+    spawned: Mutex<usize>,
+}
+
+fn shared() -> &'static PoolShared {
+    static SHARED: OnceLock<PoolShared> = OnceLock::new();
+    SHARED.get_or_init(|| PoolShared {
+        queue: Mutex::new(VecDeque::new()),
+        work_ready: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+fn worker_loop() {
+    // Workers run nested parallel calls sequentially (see lib.rs).
+    crate::pin_current_thread_sequential();
+    let pool = shared();
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                // Join the first job that still wants workers; claim the
+                // slot and the `active` registration under the queue lock
+                // so the caller's teardown can never miss us.
+                let mut picked = None;
+                let mut retire = None;
+                for (i, job) in queue.iter().enumerate() {
+                    let mut slots = job.slots.lock().expect("job slots poisoned");
+                    if *slots > 0 {
+                        *slots -= 1;
+                        if *slots == 0 {
+                            retire = Some(i);
+                        }
+                        *job.active.lock().expect("job active poisoned") += 1;
+                        picked = Some(job.clone());
+                        break;
+                    }
+                }
+                if let Some(i) = retire {
+                    queue.remove(i);
+                }
+                match picked {
+                    Some(job) => break job,
+                    None => {
+                        queue = pool.work_ready.wait(queue).expect("pool queue poisoned");
+                    }
+                }
+            }
+        };
+        // The chunk-claiming bodies catch their own panics (PanicSlot); a
+        // panic escaping here would mean a bug in the claim loop itself.
+        // Swallow it rather than killing the worker.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.body));
+        let mut active = job.active.lock().expect("job active poisoned");
+        *active -= 1;
+        if *active == 0 {
+            job.done.notify_all();
+        }
+    }
+}
+
+/// Makes sure at least `wanted` workers exist (detached, parked when idle).
+fn ensure_workers(wanted: usize) {
+    let pool = shared();
+    let mut spawned = pool.spawned.lock().expect("pool spawn count poisoned");
+    while *spawned < wanted {
+        std::thread::Builder::new()
+            .name(format!("mesorasi-par-{}", *spawned))
+            .spawn(worker_loop)
+            .expect("cannot spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Runs `body` on the calling thread plus up to `extra` pool workers, and
+/// returns once every participant has left the body. The body must be a
+/// self-scheduling chunk-claim loop: idempotent to run on any number of
+/// threads concurrently, a no-op once all chunks are claimed, and
+/// panic-free (it catches its own panics).
+pub(crate) fn run(extra: usize, body: &(dyn Fn() + Sync)) {
+    if extra == 0 {
+        body();
+        return;
+    }
+    ensure_workers(extra);
+    let pool = shared();
+    // SAFETY: erases the borrow lifetime so the job can sit in the
+    // 'static queue. The teardown below guarantees no worker touches
+    // `body` after this function returns, re-establishing the borrow rule.
+    let body_static: &'static (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
+    let job = Arc::new(Job {
+        body: body_static,
+        slots: Mutex::new(extra),
+        active: Mutex::new(0),
+        done: Condvar::new(),
+    });
+    {
+        let mut queue = pool.queue.lock().expect("pool queue poisoned");
+        queue.push_back(job.clone());
+    }
+    pool.work_ready.notify_all();
+
+    // The caller participates too — pinned sequential like the workers, so
+    // nested parallel calls behave identically on every participant.
+    crate::with_threads(1, body);
+
+    // Teardown: pull the job out of the queue (no new workers may join),
+    // then wait out the ones already inside the body.
+    {
+        let mut queue = pool.queue.lock().expect("pool queue poisoned");
+        if let Some(i) = queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+            queue.remove(i);
+        }
+    }
+    let mut active = job.active.lock().expect("job active poisoned");
+    while *active > 0 {
+        active = job.done.wait(active).expect("job active poisoned");
+    }
+}

@@ -150,7 +150,7 @@ pub fn generate_scene(config: &LidarConfig, n_objects: usize, seed: u64) -> Scen
     let mut objects = Vec::with_capacity(n_objects);
     for _ in 0..n_objects {
         let class = match rng.gen_range(0..6) {
-            0 | 1 | 2 => ObjectClass::Car,
+            0..=2 => ObjectClass::Car,
             3 | 4 => ObjectClass::Pedestrian,
             _ => ObjectClass::Cyclist,
         };
@@ -209,7 +209,7 @@ fn cast_ray(
         let o = Point3::new(c * rel.x + s * rel.y, -s * rel.x + c * rel.y, rel.z);
         let d = Point3::new(c * dir.x + s * dir.y, -s * dir.x + c * dir.y, dir.z);
         if let Some(t) = slab_intersect(o, d, hx, hy, hz) {
-            if t > 0.1 && t <= config.max_range && best.map_or(true, |(bt, _)| t < bt) {
+            if t > 0.1 && t <= config.max_range && best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, i as u32 + 1));
             }
         }

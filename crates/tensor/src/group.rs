@@ -14,20 +14,33 @@
 //! gradient).
 
 use crate::Matrix;
+use mesorasi_par as par;
 
 /// Gathers `indices.len()` rows of `src` into a new matrix (row `i` of the
 /// result is `src.row(indices[i])`). Indices may repeat — this *is* the
 /// irregular gather whose memory behaviour the Aggregation Unit accelerates.
+/// Parallel over output rows (each row is one contiguous copy).
 ///
 /// # Panics
 ///
 /// Panics if any index is out of bounds.
 pub fn gather_rows(src: &Matrix, indices: &[usize]) -> Matrix {
-    let mut out = Matrix::zeros(indices.len(), src.cols());
-    for (r, &i) in indices.iter().enumerate() {
-        assert!(i < src.rows(), "gather index {i} out of bounds for {} rows", src.rows());
-        out.row_mut(r).copy_from_slice(src.row(i));
+    let cols = src.cols();
+    let mut out = Matrix::zeros(indices.len(), cols);
+    if cols == 0 {
+        for &i in indices {
+            assert!(i < src.rows(), "gather index {i} out of bounds for {} rows", src.rows());
+        }
+        return out;
     }
+    let row_chunk = par::chunk_len(indices.len(), cols);
+    par::par_chunks_mut(out.as_mut_slice(), row_chunk * cols, |ci, chunk| {
+        for (ri, out_row) in chunk.chunks_mut(cols).enumerate() {
+            let i = indices[ci * row_chunk + ri];
+            assert!(i < src.rows(), "gather index {i} out of bounds for {} rows", src.rows());
+            out_row.copy_from_slice(src.row(i));
+        }
+    });
     out
 }
 
@@ -61,14 +74,21 @@ pub fn subtract_centroid_per_group(grouped: &Matrix, centroid_rows: &Matrix, k: 
     assert_eq!(grouped.rows() / k, centroid_rows.rows(), "one centroid per group");
     assert_eq!(grouped.cols(), centroid_rows.cols(), "widths must match");
     let mut out = grouped.clone();
-    for g in 0..centroid_rows.rows() {
-        let c = centroid_rows.row(g);
-        for r in g * k..(g + 1) * k {
-            for (o, &cv) in out.row_mut(r).iter_mut().zip(c) {
-                *o -= cv;
+    let cols = grouped.cols();
+    if cols == 0 {
+        return out;
+    }
+    let group_chunk = par::chunk_len(centroid_rows.rows(), k * cols);
+    par::par_chunks_mut(out.as_mut_slice(), group_chunk * k * cols, |ci, chunk| {
+        for (gi, group) in chunk.chunks_mut(k * cols).enumerate() {
+            let c = centroid_rows.row(ci * group_chunk + gi);
+            for row in group.chunks_mut(cols) {
+                for (o, &cv) in row.iter_mut().zip(c) {
+                    *o -= cv;
+                }
             }
         }
-    }
+    });
     out
 }
 
@@ -86,21 +106,30 @@ pub fn group_max_reduce(grouped: &Matrix, k: usize) -> (Matrix, Vec<usize>) {
     let cols = grouped.cols();
     let mut out = Matrix::zeros(n_out, cols);
     let mut arg = vec![0usize; n_out * cols];
-    for g in 0..n_out {
-        let first = g * k;
-        out.row_mut(g).copy_from_slice(grouped.row(first));
-        for c in 0..cols {
-            arg[g * cols + c] = first;
-        }
-        for r in first + 1..first + k {
-            for (c, &v) in grouped.row(r).iter().enumerate() {
-                if v > out[(g, c)] {
-                    out[(g, c)] = v;
-                    arg[g * cols + c] = r;
+    if cols == 0 {
+        return (out, arg);
+    }
+    // Parallel over whole groups: each group's max scan stays on one
+    // thread, preserving the sequential comparison order exactly.
+    let group_chunk = par::chunk_len(n_out, k * cols);
+    let stride = group_chunk * cols;
+    par::par_chunks_mut_pair(out.as_mut_slice(), &mut arg, stride, stride, |ci, vals, args| {
+        for (gi, (out_row, arg_row)) in vals.chunks_mut(cols).zip(args.chunks_mut(cols)).enumerate()
+        {
+            let first = (ci * group_chunk + gi) * k;
+            out_row.copy_from_slice(grouped.row(first));
+            arg_row.fill(first);
+            for r in first + 1..first + k {
+                for ((&v, o), a) in grouped.row(r).iter().zip(out_row.iter_mut()).zip(&mut *arg_row)
+                {
+                    if v > *o {
+                        *o = v;
+                        *a = r;
+                    }
                 }
             }
         }
-    }
+    });
     (out, arg)
 }
 
@@ -123,24 +152,34 @@ pub fn gather_max_reduce(src: &Matrix, groups: &[usize], k: usize) -> (Matrix, V
     let cols = src.cols();
     let mut out = Matrix::zeros(n_out, cols);
     let mut arg = vec![0usize; n_out * cols];
-    for g in 0..n_out {
-        let entry = &groups[g * k..(g + 1) * k];
-        let first = entry[0];
-        assert!(first < src.rows(), "group index {first} out of bounds");
-        out.row_mut(g).copy_from_slice(src.row(first));
-        for c in 0..cols {
-            arg[g * cols + c] = first;
-        }
-        for &i in &entry[1..] {
+    if cols == 0 {
+        for &i in groups {
             assert!(i < src.rows(), "group index {i} out of bounds");
-            for (c, &v) in src.row(i).iter().enumerate() {
-                if v > out[(g, c)] {
-                    out[(g, c)] = v;
-                    arg[g * cols + c] = i;
+        }
+        return (out, arg);
+    }
+    let group_chunk = par::chunk_len(n_out, k * cols);
+    let stride = group_chunk * cols;
+    par::par_chunks_mut_pair(out.as_mut_slice(), &mut arg, stride, stride, |ci, vals, args| {
+        for (gi, (out_row, arg_row)) in vals.chunks_mut(cols).zip(args.chunks_mut(cols)).enumerate()
+        {
+            let g = ci * group_chunk + gi;
+            let entry = &groups[g * k..(g + 1) * k];
+            let first = entry[0];
+            assert!(first < src.rows(), "group index {first} out of bounds");
+            out_row.copy_from_slice(src.row(first));
+            arg_row.fill(first);
+            for &i in &entry[1..] {
+                assert!(i < src.rows(), "group index {i} out of bounds");
+                for ((&v, o), a) in src.row(i).iter().zip(out_row.iter_mut()).zip(&mut *arg_row) {
+                    if v > *o {
+                        *o = v;
+                        *a = i;
+                    }
                 }
             }
         }
-    }
+    });
     (out, arg)
 }
 

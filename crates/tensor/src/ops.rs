@@ -1,8 +1,15 @@
 //! Dense kernels: matrix products, broadcasts, activations, statistics.
+//!
+//! The matmul family is data-parallel over output rows via [`mesorasi_par`]:
+//! every output row is produced entirely by one chunk with a fixed
+//! accumulation order, so results are bit-identical at every thread count
+//! (and the whole layer degrades to the plain sequential loop at an
+//! effective thread count of 1 or for small shapes).
 
 use crate::Matrix;
+use mesorasi_par as par;
 
-/// `A · B` for `A: m×k`, `B: k×n`.
+/// `A · B` for `A: m×k`, `B: k×n`, parallel over output rows.
 ///
 /// Uses the cache-friendly i-k-j loop order; the inner loop is a
 /// scalar-times-row AXPY that the compiler auto-vectorizes.
@@ -15,24 +22,33 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let out_row = out.row_mut(i);
-        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
+    if n == 0 {
+        return out;
+    }
+    let row_chunk = par::chunk_len(m, 2 * k * n);
+    par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
+        for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
+            let a_row = a.row(ci * row_chunk + ri);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(p);
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
             }
         }
-    }
+    });
     out
 }
 
 /// `Aᵀ · B` for `A: k×m`, `B: k×n` — the weight-gradient product of a
 /// linear layer (`dW = Xᵀ · dY`), computed without materializing `Aᵀ`.
+/// Parallel over output-row chunks. Each chunk keeps the cache-friendly
+/// p-outer loop restricted to its own column slice of `A`, so reads of `A`
+/// and `B` stay contiguous and every output element still accumulates over
+/// `p` ascending — bit-identical to the sequential formulation.
 ///
 /// # Panics
 ///
@@ -48,19 +64,27 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
     let (k, m) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (i, &a_pi) in a_row.iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
-            }
-            let out_row = out.row_mut(i);
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_pi * b_pj;
+    if n == 0 {
+        return out;
+    }
+    let row_chunk = par::chunk_len(m, 2 * k * n);
+    par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
+        let first = ci * row_chunk;
+        let rows_here = chunk.len() / n;
+        for p in 0..k {
+            let a_cols = &a.row(p)[first..first + rows_here];
+            let b_row = b.row(p);
+            for (ri, &a_pi) in a_cols.iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let out_row = &mut chunk[ri * n..(ri + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_pi * b_pj;
+                }
             }
         }
-    }
+    });
     out
 }
 
@@ -78,21 +102,26 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
         a.shape(),
         b.shape()
     );
-    let (m, _k) = a.shape();
+    let (m, k) = a.shape();
     let n = b.rows();
     let mut out = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let out_row = out.row_mut(i);
-        for (j, o) in out_row.iter_mut().enumerate().take(n) {
-            let b_row = b.row(j);
-            let mut acc = 0.0;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
+    if n == 0 {
+        return out;
     }
+    let row_chunk = par::chunk_len(m, 2 * k * n);
+    par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
+        for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
+            let a_row = a.row(ci * row_chunk + ri);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                let b_row = b.row(j);
+                let mut acc = 0.0;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    });
     out
 }
 

@@ -140,7 +140,8 @@ macro_rules! prop_assert {
     };
 }
 
-/// Fails the current case when the two values differ.
+/// Fails the current case when the two values differ. Like upstream, an
+/// optional trailing format message is appended to the mismatch report.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($lhs:expr, $rhs:expr) => {{
@@ -150,6 +151,18 @@ macro_rules! prop_assert_eq {
             "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
             stringify!($lhs),
             stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            ::std::format!($($fmt)+),
             lhs,
             rhs
         );
