@@ -77,7 +77,8 @@ fn run_bench(args: &[String]) -> ! {
     }
 
     let regressions = report.regressions();
-    if smoke && !regressions.is_empty() {
+    let engine_regressions = report.engine_regressions();
+    if smoke && !(regressions.is_empty() && engine_regressions.is_empty()) {
         for r in &regressions {
             eprintln!(
                 "[repro] REGRESSION: {}/{} at {} threads is {:.2}x the sequential time \
@@ -85,7 +86,16 @@ fn run_bench(args: &[String]) -> ! {
                 r.op,
                 r.backend,
                 r.threads,
-                1.0 / r.speedup_vs_1t
+                r.speedup_vs_1t.map_or(f64::INFINITY, |s| 1.0 / s)
+            );
+        }
+        for r in &engine_regressions {
+            let vs_tape = r.extra.map_or(0.0, |e| e.speedup_vs_tape);
+            eprintln!(
+                "[repro] REGRESSION: planned inference on {} is {:.2}x the tape time \
+                 (gate: planned must not be slower)",
+                r.backend,
+                if vs_tape > 0.0 { 1.0 / vs_tape } else { f64::INFINITY }
             );
         }
         std::process::exit(1);

@@ -10,6 +10,7 @@
 use mesorasi_core::Strategy;
 use mesorasi_networks::datasets::{Dataset, FrustumExample};
 use mesorasi_networks::fpointnet::FPointNet;
+use mesorasi_networks::planned::{PlannedDetector, PlannedNetwork};
 use mesorasi_networks::PointCloudNetwork;
 use mesorasi_nn::metrics::{accuracy, bev_iou, geometric_mean, ConfusionMatrix};
 use mesorasi_nn::optim::{Adam, Optimizer};
@@ -17,6 +18,44 @@ use mesorasi_nn::{loss, Graph};
 use mesorasi_pointcloud::{Point3, PointCloud};
 use mesorasi_tensor::Matrix;
 use rand::seq::SliceRandom;
+
+/// Evaluates `items` with one inference session per pool task: the test
+/// set is split into `current_threads` contiguous chunks, each chunk owns
+/// a session (`new_session` records one plan, then every sample replays
+/// against its arena), and results come back in input order. Sessions are
+/// mutable state, which is why the eval loops chunk instead of using
+/// `par_map_collect`.
+fn par_eval_chunks<T, R, S>(
+    items: &[T],
+    new_session: impl Fn() -> S + Sync,
+    eval: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = mesorasi_par::current_threads().clamp(1, items.len());
+    let chunk = items.len().div_ceil(threads);
+    let n_chunks = items.len().div_ceil(chunk);
+    let mut results: Vec<Vec<R>> = (0..n_chunks).map(|_| Vec::new()).collect();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
+        .iter_mut()
+        .zip(items.chunks(chunk))
+        .map(|(out, part)| {
+            let new_session = &new_session;
+            let eval = &eval;
+            Box::new(move || {
+                let mut session = new_session();
+                out.extend(part.iter().map(|item| eval(&mut session, item)));
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    mesorasi_par::par_run_tasks(tasks);
+    results.into_iter().flatten().collect()
+}
 
 /// Epoch-seeded training order: batch-size-1 SGD over class-sorted data
 /// would otherwise forget early classes every epoch.
@@ -68,19 +107,21 @@ pub fn train_classifier(
     evaluate_classifier(net, ds, strategy, cfg.seed)
 }
 
-/// Test accuracy (%) of a classification network. Test examples are
-/// evaluated in parallel (each forward pass builds its own graph).
+/// Test accuracy (%) of a classification network. Runs on the planned
+/// inference engine (bit-identical to tape forwards): each pool task
+/// records one plan and replays its chunk of the test set against a
+/// reusable arena.
 pub fn evaluate_classifier(
     net: &dyn PointCloudNetwork,
     ds: &Dataset,
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let predictions = mesorasi_par::par_map_collect(&ds.test, |_, ex| {
-        let mut g = Graph::new();
-        let out = net.forward(&mut g, &ex.cloud, strategy, seed);
-        loss::predictions(g.value(out.logits))[0]
-    });
+    let predictions = par_eval_chunks(
+        &ds.test,
+        || PlannedNetwork::new(net, strategy, seed),
+        |planned, ex| loss::predictions(planned.logits(&ex.cloud))[0],
+    );
     let labels: Vec<u32> = ds.test.iter().map(|ex| ex.label).collect();
     accuracy(&predictions, &labels) * 100.0
 }
@@ -108,7 +149,7 @@ pub fn train_segmenter(
     evaluate_segmenter(net, ds, parts, strategy, cfg.seed)
 }
 
-/// Test mIoU (%) of a segmentation network.
+/// Test mIoU (%) of a segmentation network (planned inference engine).
 pub fn evaluate_segmenter(
     net: &dyn PointCloudNetwork,
     ds: &Dataset,
@@ -116,11 +157,11 @@ pub fn evaluate_segmenter(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let per_example = mesorasi_par::par_map_collect(&ds.test, |_, ex| {
-        let mut g = Graph::new();
-        let out = net.forward(&mut g, &ex.cloud, strategy, seed);
-        loss::predictions(g.value(out.logits))
-    });
+    let per_example = par_eval_chunks(
+        &ds.test,
+        || PlannedNetwork::new(net, strategy, seed),
+        |planned, ex| loss::predictions(planned.logits(&ex.cloud)),
+    );
     let mut cm = ConfusionMatrix::new(parts as usize);
     for (ex, predictions) in ds.test.iter().zip(&per_example) {
         cm.record(predictions, ex.cloud.labels().expect("labelled"));
@@ -181,14 +222,16 @@ pub fn evaluate_detector(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let ious = mesorasi_par::par_map_collect(test, |_, ex| {
-        let mut g = Graph::new();
-        let det = net.forward_detection(&mut g, &ex.cloud, strategy, seed);
-        let p = g.value(det.box_params);
-        let m = mask_centroid(net, &ex.cloud);
-        let predicted = (m.x + p[(0, 0)], m.y + p[(0, 1)], p[(0, 3)].abs(), p[(0, 4)].abs());
-        bev_iou(predicted, ex.bev_box)
-    });
+    let ious = par_eval_chunks(
+        test,
+        || PlannedDetector::new(net, strategy, seed),
+        |planned, ex| {
+            let (_seg, p) = planned.run(&ex.cloud);
+            let m = mask_centroid(net, &ex.cloud);
+            let predicted = (m.x + p[(0, 0)], m.y + p[(0, 1)], p[(0, 3)].abs(), p[(0, 4)].abs());
+            bev_iou(predicted, ex.bev_box)
+        },
+    );
     let mut per_class: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (ex, iou) in test.iter().zip(ious) {
         per_class[ex.class as usize].push(iou);
@@ -212,11 +255,11 @@ pub fn detector_mask_accuracy(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let per_example = mesorasi_par::par_map_collect(test, |_, ex| {
-        let mut g = Graph::new();
-        let out = net.forward(&mut g, &ex.cloud, strategy, seed);
-        loss::predictions(g.value(out.logits))
-    });
+    let per_example = par_eval_chunks(
+        test,
+        || PlannedDetector::new(net, strategy, seed),
+        |planned, ex| loss::predictions(planned.run(&ex.cloud).0),
+    );
     let mut predictions = Vec::new();
     let mut labels = Vec::new();
     for (ex, p) in test.iter().zip(per_example) {

@@ -1,0 +1,850 @@
+//! The plan-and-execute inference engine.
+//!
+//! `mesorasi_nn::plan` can replay a recorded op sequence against a
+//! liveness-planned arena, but knows nothing about point clouds. This
+//! module supplies the missing half: *where the dynamic operands come
+//! from*. A forward pass has exactly three kinds of per-sample values the
+//! IR cannot carry —
+//!
+//! 1. **input states**: the xyz feature matrix of the sample cloud (and,
+//!    for F-PointNet, the masked/recentered crop derived from it),
+//! 2. **neighbor structure**: centroid selections and neighbor-search
+//!    results (the NIT), which the executors consume as gather/reduce
+//!    index lists,
+//! 3. **interpolation stencils**: the 3-NN inverse-distance weights of
+//!    feature propagation.
+//!
+//! While a [`PlanEngine`] records a network's forward once, a thread-local
+//! recorder (armed only during recording) captures a list of [`DynStep`]s
+//! describing how each of those values derives from the sample. Executing
+//! a *new* sample interleaves plan ranges with the dynamic steps — the
+//! feature-space searches of DGCNN read intermediate features straight out
+//! of the arena — and the derived [`Bindings`] are cached per sample (the
+//! NIT cache), so repeated inference on a seen sample runs pure planned
+//! tensor code with **zero per-sample allocation**.
+//!
+//! The searches, centroid sampling, and stencil computation are the very
+//! functions the tape-based runner calls, so planned execution is
+//! bit-identical to [`crate::runner::run_module`]-based forwards at every
+//! thread count. The engine assumes frozen parameters: plans snapshot
+//! weights at compile time, and cached NITs for feature-space searches are
+//! only valid while the weights that produced those features stay put.
+
+use crate::module::NeighborMode;
+use crate::runner::{fp_stencils, search_nit, select_centroids};
+use mesorasi_nn::ir::VarId;
+use mesorasi_nn::plan::{Arena, ArenaStats, Bindings, DynMarks, Plan};
+use mesorasi_nn::Graph;
+use mesorasi_pointcloud::PointCloud;
+use mesorasi_tensor::Matrix;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How a registered input state's positions derive from the sample cloud.
+#[derive(Clone)]
+pub enum StateSource {
+    /// The sample cloud itself (the root state of every network).
+    Sample,
+    /// A pure function of the sample cloud (e.g. F-PointNet's
+    /// mask-and-recenter crop). Must be deterministic.
+    Derived(Arc<dyn Fn(&PointCloud) -> PointCloud + Send + Sync>),
+}
+
+impl std::fmt::Debug for StateSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateSource::Sample => write!(f, "Sample"),
+            StateSource::Derived(_) => write!(f, "Derived(..)"),
+        }
+    }
+}
+
+/// One per-sample derivation the engine replays between plan ranges.
+/// `at` is the tape position the step must complete before.
+#[derive(Debug)]
+pub enum DynStep {
+    /// Derive a position state and write its xyz rows into the plan input.
+    Input {
+        /// Tape position of the `Input` node.
+        at: usize,
+        /// The state id being derived.
+        state: usize,
+        /// The `Input` node whose value is the state's xyz rows.
+        input_node: usize,
+        /// How the positions derive from the sample.
+        source: StateSource,
+    },
+    /// Select centroids and run the module's neighbor search, filling the
+    /// index bindings the executors consume.
+    Search {
+        /// Tape position before the module's first op.
+        at: usize,
+        /// Input state id.
+        state_in: usize,
+        /// Output state id (`None` for searches whose output state is
+        /// never position-referenced downstream).
+        state_out: Option<usize>,
+        /// The search mode (kNN / ball / feature-space).
+        neighbor: NeighborMode,
+        /// Centroid count.
+        n_out: usize,
+        /// Neighbors per centroid.
+        k: usize,
+        /// Centroid-sampling seed recorded from the tape forward.
+        seed: u64,
+        /// For feature-space search: the tape node holding the features.
+        feature_node: Option<usize>,
+        /// Binding for the flattened neighbor lists.
+        neighbors_bid: Option<usize>,
+        /// Binding for the centroid index list.
+        centroids_bid: Option<usize>,
+        /// Binding for centroids repeated `k` times each (edge modules).
+        repeated_bid: Option<usize>,
+    },
+    /// Compute the 3-NN inverse-distance stencil from `coarse` onto `fine`.
+    Stencil {
+        /// Tape position of the weighted-gather node.
+        at: usize,
+        /// Coarse (source) state id.
+        coarse: usize,
+        /// Fine (target) state id.
+        fine: usize,
+        /// Stencil binding filled by this step.
+        bid: usize,
+    },
+}
+
+impl DynStep {
+    fn at(&self) -> usize {
+        match self {
+            DynStep::Input { at, .. }
+            | DynStep::Search { at, .. }
+            | DynStep::Stencil { at, .. } => *at,
+        }
+    }
+}
+
+/// Which index vector of a module's NIT an executor op consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum IndexRole {
+    /// `nit.neighbors_flat()`.
+    Neighbors,
+    /// `nit.centroids()`.
+    Centroids,
+    /// Each centroid repeated `k` times (edge-module row expansion).
+    Repeated,
+}
+
+/// A position state registered during recording. `positions` is `None` for
+/// states whose positions cannot be re-derived (group-all outputs) — legal
+/// as long as no later step needs them.
+struct StateRec {
+    positions: Option<PointCloud>,
+}
+
+struct OpenSearch {
+    at: usize,
+    state_in: usize,
+    neighbor: NeighborMode,
+    n_out: usize,
+    k: usize,
+    seed: u64,
+    feature_node: Option<usize>,
+    neighbors_bid: Option<usize>,
+    centroids_bid: Option<usize>,
+    repeated_bid: Option<usize>,
+}
+
+/// Everything the thread-local recorder accumulates during one recording
+/// forward pass.
+#[derive(Default)]
+pub(crate) struct Recording {
+    steps: Vec<DynStep>,
+    marks: DynMarks,
+    states: Vec<StateRec>,
+    state_by_var: HashMap<usize, usize>,
+    open: Option<OpenSearch>,
+    error: Option<String>,
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Recording>> = const { RefCell::new(None) };
+}
+
+/// Recorder hooks the runner and executors call. Every function is a no-op
+/// when no recording is active on this thread, so the training path pays
+/// one thread-local read per call site.
+pub(crate) mod rec {
+    use super::*;
+
+    fn with(f: impl FnOnce(&mut Recording)) {
+        RECORDER.with(|r| {
+            if let Some(rec) = r.borrow_mut().as_mut() {
+                f(rec);
+            }
+        });
+    }
+
+    /// Registers an input state created by `ModuleState::from_cloud[_derived]`.
+    pub(crate) fn input_state(input_var: VarId, cloud: &PointCloud, source: Option<StateSource>) {
+        with(|rec| {
+            let source = match source {
+                Some(s) => s,
+                None if rec.states.is_empty() => StateSource::Sample,
+                None => {
+                    rec.error = Some(
+                        "a mid-network input state has no derivation; create it with \
+                         ModuleState::from_cloud_derived so the plan can replay it"
+                            .into(),
+                    );
+                    return;
+                }
+            };
+            let state = rec.states.len();
+            rec.states.push(StateRec { positions: Some(cloud.clone()) });
+            rec.state_by_var.insert(input_var.index(), state);
+            rec.steps.push(DynStep::Input {
+                at: input_var.index(),
+                state,
+                input_node: input_var.index(),
+                source,
+            });
+        });
+    }
+
+    /// Opens a module search: executors will attach index roles to it.
+    pub(crate) fn begin_search(
+        at: usize,
+        state_features: VarId,
+        neighbor: NeighborMode,
+        n_out: usize,
+        k: usize,
+        seed: u64,
+    ) {
+        with(|rec| {
+            debug_assert!(rec.open.is_none(), "module recordings never nest");
+            let Some(&state_in) = rec.state_by_var.get(&state_features.index()) else {
+                rec.error = Some(format!(
+                    "module input features (node {}) belong to no registered state",
+                    state_features.index()
+                ));
+                return;
+            };
+            if rec.states[state_in].positions.is_none() {
+                rec.error =
+                    Some("a searching module consumes a group-all output's positions".into());
+                return;
+            }
+            let feature_node =
+                matches!(neighbor, NeighborMode::FeatureKnn).then_some(state_features.index());
+            rec.open = Some(OpenSearch {
+                at,
+                state_in,
+                neighbor,
+                n_out,
+                k,
+                seed,
+                feature_node,
+                neighbors_bid: None,
+                centroids_bid: None,
+                repeated_bid: None,
+            });
+        });
+    }
+
+    /// Marks `var`'s index operand as derived from the open search's NIT.
+    pub(crate) fn bind_index(var: VarId, role: IndexRole) {
+        with(|rec| {
+            let n_index = &mut rec.marks.n_index;
+            let Some(open) = rec.open.as_mut() else {
+                return; // executors may run outside run_module in tests
+            };
+            let slot = match role {
+                IndexRole::Neighbors => &mut open.neighbors_bid,
+                IndexRole::Centroids => &mut open.centroids_bid,
+                IndexRole::Repeated => &mut open.repeated_bid,
+            };
+            let bid = *slot.get_or_insert_with(|| {
+                let bid = *n_index;
+                *n_index += 1;
+                bid
+            });
+            rec.marks.indices.insert(var.index(), bid);
+        });
+    }
+
+    /// Closes the open search, registering the module's output state.
+    pub(crate) fn end_search(out_features: VarId, out_positions: &PointCloud) {
+        with(|rec| {
+            let Some(open) = rec.open.take() else { return };
+            let state_out = rec.states.len();
+            rec.states.push(StateRec { positions: Some(out_positions.clone()) });
+            rec.state_by_var.insert(out_features.index(), state_out);
+            rec.steps.push(DynStep::Search {
+                at: open.at,
+                state_in: open.state_in,
+                state_out: Some(state_out),
+                neighbor: open.neighbor,
+                n_out: open.n_out,
+                k: open.k,
+                seed: open.seed,
+                feature_node: open.feature_node,
+                neighbors_bid: open.neighbors_bid,
+                centroids_bid: open.centroids_bid,
+                repeated_bid: open.repeated_bid,
+            });
+        });
+    }
+
+    /// Aliases `new_features` onto the state `base_features` belongs to —
+    /// the skip-link/dense-concat pattern where new features sit on
+    /// existing positions.
+    pub(crate) fn alias_state(base_features: VarId, new_features: VarId) {
+        with(|rec| {
+            let Some(&state) = rec.state_by_var.get(&base_features.index()) else {
+                rec.error = Some(format!(
+                    "cannot alias features (node {}) onto unregistered state (node {})",
+                    new_features.index(),
+                    base_features.index()
+                ));
+                return;
+            };
+            rec.state_by_var.insert(new_features.index(), state);
+        });
+    }
+
+    /// Registers a group-all module's output state: downstream feature
+    /// propagation may look it up by features var (the broadcast path),
+    /// but its positions are not re-derivable per sample.
+    pub(crate) fn global_state(out_features: VarId) {
+        with(|rec| {
+            let state = rec.states.len();
+            rec.states.push(StateRec { positions: None });
+            rec.state_by_var.insert(out_features.index(), state);
+        });
+    }
+
+    /// Records a feature-propagation step. `stencil_var` is the
+    /// weighted-gather node when the 3-NN path ran (`None` for the
+    /// broadcast path, whose gather indices are structural).
+    pub(crate) fn feature_propagation(
+        coarse_features: VarId,
+        fine_positions: &PointCloud,
+        stencil_var: Option<VarId>,
+        out_features: VarId,
+    ) {
+        with(|rec| {
+            // Resolve the fine level by position equality with a known
+            // state — the runner API passes positions, not states.
+            let fine = rec.states.iter().position(|s| {
+                s.positions.as_ref().is_some_and(|p| clouds_identical(p, fine_positions))
+            });
+            let Some(fine) = fine else {
+                rec.error =
+                    Some("feature propagation targets positions of no registered state".into());
+                return;
+            };
+            if let Some(var) = stencil_var {
+                let Some(&coarse) = rec.state_by_var.get(&coarse_features.index()) else {
+                    rec.error = Some("feature propagation coarse state is unregistered".into());
+                    return;
+                };
+                if rec.states[coarse].positions.is_none() {
+                    rec.error =
+                        Some("feature propagation interpolates from a group-all output".into());
+                    return;
+                }
+                let bid = rec.marks.n_stencil;
+                rec.marks.n_stencil += 1;
+                rec.marks.stencils.insert(var.index(), bid);
+                rec.steps.push(DynStep::Stencil { at: var.index(), coarse, fine, bid });
+            }
+            // The output state sits on the fine level's positions, so it
+            // *aliases* the fine state — replay derives `fine` anyway, and
+            // no separate derivation step exists for the FP output.
+            rec.state_by_var.insert(out_features.index(), fine);
+        });
+    }
+}
+
+/// Bit-exact cloud equality (positions and labels), used for state
+/// resolution during recording and for NIT-cache lookups.
+fn clouds_identical(a: &PointCloud, b: &PointCloud) -> bool {
+    a.len() == b.len()
+        && a.labels() == b.labels()
+        && a.points().iter().zip(b.points()).all(|(p, q)| {
+            p.x.to_bits() == q.x.to_bits()
+                && p.y.to_bits() == q.y.to_bits()
+                && p.z.to_bits() == q.z.to_bits()
+        })
+}
+
+/// FNV-1a over a cloud's position bits and labels — the NIT-cache hash
+/// (always verified by [`clouds_identical`] before use).
+fn cloud_hash(cloud: &PointCloud) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u32| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for p in cloud.points() {
+        mix(p.x.to_bits());
+        mix(p.y.to_bits());
+        mix(p.z.to_bits());
+    }
+    if let Some(labels) = cloud.labels() {
+        for &l in labels {
+            mix(l);
+        }
+    }
+    h
+}
+
+/// Samples the NIT cache may hold per compiled plan before it resets —
+/// bounds memory for unbounded streams while covering every eval set in
+/// the repo.
+const SAMPLE_CACHE_CAP: usize = 1024;
+
+struct Compiled {
+    n_points: usize,
+    plan: Plan,
+    steps: Vec<DynStep>,
+    /// Steps that survived plan dead-code elimination.
+    step_live: Vec<bool>,
+    n_states: usize,
+    arena: Arena,
+    /// NIT cache: `(hash, cloud, bindings)` per seen sample.
+    samples: Vec<(u64, PointCloud, Bindings)>,
+}
+
+/// Borrow of a finished execution's outputs.
+pub struct PlannedOutputs<'a> {
+    plan: &'a Plan,
+    arena: &'a Arena,
+    outputs: usize,
+}
+
+impl<'a> PlannedOutputs<'a> {
+    /// The `i`-th output requested by the recording closure. The borrow
+    /// carries the engine's lifetime, so several outputs can be held at
+    /// once.
+    pub fn get(&self, i: usize) -> &'a Matrix {
+        self.plan.output(self.arena, i)
+    }
+
+    /// Number of outputs.
+    pub fn len(&self) -> usize {
+        self.outputs
+    }
+
+    /// True when the recording produced no outputs (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.outputs == 0
+    }
+
+    /// Arena statistics of the executed plan.
+    pub fn stats(&self) -> ArenaStats {
+        self.plan.stats(self.arena)
+    }
+}
+
+/// A plan-and-execute inference session.
+///
+/// One engine serves one frozen `(network, strategy, seed)` combination —
+/// the recording closure the caller passes must be a pure function of
+/// `(Graph, PointCloud)`. Plans are compiled per input shape on first
+/// sight; per-sample neighbor structure is cached so the steady state
+/// (repeated samples) allocates nothing.
+#[derive(Default)]
+pub struct PlanEngine {
+    compiled: Vec<Compiled>,
+}
+
+impl PlanEngine {
+    /// An engine with no compiled plans yet.
+    pub fn new() -> PlanEngine {
+        PlanEngine::default()
+    }
+
+    /// Runs one planned forward. `record` must build the network's forward
+    /// on the given graph and return the output vars to keep — it is only
+    /// invoked when `cloud`'s shape has no compiled plan yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the recorded forward contains per-sample values the
+    /// recorder cannot derive (see [`crate::runner::ModuleState::from_cloud_derived`]),
+    /// or when a replay disagrees with the recorded shapes.
+    pub fn run<'a>(
+        &'a mut self,
+        cloud: &PointCloud,
+        record: &dyn Fn(&mut Graph, &PointCloud) -> Vec<VarId>,
+    ) -> PlannedOutputs<'a> {
+        let ci = self.ensure_compiled(cloud, record);
+        let c = &mut self.compiled[ci];
+
+        let hash = cloud_hash(cloud);
+        let hit = c.samples.iter().position(|(h, pc, _)| *h == hash && clouds_identical(pc, cloud));
+        match hit {
+            Some(si) => {
+                // Steady state: pure planned tensor execution, no searches,
+                // no allocation.
+                let bindings = &c.samples[si].2;
+                c.plan.run(&mut c.arena, bindings);
+            }
+            None => {
+                let bindings = derive_and_run(c, cloud);
+                if c.samples.len() >= SAMPLE_CACHE_CAP {
+                    c.samples.clear();
+                }
+                c.samples.push((hash, cloud.clone(), bindings));
+            }
+        }
+        let c = &self.compiled[ci];
+        PlannedOutputs { plan: &c.plan, arena: &c.arena, outputs: c.plan.output_count() }
+    }
+
+    /// Arena statistics of the plan compiled for `n_points`, if any.
+    pub fn stats(&self, n_points: usize) -> Option<ArenaStats> {
+        self.compiled.iter().find(|c| c.n_points == n_points).map(|c| c.plan.stats(&c.arena))
+    }
+
+    /// Number of distinct input shapes compiled so far.
+    pub fn compiled_plans(&self) -> usize {
+        self.compiled.len()
+    }
+
+    fn ensure_compiled(
+        &mut self,
+        cloud: &PointCloud,
+        record: &dyn Fn(&mut Graph, &PointCloud) -> Vec<VarId>,
+    ) -> usize {
+        if let Some(i) = self.compiled.iter().position(|c| c.n_points == cloud.len()) {
+            return i;
+        }
+
+        // Arm the recorder for this thread; disarm even on unwind.
+        struct Disarm;
+        impl Drop for Disarm {
+            fn drop(&mut self) {
+                RECORDER.with(|r| *r.borrow_mut() = None);
+            }
+        }
+        RECORDER.with(|r| *r.borrow_mut() = Some(Recording::default()));
+        let _disarm = Disarm;
+        let mut g = Graph::new();
+        let outputs = record(&mut g, cloud);
+        let recording = RECORDER.with(|r| r.borrow_mut().take()).expect("recording armed above");
+        assert!(!outputs.is_empty(), "the recording closure must return outputs");
+        if let Some(err) = recording.error {
+            panic!("this forward pass cannot be planned: {err}");
+        }
+        assert!(recording.open.is_none(), "recording ended inside a module");
+
+        let plan = Plan::from_graph(&g, &outputs, &recording.marks);
+        plan.check_no_aliasing();
+        let step_live = compute_step_live(&plan, &recording);
+        let arena = plan.arena();
+        self.compiled.push(Compiled {
+            n_points: cloud.len(),
+            plan,
+            steps: recording.steps,
+            step_live,
+            n_states: recording.states.len(),
+            arena,
+            samples: Vec::new(),
+        });
+        self.compiled.len() - 1
+    }
+}
+
+/// A step is live when a surviving plan node consumes one of its bindings,
+/// or a later live step needs a state it derives. Dead steps (e.g. the
+/// box-branch searches of F-PointNet when only segmentation logits were
+/// requested) are skipped wholesale at execution time.
+fn compute_step_live(plan: &Plan, recording: &Recording) -> Vec<bool> {
+    // Binding liveness from the marked consumer nodes.
+    let mut index_live = vec![false; recording.marks.n_index];
+    for (&node, &bid) in &recording.marks.indices {
+        index_live[bid] = index_live[bid] || plan.is_live(node);
+    }
+    let mut stencil_live = vec![false; recording.marks.n_stencil];
+    for (&node, &bid) in &recording.marks.stencils {
+        stencil_live[bid] = stencil_live[bid] || plan.is_live(node);
+    }
+
+    let mut needed_state = vec![false; recording.states.len()];
+    let mut live = vec![false; recording.steps.len()];
+    for (si, step) in recording.steps.iter().enumerate().rev() {
+        match step {
+            DynStep::Stencil { coarse, fine, bid, .. } => {
+                if stencil_live[*bid] {
+                    live[si] = true;
+                    needed_state[*coarse] = true;
+                    needed_state[*fine] = true;
+                }
+            }
+            DynStep::Search {
+                state_in,
+                state_out,
+                neighbors_bid,
+                centroids_bid,
+                repeated_bid,
+                feature_node,
+                ..
+            } => {
+                let binds_live = [neighbors_bid, centroids_bid, repeated_bid]
+                    .into_iter()
+                    .flatten()
+                    .any(|&b| index_live[b]);
+                let out_needed = state_out.is_some_and(|s| needed_state[s]);
+                if binds_live || out_needed {
+                    live[si] = true;
+                    needed_state[*state_in] = true;
+                    if let Some(fnode) = feature_node {
+                        assert!(
+                            plan.is_live(*fnode),
+                            "a live feature-space search reads an eliminated feature node"
+                        );
+                    }
+                }
+            }
+            DynStep::Input { state, input_node, .. } => {
+                if needed_state[*state] || plan.input_position(*input_node).is_some() {
+                    live[si] = true;
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Cache miss: interleave plan ranges with the live dynamic steps, filling
+/// fresh bindings, and finish the run. Search/stencil work happens here
+/// exactly once per distinct sample.
+fn derive_and_run(c: &mut Compiled, cloud: &PointCloud) -> Bindings {
+    let mut b = Bindings::for_plan(&c.plan);
+    let mut states: Vec<Option<PointCloud>> = (0..c.n_states).map(|_| None).collect();
+    let mut cursor = 0usize;
+    for (si, step) in c.steps.iter().enumerate() {
+        if !c.step_live[si] {
+            continue;
+        }
+        let at = step.at();
+        if at > cursor {
+            c.plan.run_range(&mut c.arena, &b, cursor, at);
+            cursor = at;
+        }
+        match step {
+            DynStep::Input { state, input_node, source, .. } => {
+                let positions = match source {
+                    StateSource::Sample => cloud.clone(),
+                    StateSource::Derived(f) => f(cloud),
+                };
+                if let Some(ip) = c.plan.input_position(*input_node) {
+                    b.inputs[ip] = Matrix::from_vec(positions.len(), 3, positions.to_xyz_rows());
+                }
+                states[*state] = Some(positions);
+            }
+            DynStep::Search {
+                state_in,
+                state_out,
+                neighbor,
+                n_out,
+                k,
+                seed,
+                feature_node,
+                neighbors_bid,
+                centroids_bid,
+                repeated_bid,
+                ..
+            } => {
+                let positions =
+                    states[*state_in].as_ref().expect("live steps derive their inputs first");
+                let centroids = select_centroids(positions, *n_out, *seed);
+                let features = feature_node.map(|f| c.plan.value(&c.arena, VarId::from_index(f)));
+                let nit = search_nit(positions, features, *neighbor, &centroids, *k);
+                if let Some(bid) = neighbors_bid {
+                    b.indices[*bid].clear();
+                    b.indices[*bid].extend_from_slice(nit.neighbors_flat());
+                }
+                if let Some(bid) = centroids_bid {
+                    b.indices[*bid].clear();
+                    b.indices[*bid].extend_from_slice(nit.centroids());
+                }
+                if let Some(bid) = repeated_bid {
+                    let out = &mut b.indices[*bid];
+                    out.clear();
+                    for &cen in nit.centroids() {
+                        out.extend(std::iter::repeat_n(cen, *k));
+                    }
+                }
+                if let Some(so) = state_out {
+                    states[*so] = Some(positions.select(&centroids));
+                }
+            }
+            DynStep::Stencil { coarse, fine, bid, .. } => {
+                let coarse_pos = states[*coarse].as_ref().expect("coarse derived first");
+                let fine_pos = states[*fine].as_ref().expect("fine derived first");
+                let (idx, w) = fp_stencils(coarse_pos, fine_pos);
+                b.stencils[*bid] = (idx, w);
+            }
+        }
+    }
+    c.plan.run_range(&mut c.arena, &b, cursor, c.plan.len());
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Module, ModuleConfig, NeighborMode};
+    use crate::runner::{self, ModuleState};
+    use crate::Strategy;
+    use mesorasi_nn::layers::{NormMode, SharedMlp};
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    fn offset_module(neighbor: NeighborMode) -> Module {
+        let mut rng = mesorasi_pointcloud::seeded_rng(11);
+        Module::new(
+            ModuleConfig::offset("sa", 24, 6, neighbor, vec![3, 16, 12]),
+            NormMode::Feature,
+            &mut rng,
+        )
+    }
+
+    fn edge_module() -> Module {
+        let mut rng = mesorasi_pointcloud::seeded_rng(12);
+        Module::new(ModuleConfig::edge("ec", 96, 5, vec![3, 10, 8]), NormMode::None, &mut rng)
+    }
+
+    fn tape_module_forward(module: &Module, cloud: &PointCloud, strategy: Strategy) -> Matrix {
+        let mut g = Graph::new();
+        let state = ModuleState::from_cloud(&mut g, cloud);
+        let out = runner::run_module(&mut g, module, &state, strategy, 5);
+        g.value(out.state.features).clone()
+    }
+
+    #[test]
+    fn planned_module_matches_tape_on_fresh_clouds() {
+        for strategy in Strategy::ALL {
+            for module in [
+                offset_module(NeighborMode::CoordKnn),
+                offset_module(NeighborMode::CoordBall { radius: 0.4 }),
+                edge_module(),
+            ] {
+                let mut engine = PlanEngine::new();
+                let record = |g: &mut Graph, cloud: &PointCloud| {
+                    let state = ModuleState::from_cloud(g, cloud);
+                    let out = runner::run_module(g, &module, &state, strategy, 5);
+                    vec![out.state.features]
+                };
+                // Record on cloud 1, then execute fresh clouds 2 and 3:
+                // the per-sample searches must be re-derived, bit-exactly.
+                for cloud_seed in [1, 2, 3] {
+                    let cloud = sample_shape(ShapeClass::Cup, 96, cloud_seed);
+                    let expected = tape_module_forward(&module, &cloud, strategy);
+                    let out = engine.run(&cloud, &record);
+                    assert_eq!(
+                        out.get(0),
+                        &expected,
+                        "{strategy} {} cloud {cloud_seed}: planned != tape",
+                        module.config.name
+                    );
+                }
+                assert_eq!(engine.compiled_plans(), 1, "one shape, one plan");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_samples_hit_the_nit_cache_without_growth() {
+        let module = offset_module(NeighborMode::CoordKnn);
+        let mut engine = PlanEngine::new();
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+            vec![out.state.features]
+        };
+        let cloud = sample_shape(ShapeClass::Bottle, 80, 4);
+        let first = engine.run(&cloud, &record).get(0).clone();
+        for _ in 0..3 {
+            let again = engine.run(&cloud, &record);
+            assert_eq!(again.get(0), &first, "steady-state replay must be stable");
+            assert_eq!(again.stats().grow_events, 0, "steady state must not grow slots");
+        }
+    }
+
+    #[test]
+    fn feature_propagation_replays_with_fresh_stencils() {
+        let module = offset_module(NeighborMode::CoordKnn);
+        let mut rng = mesorasi_pointcloud::seeded_rng(13);
+        let fp_mlp = SharedMlp::new(&[12 + 3, 8], NormMode::None, true, &mut rng);
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let coarse = runner::run_module(g, &module, &state, Strategy::Delayed, 5).state;
+            let (up, _) = runner::run_feature_propagation(
+                g,
+                &fp_mlp,
+                &coarse,
+                &state.positions,
+                Some(state.features),
+                "fp",
+            );
+            vec![up.features]
+        };
+        let mut engine = PlanEngine::new();
+        for cloud_seed in [7, 8] {
+            let cloud = sample_shape(ShapeClass::Lamp, 64, cloud_seed);
+            let mut g = Graph::new();
+            let expected = record(&mut g, &cloud)[0];
+            let expected = g.value(expected).clone();
+            let out = engine.run(&cloud, &record);
+            assert_eq!(out.get(0), &expected, "cloud {cloud_seed}");
+        }
+    }
+
+    #[test]
+    fn derived_input_states_replay_per_sample() {
+        // A mid-network state derived from the sample (F-PointNet's
+        // mask/recenter pattern): the plan must re-derive it per sample.
+        let module = offset_module(NeighborMode::CoordKnn);
+        let derive: Arc<dyn Fn(&PointCloud) -> PointCloud + Send + Sync> = Arc::new(|cloud| {
+            let half: Vec<usize> = (0..cloud.len() / 2).collect();
+            cloud.select(&half)
+        });
+        let record = move |g: &mut Graph, cloud: &PointCloud| {
+            let cropped = derive(cloud);
+            let state = ModuleState::from_cloud_derived(g, &cropped, derive.clone());
+            let out = runner::run_module(g, &module, &state, Strategy::Original, 5);
+            vec![out.state.features]
+        };
+        let mut engine = PlanEngine::new();
+        for cloud_seed in [20, 21] {
+            let cloud = sample_shape(ShapeClass::Chair, 96, cloud_seed);
+            let mut g = Graph::new();
+            let expected = record(&mut g, &cloud)[0];
+            let expected = g.value(expected).clone();
+            let out = engine.run(&cloud, &record);
+            assert_eq!(out.get(0), &expected, "cloud {cloud_seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be planned")]
+    fn underivable_mid_network_input_is_rejected() {
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let _root = ModuleState::from_cloud(g, cloud);
+            // A second from_cloud with no derivation: not replayable.
+            let other = sample_shape(ShapeClass::Table, 16, 99);
+            let state = ModuleState::from_cloud(g, &other);
+            vec![state.features]
+        };
+        let mut engine = PlanEngine::new();
+        let cloud = sample_shape(ShapeClass::Chair, 32, 1);
+        let _ = engine.run(&cloud, &record);
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod cost;
 pub mod distributivity;
+pub mod engine;
 pub mod executor;
 pub mod module;
 pub mod runner;

@@ -8,6 +8,7 @@
 //! [`ModuleTrace`] with the real NIT so the hardware simulator can replay
 //! exactly what happened.
 
+use crate::engine::{rec, StateSource};
 use crate::executor;
 use crate::module::{Module, NeighborMode};
 use crate::strategy::Strategy;
@@ -17,6 +18,7 @@ use mesorasi_nn::layers::SharedMlp;
 use mesorasi_nn::{Graph, VarId};
 use mesorasi_pointcloud::{sampling, Point3, PointCloud};
 use mesorasi_tensor::Matrix;
+use std::sync::Arc;
 
 /// The data flowing between modules: 3-D positions (for coordinate-space
 /// search and interpolation) and the per-point feature rows on the graph.
@@ -31,9 +33,39 @@ pub struct ModuleState {
 impl ModuleState {
     /// Initial state: features are the raw `N × 3` coordinates (the paper's
     /// first-module input).
+    ///
+    /// Under plan recording the *first* `from_cloud` of a forward pass is
+    /// taken to be the sample itself; later input states must use
+    /// [`ModuleState::from_cloud_derived`] so the plan can re-derive them.
     pub fn from_cloud(g: &mut Graph, cloud: &PointCloud) -> Self {
         let features = g.input(Matrix::from_vec(cloud.len(), 3, cloud.to_xyz_rows()));
+        rec::input_state(features, cloud, None);
         ModuleState { positions: cloud.clone(), features }
+    }
+
+    /// Like [`ModuleState::from_cloud`], for a cloud that is a pure,
+    /// deterministic function of the sample (e.g. F-PointNet's masked and
+    /// recentered crop). `derive` must reproduce `cloud` when applied to
+    /// the sample this forward pass runs on; the inference plan replays it
+    /// per sample.
+    pub fn from_cloud_derived(
+        g: &mut Graph,
+        cloud: &PointCloud,
+        derive: Arc<dyn Fn(&PointCloud) -> PointCloud + Send + Sync>,
+    ) -> Self {
+        let features = g.input(Matrix::from_vec(cloud.len(), 3, cloud.to_xyz_rows()));
+        rec::input_state(features, cloud, Some(StateSource::Derived(derive)));
+        ModuleState { positions: cloud.clone(), features }
+    }
+
+    /// A state carrying this state's positions but different features
+    /// (skip links, dense feature concatenation). Registers the new
+    /// features with the inference recorder as sitting on the same
+    /// positions — build derived states through this rather than a struct
+    /// literal, or the forward pass cannot be planned.
+    pub fn with_features(&self, features: VarId) -> ModuleState {
+        rec::alias_state(self.features, features);
+        ModuleState { positions: self.positions.clone(), features }
     }
 
     /// Number of points.
@@ -75,6 +107,42 @@ pub fn select_centroids(positions: &PointCloud, n_out: usize, seed: u64) -> Vec<
     }
 }
 
+/// Runs the neighbor search of one module: the single search
+/// implementation behind both the tape-based runner and the inference
+/// engine's per-sample replay (both must produce the identical NIT).
+///
+/// `features` is required exactly for [`NeighborMode::FeatureKnn`].
+///
+/// # Panics
+///
+/// Panics for [`NeighborMode::Global`] (global modules never search) or a
+/// missing feature matrix on a feature-space search.
+pub fn search_nit(
+    positions: &PointCloud,
+    features: Option<&Matrix>,
+    neighbor: NeighborMode,
+    centroids: &[usize],
+    k: usize,
+) -> NeighborIndexTable {
+    match neighbor {
+        NeighborMode::CoordKnn => {
+            let tree = KdTree::build(positions);
+            tree.knn_indices(positions, centroids, k)
+        }
+        NeighborMode::CoordBall { radius } => {
+            let tree = KdTree::build(positions);
+            ball::ball_query(positions, &tree, centroids, radius, k)
+        }
+        NeighborMode::FeatureKnn => {
+            let feats = features.expect("feature-space search needs the feature matrix");
+            let view = FeatureView::new(feats.as_slice(), feats.cols())
+                .expect("matrix storage is always rectangular");
+            mesorasi_knn::feature::knn_rows(view, centroids, k)
+        }
+        NeighborMode::Global => unreachable!("global modules never search"),
+    }
+}
+
 fn run_search(
     g: &Graph,
     module: &Module,
@@ -84,54 +152,15 @@ fn run_search(
     let n_in = state.len();
     let k = module.config.k;
     assert!(k <= n_in, "{}: k = {k} exceeds N_in = {n_in}", module.config.name);
-    match module.config.neighbor {
-        NeighborMode::CoordKnn => {
-            let tree = KdTree::build(&state.positions);
-            let nit = tree.knn_indices(&state.positions, centroids, k);
-            (
-                nit,
-                SearchOp {
-                    queries: centroids.len(),
-                    candidates: n_in,
-                    dim: 3,
-                    k,
-                    radius_query: false,
-                },
-            )
-        }
-        NeighborMode::CoordBall { radius } => {
-            let tree = KdTree::build(&state.positions);
-            let nit = ball::ball_query(&state.positions, &tree, centroids, radius, k);
-            (
-                nit,
-                SearchOp {
-                    queries: centroids.len(),
-                    candidates: n_in,
-                    dim: 3,
-                    k,
-                    radius_query: true,
-                },
-            )
-        }
-        NeighborMode::FeatureKnn => {
-            let feats = g.value(state.features);
-            let dim = feats.cols();
-            let view = FeatureView::new(feats.as_slice(), dim)
-                .expect("matrix storage is always rectangular");
-            let nit = mesorasi_knn::feature::knn_rows(view, centroids, k);
-            (
-                nit,
-                SearchOp {
-                    queries: centroids.len(),
-                    candidates: n_in,
-                    dim,
-                    k,
-                    radius_query: false,
-                },
-            )
-        }
+    let features = g.value(state.features);
+    let nit = search_nit(&state.positions, Some(features), module.config.neighbor, centroids, k);
+    let (dim, radius_query) = match module.config.neighbor {
+        NeighborMode::CoordKnn => (3, false),
+        NeighborMode::CoordBall { .. } => (3, true),
+        NeighborMode::FeatureKnn => (features.cols(), false),
         NeighborMode::Global => unreachable!("global modules never search"),
-    }
+    };
+    (nit, SearchOp { queries: centroids.len(), candidates: n_in, dim, k, radius_query })
 }
 
 /// Builds the MLP-layer trace ops for a batch of `rows` rows through the
@@ -165,6 +194,7 @@ pub fn run_module(
 
     if matches!(cfg.neighbor, NeighborMode::Global) {
         let features = executor::global_module(g, module, state.features);
+        rec::global_state(features);
         let out_positions = PointCloud::from_points(vec![centroid_or_origin(&state.positions)]);
         let widths = cfg.layer_widths();
         let trace = ModuleTrace {
@@ -188,6 +218,7 @@ pub fn run_module(
     let (nit, search_op) = run_search(g, module, state, &centroids);
     let out_positions = state.positions.select(&centroids);
 
+    rec::begin_search(g.len(), state.features, cfg.neighbor, cfg.n_out, cfg.k, seed);
     let features = match (cfg.edge, strategy) {
         (false, Strategy::Original) => executor::original_offset(g, module, state.features, &nit),
         (false, Strategy::LtdDelayed) => executor::ltd_offset(g, module, state.features, &nit),
@@ -196,9 +227,44 @@ pub fn run_module(
         (true, Strategy::LtdDelayed) => executor::ltd_edge(g, module, state.features, &nit),
         (true, Strategy::Delayed) => executor::delayed_edge(g, module, state.features, &nit),
     };
+    rec::end_search(features, &out_positions);
 
     let trace = build_module_trace(cfg.name.clone(), module, strategy, n_in, &nit, search_op);
     RunOutput { state: ModuleState { positions: out_positions, features }, trace, nit: Some(nit) }
+}
+
+/// Computes the 3-NN inverse-distance interpolation stencil lifting
+/// `coarse` features onto `fine` points — shared by the tape-based
+/// [`run_feature_propagation`] and the inference engine's replay (both must
+/// produce bit-identical index/weight vectors). Returns `(indices,
+/// weights)`, flattened `n_fine × 3`.
+///
+/// # Panics
+///
+/// Panics when `coarse` has fewer than 3 points.
+pub fn fp_stencils(coarse: &PointCloud, fine: &PointCloud) -> (Vec<usize>, Vec<f32>) {
+    let n_coarse = coarse.len();
+    assert!(n_coarse >= 3, "3-NN interpolation needs at least 3 coarse points");
+    let n_fine = fine.len();
+    // Each fine point's stencil is independent — search them in parallel,
+    // then flatten in fine-point order.
+    let stencils = mesorasi_par::par_map_collect_cost(fine.points(), n_coarse * 8, |_, &p| {
+        let nn = bruteforce::knn_point(coarse, p, 3);
+        let mut w = [0f32; 3];
+        for (wi, c) in w.iter_mut().zip(&nn) {
+            *wi = 1.0 / (c.dist_sq + 1e-8);
+        }
+        let sum: f32 = w.iter().sum();
+        let idx = [nn[0].index, nn[1].index, nn[2].index];
+        (idx, [w[0] / sum, w[1] / sum, w[2] / sum])
+    });
+    let mut indices = Vec::with_capacity(n_fine * 3);
+    let mut weights = Vec::with_capacity(n_fine * 3);
+    for (idx, w) in &stencils {
+        indices.extend_from_slice(idx);
+        weights.extend_from_slice(w);
+    }
+    (indices, weights)
 }
 
 fn centroid_or_origin(cloud: &PointCloud) -> Point3 {
@@ -329,37 +395,22 @@ pub fn run_feature_propagation(
     let coarse_width = g.value(coarse.features).cols();
 
     let interpolated = if n_coarse < 3 {
-        // Broadcast the (global) coarse feature to every fine point.
+        // Broadcast the (global) coarse feature to every fine point — the
+        // index list is structural (all zeros), so no dynamic binding.
         let idx = vec![0usize; n_fine];
         g.gather(coarse.features, idx)
     } else {
-        // Each fine point's 3-NN interpolation stencil is independent —
-        // search them in parallel, then flatten in fine-point order.
-        let stencils =
-            mesorasi_par::par_map_collect_cost(fine_positions.points(), n_coarse * 8, |_, &p| {
-                let nn = bruteforce::knn_point(&coarse.positions, p, 3);
-                let mut w = [0f32; 3];
-                for (wi, c) in w.iter_mut().zip(&nn) {
-                    *wi = 1.0 / (c.dist_sq + 1e-8);
-                }
-                let sum: f32 = w.iter().sum();
-                let idx = [nn[0].index, nn[1].index, nn[2].index];
-                (idx, [w[0] / sum, w[1] / sum, w[2] / sum])
-            });
-        let mut indices = Vec::with_capacity(n_fine * 3);
-        let mut weights = Vec::with_capacity(n_fine * 3);
-        for (idx, w) in &stencils {
-            indices.extend_from_slice(idx);
-            weights.extend_from_slice(w);
-        }
+        let (indices, weights) = fp_stencils(&coarse.positions, fine_positions);
         g.weighted_gather(coarse.features, indices, weights, 3)
     };
+    let stencil_var = (n_coarse >= 3).then_some(interpolated);
 
     let combined = match skip_features {
         Some(skip) => g.hstack(skip, interpolated),
         None => interpolated,
     };
     let features = mlp.forward(g, combined);
+    rec::feature_propagation(coarse.features, fine_positions, stencil_var, features);
 
     let interp_k = if n_coarse < 3 { 1 } else { 3 };
     let trace = ModuleTrace {

@@ -119,8 +119,18 @@ pub struct FrustumExample {
     pub bev_box: (f32, f32, f32, f32),
 }
 
+/// Fewest LiDAR returns the target object must have for its frustum to
+/// become an example. Below this the ground-truth mask degenerates (the
+/// crop centroid collapses to the whole-frustum centroid, metres away
+/// from the object) and no detector — however trained — can anchor a
+/// box; such frustums made the BEV IoU metric identically zero at small
+/// scene scales.
+const MIN_OBJECT_RETURNS: usize = 6;
+
 /// Generates frustum detection examples by ray-casting scenes and cropping
-/// a frustum per object that received LiDAR returns.
+/// a frustum per object with enough LiDAR returns
+/// ([`MIN_OBJECT_RETURNS`]). Resampling to `points_per_frustum` is
+/// stratified by label so the object's returns survive it.
 pub fn frustums(scenes: usize, points_per_frustum: usize, seed: u64) -> Vec<FrustumExample> {
     let config = LidarConfig::small();
     let mut out = Vec::new();
@@ -139,12 +149,15 @@ pub fn frustums(scenes: usize, points_per_frustum: usize, seed: u64) -> Vec<Frus
             // Collapse labels to binary and recenter on the frustum median.
             let binary: Vec<u32> =
                 frustum.labels().expect("labelled").iter().map(|&l| u32::from(l == tag)).collect();
+            if binary.iter().filter(|&&l| l == 1).count() < MIN_OBJECT_RETURNS {
+                continue; // too sparse to anchor a box
+            }
             let mut cloud = PointCloud::from_labelled_points(frustum.points().to_vec(), binary);
             let centroid = cloud.centroid();
             for p in cloud.points_mut() {
                 *p -= centroid;
             }
-            let cloud = sampling::resample(&cloud, points_per_frustum, seed ^ (i as u64));
+            let cloud = resample_stratified(&cloud, points_per_frustum, seed ^ (i as u64));
             let (hx, hy, _) = obj.class.half_extents();
             // Axis-aligned BEV footprint of the yawed box.
             let (sy, cy_) = obj.yaw.sin_cos();
@@ -158,6 +171,31 @@ pub fn frustums(scenes: usize, points_per_frustum: usize, seed: u64) -> Vec<Frus
         }
     }
     out
+}
+
+/// Resamples a binary-labelled frustum to `count` points, keeping
+/// foreground and background in proportion but never fewer than
+/// [`MIN_OBJECT_RETURNS`] foreground points (uniform resampling routinely
+/// diluted a handful of object returns to zero, which is what made the
+/// example's BEV IoU degenerate).
+fn resample_stratified(cloud: &PointCloud, count: usize, seed: u64) -> PointCloud {
+    let labels = cloud.labels().expect("frustum clouds are labelled");
+    let fg: Vec<usize> = (0..cloud.len()).filter(|&i| labels[i] == 1).collect();
+    let bg: Vec<usize> = (0..cloud.len()).filter(|&i| labels[i] == 0).collect();
+    debug_assert!(!fg.is_empty());
+    let proportional = (count * fg.len()).div_ceil(cloud.len());
+    let fg_keep = proportional.max(MIN_OBJECT_RETURNS).min(count);
+    let bg_keep = count - fg_keep;
+    let fg_cloud = sampling::resample(&cloud.select(&fg), fg_keep, seed ^ 0xf9);
+    if bg.is_empty() || bg_keep == 0 {
+        return sampling::resample(&fg_cloud, count, seed ^ 0x81);
+    }
+    let bg_cloud = sampling::resample(&cloud.select(&bg), bg_keep, seed ^ 0xb9);
+    let mut points = fg_cloud.points().to_vec();
+    points.extend_from_slice(bg_cloud.points());
+    let mut labels = fg_cloud.labels().expect("labelled").to_vec();
+    labels.extend_from_slice(bg_cloud.labels().expect("labelled"));
+    PointCloud::from_labelled_points(points, labels)
 }
 
 #[cfg(test)]

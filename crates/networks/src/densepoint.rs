@@ -148,15 +148,14 @@ impl PointCloudNetwork for DensePoint {
             // Dense blocks: grow the feature concat at fixed positions.
             let mut concat: VarId = state.features;
             for block in &stage.blocks {
-                let block_state =
-                    ModuleState { positions: state.positions.clone(), features: concat };
+                let block_state = state.with_features(concat);
                 let out =
                     runner::run_module(g, block, &block_state, strategy, seed.wrapping_add(salt));
                 salt += 1;
                 trace.modules.push(out.trace);
                 concat = g.hstack(concat, out.state.features);
             }
-            state = ModuleState { positions: state.positions.clone(), features: concat };
+            state = state.with_features(concat);
         }
         let out = runner::run_module(g, &self.global, &state, strategy, seed.wrapping_add(salt));
         trace.modules.push(out.trace);

@@ -188,12 +188,30 @@ impl FPointNet {
     /// network: foreground (label > 0) points, resampled with repetition to
     /// the fixed size; falls back to all points when no label is foreground.
     pub fn mask_indices(&self, cloud: &PointCloud) -> Vec<usize> {
+        Self::mask_indices_for(self.masked_points, cloud)
+    }
+
+    fn mask_indices_for(masked_points: usize, cloud: &PointCloud) -> Vec<usize> {
         let fg: Vec<usize> = match cloud.labels() {
             Some(labels) => (0..cloud.len()).filter(|&i| labels[i] > 0).collect(),
             None => Vec::new(),
         };
         let pool: Vec<usize> = if fg.is_empty() { (0..cloud.len()).collect() } else { fg };
-        (0..self.masked_points).map(|i| pool[i % pool.len()]).collect()
+        (0..masked_points).map(|i| pool[i % pool.len()]).collect()
+    }
+
+    /// The masked, recentered crop the T-Net and box network consume — a
+    /// pure function of the sample cloud, which is what lets the inference
+    /// plan re-derive it per sample.
+    fn masked_centered(masked_points: usize, cloud: &PointCloud) -> PointCloud {
+        let mask = Self::mask_indices_for(masked_points, cloud);
+        let masked_positions = cloud.select(&mask);
+        let centroid = masked_positions.centroid();
+        let mut centered = masked_positions;
+        for p in centered.points_mut() {
+            *p -= centroid;
+        }
+        centered
     }
 
     /// Runs the complete detection pipeline.
@@ -239,14 +257,13 @@ impl FPointNet {
         trace.modules.push(head_trace);
 
         // --- mask & recenter ----------------------------------------------
-        let mask = self.mask_indices(cloud);
-        let masked_positions = cloud.select(&mask);
-        let centroid = masked_positions.centroid();
-        let mut centered = masked_positions.clone();
-        for p in centered.points_mut() {
-            *p -= centroid;
-        }
-        let masked_state = ModuleState::from_cloud(g, &centered);
+        let masked_points = self.masked_points;
+        let centered = Self::masked_centered(masked_points, cloud);
+        let masked_state = ModuleState::from_cloud_derived(
+            g,
+            &centered,
+            std::sync::Arc::new(move |c| Self::masked_centered(masked_points, c)),
+        );
 
         // --- T-Net ----------------------------------------------------------
         let tnet_out =

@@ -76,11 +76,10 @@ impl PointCloudNetwork for Ldgcnn {
     ) -> NetForward {
         let mut trace = NetworkTrace::new("LDGCNN", strategy);
         let initial = ModuleState::from_cloud(g, cloud);
-        let positions = initial.positions.clone();
         // The linked input so far: raw coordinates, then growing concat.
         let mut linked: VarId = initial.features;
         for (i, module) in self.edges.iter().enumerate() {
-            let state = ModuleState { positions: positions.clone(), features: linked };
+            let state = initial.with_features(linked);
             let out = runner::run_module(g, module, &state, strategy, seed.wrapping_add(i as u64));
             trace.modules.push(out.trace);
             linked = g.hstack(linked, out.state.features);

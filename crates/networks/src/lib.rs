@@ -22,6 +22,7 @@ pub mod densepoint;
 pub mod dgcnn;
 pub mod fpointnet;
 pub mod ldgcnn;
+pub mod planned;
 pub mod pointnetpp;
 pub mod registry;
 

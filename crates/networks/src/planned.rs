@@ -1,0 +1,146 @@
+//! Planned (grad-free, arena-backed) inference over any
+//! [`PointCloudNetwork`].
+//!
+//! A [`PlannedNetwork`] wraps a frozen network with a
+//! [`mesorasi_core::engine::PlanEngine`]: the first forward records the
+//! network's op sequence into an immutable plan; every later forward
+//! replays the plan against a reusable buffer arena, re-deriving only the
+//! per-sample neighbor structure (cached per sample — the NIT cache).
+//! Outputs are bit-identical to [`PointCloudNetwork::forward`] on the
+//! autograd tape at every thread count.
+//!
+//! Use the tape when you need gradients or one-off forwards; use the plan
+//! for eval loops and serving, where the tape's per-op allocation and
+//! autograd bookkeeping are pure overhead.
+//!
+//! ```
+//! use mesorasi_core::Strategy;
+//! use mesorasi_networks::planned::PlannedNetwork;
+//! use mesorasi_networks::pointnetpp::PointNetPP;
+//! use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+//!
+//! let mut rng = mesorasi_pointcloud::seeded_rng(0);
+//! let net = PointNetPP::classification_small(10, &mut rng);
+//! let mut planned = PlannedNetwork::new(&net, Strategy::Delayed, 7);
+//! let cloud = sample_shape(ShapeClass::Chair, 128, 1);
+//! let logits = planned.logits(&cloud);
+//! assert_eq!(logits.shape(), (1, 10));
+//! ```
+
+use crate::fpointnet::FPointNet;
+use crate::PointCloudNetwork;
+use mesorasi_core::engine::PlanEngine;
+use mesorasi_core::Strategy;
+use mesorasi_nn::plan::ArenaStats;
+use mesorasi_nn::Graph;
+use mesorasi_pointcloud::PointCloud;
+use mesorasi_tensor::Matrix;
+
+/// Plan-based inference session for one frozen `(network, strategy, seed)`.
+///
+/// The wrapped network's parameters must not change while the session
+/// lives: plans snapshot weights at compile time (taking `&` rather than
+/// `&mut` on the network is deliberate — optimizer steps need `&mut`).
+pub struct PlannedNetwork<'n> {
+    net: &'n dyn PointCloudNetwork,
+    strategy: Strategy,
+    seed: u64,
+    engine: PlanEngine,
+}
+
+impl<'n> PlannedNetwork<'n> {
+    /// A session over `net` with the given strategy and sampling seed.
+    pub fn new(net: &'n dyn PointCloudNetwork, strategy: Strategy, seed: u64) -> Self {
+        PlannedNetwork { net, strategy, seed, engine: PlanEngine::new() }
+    }
+
+    /// Planned forward: task logits for `cloud` (classification `1 × C`,
+    /// segmentation `N × parts`), bit-identical to the tape forward.
+    pub fn logits(&mut self, cloud: &PointCloud) -> &Matrix {
+        let (net, strategy, seed) = (self.net, self.strategy, self.seed);
+        let record =
+            move |g: &mut Graph, c: &PointCloud| vec![net.forward(g, c, strategy, seed).logits];
+        self.engine.run(cloud, &record).get(0)
+    }
+
+    /// Arena statistics of the plan compiled for `n_points` inputs.
+    pub fn stats(&self, n_points: usize) -> Option<ArenaStats> {
+        self.engine.stats(n_points)
+    }
+}
+
+/// Plan-based inference over the full F-PointNet detection pipeline,
+/// exposing both the per-point segmentation logits and the regressed box.
+pub struct PlannedDetector<'n> {
+    net: &'n FPointNet,
+    strategy: Strategy,
+    seed: u64,
+    engine: PlanEngine,
+}
+
+impl<'n> PlannedDetector<'n> {
+    /// A detection session over `net`.
+    pub fn new(net: &'n FPointNet, strategy: Strategy, seed: u64) -> Self {
+        PlannedDetector { net, strategy, seed, engine: PlanEngine::new() }
+    }
+
+    /// Planned detection forward: `(seg_logits, box_params)`.
+    pub fn run(&mut self, cloud: &PointCloud) -> (&Matrix, &Matrix) {
+        let (net, strategy, seed) = (self.net, self.strategy, self.seed);
+        let record = move |g: &mut Graph, c: &PointCloud| {
+            let det = net.forward_detection(g, c, strategy, seed);
+            vec![det.seg_logits, det.box_params]
+        };
+        let out = self.engine.run(cloud, &record);
+        debug_assert_eq!(out.len(), 2);
+        (out.get(0), out.get(1))
+    }
+
+    /// Arena statistics of the plan compiled for `n_points` inputs.
+    pub fn stats(&self, n_points: usize) -> Option<ArenaStats> {
+        self.engine.stats(n_points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::NetworkKind;
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    #[test]
+    fn planned_logits_match_tape_for_classification_and_segmentation() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(3);
+        for kind in [NetworkKind::PointNetPPClassification, NetworkKind::DgcnnSegmentation] {
+            let net = kind.build_small(6, &mut rng);
+            let mut planned = PlannedNetwork::new(net.as_ref(), Strategy::Delayed, 9);
+            for cloud_seed in [1, 2] {
+                let cloud = sample_shape(ShapeClass::Guitar, net.input_points(), cloud_seed);
+                let mut g = Graph::new();
+                let expected = net.forward(&mut g, &cloud, Strategy::Delayed, 9);
+                let planned_logits = planned.logits(&cloud);
+                assert_eq!(
+                    planned_logits,
+                    g.value(expected.logits),
+                    "{} cloud {cloud_seed}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_detector_matches_tape_outputs() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(4);
+        let net = FPointNet::small(&mut rng);
+        let frustums = crate::datasets::frustums(2, 128, 5);
+        let mut planned = PlannedDetector::new(&net, Strategy::Original, 11);
+        for ex in frustums.iter().take(3) {
+            let mut g = Graph::new();
+            let det = net.forward_detection(&mut g, &ex.cloud, Strategy::Original, 11);
+            let (seg, bx) = planned.run(&ex.cloud);
+            assert_eq!(seg, g.value(det.seg_logits));
+            assert_eq!(bx, g.value(det.box_params));
+        }
+    }
+}

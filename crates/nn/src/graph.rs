@@ -11,56 +11,27 @@ use crate::Param;
 use mesorasi_tensor::{group, ops, Matrix};
 use std::collections::HashMap;
 
-/// Handle to a value on the tape.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct VarId(usize);
+pub use crate::ir::{Op, VarId};
 
-/// One recorded operation. Stored metadata is whatever the backward pass
-/// needs (e.g. argmax indices for max reductions).
+/// Backward-only caches a node keeps next to its [`Op`] — metadata the
+/// shared IR deliberately excludes because replaying the op on fresh data
+/// recomputes it (argmax winners, detached statistics, probabilities).
 #[derive(Debug)]
-enum Op {
-    /// Leaf: external input or constant. No gradient flows out.
-    Input,
-    /// Leaf: trainable parameter (located via [`Graph::param_grad`]).
-    Param,
-    /// `a · b`.
-    MatMul { a: VarId, b: VarId },
-    /// `x + bias` with `bias` broadcast across rows.
-    AddBias { x: VarId, bias: VarId },
-    /// `a + b` elementwise.
-    Add { a: VarId, b: VarId },
-    /// `a - b` elementwise.
-    Sub { a: VarId, b: VarId },
-    /// `max(x, 0)` elementwise.
-    Relu { x: VarId },
-    /// `x ⊙ mask` with a constant mask (dropout, detached scaling).
-    MulConst { x: VarId, mask: Matrix },
-    /// `x * s`.
-    Scale { x: VarId, s: f32 },
-    /// Row gather: `out[i] = x[indices[i]]`.
-    Gather { x: VarId, indices: Vec<usize> },
-    /// `grouped[i] -= centroids[i / k]` (aggregation normalization).
-    SubCentroid { grouped: VarId, centroids: VarId, k: usize },
-    /// Column-wise max over groups of `k` consecutive rows.
-    GroupMax { x: VarId, arg: Vec<usize> },
-    /// Fused gather + grouped max over NIT entries (delayed aggregation).
-    GatherMax { x: VarId, arg: Vec<usize> },
-    /// `out[g] = Σ_j w[g·k+j] · x[idx[g·k+j]]` (3-NN feature interpolation).
-    WeightedGather { x: VarId, indices: Vec<usize>, weights: Vec<f32>, k: usize },
-    /// Column concatenation `[a | b]`.
-    HStack { a: VarId, b: VarId },
-    /// Per-column standardization with detached statistics.
-    Standardize { x: VarId, inv_std: Matrix },
-    /// Mean squared error against a target; value is `1×1`.
-    Mse { pred: VarId, target: VarId },
-    /// Mean softmax cross-entropy; value is `1×1`. `probs` are cached for
-    /// the closed-form gradient `(p − onehot)/n`.
-    SoftmaxCrossEntropy { logits: VarId, probs: Matrix, labels: Vec<u32> },
+enum Aux {
+    /// Nothing cached.
+    None,
+    /// Winning source row per output element of a max reduction.
+    Arg(Vec<usize>),
+    /// Detached `1 × cols` inverse standard deviations of a standardize.
+    InvStd(Matrix),
+    /// Cached softmax probabilities for the closed-form `(p − onehot)/n`.
+    Probs(Matrix),
 }
 
 struct Node {
     op: Op,
     value: Matrix,
+    aux: Aux,
 }
 
 /// A define-by-run autograd tape. Build one per forward pass.
@@ -78,20 +49,34 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> VarId {
+        self.push_aux(op, value, Aux::None)
+    }
+
+    fn push_aux(&mut self, op: Op, value: Matrix, aux: Aux) -> VarId {
         debug_assert!(value.is_finite(), "non-finite value produced by {op:?}");
-        self.nodes.push(Node { op, value });
+        self.nodes.push(Node { op, value, aux });
         self.grads.push(None);
-        VarId(self.nodes.len() - 1)
+        VarId::from_index(self.nodes.len() - 1)
     }
 
     /// The forward value of `v`.
     pub fn value(&self, v: VarId) -> &Matrix {
-        &self.nodes[v.0].value
+        &self.nodes[v.index()].value
+    }
+
+    /// The recorded op of node `i` — the IR view the plan compiler walks.
+    pub fn op_at(&self, i: usize) -> &Op {
+        &self.nodes[i].op
+    }
+
+    /// The recorded value of node `i` (shape source for the plan compiler).
+    pub fn value_at(&self, i: usize) -> &Matrix {
+        &self.nodes[i].value
     }
 
     /// The accumulated gradient of `v`, if any flowed during `backward`.
     pub fn grad(&self, v: VarId) -> Option<&Matrix> {
-        self.grads[v.0].as_ref()
+        self.grads[v.index()].as_ref()
     }
 
     /// The gradient of a parameter registered this pass, by param id.
@@ -123,7 +108,7 @@ impl Graph {
         if let Some(&v) = self.param_vars.get(&p.id()) {
             return v;
         }
-        let v = self.push(Op::Param, p.value.clone());
+        let v = self.push(Op::Param { pid: p.id() }, p.value.clone());
         self.param_vars.insert(p.id(), v);
         v
     }
@@ -176,6 +161,17 @@ impl Graph {
         self.push(Op::Scale { x, s }, value)
     }
 
+    /// Elementwise product of two tape values (both receive gradients via
+    /// the product rule: `dy/da = b`, `dy/db = a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn hadamard(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = ops::hadamard(self.value(a), self.value(b));
+        self.push(Op::Hadamard { a, b }, value)
+    }
+
     /// Column concatenation.
     pub fn hstack(&mut self, a: VarId, b: VarId) -> VarId {
         let value = self.value(a).hstack(self.value(b));
@@ -201,7 +197,7 @@ impl Graph {
     /// Column-wise max over groups of `k` consecutive rows.
     pub fn group_max(&mut self, x: VarId, k: usize) -> VarId {
         let (value, arg) = group::group_max_reduce(self.value(x), k);
-        self.push(Op::GroupMax { x, arg }, value)
+        self.push_aux(Op::GroupMax { x, k }, value, Aux::Arg(arg))
     }
 
     /// Fused gather-and-max over NIT groups (`groups` is a flattened
@@ -209,7 +205,7 @@ impl Graph {
     /// reduction that never materializes the gathered matrix.
     pub fn gather_max(&mut self, x: VarId, groups: &[usize], k: usize) -> VarId {
         let (value, arg) = group::gather_max_reduce(self.value(x), groups, k);
-        self.push(Op::GatherMax { x, arg }, value)
+        self.push_aux(Op::GatherMax { x, groups: groups.to_vec(), k }, value, Aux::Arg(arg))
     }
 
     /// Global column-wise max over all rows (PointNet's symmetric pooling).
@@ -233,20 +229,7 @@ impl Graph {
         weights: Vec<f32>,
         k: usize,
     ) -> VarId {
-        assert_eq!(indices.len(), weights.len(), "one weight per index");
-        assert!(k > 0 && indices.len().is_multiple_of(k), "indices must be n × k");
-        let src = self.value(x);
-        let n_out = indices.len() / k;
-        let mut value = Matrix::zeros(n_out, src.cols());
-        for g in 0..n_out {
-            for j in 0..k {
-                let w = weights[g * k + j];
-                let row = src.row(indices[g * k + j]);
-                for (o, &v) in value.row_mut(g).iter_mut().zip(row) {
-                    *o += w * v;
-                }
-            }
-        }
+        let value = group::weighted_gather(self.value(x), &indices, &weights, k);
         self.push(Op::WeightedGather { x, indices, weights, k }, value)
     }
 
@@ -257,15 +240,12 @@ impl Graph {
     /// keeps the operator linear in `x`, which is also what makes it
     /// compatible with delayed-aggregation's distributivity argument.
     pub fn standardize(&mut self, x: VarId) -> VarId {
-        let (mean, var) = ops::column_stats(self.value(x));
-        let inv_std = var.map(|v| 1.0 / (v + 1e-5).sqrt());
-        let mut value = self.value(x).clone();
-        for r in 0..value.rows() {
-            for c in 0..value.cols() {
-                value[(r, c)] = (value[(r, c)] - mean[(0, c)]) * inv_std[(0, c)];
-            }
-        }
-        self.push(Op::Standardize { x, inv_std }, value)
+        let cols = self.value(x).cols();
+        let mut stats = Vec::new();
+        let mut value = Matrix::zeros(0, 0);
+        ops::standardize_into(self.value(x), &mut stats, &mut value);
+        let inv_std = Matrix::from_vec(1, cols, stats[cols..].to_vec());
+        self.push_aux(Op::Standardize { x }, value, Aux::InvStd(inv_std))
     }
 
     // ---- losses ----------------------------------------------------------
@@ -294,9 +274,10 @@ impl Graph {
             loss -= f64::from(probs[(r, label as usize)].max(1e-12)).ln();
         }
         let loss = (loss / labels.len() as f64) as f32;
-        self.push(
-            Op::SoftmaxCrossEntropy { logits, probs, labels },
+        self.push_aux(
+            Op::SoftmaxCrossEntropy { logits, labels },
             Matrix::from_vec(1, 1, vec![loss]),
+            Aux::Probs(probs),
         )
     }
 
@@ -307,7 +288,7 @@ impl Graph {
     /// skip connections are handled.
     pub fn backward(&mut self, root: VarId) {
         let seed = Matrix::full(self.value(root).rows(), self.value(root).cols(), 1.0);
-        self.grads[root.0] = Some(seed);
+        self.grads[root.index()] = Some(seed);
         for i in (0..self.nodes.len()).rev() {
             let Some(grad) = self.grads[i].take() else {
                 continue;
@@ -318,7 +299,7 @@ impl Graph {
     }
 
     fn accumulate(&mut self, v: VarId, g: Matrix) {
-        match &mut self.grads[v.0] {
+        match &mut self.grads[v.index()] {
             Some(acc) => {
                 debug_assert_eq!(acc.shape(), g.shape());
                 for (a, &x) in acc.as_mut_slice().iter_mut().zip(g.as_slice()) {
@@ -332,7 +313,7 @@ impl Graph {
     fn propagate(&mut self, i: usize, grad: &Matrix) {
         // Split borrows: read values immutably via raw clones where needed.
         match &self.nodes[i].op {
-            Op::Input | Op::Param => {}
+            Op::Input | Op::Param { .. } => {}
             Op::MatMul { a, b } => {
                 let (a, b) = (*a, *b);
                 let ga = ops::matmul_a_bt(grad, self.value(b));
@@ -360,6 +341,13 @@ impl Graph {
                 let x = *x;
                 let mask = ops::relu_mask(self.value(x));
                 self.accumulate(x, ops::hadamard(grad, &mask));
+            }
+            Op::Hadamard { a, b } => {
+                let (a, b) = (*a, *b);
+                let ga = ops::hadamard(grad, self.value(b));
+                let gb = ops::hadamard(grad, self.value(a));
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
             }
             Op::MulConst { x, mask } => {
                 let x = *x;
@@ -391,8 +379,11 @@ impl Graph {
                 self.accumulate(grouped, grad.clone());
                 self.accumulate(centroids, gc);
             }
-            Op::GroupMax { x, arg } | Op::GatherMax { x, arg } => {
+            Op::GroupMax { x, .. } | Op::GatherMax { x, .. } => {
                 let x = *x;
+                let Aux::Arg(arg) = &self.nodes[i].aux else {
+                    unreachable!("max reductions always cache their argmax")
+                };
                 let arg = arg.clone();
                 let mut acc = Matrix::zeros(self.value(x).rows(), self.value(x).cols());
                 group::max_reduce_backward(&mut acc, &arg, grad);
@@ -425,8 +416,11 @@ impl Graph {
                 self.accumulate(a, ga);
                 self.accumulate(b, gb);
             }
-            Op::Standardize { x, inv_std } => {
+            Op::Standardize { x } => {
                 let x = *x;
+                let Aux::InvStd(inv_std) = &self.nodes[i].aux else {
+                    unreachable!("standardize always caches inv_std")
+                };
                 // Statistics are detached: dL/dx = grad · inv_std (per column).
                 let mut g = grad.clone();
                 for r in 0..g.rows() {
@@ -445,8 +439,11 @@ impl Graph {
                 self.accumulate(pred, g.clone());
                 self.accumulate(target, ops::scale(&g, -1.0));
             }
-            Op::SoftmaxCrossEntropy { logits, probs, labels } => {
+            Op::SoftmaxCrossEntropy { logits, labels } => {
                 let logits = *logits;
+                let Aux::Probs(probs) = &self.nodes[i].aux else {
+                    unreachable!("cross-entropy always caches probs")
+                };
                 let mut g = probs.clone();
                 let n = labels.len() as f32;
                 let labels = labels.clone();

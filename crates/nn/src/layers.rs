@@ -100,11 +100,7 @@ impl FeatureNorm {
         // multiply using a constant-shaped trick: y = standardized ⊙ γ_rows.
         let rows = g.value(standardized).rows();
         let gamma_rows = g.gather(gamma, vec![0; rows]);
-        let scaled = {
-            // elementwise multiply via (a+b)²-style identity is wasteful;
-            // add a dedicated op: hadamard of two graph values.
-            g.hadamard(standardized, gamma_rows)
-        };
+        let scaled = g.hadamard(standardized, gamma_rows);
         let beta_rows = g.gather(beta, vec![0; rows]);
         g.add(scaled, beta_rows)
     }
@@ -229,23 +225,6 @@ impl SharedMlp {
             }
         }
         out
-    }
-}
-
-impl Graph {
-    /// Elementwise product of two tape values (both receive gradients).
-    pub fn hadamard(&mut self, a: VarId, b: VarId) -> VarId {
-        // Recorded as  y = a ⊙ b̄ + ā ⊙ b − ā ⊙ b̄  (x̄ = detached value of x).
-        // The value equals a ⊙ b exactly, and the gradients are the product
-        // rule evaluated at the current point: dy/da = b̄, dy/db = ā.
-        let a_val = self.value(a).clone();
-        let b_val = self.value(b).clone();
-        let t1 = self.mul_const(a, b_val.clone());
-        let t2 = self.mul_const(b, a_val.clone());
-        let s = self.add(t1, t2);
-        let correction = mesorasi_tensor::ops::hadamard(&a_val, &b_val);
-        let neg = self.input(mesorasi_tensor::ops::scale(&correction, -1.0));
-        self.add(s, neg)
     }
 }
 

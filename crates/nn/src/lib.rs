@@ -44,11 +44,13 @@
 
 pub mod graph;
 pub mod init;
+pub mod ir;
 pub mod layers;
 pub mod loss;
 pub mod metrics;
 pub mod optim;
 pub mod param;
+pub mod plan;
 pub mod schedule;
 
 pub use graph::{Graph, VarId};

@@ -25,13 +25,24 @@ use mesorasi_par as par;
 ///
 /// Panics if any index is out of bounds.
 pub fn gather_rows(src: &Matrix, indices: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    gather_rows_into(src, indices, &mut out);
+    out
+}
+
+/// [`gather_rows`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_rows_into(src: &Matrix, indices: &[usize], out: &mut Matrix) {
     let cols = src.cols();
-    let mut out = Matrix::zeros(indices.len(), cols);
+    out.reset_shape(indices.len(), cols);
     if cols == 0 {
         for &i in indices {
             assert!(i < src.rows(), "gather index {i} out of bounds for {} rows", src.rows());
         }
-        return out;
+        return;
     }
     let row_chunk = par::chunk_len(indices.len(), cols);
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * cols, |ci, chunk| {
@@ -41,7 +52,6 @@ pub fn gather_rows(src: &Matrix, indices: &[usize]) -> Matrix {
             out_row.copy_from_slice(src.row(i));
         }
     });
-    out
 }
 
 /// Adds each row of `grad` into row `indices[i]` of `acc` — the transpose
@@ -69,15 +79,32 @@ pub fn scatter_add_rows(acc: &mut Matrix, indices: &[usize], grad: &Matrix) {
 ///
 /// Panics if shapes are inconsistent.
 pub fn subtract_centroid_per_group(grouped: &Matrix, centroid_rows: &Matrix, k: usize) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    subtract_centroid_per_group_into(grouped, centroid_rows, k, &mut out);
+    out
+}
+
+/// [`subtract_centroid_per_group`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn subtract_centroid_per_group_into(
+    grouped: &Matrix,
+    centroid_rows: &Matrix,
+    k: usize,
+    out: &mut Matrix,
+) {
     assert!(k > 0, "group size must be positive");
     assert_eq!(grouped.rows() % k, 0, "grouped rows must be a multiple of k");
     assert_eq!(grouped.rows() / k, centroid_rows.rows(), "one centroid per group");
     assert_eq!(grouped.cols(), centroid_rows.cols(), "widths must match");
-    let mut out = grouped.clone();
+    out.reset_shape(grouped.rows(), grouped.cols());
     let cols = grouped.cols();
     if cols == 0 {
-        return out;
+        return;
     }
+    out.as_mut_slice().copy_from_slice(grouped.as_slice());
     let group_chunk = par::chunk_len(centroid_rows.rows(), k * cols);
     par::par_chunks_mut(out.as_mut_slice(), group_chunk * k * cols, |ci, chunk| {
         for (gi, group) in chunk.chunks_mut(k * cols).enumerate() {
@@ -89,7 +116,6 @@ pub fn subtract_centroid_per_group(grouped: &Matrix, centroid_rows: &Matrix, k: 
             }
         }
     });
-    out
 }
 
 /// Column-wise max over each group of `k` consecutive rows, producing a
@@ -131,6 +157,39 @@ pub fn group_max_reduce(grouped: &Matrix, k: usize) -> (Matrix, Vec<usize>) {
         }
     });
     (out, arg)
+}
+
+/// Values-only [`group_max_reduce`] writing into a caller-owned buffer —
+/// the inference-plan variant, which needs no argmax because no gradient
+/// will ever be routed back. Comparison order matches `group_max_reduce`
+/// exactly, so the values are bit-identical.
+///
+/// # Panics
+///
+/// Panics if `rows` is not a multiple of `k` or `k == 0`.
+pub fn group_max_into(grouped: &Matrix, k: usize, out: &mut Matrix) {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(grouped.rows() % k, 0, "rows must be a multiple of k");
+    let n_out = grouped.rows() / k;
+    let cols = grouped.cols();
+    out.reset_shape(n_out, cols);
+    if cols == 0 {
+        return;
+    }
+    let group_chunk = par::chunk_len(n_out, k * cols);
+    par::par_chunks_mut(out.as_mut_slice(), group_chunk * cols, |ci, vals| {
+        for (gi, out_row) in vals.chunks_mut(cols).enumerate() {
+            let first = (ci * group_chunk + gi) * k;
+            out_row.copy_from_slice(grouped.row(first));
+            for r in first + 1..first + k {
+                for (&v, o) in grouped.row(r).iter().zip(out_row.iter_mut()) {
+                    if v > *o {
+                        *o = v;
+                    }
+                }
+            }
+        }
+    });
 }
 
 /// Like [`group_max_reduce`] but the groups are given as explicit row-index
@@ -181,6 +240,89 @@ pub fn gather_max_reduce(src: &Matrix, groups: &[usize], k: usize) -> (Matrix, V
         }
     });
     (out, arg)
+}
+
+/// Values-only [`gather_max_reduce`] writing into a caller-owned buffer
+/// (see [`group_max_into`] for why no argmax is tracked). Bit-identical to
+/// the argmax-tracking variant's values.
+///
+/// # Panics
+///
+/// Panics if `groups.len()` is not a multiple of `k`, `k == 0`, or an index
+/// is out of bounds.
+pub fn gather_max_into(src: &Matrix, groups: &[usize], k: usize, out: &mut Matrix) {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(groups.len() % k, 0, "groups must be a multiple of k");
+    let n_out = groups.len() / k;
+    let cols = src.cols();
+    out.reset_shape(n_out, cols);
+    if cols == 0 {
+        for &i in groups {
+            assert!(i < src.rows(), "group index {i} out of bounds");
+        }
+        return;
+    }
+    let group_chunk = par::chunk_len(n_out, k * cols);
+    par::par_chunks_mut(out.as_mut_slice(), group_chunk * cols, |ci, vals| {
+        for (gi, out_row) in vals.chunks_mut(cols).enumerate() {
+            let g = ci * group_chunk + gi;
+            let entry = &groups[g * k..(g + 1) * k];
+            let first = entry[0];
+            assert!(first < src.rows(), "group index {first} out of bounds");
+            out_row.copy_from_slice(src.row(first));
+            for &i in &entry[1..] {
+                assert!(i < src.rows(), "group index {i} out of bounds");
+                for (&v, o) in src.row(i).iter().zip(out_row.iter_mut()) {
+                    if v > *o {
+                        *o = v;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Weighted row interpolation `out[g] = Σ_j weights[g·k+j] ·
+/// x[indices[g·k+j]]` — the 3-NN feature-propagation stencil (PointNet++'s
+/// `three_interpolate`). Shared by the autograd tape and the planned
+/// executor so both produce bit-identical values.
+///
+/// # Panics
+///
+/// Panics when `indices.len() != weights.len()`, the length is not a
+/// multiple of `k`, or an index is out of bounds.
+pub fn weighted_gather(src: &Matrix, indices: &[usize], weights: &[f32], k: usize) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    weighted_gather_into(src, indices, weights, k, &mut out);
+    out
+}
+
+/// [`weighted_gather`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics on the same inconsistencies as [`weighted_gather`].
+pub fn weighted_gather_into(
+    src: &Matrix,
+    indices: &[usize],
+    weights: &[f32],
+    k: usize,
+    out: &mut Matrix,
+) {
+    assert_eq!(indices.len(), weights.len(), "one weight per index");
+    assert!(k > 0 && indices.len().is_multiple_of(k), "indices must be n × k");
+    let n_out = indices.len() / k;
+    out.reset_shape(n_out, src.cols());
+    out.as_mut_slice().fill(0.0);
+    for g in 0..n_out {
+        for j in 0..k {
+            let w = weights[g * k + j];
+            let row = src.row(indices[g * k + j]);
+            for (o, &v) in out.row_mut(g).iter_mut().zip(row) {
+                *o += w * v;
+            }
+        }
+    }
 }
 
 /// Routes gradients back through a max reduction: for every output element

@@ -141,6 +141,30 @@ impl Matrix {
         self.data
     }
 
+    /// Reshapes the matrix in place to `rows × cols`, keeping the backing
+    /// allocation. Existing element values are unspecified afterwards (the
+    /// `_into` kernels fully define their output). Never shrinks the backing
+    /// capacity, so a buffer cycling through the shapes of an inference plan
+    /// stops allocating once it has seen the largest one.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Number of `f32` elements the backing allocation can hold without
+    /// growing — used by the arena to report steady-state behaviour.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// A `0 × 0` matrix whose backing store can hold `elems` elements
+    /// without reallocating — the initial state of an arena slot.
+    pub fn with_capacity(elems: usize) -> Matrix {
+        Matrix { rows: 0, cols: 0, data: Vec::with_capacity(elems) }
+    }
+
     /// The transpose.
     pub fn transposed(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -202,13 +226,31 @@ impl Matrix {
     ///
     /// Panics when row counts differ.
     pub fn hstack(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.hstack_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::hstack`] writing into a caller-owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when row counts differ.
+    pub fn hstack_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "hstack requires equal row counts");
-        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        out.reset_shape(self.rows, self.cols + other.cols);
         for r in 0..self.rows {
             out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
             out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
         }
-        out
+    }
+}
+
+impl Default for Matrix {
+    /// The empty `0 × 0` matrix (no allocation) — lets arena slots be
+    /// `std::mem::take`n during execution.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
     }
 }
 

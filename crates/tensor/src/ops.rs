@@ -18,13 +18,26 @@ use mesorasi_par as par;
 ///
 /// Panics when the inner dimensions disagree.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul`] writing into a caller-owned buffer (reshaped, fully
+/// overwritten; no allocation once the buffer's capacity suffices).
+///
+/// # Panics
+///
+/// Panics when the inner dimensions disagree.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} × {:?}", a.shape(), b.shape());
     let (m, k) = a.shape();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    out.reset_shape(m, n);
     if n == 0 {
-        return out;
+        return;
     }
+    out.as_mut_slice().fill(0.0);
     let row_chunk = par::chunk_len(m, 2 * k * n);
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
         for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
@@ -40,7 +53,6 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     });
-    out
 }
 
 /// `Aᵀ · B` for `A: k×m`, `B: k×n` — the weight-gradient product of a
@@ -54,6 +66,17 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics when the row counts disagree.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_at_b_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul_at_b`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics when the row counts disagree.
+pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -63,10 +86,11 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (k, m) = a.shape();
     let n = b.cols();
-    let mut out = Matrix::zeros(m, n);
+    out.reset_shape(m, n);
     if n == 0 {
-        return out;
+        return;
     }
+    out.as_mut_slice().fill(0.0);
     let row_chunk = par::chunk_len(m, 2 * k * n);
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
         let first = ci * row_chunk;
@@ -85,7 +109,6 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     });
-    out
 }
 
 /// `A · Bᵀ` for `A: m×k`, `B: n×k` — the input-gradient product of a linear
@@ -95,6 +118,17 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics when the column counts disagree.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    matmul_a_bt_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul_a_bt`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics when the column counts disagree.
+pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -104,9 +138,9 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k) = a.shape();
     let n = b.rows();
-    let mut out = Matrix::zeros(m, n);
+    out.reset_shape(m, n);
     if n == 0 {
-        return out;
+        return;
     }
     let row_chunk = par::chunk_len(m, 2 * k * n);
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
@@ -122,7 +156,6 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
             }
         }
     });
-    out
 }
 
 /// Elementwise `a + b`.
@@ -131,12 +164,22 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics when shapes differ.
 pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
-    let mut out = a.clone();
-    for (o, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *o += v;
-    }
+    let mut out = Matrix::zeros(0, 0);
+    add_into(a, b, &mut out);
     out
+}
+
+/// [`add`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn add_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    out.reset_shape(a.rows(), a.cols());
+    for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = x + y;
+    }
 }
 
 /// Elementwise `a - b`.
@@ -145,12 +188,22 @@ pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics when shapes differ.
 pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
-    let mut out = a.clone();
-    for (o, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *o -= v;
-    }
+    let mut out = Matrix::zeros(0, 0);
+    sub_into(a, b, &mut out);
     out
+}
+
+/// [`sub`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn sub_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    out.reset_shape(a.rows(), a.cols());
+    for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = x - y;
+    }
 }
 
 /// Elementwise (Hadamard) product.
@@ -159,17 +212,35 @@ pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Panics when shapes differ.
 pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
-    let mut out = a.clone();
-    for (o, &v) in out.as_mut_slice().iter_mut().zip(b.as_slice()) {
-        *o *= v;
-    }
+    let mut out = Matrix::zeros(0, 0);
+    hadamard_into(a, b, &mut out);
     out
+}
+
+/// [`hadamard`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn hadamard_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    out.reset_shape(a.rows(), a.cols());
+    for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = x * y;
+    }
 }
 
 /// `a * s` for a scalar `s`.
 pub fn scale(a: &Matrix, s: f32) -> Matrix {
     a.map(|v| v * s)
+}
+
+/// [`scale`] writing into a caller-owned buffer.
+pub fn scale_into(a: &Matrix, s: f32, out: &mut Matrix) {
+    out.reset_shape(a.rows(), a.cols());
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *o = x * s;
+    }
 }
 
 /// Adds the `1 × cols` row vector `bias` to every row of `a` — the bias
@@ -179,22 +250,40 @@ pub fn scale(a: &Matrix, s: f32) -> Matrix {
 ///
 /// Panics when `bias` is not a single row of matching width.
 pub fn add_bias_row(a: &Matrix, bias: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    add_bias_row_into(a, bias, &mut out);
+    out
+}
+
+/// [`add_bias_row`] writing into a caller-owned buffer.
+///
+/// # Panics
+///
+/// Panics when `bias` is not a single row of matching width.
+pub fn add_bias_row_into(a: &Matrix, bias: &Matrix, out: &mut Matrix) {
     assert_eq!(bias.rows(), 1, "bias must be a row vector");
     assert_eq!(bias.cols(), a.cols(), "bias width must match");
-    let mut out = a.clone();
+    out.reset_shape(a.rows(), a.cols());
     let b = bias.row(0);
-    for r in 0..out.rows() {
-        for (o, &v) in out.row_mut(r).iter_mut().zip(b) {
-            *o += v;
+    for r in 0..a.rows() {
+        for ((o, &x), &v) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b) {
+            *o = x + v;
         }
     }
-    out
 }
 
 /// ReLU: `max(v, 0)` elementwise — the non-linearity φ whose presence makes
 /// delayed-aggregation *approximate* (paper Equ. 3).
 pub fn relu(a: &Matrix) -> Matrix {
     a.map(|v| v.max(0.0))
+}
+
+/// [`relu`] writing into a caller-owned buffer.
+pub fn relu_into(a: &Matrix, out: &mut Matrix) {
+    out.reset_shape(a.rows(), a.cols());
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *o = x.max(0.0);
+    }
 }
 
 /// The ReLU gradient mask: 1 where `pre_activation > 0`, else 0.
@@ -232,6 +321,53 @@ pub fn column_stats(a: &Matrix) -> (Matrix, Matrix) {
     }
     var.map_inplace(|v| v / n);
     (mean, var)
+}
+
+/// Per-column standardization `(x − mean) · inv_std` with population
+/// statistics, `inv_std = 1/√(var + 1e-5)` — the shared forward kernel
+/// behind `Graph::standardize` and the planned executor (both must produce
+/// bit-identical values, so the arithmetic lives in exactly one place).
+///
+/// `stats` is a reusable scratch buffer; on return it holds
+/// `[mean₀.. mean_{c}, inv_std₀.. inv_std_{c}]` so the autograd tape can
+/// keep `inv_std` for its backward pass.
+///
+/// # Panics
+///
+/// Panics on an empty matrix.
+pub fn standardize_into(a: &Matrix, stats: &mut Vec<f32>, out: &mut Matrix) {
+    assert!(a.rows() > 0, "column stats of empty matrix");
+    let (rows, cols) = a.shape();
+    let n = rows as f32;
+    stats.clear();
+    stats.resize(2 * cols, 0.0);
+    let (mean, inv) = stats.split_at_mut(cols);
+    // Same accumulation order as `sum_rows` + `scale(_, 1/n)`.
+    for r in 0..rows {
+        for (m, &v) in mean.iter_mut().zip(a.row(r)) {
+            *m += v;
+        }
+    }
+    let s = 1.0 / n;
+    for m in mean.iter_mut() {
+        *m *= s;
+    }
+    // Same accumulation order (and final division) as `column_stats`' var.
+    for r in 0..rows {
+        for (c, &v) in a.row(r).iter().enumerate() {
+            let d = v - mean[c];
+            inv[c] += d * d;
+        }
+    }
+    for v in inv.iter_mut() {
+        *v = 1.0 / (*v / n + 1e-5).sqrt();
+    }
+    out.reset_shape(rows, cols);
+    for r in 0..rows {
+        for (c, (o, &v)) in out.row_mut(r).iter_mut().zip(a.row(r)).enumerate() {
+            *o = (v - mean[c]) * inv[c];
+        }
+    }
 }
 
 /// Row-wise softmax (numerically stable).

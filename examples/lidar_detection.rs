@@ -55,4 +55,14 @@ fn main() {
     let after = train_detector(&mut net, &train, &test, Strategy::Delayed, cfg);
     println!("geo-mean BEV IoU before training: {before:.1}%");
     println!("geo-mean BEV IoU after training:  {after:.1}%");
+    // Regression guard: this metric sat at a degenerate 0% for several
+    // releases (object returns were diluted out of the frustums before the
+    // detector ever saw them). Training at the default scale must produce a
+    // strictly positive detection score — on every class, since the
+    // geometric mean zeroes out if any class does.
+    assert!(after > 0.0, "post-training BEV IoU must be strictly positive, got {after}%");
+    assert!(
+        after > before,
+        "training must improve the detector (before {before}%, after {after}%)"
+    );
 }

@@ -1,0 +1,142 @@
+//! Planned-inference equivalence: the engine's correctness oracle.
+//!
+//! The inference engine (`mesorasi_core::engine` + `mesorasi_nn::plan`)
+//! must reproduce `Graph`-based forwards *bit-identically* — same kernels,
+//! same search code, same accumulation orders — for every network, every
+//! strategy, every thread count, and on samples it never recorded on.
+
+use mesorasi::core::Strategy;
+use mesorasi::networks::planned::{PlannedDetector, PlannedNetwork};
+use mesorasi::networks::registry::NetworkKind;
+use mesorasi::networks::PointCloudNetwork;
+use mesorasi::nn::Graph;
+use mesorasi::pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi::pointcloud::PointCloud;
+use mesorasi::tensor::Matrix;
+use proptest::prelude::*;
+
+fn tape_logits(
+    net: &dyn PointCloudNetwork,
+    cloud: &PointCloud,
+    strategy: Strategy,
+    seed: u64,
+) -> Matrix {
+    let mut g = Graph::new();
+    let out = net.forward(&mut g, cloud, strategy, seed);
+    g.value(out.logits).clone()
+}
+
+#[test]
+fn all_seven_networks_bit_identical_under_all_strategies() {
+    let mut rng = mesorasi::pointcloud::seeded_rng(42);
+    for kind in NetworkKind::ALL {
+        let net = kind.build_small(5, &mut rng);
+        for strategy in Strategy::ALL {
+            let mut planned = PlannedNetwork::new(net.as_ref(), strategy, 7);
+            // Cloud 1 is the recording sample; cloud 2 exercises replay
+            // with re-derived neighbor structure on unseen data.
+            for cloud_seed in [1, 2] {
+                let cloud = sample_shape(ShapeClass::Airplane, net.input_points(), cloud_seed);
+                let expected = tape_logits(net.as_ref(), &cloud, strategy, 7);
+                assert_eq!(
+                    planned.logits(&cloud),
+                    &expected,
+                    "{} / {strategy} / cloud {cloud_seed}: planned != tape",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planned_equals_tape_at_every_thread_count() {
+    let mut rng = mesorasi::pointcloud::seeded_rng(1);
+    for kind in [NetworkKind::PointNetPPClassification, NetworkKind::DgcnnClassification] {
+        let net = kind.build_small(4, &mut rng);
+        let cloud = sample_shape(ShapeClass::Car, net.input_points(), 3);
+        let reference = tape_logits(net.as_ref(), &cloud, Strategy::Delayed, 7);
+        for threads in [1usize, 2, 8] {
+            mesorasi_par::with_threads(threads, || {
+                let tape = tape_logits(net.as_ref(), &cloud, Strategy::Delayed, 7);
+                assert_eq!(tape, reference, "{}: tape drifts at {threads}t", kind.name());
+                let mut planned = PlannedNetwork::new(net.as_ref(), Strategy::Delayed, 7);
+                assert_eq!(
+                    planned.logits(&cloud),
+                    &reference,
+                    "{}: planned drifts at {threads} threads",
+                    kind.name()
+                );
+            });
+        }
+    }
+}
+
+#[test]
+fn planned_detection_pipeline_matches_tape_on_labelled_frustums() {
+    let mut rng = mesorasi::pointcloud::seeded_rng(5);
+    let net = mesorasi::networks::fpointnet::FPointNet::small(&mut rng);
+    let frustums = mesorasi::networks::datasets::frustums(3, 128, 9);
+    for strategy in Strategy::ALL {
+        let mut planned = PlannedDetector::new(&net, strategy, 13);
+        for ex in frustums.iter().take(4) {
+            let mut g = Graph::new();
+            let det = net.forward_detection(&mut g, &ex.cloud, strategy, 13);
+            let (seg, bx) = planned.run(&ex.cloud);
+            assert_eq!(seg, g.value(det.seg_logits), "{strategy}: seg logits differ");
+            assert_eq!(bx, g.value(det.box_params), "{strategy}: box params differ");
+        }
+    }
+}
+
+#[test]
+fn steady_state_arena_never_grows_and_reuses_slots() {
+    let mut rng = mesorasi::pointcloud::seeded_rng(2);
+    let net = NetworkKind::PointNetPPSegmentation.build_small(6, &mut rng);
+    let mut planned = PlannedNetwork::new(net.as_ref(), Strategy::Delayed, 7);
+    let cloud = sample_shape(ShapeClass::Table, net.input_points(), 1);
+    for _ in 0..3 {
+        let _ = planned.logits(&cloud);
+    }
+    let stats = planned.stats(net.input_points()).expect("plan compiled");
+    assert_eq!(stats.grow_events, 0, "steady state must stay inside planned capacities");
+    assert!(stats.reuse_ratio > 1.5, "deep networks must reuse slots, got {stats:?}");
+    assert!(stats.peak_bytes > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Shape fuzz: input point counts the networks were never recorded on
+    /// (each count compiles a fresh plan) must still replay bit-identically
+    /// under every strategy.
+    #[test]
+    fn planned_matches_tape_over_shapes(
+        n in 48usize..=160,
+        cloud_seed in 0u64..1000,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = Strategy::ALL[strategy_idx];
+        let mut rng = mesorasi::pointcloud::seeded_rng(8);
+        let net = NetworkKind::PointNetPPClassification.build_small(4, &mut rng);
+        let cloud = sample_shape(ShapeClass::Guitar, n, cloud_seed);
+        let expected = tape_logits(net.as_ref(), &cloud, strategy, 3);
+        let mut planned = PlannedNetwork::new(net.as_ref(), strategy, 3);
+        prop_assert_eq!(planned.logits(&cloud), &expected);
+    }
+
+    /// Same fuzz for an edge-module (feature-space search) network, whose
+    /// dynamic graph makes the searches depend on intermediate features.
+    #[test]
+    fn planned_matches_tape_over_shapes_dgcnn(
+        n in 128usize..=192,
+        cloud_seed in 0u64..1000,
+    ) {
+        let mut rng = mesorasi::pointcloud::seeded_rng(9);
+        let net = NetworkKind::DgcnnClassification.build_small(4, &mut rng);
+        let cloud = sample_shape(ShapeClass::Bottle, n, cloud_seed);
+        let expected = tape_logits(net.as_ref(), &cloud, Strategy::Delayed, 3);
+        let mut planned = PlannedNetwork::new(net.as_ref(), Strategy::Delayed, 3);
+        prop_assert_eq!(planned.logits(&cloud), &expected);
+    }
+}
