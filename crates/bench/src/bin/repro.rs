@@ -78,7 +78,12 @@ fn run_bench(args: &[String]) -> ! {
 
     let regressions = report.regressions();
     let engine_regressions = report.engine_regressions();
-    if smoke && !(regressions.is_empty() && engine_regressions.is_empty()) {
+    let batch_regressions = report.batch_regressions();
+    if smoke
+        && !(regressions.is_empty()
+            && engine_regressions.is_empty()
+            && batch_regressions.is_empty())
+    {
         for r in &regressions {
             eprintln!(
                 "[repro] REGRESSION: {}/{} at {} threads is {:.2}x the sequential time \
@@ -98,6 +103,20 @@ fn run_bench(args: &[String]) -> ! {
                 if vs_tape > 0.0 { 1.0 / vs_tape } else { f64::INFINITY }
             );
         }
+        for r in &batch_regressions {
+            let b = r.batch.expect("batch regressions carry batch extras");
+            eprintln!(
+                "[repro] REGRESSION: infer_batch({}) on {} is {:.2}x the sequential \
+                 per-sample time (gate: 1.5x)",
+                b.batch_size,
+                r.backend,
+                if b.speedup_vs_sequential > 0.0 {
+                    1.0 / b.speedup_vs_sequential
+                } else {
+                    f64::INFINITY
+                }
+            );
+        }
         std::process::exit(1);
     }
     std::process::exit(0);
@@ -114,10 +133,12 @@ fn main() {
         emit("With no arguments every experiment runs in order. Paper-scale");
         emit("traces are built once (in parallel) and shared.");
         emit("");
-        emit("`repro bench` times the parallel kernels across a thread sweep;");
-        emit("--json writes BENCH_<date>.json, --smoke runs reduced workloads");
-        emit("and exits non-zero if a parallel path is >1.5x slower than the");
-        emit("sequential baseline. MESORASI_THREADS caps the pool.");
+        emit("`repro bench` times the parallel kernels across a thread sweep,");
+        emit("whole-network forwards (tape vs Session), and batched Session");
+        emit("throughput; --json writes BENCH_<date>.json (mesorasi-bench/3),");
+        emit("--smoke runs reduced workloads and exits non-zero if a parallel,");
+        emit("planned, or batched path regresses past its gate.");
+        emit("MESORASI_THREADS caps the pool.");
         return;
     }
     if args.first().map(String::as_str) == Some("bench") {

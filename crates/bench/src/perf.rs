@@ -2,16 +2,16 @@
 //!
 //! Measures the hot kernels — the matmul family, the grouped reductions,
 //! and every neighbor-search backend — across a thread sweep, plus whole
-//! network forwards on both execution engines (autograd tape vs planned
-//! inference), and emits the results as `BENCH_<date>.json` so the
-//! ROADMAP's performance trajectory accumulates comparable data points
-//! across PRs.
+//! network forwards on both execution engines (autograd tape vs a
+//! [`Session`]) and batched session throughput, and emits the results as
+//! `BENCH_<date>.json` so the ROADMAP's performance trajectory accumulates
+//! comparable data points across PRs.
 //!
-//! JSON schema (`mesorasi-bench/2`):
+//! JSON schema (`mesorasi-bench/3`):
 //!
 //! ```json
 //! {
-//!   "schema": "mesorasi-bench/2",
+//!   "schema": "mesorasi-bench/3",
 //!   "date": "2026-07-28",
 //!   "unix_time": 1785000000,
 //!   "host_threads": 8,
@@ -21,7 +21,10 @@
 //!       "ns_per_op": 812345.6, "speedup_vs_1t": 1.94 },
 //!     { "op": "forward_planned", "backend": "PointNet++ (c)", "threads": 8,
 //!       "ns_per_op": 212345.6, "speedup_vs_tape": 3.41,
-//!       "arena_peak_bytes": 1843200, "arena_slot_reuse": 6.5 }
+//!       "arena_peak_bytes": 1843200, "arena_slot_reuse": 6.5 },
+//!     { "op": "infer_batch", "backend": "PointNet++ (c)", "threads": 8,
+//!       "ns_per_op": 61234.5, "batch": 8, "samples_per_sec": 16330.6,
+//!       "speedup_vs_sequential": 3.47 }
 //!   ]
 //! }
 //! ```
@@ -32,19 +35,25 @@
 //! `forward_planned` records compare the two engines per network (smoke:
 //! kernel-sized instances; full: paper-scale); planned records carry the
 //! arena statistics (`arena_peak_bytes`, `arena_slot_reuse` — values per
-//! physical buffer) and `speedup_vs_tape`.
+//! physical buffer) and `speedup_vs_tape`. `infer_batch` records (new in
+//! schema `/3`) time [`Session::infer_batch`] per batch size: `ns_per_op`
+//! is per *sample*, `samples_per_sec` is the batch throughput, and
+//! `speedup_vs_sequential` divides the same network's single-sample
+//! sequential time (`forward_planned`) by the per-sample batched time.
 //!
-//! Two smoke gates guard CI: any parallel record more than 1.5× slower
+//! Three smoke gates guard CI: any parallel record more than 1.5× slower
 //! than its own sequential baseline fails (parallelism may never change
-//! results, and may not wreck performance either), and any network whose
+//! results, and may not wreck performance either), any network whose
 //! planned forward is slower than its tape forward fails (the inference
-//! engine must never lose to the allocating tape).
+//! engine must never lose to the allocating tape), and any batched record
+//! more than 1.5× slower per sample than sequential single-sample
+//! inference fails (batching must never wreck throughput).
 
 use mesorasi_core::Strategy;
 use mesorasi_knn::feature::FeatureView;
 use mesorasi_knn::{ball, bruteforce, feature, grid::UniformGrid, kdtree::KdTree};
-use mesorasi_networks::planned::PlannedNetwork;
 use mesorasi_networks::registry::NetworkKind;
+use mesorasi_networks::session::{Session, SessionBuilder};
 use mesorasi_nn::Graph;
 use mesorasi_par as par;
 use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
@@ -65,16 +74,31 @@ pub struct EngineExtra {
     pub arena_slot_reuse: f64,
 }
 
+/// Batched-throughput extras carried by `infer_batch` records (schema
+/// `mesorasi-bench/3`).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExtra {
+    /// Samples per [`Session::infer_batch`] call.
+    pub batch_size: usize,
+    /// Steady-state throughput of the batched call.
+    pub samples_per_sec: f64,
+    /// Sequential single-sample ns over batched per-sample ns for the same
+    /// network (>1 means batching helps).
+    pub speedup_vs_sequential: f64,
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
-    /// Kernel name (`matmul`, `knn`, `forward_tape`, `forward_planned`, ...).
+    /// Kernel name (`matmul`, `knn`, `forward_tape`, `forward_planned`,
+    /// `infer_batch`, ...).
     pub op: &'static str,
     /// Implementation / search structure / network the op ran on.
     pub backend: &'static str,
     /// Effective thread count the measurement ran at.
     pub threads: usize,
-    /// Mean wall time per operation, in nanoseconds.
+    /// Mean wall time per operation, in nanoseconds (per sample for
+    /// `infer_batch` records).
     pub ns_per_op: f64,
     /// `ns(1 thread) / ns(this)` for the same op/backend; `None` when no
     /// 1-thread baseline was measured (the network-forward records, which
@@ -82,6 +106,8 @@ pub struct BenchRecord {
     pub speedup_vs_1t: Option<f64>,
     /// Planned-engine extras (`forward_planned` records only).
     pub extra: Option<EngineExtra>,
+    /// Batched-throughput extras (`infer_batch` records only).
+    pub batch: Option<BatchExtra>,
 }
 
 /// A full harness run: records plus the metadata the JSON header carries.
@@ -111,7 +137,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mesorasi-bench/2\",\n");
+        s.push_str("  \"schema\": \"mesorasi-bench/3\",\n");
         s.push_str(&format!("  \"date\": \"{}\",\n", self.date));
         s.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
@@ -125,11 +151,18 @@ impl BenchReport {
                     e.speedup_vs_tape, e.arena_peak_bytes, e.arena_slot_reuse
                 )
             });
+            let batch = r.batch.map_or(String::new(), |b| {
+                format!(
+                    ", \"batch\": {}, \"samples_per_sec\": {:.1}, \
+                     \"speedup_vs_sequential\": {:.3}",
+                    b.batch_size, b.samples_per_sec, b.speedup_vs_sequential
+                )
+            });
             let speedup =
                 r.speedup_vs_1t.map_or(String::new(), |s| format!(", \"speedup_vs_1t\": {s:.3}"));
             s.push_str(&format!(
                 "    {{ \"op\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
-                 \"ns_per_op\": {:.1}{speedup}{extra} }}{}\n",
+                 \"ns_per_op\": {:.1}{speedup}{extra}{batch} }}{}\n",
                 r.op,
                 r.backend,
                 r.threads,
@@ -163,9 +196,15 @@ impl BenchReport {
                     e.arena_slot_reuse
                 )
             });
+            let batch = r.batch.map_or(String::new(), |b| {
+                format!(
+                    "   batch {:>2}: {:.0} samples/s, vs sequential {:.2}x",
+                    b.batch_size, b.samples_per_sec, b.speedup_vs_sequential
+                )
+            });
             let speedup = r.speedup_vs_1t.map_or("          -".into(), |s| format!("{s:>11.2}x"));
             s.push_str(&format!(
-                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}\n",
+                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}{batch}\n",
                 r.op, r.backend, r.threads, r.ns_per_op
             ));
         }
@@ -188,6 +227,20 @@ impl BenchReport {
             .iter()
             .filter(|r| {
                 r.op == "forward_planned" && r.extra.is_some_and(|e| e.speedup_vs_tape < 1.0)
+            })
+            .collect()
+    }
+
+    /// The batching smoke gate: `infer_batch` records more than 1.5× slower
+    /// per sample than sequential single-sample inference on the same
+    /// network (the same tolerance the parallel gate applies, absorbing
+    /// dispatch jitter on small hosts). Empty means the gate passes.
+    pub fn batch_regressions(&self) -> Vec<&BenchRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                r.op == "infer_batch"
+                    && r.batch.is_some_and(|b| b.speedup_vs_sequential < 1.0 / 1.5)
             })
             .collect()
     }
@@ -356,6 +409,7 @@ pub fn run(smoke: bool) -> BenchReport {
                 ns_per_op: ns,
                 speedup_vs_1t: Some(speedup),
                 extra: None,
+                batch: None,
             });
         }
     }
@@ -367,13 +421,18 @@ pub fn run(smoke: bool) -> BenchReport {
     BenchReport { date: utc_date(unix_time), unix_time, host_threads, smoke, records }
 }
 
-/// Whole-network forwards, tape vs planned engine, one pair of records
-/// per network at the current host thread count. Smoke uses the
+/// Batch sizes the throughput sweep measures per network.
+const BATCH_SIZES: [usize; 2] = [2, 8];
+
+/// Whole-network forwards — tape vs [`Session`] — plus batched session
+/// throughput, at the current host thread count. Smoke uses the
 /// kernel-sized (small) instances; the full run uses paper scale — the
-/// acceptance bar is planned ≤ tape on every network. The planned timing
-/// is the steady state (plan compiled, NIT cached), i.e. the serving
-/// path; the tape timing is what the eval loops paid before this engine
-/// existed (fresh graph, fresh searches, per-op allocation).
+/// acceptance bars are planned ≤ tape and batched ≤ sequential on every
+/// network. The session timings are the steady state ([`Session::warm`]
+/// pre-compiles every worker's plan and fills its NIT cache outside the
+/// clock), i.e. the serving path; the tape timing is what the eval loops
+/// paid before the engine existed (fresh graph, fresh searches, per-op
+/// allocation).
 fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
     let threads = par::current_threads();
     let mut rng = mesorasi_pointcloud::seeded_rng(2020);
@@ -388,13 +447,17 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             black_box(net.forward(&mut g, &cloud, Strategy::Delayed, 7));
         });
 
-        let mut planned = PlannedNetwork::new(net.as_ref(), Strategy::Delayed, 7);
-        // Compile the plan and fill the NIT cache outside the clock.
-        let _ = planned.logits(&cloud);
+        // At most max(BATCH_SIZES) engines ever serve a batch; capping the
+        // pool spares warm() from compiling paper-scale plans for workers
+        // the sweep would never touch.
+        let max_batch = BATCH_SIZES[BATCH_SIZES.len() - 1];
+        let session: Session =
+            SessionBuilder::from_boxed(net).seed(7).workers(threads.min(max_batch)).build();
+        session.warm(&cloud);
         let planned_ns = time_ns(budget, || {
-            black_box(planned.logits(&cloud));
+            black_box(session.infer(&cloud));
         });
-        let stats = planned.stats(n).expect("plan compiled above");
+        let stats = session.arena_stats(n).expect("warmed above");
 
         records.push(BenchRecord {
             op: "forward_tape",
@@ -403,6 +466,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             ns_per_op: tape_ns,
             speedup_vs_1t: None,
             extra: None,
+            batch: None,
         });
         records.push(BenchRecord {
             op: "forward_planned",
@@ -415,7 +479,36 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
                 arena_peak_bytes: stats.peak_bytes,
                 arena_slot_reuse: stats.reuse_ratio,
             }),
+            batch: None,
         });
+
+        // Batched throughput: every worker engine is warm on `cloud`, so a
+        // batch of refs to it measures pure batch-path cost (chunking, pool
+        // dispatch, parallel replay) against the sequential baseline above.
+        for batch_size in BATCH_SIZES {
+            let batch: Vec<&PointCloud> = (0..batch_size).map(|_| &cloud).collect();
+            let batch_call_ns = time_ns(budget, || {
+                black_box(session.infer_batch(&batch));
+            });
+            let per_sample_ns = batch_call_ns / batch_size as f64;
+            records.push(BenchRecord {
+                op: "infer_batch",
+                backend: kind.name(),
+                threads,
+                ns_per_op: per_sample_ns,
+                speedup_vs_1t: None,
+                extra: None,
+                batch: Some(BatchExtra {
+                    batch_size,
+                    samples_per_sec: if per_sample_ns > 0.0 { 1e9 / per_sample_ns } else { 0.0 },
+                    speedup_vs_sequential: if per_sample_ns > 0.0 {
+                        planned_ns / per_sample_ns
+                    } else {
+                        1.0
+                    },
+                }),
+            });
+        }
     }
     records
 }
@@ -463,6 +556,7 @@ mod tests {
                     ns_per_op: 1234.5,
                     speedup_vs_1t: Some(1.8),
                     extra: None,
+                    batch: None,
                 },
                 BenchRecord {
                     op: "forward_planned",
@@ -475,16 +569,33 @@ mod tests {
                         arena_peak_bytes: 4096,
                         arena_slot_reuse: 6.25,
                     }),
+                    batch: None,
+                },
+                BenchRecord {
+                    op: "infer_batch",
+                    backend: "PointNet++ (c)",
+                    threads: 2,
+                    ns_per_op: 50.0,
+                    speedup_vs_1t: None,
+                    extra: None,
+                    batch: Some(BatchExtra {
+                        batch_size: 8,
+                        samples_per_sec: 20_000_000.0,
+                        speedup_vs_sequential: 2.0,
+                    }),
                 },
             ],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mesorasi-bench/2\""));
+        assert!(json.contains("\"schema\": \"mesorasi-bench/3\""));
         assert!(json.contains("\"op\": \"matmul\""));
         assert!(json.contains("\"speedup_vs_1t\": 1.800"));
         assert!(json.contains("\"speedup_vs_tape\": 3.500"));
         assert!(json.contains("\"arena_peak_bytes\": 4096"));
         assert!(json.contains("\"arena_slot_reuse\": 6.25"));
+        assert!(json.contains("\"batch\": 8"));
+        assert!(json.contains("\"samples_per_sec\": 20000000.0"));
+        assert!(json.contains("\"speedup_vs_sequential\": 2.000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(report.filename(), "BENCH_2026-07-28.json");
     }
@@ -497,6 +608,7 @@ mod tests {
             ns_per_op: 100.0,
             speedup_vs_1t: Some(speedup),
             extra: None,
+            batch: None,
         }
     }
 
@@ -526,6 +638,7 @@ mod tests {
                 arena_peak_bytes: 1,
                 arena_slot_reuse: 1.0,
             }),
+            batch: None,
         };
         let report = BenchReport {
             date: String::new(),
@@ -539,6 +652,32 @@ mod tests {
             ],
         };
         assert_eq!(report.engine_regressions().len(), 1);
+    }
+
+    #[test]
+    fn batch_regressions_flags_slow_batches_with_tolerance() {
+        let batched = |vs_seq: f64| BenchRecord {
+            op: "infer_batch",
+            backend: "LDGCNN",
+            threads: 2,
+            ns_per_op: 100.0,
+            speedup_vs_1t: None,
+            extra: None,
+            batch: Some(BatchExtra {
+                batch_size: 8,
+                samples_per_sec: 1.0,
+                speedup_vs_sequential: vs_seq,
+            }),
+        };
+        let report = BenchReport {
+            date: String::new(),
+            unix_time: 0,
+            host_threads: 2,
+            smoke: true,
+            records: vec![batched(0.5), batched(0.8), batched(2.0)],
+        };
+        // 0.5 < 1/1.5 fails; 0.8 and 2.0 sit inside the tolerance.
+        assert_eq!(report.batch_regressions().len(), 1);
     }
 
     #[test]
@@ -574,6 +713,15 @@ mod tests {
             let extra = r.extra.expect("planned records carry arena stats");
             assert!(extra.arena_peak_bytes > 0);
             assert!(extra.arena_slot_reuse >= 1.0);
+        }
+        let batched: Vec<&BenchRecord> =
+            report.records.iter().filter(|r| r.op == "infer_batch").collect();
+        assert_eq!(batched.len(), NetworkKind::ALL.len() * BATCH_SIZES.len());
+        for r in &batched {
+            let b = r.batch.expect("infer_batch records carry batch extras");
+            assert!(BATCH_SIZES.contains(&b.batch_size));
+            assert!(b.samples_per_sec > 0.0);
+            assert!(b.speedup_vs_sequential > 0.0);
         }
         assert!(report.records.iter().all(|r| r.ns_per_op > 0.0));
     }

@@ -10,51 +10,21 @@
 use mesorasi_core::Strategy;
 use mesorasi_networks::datasets::{Dataset, FrustumExample};
 use mesorasi_networks::fpointnet::FPointNet;
-use mesorasi_networks::planned::{PlannedDetector, PlannedNetwork};
+use mesorasi_networks::session::{Session, SessionBuilder};
 use mesorasi_networks::PointCloudNetwork;
 use mesorasi_nn::metrics::{accuracy, bev_iou, geometric_mean, ConfusionMatrix};
 use mesorasi_nn::optim::{Adam, Optimizer};
-use mesorasi_nn::{loss, Graph};
+use mesorasi_nn::Graph;
 use mesorasi_pointcloud::{Point3, PointCloud};
 use mesorasi_tensor::Matrix;
 use rand::seq::SliceRandom;
 
-/// Evaluates `items` with one inference session per pool task: the test
-/// set is split into `current_threads` contiguous chunks, each chunk owns
-/// a session (`new_session` records one plan, then every sample replays
-/// against its arena), and results come back in input order. Sessions are
-/// mutable state, which is why the eval loops chunk instead of using
-/// `par_map_collect`.
-fn par_eval_chunks<T, R, S>(
-    items: &[T],
-    new_session: impl Fn() -> S + Sync,
-    eval: impl Fn(&mut S, &T) -> R + Sync,
-) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = mesorasi_par::current_threads().clamp(1, items.len());
-    let chunk = items.len().div_ceil(threads);
-    let n_chunks = items.len().div_ceil(chunk);
-    let mut results: Vec<Vec<R>> = (0..n_chunks).map(|_| Vec::new()).collect();
-    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = results
-        .iter_mut()
-        .zip(items.chunks(chunk))
-        .map(|(out, part)| {
-            let new_session = &new_session;
-            let eval = &eval;
-            Box::new(move || {
-                let mut session = new_session();
-                out.extend(part.iter().map(|item| eval(&mut session, item)));
-            }) as Box<dyn FnOnce() + Send + '_>
-        })
-        .collect();
-    mesorasi_par::par_run_tasks(tasks);
-    results.into_iter().flatten().collect()
+/// One evaluation session over a weight snapshot of `net`: the batched
+/// inference path ([`Session::infer_batch`]) chunks the test set over the
+/// session's worker engines, each of which compiles one plan and replays
+/// its chunk against a reusable arena.
+fn eval_session(net: &dyn PointCloudNetwork, strategy: Strategy, seed: u64) -> Session {
+    SessionBuilder::from_network_ref(net).strategy(strategy).seed(seed).build()
 }
 
 /// Epoch-seeded training order: batch-size-1 SGD over class-sorted data
@@ -107,21 +77,21 @@ pub fn train_classifier(
     evaluate_classifier(net, ds, strategy, cfg.seed)
 }
 
-/// Test accuracy (%) of a classification network. Runs on the planned
-/// inference engine (bit-identical to tape forwards): each pool task
-/// records one plan and replays its chunk of the test set against a
-/// reusable arena.
+/// Test accuracy (%) of a classification network. Runs batched on a
+/// [`Session`] (bit-identical to tape forwards).
 pub fn evaluate_classifier(
     net: &dyn PointCloudNetwork,
     ds: &Dataset,
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let predictions = par_eval_chunks(
-        &ds.test,
-        || PlannedNetwork::new(net, strategy, seed),
-        |planned, ex| loss::predictions(planned.logits(&ex.cloud))[0],
-    );
+    let session = eval_session(net, strategy, seed);
+    let clouds: Vec<&PointCloud> = ds.test.iter().map(|ex| &ex.cloud).collect();
+    let predictions: Vec<u32> = session
+        .infer_batch(&clouds)
+        .into_iter()
+        .map(|out| out.into_classification().predicted())
+        .collect();
     let labels: Vec<u32> = ds.test.iter().map(|ex| ex.label).collect();
     accuracy(&predictions, &labels) * 100.0
 }
@@ -149,7 +119,7 @@ pub fn train_segmenter(
     evaluate_segmenter(net, ds, parts, strategy, cfg.seed)
 }
 
-/// Test mIoU (%) of a segmentation network (planned inference engine).
+/// Test mIoU (%) of a segmentation network (batched [`Session`]).
 pub fn evaluate_segmenter(
     net: &dyn PointCloudNetwork,
     ds: &Dataset,
@@ -157,14 +127,13 @@ pub fn evaluate_segmenter(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let per_example = par_eval_chunks(
-        &ds.test,
-        || PlannedNetwork::new(net, strategy, seed),
-        |planned, ex| loss::predictions(planned.logits(&ex.cloud)),
-    );
+    let session = eval_session(net, strategy, seed);
+    let clouds: Vec<&PointCloud> = ds.test.iter().map(|ex| &ex.cloud).collect();
+    let per_example = session.infer_batch(&clouds);
     let mut cm = ConfusionMatrix::new(parts as usize);
-    for (ex, predictions) in ds.test.iter().zip(&per_example) {
-        cm.record(predictions, ex.cloud.labels().expect("labelled"));
+    for (ex, out) in ds.test.iter().zip(per_example) {
+        let predictions = out.into_segmentation().labels();
+        cm.record(&predictions, ex.cloud.labels().expect("labelled"));
     }
     cm.mean_iou() * 100.0
 }
@@ -222,16 +191,18 @@ pub fn evaluate_detector(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let ious = par_eval_chunks(
-        test,
-        || PlannedDetector::new(net, strategy, seed),
-        |planned, ex| {
-            let (_seg, p) = planned.run(&ex.cloud);
-            let m = mask_centroid(net, &ex.cloud);
-            let predicted = (m.x + p[(0, 0)], m.y + p[(0, 1)], p[(0, 3)].abs(), p[(0, 4)].abs());
+    let session = eval_session(net, strategy, seed);
+    let clouds: Vec<&PointCloud> = test.iter().map(|ex| &ex.cloud).collect();
+    let ious: Vec<f64> = session
+        .infer_batch(&clouds)
+        .into_iter()
+        .zip(test)
+        .map(|(out, ex)| {
+            let boxes = out.into_detection();
+            let predicted = boxes.bev_box(mask_centroid(net, &ex.cloud));
             bev_iou(predicted, ex.bev_box)
-        },
-    );
+        })
+        .collect();
     let mut per_class: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for (ex, iou) in test.iter().zip(ious) {
         per_class[ex.class as usize].push(iou);
@@ -255,15 +226,13 @@ pub fn detector_mask_accuracy(
     strategy: Strategy,
     seed: u64,
 ) -> f64 {
-    let per_example = par_eval_chunks(
-        test,
-        || PlannedDetector::new(net, strategy, seed),
-        |planned, ex| loss::predictions(planned.run(&ex.cloud).0),
-    );
+    let session = eval_session(net, strategy, seed);
+    let clouds: Vec<&PointCloud> = test.iter().map(|ex| &ex.cloud).collect();
+    let per_example = session.infer_batch(&clouds);
     let mut predictions = Vec::new();
     let mut labels = Vec::new();
-    for (ex, p) in test.iter().zip(per_example) {
-        predictions.extend(p);
+    for (ex, out) in test.iter().zip(per_example) {
+        predictions.extend(out.into_detection().mask_labels());
         labels.extend_from_slice(ex.cloud.labels().expect("labelled"));
     }
     accuracy(&predictions, &labels) * 100.0

@@ -129,7 +129,7 @@ const MIN_OBJECT_RETURNS: usize = 6;
 
 /// Generates frustum detection examples by ray-casting scenes and cropping
 /// a frustum per object with enough LiDAR returns
-/// ([`MIN_OBJECT_RETURNS`]). Resampling to `points_per_frustum` is
+/// (`MIN_OBJECT_RETURNS`). Resampling to `points_per_frustum` is
 /// stratified by label so the object's returns survive it.
 pub fn frustums(scenes: usize, points_per_frustum: usize, seed: u64) -> Vec<FrustumExample> {
     let config = LidarConfig::small();

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 
 /// One dense stage: pooling module then densely-connected blocks at fixed
 /// point count.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Stage {
     /// Pooling module (reduces the point count, like a strided conv).
     pool: Module,
@@ -29,7 +29,7 @@ struct Stage {
 }
 
 /// The DensePoint classification network.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DensePoint {
     input_points: usize,
     stages: Vec<Stage>,
@@ -128,6 +128,14 @@ impl PointCloudNetwork for DensePoint {
 
     fn input_points(&self) -> usize {
         self.input_points
+    }
+
+    fn domain(&self) -> crate::Domain {
+        crate::Domain::Classification
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PointCloudNetwork> {
+        Box::new(self.clone())
     }
 
     fn forward(

@@ -18,7 +18,7 @@ use mesorasi_pointcloud::PointCloud;
 use rand::rngs::StdRng;
 
 /// DGCNN in either variant.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dgcnn {
     name: String,
     input_points: usize,
@@ -105,6 +105,18 @@ impl PointCloudNetwork for Dgcnn {
 
     fn input_points(&self) -> usize {
         self.input_points
+    }
+
+    fn domain(&self) -> crate::Domain {
+        if self.segmentation {
+            crate::Domain::Segmentation
+        } else {
+            crate::Domain::Classification
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PointCloudNetwork> {
+        Box::new(self.clone())
     }
 
     fn forward(

@@ -48,7 +48,7 @@ fn init_box_prior(head: &mut SharedMlp) {
 }
 
 /// The F-PointNet pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FPointNet {
     input_points: usize,
     masked_points: usize,
@@ -303,6 +303,14 @@ impl PointCloudNetwork for FPointNet {
         self.input_points
     }
 
+    fn domain(&self) -> crate::Domain {
+        crate::Domain::Detection
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PointCloudNetwork> {
+        Box::new(self.clone())
+    }
+
     fn forward(
         &self,
         g: &mut Graph,
@@ -312,6 +320,19 @@ impl PointCloudNetwork for FPointNet {
     ) -> NetForward {
         let det = self.forward_detection(g, cloud, strategy, seed);
         NetForward { logits: det.seg_logits, trace: det.trace }
+    }
+
+    /// Detection sessions keep both pipeline heads: `[seg_logits,
+    /// box_params]`, the order [`crate::session::Boxes3D`] expects.
+    fn session_outputs(
+        &self,
+        g: &mut Graph,
+        cloud: &PointCloud,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Vec<VarId> {
+        let det = self.forward_detection(g, cloud, strategy, seed);
+        vec![det.seg_logits, det.box_params]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -17,7 +17,7 @@ use mesorasi_pointcloud::PointCloud;
 use rand::rngs::StdRng;
 
 /// The LDGCNN classification network.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ldgcnn {
     input_points: usize,
     /// EdgeConv modules; module `i`'s input width is `3 + Σ_{j<i} out_j`.
@@ -65,6 +65,14 @@ impl PointCloudNetwork for Ldgcnn {
 
     fn input_points(&self) -> usize {
         self.input_points
+    }
+
+    fn domain(&self) -> crate::Domain {
+        crate::Domain::Classification
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PointCloudNetwork> {
+        Box::new(self.clone())
     }
 
     fn forward(

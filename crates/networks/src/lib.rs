@@ -22,15 +22,16 @@ pub mod densepoint;
 pub mod dgcnn;
 pub mod fpointnet;
 pub mod ldgcnn;
-pub mod planned;
 pub mod pointnetpp;
 pub mod registry;
+pub mod session;
 
 use mesorasi_core::{NetworkTrace, Strategy};
 use mesorasi_nn::{Graph, Param, VarId};
 use mesorasi_pointcloud::PointCloud;
 
-pub use registry::NetworkKind;
+pub use registry::{Domain, NetworkKind};
+pub use session::{Boxes3D, Inference, Logits, PerPointLabels, Session, SessionBuilder};
 
 /// Result of a network forward pass: task output plus the recorded
 /// workload.
@@ -45,15 +46,19 @@ pub struct NetForward {
 
 /// Common interface over the seven evaluated networks.
 ///
-/// `Sync` is a supertrait so evaluation loops can fan a shared `&dyn
-/// PointCloudNetwork` out across threads (forward passes take `&self`; all
-/// implementations are plain data).
-pub trait PointCloudNetwork: Sync {
+/// `Send + Sync` are supertraits so an owned network can move into a
+/// [`Session`] and be shared across threads (forward passes take `&self`;
+/// all implementations are plain data).
+pub trait PointCloudNetwork: Send + Sync {
     /// Display name matching the paper's tables (e.g. "PointNet++ (c)").
     fn name(&self) -> &str;
 
     /// Expected input point count.
     fn input_points(&self) -> usize;
+
+    /// The task this instance solves, which decides the [`Inference`]
+    /// variant a [`Session`] returns for it.
+    fn domain(&self) -> Domain;
 
     /// Runs the network on `cloud` under `strategy`, recording the trace.
     ///
@@ -66,6 +71,24 @@ pub trait PointCloudNetwork: Sync {
         strategy: Strategy,
         seed: u64,
     ) -> NetForward;
+
+    /// The output vars a [`Session`] keeps from one forward pass, in the
+    /// domain's canonical order. The default keeps the task logits;
+    /// detection pipelines override this to expose the box head as well
+    /// (`[seg_logits, box_params]`).
+    fn session_outputs(
+        &self,
+        g: &mut Graph,
+        cloud: &PointCloud,
+        strategy: Strategy,
+        seed: u64,
+    ) -> Vec<VarId> {
+        vec![self.forward(g, cloud, strategy, seed).logits]
+    }
+
+    /// An owned copy of this network behind the trait object — how a
+    /// [`SessionBuilder`] takes a snapshot of weights it only borrows.
+    fn boxed_clone(&self) -> Box<dyn PointCloudNetwork>;
 
     /// All trainable parameters, for optimizer steps.
     fn params_mut(&mut self) -> Vec<&mut Param>;

@@ -16,7 +16,7 @@ use mesorasi_pointcloud::PointCloud;
 use rand::rngs::StdRng;
 
 /// PointNet++ in either variant.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PointNetPP {
     name: String,
     input_points: usize,
@@ -216,6 +216,18 @@ impl PointCloudNetwork for PointNetPP {
 
     fn input_points(&self) -> usize {
         self.input_points
+    }
+
+    fn domain(&self) -> crate::Domain {
+        if self.segmentation {
+            crate::Domain::Segmentation
+        } else {
+            crate::Domain::Classification
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn PointCloudNetwork> {
+        Box::new(self.clone())
     }
 
     fn forward(

@@ -105,7 +105,7 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 
 /// Picks a chunk length (in items) for `n` items of roughly `cost_per_item`
 /// work units each: enough chunks to balance [`current_threads`] workers,
-/// but never chunks smaller than [`MIN_CHUNK_WORK`] total work. Returns a
+/// but never chunks smaller than `MIN_CHUNK_WORK` total work. Returns a
 /// length ≥ `n` (meaning "do not parallelize") for small workloads.
 pub fn chunk_len(n: usize, cost_per_item: usize) -> usize {
     if n == 0 {

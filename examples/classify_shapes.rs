@@ -6,15 +6,13 @@
 //! cargo run --release --example classify_shapes
 //! ```
 
-use mesorasi::core::Strategy;
 use mesorasi::networks::datasets;
 use mesorasi::networks::pointnetpp::PointNetPP;
-use mesorasi::networks::PointCloudNetwork;
 use mesorasi::nn::optim::{Adam, Optimizer};
-use mesorasi::nn::{loss, Graph};
+use mesorasi::prelude::*;
 
 fn train(strategy: Strategy, ds: &datasets::Dataset, classes: usize, epochs: usize) -> f64 {
-    let mut rng = mesorasi::pointcloud::seeded_rng(11);
+    let mut rng = seeded_rng(11);
     let mut net = PointNetPP::classification_small(classes, &mut rng);
     let mut opt = Adam::new(5e-4);
     for epoch in 0..epochs {
@@ -35,15 +33,19 @@ fn train(strategy: Strategy, ds: &datasets::Dataset, classes: usize, epochs: usi
             );
         }
     }
-    // Evaluate on held-out shapes.
-    let mut correct = 0;
-    for ex in &ds.test {
-        let mut g = Graph::new();
-        let out = net.forward(&mut g, &ex.cloud, strategy, 7);
-        if loss::predictions(g.value(out.logits))[0] == ex.label {
-            correct += 1;
-        }
-    }
+    // Evaluate on held-out shapes: training is done, so the network moves
+    // into an owned Session and the test set runs batched on the planned
+    // inference engine (bit-identical to tape forwards).
+    let session = SessionBuilder::from_network(net).strategy(strategy).seed(7).build();
+    let clouds: Vec<&PointCloud> = ds.test.iter().map(|ex| &ex.cloud).collect();
+    let correct = session
+        .infer_batch(&clouds)
+        .into_iter()
+        .zip(&ds.test)
+        .filter(|(out, ex)| {
+            out.as_classification().expect("classification session").predicted() == ex.label
+        })
+        .count();
     correct as f64 / ds.test.len() as f64 * 100.0
 }
 

@@ -7,13 +7,12 @@
 //! cargo run --release --example codesign_explorer
 //! ```
 
-use mesorasi::core::Strategy;
-use mesorasi::networks::registry::NetworkKind;
+use mesorasi::bench::Context;
+use mesorasi::prelude::*;
 use mesorasi::sim::area;
 use mesorasi::sim::au::AuConfig;
 use mesorasi::sim::npu::NpuConfig;
 use mesorasi::sim::soc::{simulate, Platform, SocConfig};
-use mesorasi_bench::Context;
 
 fn main() {
     let kind = NetworkKind::PointNetPPClassification;

@@ -7,12 +7,11 @@
 //! cargo run --release --example lidar_detection
 //! ```
 
-use mesorasi::core::Strategy;
+use mesorasi::bench::training::{evaluate_detector, split_frustums, train_detector, TrainConfig};
 use mesorasi::networks::datasets;
 use mesorasi::networks::fpointnet::FPointNet;
 use mesorasi::pointcloud::lidar::{generate_scene, LidarConfig};
-use mesorasi_bench::training::{evaluate_detector, split_frustums, train_detector, TrainConfig};
-use mesorasi_nn::Graph;
+use mesorasi::prelude::*;
 
 fn main() {
     // One sweep of the simulated spinning LiDAR.
@@ -34,7 +33,7 @@ fn main() {
     let (train, test) = split_frustums(frustums, 0.25);
 
     // Workload look: what one frustum costs the pipeline, per strategy.
-    let mut rng = mesorasi::pointcloud::seeded_rng(11);
+    let mut rng = seeded_rng(11);
     let probe = FPointNet::small(&mut rng);
     for strategy in [Strategy::Original, Strategy::Delayed] {
         let mut g = Graph::new();
@@ -48,7 +47,7 @@ fn main() {
 
     // Short training run (segmentation + box regression jointly).
     println!("\ntraining the pipeline ({} train / {} test frustums)...", train.len(), test.len());
-    let mut rng = mesorasi::pointcloud::seeded_rng(11);
+    let mut rng = seeded_rng(11);
     let mut net = FPointNet::small(&mut rng);
     let cfg = TrainConfig { epochs: 30, ..TrainConfig::default() };
     let before = evaluate_detector(&net, &test, Strategy::Delayed, 7);
@@ -65,4 +64,17 @@ fn main() {
         after > before,
         "training must improve the detector (before {before}%, after {after}%)"
     );
+
+    // Serving the trained detector: the pipeline moves into an owned
+    // Session and each frustum comes back as a domain-typed Boxes3D — no
+    // raw-matrix special case for detection.
+    let session = SessionBuilder::from_network(net).strategy(Strategy::Delayed).seed(7).build();
+    let boxes = session.infer(&test[0].cloud).into_detection();
+    let object_points = boxes.mask_labels().iter().filter(|&&l| l == 1).count();
+    let (cx, cy, w, h) = boxes.bev_box(Point3::ORIGIN);
+    println!(
+        "\nsession probe on one frustum: {object_points}/{} points masked as object,",
+        test[0].cloud.len()
+    );
+    println!("BEV box (origin-anchored): center ({cx:.2}, {cy:.2}), size {w:.2} x {h:.2}");
 }

@@ -6,13 +6,11 @@
 //! ```
 
 use mesorasi::core::module::{Module, ModuleConfig, NeighborMode};
-use mesorasi::core::{runner, Strategy};
+use mesorasi::core::{runner, NetworkTrace};
 use mesorasi::nn::layers::NormMode;
-use mesorasi::pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi::prelude::*;
 use mesorasi::sim::soc::{simulate, Platform, SocConfig};
 use mesorasi::tensor::ops;
-use mesorasi_core::NetworkTrace;
-use mesorasi_nn::Graph;
 
 fn main() {
     // A synthetic chair, normalized to the unit sphere — the ModelNet-style
@@ -22,7 +20,7 @@ fn main() {
 
     // The paper's running example (Fig. 3): 1024 → 512 points, K = 32,
     // shared MLP [3, 64, 64, 128].
-    let mut rng = mesorasi::pointcloud::seeded_rng(0);
+    let mut rng = seeded_rng(0);
     let config = ModuleConfig::offset(
         "sa1",
         512,
@@ -73,4 +71,23 @@ fn main() {
             sim.total_mj()
         );
     }
+
+    // Serving a whole network is one owned, thread-safe Session: every
+    // forward runs on the plan-and-execute engine, bit-identical to the
+    // tape. See classify_shapes / segment_parts / lidar_detection for the
+    // full train-then-serve loop.
+    println!();
+    let session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+        .classes(10)
+        .strategy(Strategy::Delayed)
+        .build();
+    let small = sample_shape(ShapeClass::Chair, session.network().input_points(), 42);
+    let logits = session.infer(&small).into_classification();
+    println!(
+        "session over {} ({:?}): predicted class {} of {}",
+        session.network().name(),
+        session.domain(),
+        logits.predicted(),
+        logits.scores().len()
+    );
 }

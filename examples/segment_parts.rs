@@ -6,13 +6,11 @@
 //! cargo run --release --example segment_parts
 //! ```
 
-use mesorasi::core::Strategy;
 use mesorasi::networks::datasets;
 use mesorasi::networks::pointnetpp::PointNetPP;
-use mesorasi::networks::PointCloudNetwork;
 use mesorasi::nn::metrics::ConfusionMatrix;
 use mesorasi::nn::optim::{Adam, Optimizer};
-use mesorasi::nn::{loss, Graph};
+use mesorasi::prelude::*;
 
 fn main() {
     let (ds, categories, parts) = datasets::segmentation(3, 128, 10, 4, 5);
@@ -32,7 +30,7 @@ fn main() {
         parts
     );
 
-    let mut rng = mesorasi::pointcloud::seeded_rng(11);
+    let mut rng = seeded_rng(11);
     let mut net = PointNetPP::segmentation_small(parts as usize, &mut rng);
     let mut opt = Adam::new(5e-4);
     let strategy = Strategy::Delayed;
@@ -53,12 +51,13 @@ fn main() {
         }
     }
 
-    // Per-point evaluation with the confusion matrix → mIoU.
+    // Per-point evaluation with the confusion matrix → mIoU; the trained
+    // network moves into an owned Session and the test set runs batched.
+    let session = SessionBuilder::from_network(net).strategy(strategy).seed(7).build();
+    let clouds: Vec<&PointCloud> = ds.test.iter().map(|ex| &ex.cloud).collect();
     let mut cm = ConfusionMatrix::new(parts as usize);
-    for ex in &ds.test {
-        let mut g = Graph::new();
-        let out = net.forward(&mut g, &ex.cloud, strategy, 7);
-        cm.record(&loss::predictions(g.value(out.logits)), ex.cloud.labels().unwrap());
+    for (out, ex) in session.infer_batch(&clouds).into_iter().zip(&ds.test) {
+        cm.record(&out.into_segmentation().labels(), ex.cloud.labels().unwrap());
     }
     println!("\nper-class IoU:");
     for (part, iou) in cm.per_class_iou().iter().enumerate() {

@@ -6,11 +6,15 @@
 //! are read in place. This binary installs a counting global allocator and
 //! asserts exactly that. It lives alone in its own test file so no
 //! concurrently-running test can perturb the counter while it is armed.
+//!
+//! The audit targets [`PlanEngine`] — the execution layer under
+//! [`mesorasi::Session`] — directly: the session facade clones its output
+//! matrices into owned domain-typed results (a deliberate ergonomic
+//! trade), so the zero-allocation contract lives one level down, where
+//! outputs are borrowed from the arena.
 
-use mesorasi::core::Strategy;
-use mesorasi::networks::planned::PlannedNetwork;
-use mesorasi::networks::registry::NetworkKind;
-use mesorasi::pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi::core::engine::PlanEngine;
+use mesorasi::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -49,20 +53,22 @@ fn warm_planned_forward_allocates_nothing() {
     // part of the stack allowed to allocate, and it is bypassed at 1
     // thread. The per-sample zero-allocation claim is about the engine.
     mesorasi_par::with_threads(1, || {
-        let mut rng = mesorasi::pointcloud::seeded_rng(6);
+        let mut rng = seeded_rng(6);
         let net = NetworkKind::PointNetPPClassification.build_small(5, &mut rng);
-        let mut planned = PlannedNetwork::new(net.as_ref(), Strategy::Delayed, 7);
+        let mut engine = PlanEngine::new();
+        let record =
+            |g: &mut Graph, c: &PointCloud| net.session_outputs(g, c, Strategy::Delayed, 7);
         let cloud = sample_shape(ShapeClass::Chair, net.input_points(), 4);
 
         // Warm-up: compile the plan (forward 1) and fill the NIT cache
         // (same forward); run once more to settle any lazy init.
         for _ in 0..2 {
-            let _ = planned.logits(&cloud);
+            let _ = engine.run(&cloud, &record);
         }
 
         ARMED.store(true, Ordering::SeqCst);
         let before = ALLOCS.load(Ordering::SeqCst);
-        let _ = planned.logits(&cloud);
+        let _ = engine.run(&cloud, &record);
         let after = ALLOCS.load(Ordering::SeqCst);
         ARMED.store(false, Ordering::SeqCst);
 

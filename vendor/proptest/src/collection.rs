@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Element-count specification for [`vec`]: a fixed size or a half-open
+/// Element-count specification for [`vec()`]: a fixed size or a half-open
 /// range of sizes.
 #[derive(Clone, Debug)]
 pub struct SizeRange {

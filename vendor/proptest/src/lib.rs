@@ -1,7 +1,7 @@
 //! Offline drop-in shim for the subset of `proptest` 1.x this workspace uses.
 //!
 //! The build environment has no network access, so this crate provides a
-//! minimal property-testing engine: random-input generation via [`Strategy`]
+//! minimal property-testing engine: random-input generation via [`Strategy`](strategy::Strategy)
 //! (ranges, tuples, `collection::vec`, `prop_map`, `prop_flat_map`), a
 //! deterministic per-test-name seeded runner, and the `proptest!` /
 //! `prop_assert*!` / `prop_assume!` macros. Unlike upstream there is no
