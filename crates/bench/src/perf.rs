@@ -1,17 +1,18 @@
 //! Machine-readable performance harness (`repro bench`).
 //!
 //! Measures the hot kernels — the matmul family, the grouped reductions,
-//! and every neighbor-search backend — across a thread sweep, plus whole
-//! network forwards on both execution engines (autograd tape vs a
-//! [`Session`]) and batched session throughput, and emits the results as
+//! and every neighbor-search backend with its index build/query split —
+//! across a thread sweep, plus whole network forwards on both execution
+//! engines (autograd tape vs a [`Session`]), batched session throughput,
+//! and streamed frame sequences, and emits the results as
 //! `BENCH_<date>.json` so the ROADMAP's performance trajectory accumulates
 //! comparable data points across PRs.
 //!
-//! JSON schema (`mesorasi-bench/3`):
+//! JSON schema (`mesorasi-bench/4`):
 //!
 //! ```json
 //! {
-//!   "schema": "mesorasi-bench/3",
+//!   "schema": "mesorasi-bench/4",
 //!   "date": "2026-07-28",
 //!   "unix_time": 1785000000,
 //!   "host_threads": 8,
@@ -19,27 +20,46 @@
 //!   "records": [
 //!     { "op": "matmul", "backend": "tensor", "threads": 2,
 //!       "ns_per_op": 812345.6, "speedup_vs_1t": 1.94 },
+//!     { "op": "index_build", "backend": "kdtree", "threads": 1,
+//!       "ns_per_op": 93210.5, "speedup_vs_1t": 1.0 },
 //!     { "op": "forward_planned", "backend": "PointNet++ (c)", "threads": 8,
 //!       "ns_per_op": 212345.6, "speedup_vs_tape": 3.41,
 //!       "arena_peak_bytes": 1843200, "arena_slot_reuse": 6.5 },
 //!     { "op": "infer_batch", "backend": "PointNet++ (c)", "threads": 8,
 //!       "ns_per_op": 61234.5, "batch": 8, "samples_per_sec": 16330.6,
-//!       "speedup_vs_sequential": 3.47 }
+//!       "speedup_vs_sequential": 3.47 },
+//!     { "op": "infer_frames", "backend": "PointNet++ (c)", "threads": 8,
+//!       "ns_per_op": 70123.4, "frames": 24,
+//!       "distance_evals_per_frame": 1843200.0,
+//!       "index_builds_per_frame": 4.0,
+//!       "index_build_ns_per_frame": 81234.0,
+//!       "query_ns_per_frame": 412345.0 }
 //!   ]
 //! }
 //! ```
 //!
 //! `speedup_vs_1t` is the same op/backend's 1-thread time divided by this
 //! record's time (1.0 for the 1-thread record itself; omitted on records
-//! with no 1-thread baseline, i.e. the network forwards). `forward_tape` /
-//! `forward_planned` records compare the two engines per network (smoke:
+//! with no 1-thread baseline, i.e. the network forwards). The `knn` /
+//! `ball` kernel records time pure *queries* against prebuilt indices;
+//! the `index_build` records (new in `/4`) time a warm in-place rebuild
+//! (`build_into`) of each index backend, so the build-vs-query split the
+//! planner's cost model reasons about is measured directly. `forward_tape`
+//! / `forward_planned` records compare the two engines per network (smoke:
 //! kernel-sized instances; full: paper-scale); planned records carry the
 //! arena statistics (`arena_peak_bytes`, `arena_slot_reuse` — values per
-//! physical buffer) and `speedup_vs_tape`. `infer_batch` records (new in
-//! schema `/3`) time [`Session::infer_batch`] per batch size: `ns_per_op`
-//! is per *sample*, `samples_per_sec` is the batch throughput, and
-//! `speedup_vs_sequential` divides the same network's single-sample
-//! sequential time (`forward_planned`) by the per-sample batched time.
+//! physical buffer) and `speedup_vs_tape`. `infer_batch` records time
+//! [`Session::infer_batch`] per batch size: `ns_per_op` is per *sample*,
+//! `samples_per_sec` is the batch throughput, and `speedup_vs_sequential`
+//! divides the same network's single-sample sequential time
+//! (`forward_planned`) by the per-sample batched time. `infer_frames`
+//! records (new in `/4`) time [`Session::frames`] over a pool of distinct
+//! same-shaped clouds — the streaming path re-searches every frame, so
+//! unlike `forward_planned` (NIT-cache steady state) they include real
+//! search work — and carry the session's [`mesorasi_knn::stats`] search
+//! counters per frame: distance evaluations and the index-build vs query
+//! time split of genuine inference traffic (Fig. 6-style analysis without
+//! synthetic workloads).
 //!
 //! Three smoke gates guard CI: any parallel record more than 1.5× slower
 //! than its own sequential baseline fails (parallelism may never change
@@ -87,6 +107,23 @@ pub struct BatchExtra {
     pub speedup_vs_sequential: f64,
 }
 
+/// Search-traffic extras carried by `infer_frames` records (schema
+/// `mesorasi-bench/4`): the session's search counters over the timed
+/// window, normalized per frame.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchExtra {
+    /// Frames inferred in the timed window.
+    pub frames: usize,
+    /// Pairwise distance evaluations per frame (measured, not modeled).
+    pub distance_evals_per_frame: f64,
+    /// Index (re)builds per frame.
+    pub index_builds_per_frame: f64,
+    /// Nanoseconds spent building indices, per frame.
+    pub index_build_ns_per_frame: f64,
+    /// Nanoseconds spent answering queries, per frame.
+    pub query_ns_per_frame: f64,
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -108,6 +145,8 @@ pub struct BenchRecord {
     pub extra: Option<EngineExtra>,
     /// Batched-throughput extras (`infer_batch` records only).
     pub batch: Option<BatchExtra>,
+    /// Search-traffic extras (`infer_frames` records only).
+    pub search: Option<SearchExtra>,
 }
 
 /// A full harness run: records plus the metadata the JSON header carries.
@@ -137,7 +176,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mesorasi-bench/3\",\n");
+        s.push_str("  \"schema\": \"mesorasi-bench/4\",\n");
         s.push_str(&format!("  \"date\": \"{}\",\n", self.date));
         s.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
@@ -158,11 +197,23 @@ impl BenchReport {
                     b.batch_size, b.samples_per_sec, b.speedup_vs_sequential
                 )
             });
+            let search = r.search.map_or(String::new(), |f| {
+                format!(
+                    ", \"frames\": {}, \"distance_evals_per_frame\": {:.1}, \
+                     \"index_builds_per_frame\": {:.2}, \
+                     \"index_build_ns_per_frame\": {:.1}, \"query_ns_per_frame\": {:.1}",
+                    f.frames,
+                    f.distance_evals_per_frame,
+                    f.index_builds_per_frame,
+                    f.index_build_ns_per_frame,
+                    f.query_ns_per_frame
+                )
+            });
             let speedup =
                 r.speedup_vs_1t.map_or(String::new(), |s| format!(", \"speedup_vs_1t\": {s:.3}"));
             s.push_str(&format!(
                 "    {{ \"op\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
-                 \"ns_per_op\": {:.1}{speedup}{extra}{batch} }}{}\n",
+                 \"ns_per_op\": {:.1}{speedup}{extra}{batch}{search} }}{}\n",
                 r.op,
                 r.backend,
                 r.threads,
@@ -202,9 +253,15 @@ impl BenchReport {
                     b.batch_size, b.samples_per_sec, b.speedup_vs_sequential
                 )
             });
+            let search = r.search.map_or(String::new(), |f| {
+                format!(
+                    "   {:.0} dist evals/frame, build {:.0} ns + query {:.0} ns",
+                    f.distance_evals_per_frame, f.index_build_ns_per_frame, f.query_ns_per_frame
+                )
+            });
             let speedup = r.speedup_vs_1t.map_or("          -".into(), |s| format!("{s:>11.2}x"));
             s.push_str(&format!(
-                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}{batch}\n",
+                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}{batch}{search}\n",
                 r.op, r.backend, r.threads, r.ns_per_op
             ));
         }
@@ -339,6 +396,10 @@ pub fn run(smoke: bool) -> BenchReport {
     let tree = KdTree::build(&w.cloud);
     let feat = bench_matrix(w.cloud.len(), w.feat_dim);
     let mm_at = w.mm_a.transposed();
+    // Warm in-place rebuilds: what the search arena pays per streamed
+    // frame, as opposed to the pure-query `knn`/`ball` records below.
+    let kd_rebuild = std::cell::RefCell::new(KdTree::build(&w.cloud));
+    let grid_rebuild = std::cell::RefCell::new(UniformGrid::build(&w.cloud, w.radius));
 
     // (op, backend, runner) — each runner is one timed call.
     type Kernel<'a> = (&'static str, &'static str, Box<dyn Fn() + 'a>);
@@ -391,6 +452,8 @@ pub fn run(smoke: bool) -> BenchReport {
                 drop(black_box(feature::knn_rows(view, &w.queries, w.knn_k)))
             }),
         ),
+        ("index_build", "kdtree", Box::new(|| kd_rebuild.borrow_mut().build_into(&w.cloud))),
+        ("index_build", "grid", Box::new(|| grid_rebuild.borrow_mut().build_into(&w.cloud))),
     ];
 
     let mut records = Vec::new();
@@ -410,6 +473,7 @@ pub fn run(smoke: bool) -> BenchReport {
                 speedup_vs_1t: Some(speedup),
                 extra: None,
                 batch: None,
+                search: None,
             });
         }
     }
@@ -467,6 +531,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             speedup_vs_1t: None,
             extra: None,
             batch: None,
+            search: None,
         });
         records.push(BenchRecord {
             op: "forward_planned",
@@ -476,10 +541,11 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             speedup_vs_1t: None,
             extra: Some(EngineExtra {
                 speedup_vs_tape: if planned_ns > 0.0 { tape_ns / planned_ns } else { 1.0 },
-                arena_peak_bytes: stats.peak_bytes,
-                arena_slot_reuse: stats.reuse_ratio,
+                arena_peak_bytes: stats.arena.peak_bytes,
+                arena_slot_reuse: stats.arena.reuse_ratio,
             }),
             batch: None,
+            search: None,
         });
 
         // Batched throughput: every worker engine is warm on `cloud`, so a
@@ -507,10 +573,69 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
                         1.0
                     },
                 }),
+                search: None,
             });
         }
+
+        records.push(frames_record(&session, kind.name(), n, threads, budget));
     }
     records
+}
+
+/// Distinct same-shaped clouds the frame-sequence sweep cycles through
+/// (distinct contents force real per-frame searches, as in deployment).
+const FRAME_POOL: usize = 4;
+
+/// Times [`Session::frames`] over a pool of distinct clouds and reads the
+/// session's search counters across the timed window — the record that
+/// carries measured per-frame search traffic (distance evaluations, index
+/// build vs query time) off real inference work.
+fn frames_record(
+    session: &Session,
+    backend: &'static str,
+    n: usize,
+    threads: usize,
+    budget: Duration,
+) -> BenchRecord {
+    let clouds: Vec<PointCloud> =
+        (0..FRAME_POOL).map(|s| sample_shape(ShapeClass::Chair, n, 500 + s as u64)).collect();
+    // Warm the streaming path on the frame shapes, then release the engine
+    // so the counter snapshot below can lock the pool.
+    let mut frames = session.frames();
+    for cloud in &clouds {
+        black_box(frames.infer(cloud));
+    }
+    drop(frames);
+
+    let before = session.search_counters();
+    let mut frames = session.frames();
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < clouds.len() || start.elapsed() < budget {
+        black_box(frames.infer(&clouds[done % clouds.len()]));
+        done += 1;
+    }
+    let ns_per_frame = start.elapsed().as_nanos() as f64 / done as f64;
+    drop(frames);
+    let delta = session.search_counters().since(&before);
+
+    let per_frame = |v: u64| v as f64 / done as f64;
+    BenchRecord {
+        op: "infer_frames",
+        backend,
+        threads,
+        ns_per_op: ns_per_frame,
+        speedup_vs_1t: None,
+        extra: None,
+        batch: None,
+        search: Some(SearchExtra {
+            frames: done,
+            distance_evals_per_frame: per_frame(delta.distance_evals),
+            index_builds_per_frame: per_frame(delta.index_builds),
+            index_build_ns_per_frame: per_frame(delta.index_build_ns),
+            query_ns_per_frame: per_frame(delta.query_ns),
+        }),
+    }
 }
 
 /// `YYYY-MM-DD` (UTC) for a Unix timestamp — civil-from-days, Hinnant's
@@ -557,6 +682,7 @@ mod tests {
                     speedup_vs_1t: Some(1.8),
                     extra: None,
                     batch: None,
+                    search: None,
                 },
                 BenchRecord {
                     op: "forward_planned",
@@ -570,6 +696,7 @@ mod tests {
                         arena_slot_reuse: 6.25,
                     }),
                     batch: None,
+                    search: None,
                 },
                 BenchRecord {
                     op: "infer_batch",
@@ -583,11 +710,28 @@ mod tests {
                         samples_per_sec: 20_000_000.0,
                         speedup_vs_sequential: 2.0,
                     }),
+                    search: None,
+                },
+                BenchRecord {
+                    op: "infer_frames",
+                    backend: "PointNet++ (c)",
+                    threads: 2,
+                    ns_per_op: 75.0,
+                    speedup_vs_1t: None,
+                    extra: None,
+                    batch: None,
+                    search: Some(SearchExtra {
+                        frames: 24,
+                        distance_evals_per_frame: 1_843_200.0,
+                        index_builds_per_frame: 4.0,
+                        index_build_ns_per_frame: 81_234.0,
+                        query_ns_per_frame: 412_345.5,
+                    }),
                 },
             ],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mesorasi-bench/3\""));
+        assert!(json.contains("\"schema\": \"mesorasi-bench/4\""));
         assert!(json.contains("\"op\": \"matmul\""));
         assert!(json.contains("\"speedup_vs_1t\": 1.800"));
         assert!(json.contains("\"speedup_vs_tape\": 3.500"));
@@ -596,6 +740,10 @@ mod tests {
         assert!(json.contains("\"batch\": 8"));
         assert!(json.contains("\"samples_per_sec\": 20000000.0"));
         assert!(json.contains("\"speedup_vs_sequential\": 2.000"));
+        assert!(json.contains("\"frames\": 24"));
+        assert!(json.contains("\"distance_evals_per_frame\": 1843200.0"));
+        assert!(json.contains("\"index_builds_per_frame\": 4.00"));
+        assert!(json.contains("\"query_ns_per_frame\": 412345.5"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(report.filename(), "BENCH_2026-07-28.json");
     }
@@ -609,6 +757,7 @@ mod tests {
             speedup_vs_1t: Some(speedup),
             extra: None,
             batch: None,
+            search: None,
         }
     }
 
@@ -639,6 +788,7 @@ mod tests {
                 arena_slot_reuse: 1.0,
             }),
             batch: None,
+            search: None,
         };
         let report = BenchReport {
             date: String::new(),
@@ -668,6 +818,7 @@ mod tests {
                 samples_per_sec: 1.0,
                 speedup_vs_sequential: vs_seq,
             }),
+            search: None,
         };
         let report = BenchReport {
             date: String::new(),
@@ -697,13 +848,18 @@ mod tests {
         let report = par::with_threads(2, || run(true));
         assert!(report.smoke);
         let sweep = thread_sweep(2);
-        let kernels: Vec<&BenchRecord> =
-            report.records.iter().filter(|r| !r.op.starts_with("forward_")).collect();
+        let kernels: Vec<&BenchRecord> = report
+            .records
+            .iter()
+            .filter(|r| !r.op.starts_with("forward_") && !r.op.starts_with("infer_"))
+            .collect();
         assert_eq!(kernels.len() % sweep.len(), 0);
         for r in kernels.iter().filter(|r| r.threads == 1) {
             let s = r.speedup_vs_1t.expect("kernel records carry a baseline");
             assert!((s - 1.0).abs() < 1e-9);
         }
+        let builds = kernels.iter().filter(|r| r.op == "index_build").count();
+        assert_eq!(builds, 2 * sweep.len(), "kdtree + grid rebuild records per thread count");
         let tape = report.records.iter().filter(|r| r.op == "forward_tape").count();
         let planned: Vec<&BenchRecord> =
             report.records.iter().filter(|r| r.op == "forward_planned").collect();
@@ -722,6 +878,15 @@ mod tests {
             assert!(BATCH_SIZES.contains(&b.batch_size));
             assert!(b.samples_per_sec > 0.0);
             assert!(b.speedup_vs_sequential > 0.0);
+        }
+        let framed: Vec<&BenchRecord> =
+            report.records.iter().filter(|r| r.op == "infer_frames").collect();
+        assert_eq!(framed.len(), NetworkKind::ALL.len());
+        for r in &framed {
+            let f = r.search.expect("infer_frames records carry search counters");
+            assert!(f.frames >= FRAME_POOL);
+            assert!(f.distance_evals_per_frame > 0.0, "streamed frames search every frame");
+            assert!(f.query_ns_per_frame > 0.0);
         }
         assert!(report.records.iter().all(|r| r.ns_per_op > 0.0));
     }

@@ -31,7 +31,9 @@
 //! only valid while the weights that produced those features stay put.
 
 use crate::module::NeighborMode;
-use crate::runner::{fp_stencils, search_nit, select_centroids};
+use crate::runner::{fp_stencils_into, search_nit_into, select_centroids_into};
+use mesorasi_knn::stats::SearchCounters;
+use mesorasi_knn::{NeighborIndexTable, SearchContext, SearchPlanner};
 use mesorasi_nn::ir::VarId;
 use mesorasi_nn::plan::{Arena, ArenaStats, Bindings, DynMarks, Plan};
 use mesorasi_nn::Graph;
@@ -337,9 +339,10 @@ pub(crate) mod rec {
         with(|rec| {
             // Resolve the fine level by position equality with a known
             // state — the runner API passes positions, not states.
-            let fine = rec.states.iter().position(|s| {
-                s.positions.as_ref().is_some_and(|p| clouds_identical(p, fine_positions))
-            });
+            let fine = rec
+                .states
+                .iter()
+                .position(|s| s.positions.as_ref().is_some_and(|p| p.content_eq(fine_positions)));
             let Some(fine) = fine else {
                 rec.error =
                     Some("feature propagation targets positions of no registered state".into());
@@ -368,41 +371,6 @@ pub(crate) mod rec {
     }
 }
 
-/// Bit-exact cloud equality (positions and labels), used for state
-/// resolution during recording and for NIT-cache lookups.
-fn clouds_identical(a: &PointCloud, b: &PointCloud) -> bool {
-    a.len() == b.len()
-        && a.labels() == b.labels()
-        && a.points().iter().zip(b.points()).all(|(p, q)| {
-            p.x.to_bits() == q.x.to_bits()
-                && p.y.to_bits() == q.y.to_bits()
-                && p.z.to_bits() == q.z.to_bits()
-        })
-}
-
-/// FNV-1a over a cloud's position bits and labels — the NIT-cache hash
-/// (always verified by [`clouds_identical`] before use).
-fn cloud_hash(cloud: &PointCloud) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |v: u32| {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for p in cloud.points() {
-        mix(p.x.to_bits());
-        mix(p.y.to_bits());
-        mix(p.z.to_bits());
-    }
-    if let Some(labels) = cloud.labels() {
-        for &l in labels {
-            mix(l);
-        }
-    }
-    h
-}
-
 /// Samples the NIT cache may hold per compiled plan before it resets —
 /// bounds memory for unbounded streams while covering every eval set in
 /// the repo.
@@ -414,10 +382,34 @@ struct Compiled {
     steps: Vec<DynStep>,
     /// Steps that survived plan dead-code elimination.
     step_live: Vec<bool>,
-    n_states: usize,
     arena: Arena,
     /// NIT cache: `(hash, cloud, bindings)` per seen sample.
     samples: Vec<(u64, PointCloud, Bindings)>,
+    /// The search arena: planner + per-space reusable index storage, keyed
+    /// by module-state id so streaming frames rebuild indices in place.
+    search: SearchContext,
+    /// Reusable NIT buffer the searches write into before binding fill.
+    nit: NeighborIndexTable,
+    /// Reusable centroid-selection buffers.
+    centroids: Vec<usize>,
+    shuffle: Vec<usize>,
+    /// Reusable per-state position clouds (`state_set[i]` marks the ones
+    /// derived during the current pass).
+    state_bufs: Vec<PointCloud>,
+    state_set: Vec<bool>,
+    /// Persistent bindings of the streaming (cache-bypass) path.
+    stream_bindings: Option<Bindings>,
+}
+
+impl Compiled {
+    /// Heap bytes retained by the search arena: cached indices, NIT and
+    /// centroid buffers, and the per-state position clouds.
+    fn search_bytes(&self) -> usize {
+        self.search.storage_bytes()
+            + self.nit.storage_bytes()
+            + (self.centroids.capacity() + self.shuffle.capacity()) * std::mem::size_of::<usize>()
+            + self.state_bufs.iter().map(PointCloud::storage_bytes).sum::<usize>()
+    }
 }
 
 /// Borrow of a finished execution's outputs.
@@ -451,22 +443,50 @@ impl<'a> PlannedOutputs<'a> {
     }
 }
 
+/// Usage statistics of one compiled plan: the tensor arena plus the search
+/// arena that backs neighbor-search replay.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineStats {
+    /// Tensor-arena statistics (slots, bytes, reuse, growth).
+    pub arena: ArenaStats,
+    /// Heap bytes retained by the search arena: cached indices,
+    /// verification clouds, NIT/centroid buffers, per-state positions.
+    pub search_bytes: usize,
+    /// Search-traffic counters of this plan's context.
+    pub search: SearchCounters,
+}
+
 /// A plan-and-execute inference session.
 ///
 /// One engine serves one frozen `(network, strategy, seed)` combination —
 /// the recording closure the caller passes must be a pure function of
 /// `(Graph, PointCloud)`. Plans are compiled per input shape on first
 /// sight; per-sample neighbor structure is cached so the steady state
-/// (repeated samples) allocates nothing.
-#[derive(Default)]
+/// (repeated samples) allocates nothing. For frame sequences that never
+/// repeat, [`PlanEngine::run_streamed`] bypasses the cache and reuses a
+/// persistent search arena instead.
 pub struct PlanEngine {
     compiled: Vec<Compiled>,
+    planner: SearchPlanner,
+}
+
+impl Default for PlanEngine {
+    fn default() -> PlanEngine {
+        PlanEngine::new()
+    }
 }
 
 impl PlanEngine {
-    /// An engine with no compiled plans yet.
+    /// An engine with no compiled plans yet, planning search backends via
+    /// `MESORASI_SEARCH` / the cost model.
     pub fn new() -> PlanEngine {
-        PlanEngine::default()
+        PlanEngine::with_planner(SearchPlanner::from_env())
+    }
+
+    /// An engine with an explicit search planner (the session builder's
+    /// backend override).
+    pub fn with_planner(planner: SearchPlanner) -> PlanEngine {
+        PlanEngine { compiled: Vec::new(), planner }
     }
 
     /// Runs one planned forward. `record` must build the network's forward
@@ -486,8 +506,8 @@ impl PlanEngine {
         let ci = self.ensure_compiled(cloud, record);
         let c = &mut self.compiled[ci];
 
-        let hash = cloud_hash(cloud);
-        let hit = c.samples.iter().position(|(h, pc, _)| *h == hash && clouds_identical(pc, cloud));
+        let hash = cloud.content_hash();
+        let hit = c.samples.iter().position(|(h, pc, _)| *h == hash && pc.content_eq(cloud));
         match hit {
             Some(si) => {
                 // Steady state: pure planned tensor execution, no searches,
@@ -496,7 +516,8 @@ impl PlanEngine {
                 c.plan.run(&mut c.arena, bindings);
             }
             None => {
-                let bindings = derive_and_run(c, cloud);
+                let mut bindings = Bindings::for_plan(&c.plan);
+                derive_and_run(c, cloud, &mut bindings);
                 if c.samples.len() >= SAMPLE_CACHE_CAP {
                     c.samples.clear();
                 }
@@ -507,9 +528,53 @@ impl PlanEngine {
         PlannedOutputs { plan: &c.plan, arena: &c.arena, outputs: c.plan.output_count() }
     }
 
-    /// Arena statistics of the plan compiled for `n_points`, if any.
-    pub fn stats(&self, n_points: usize) -> Option<ArenaStats> {
-        self.compiled.iter().find(|c| c.n_points == n_points).map(|c| c.plan.stats(&c.arena))
+    /// Runs one planned forward in streaming (frame-sequence) mode: the
+    /// per-sample NIT cache is bypassed — frames of a stream rarely repeat,
+    /// so caching them would only burn memory — and every per-frame
+    /// derivation (input matrices, centroid selections, neighbor searches,
+    /// stencils) writes into this engine's persistent buffers. Search
+    /// indices warm-start from the previous frame: same-shaped frames
+    /// rebuild index *contents* while reusing capacity, so a warm stream
+    /// performs zero heap allocations per frame, searches included.
+    /// Outputs are bit-identical to [`PlanEngine::run`] on the same cloud.
+    ///
+    /// # Panics
+    ///
+    /// As [`PlanEngine::run`].
+    pub fn run_streamed<'a>(
+        &'a mut self,
+        cloud: &PointCloud,
+        record: &dyn Fn(&mut Graph, &PointCloud) -> Vec<VarId>,
+    ) -> PlannedOutputs<'a> {
+        let ci = self.ensure_compiled(cloud, record);
+        let c = &mut self.compiled[ci];
+        let mut bindings = match c.stream_bindings.take() {
+            Some(b) => b,
+            None => Bindings::for_plan(&c.plan),
+        };
+        derive_and_run(c, cloud, &mut bindings);
+        c.stream_bindings = Some(bindings);
+        let c = &self.compiled[ci];
+        PlannedOutputs { plan: &c.plan, arena: &c.arena, outputs: c.plan.output_count() }
+    }
+
+    /// Statistics of the plan compiled for `n_points`, if any: tensor-arena
+    /// usage plus search-arena bytes and traffic counters.
+    pub fn stats(&self, n_points: usize) -> Option<EngineStats> {
+        self.compiled.iter().find(|c| c.n_points == n_points).map(|c| EngineStats {
+            arena: c.plan.stats(&c.arena),
+            search_bytes: c.search_bytes(),
+            search: c.search.counters(),
+        })
+    }
+
+    /// Search-traffic counters summed over every compiled plan.
+    pub fn search_counters(&self) -> SearchCounters {
+        let mut total = SearchCounters::default();
+        for c in &self.compiled {
+            total.add(&c.search.counters());
+        }
+        total
     }
 
     /// Number of distinct input shapes compiled so far.
@@ -548,14 +613,21 @@ impl PlanEngine {
         plan.check_no_aliasing();
         let step_live = compute_step_live(&plan, &recording);
         let arena = plan.arena();
+        let n_states = recording.states.len();
         self.compiled.push(Compiled {
             n_points: cloud.len(),
             plan,
             steps: recording.steps,
             step_live,
-            n_states: recording.states.len(),
             arena,
             samples: Vec::new(),
+            search: SearchContext::with_planner(self.planner),
+            nit: NeighborIndexTable::default(),
+            centroids: Vec::new(),
+            shuffle: Vec::new(),
+            state_bufs: vec![PointCloud::new(); n_states],
+            state_set: vec![false; n_states],
+            stream_bindings: None,
         });
         self.compiled.len() - 1
     }
@@ -622,32 +694,49 @@ fn compute_step_live(plan: &Plan, recording: &Recording) -> Vec<bool> {
     live
 }
 
-/// Cache miss: interleave plan ranges with the live dynamic steps, filling
-/// fresh bindings, and finish the run. Search/stencil work happens here
-/// exactly once per distinct sample.
-fn derive_and_run(c: &mut Compiled, cloud: &PointCloud) -> Bindings {
-    let mut b = Bindings::for_plan(&c.plan);
-    let mut states: Vec<Option<PointCloud>> = (0..c.n_states).map(|_| None).collect();
+/// Cache miss or streamed frame: interleave plan ranges with the live
+/// dynamic steps, filling `b`, and finish the run. All per-sample
+/// derivation writes into the compiled plan's persistent buffers — state
+/// positions, centroid selections, the NIT, and the search indices all
+/// reuse capacity, so a same-shaped frame derives without allocating.
+fn derive_and_run(c: &mut Compiled, cloud: &PointCloud, b: &mut Bindings) {
+    let Compiled {
+        plan,
+        arena,
+        steps,
+        step_live,
+        search,
+        nit,
+        centroids,
+        shuffle,
+        state_bufs,
+        state_set,
+        ..
+    } = c;
+    state_set.iter_mut().for_each(|s| *s = false);
     let mut cursor = 0usize;
-    for (si, step) in c.steps.iter().enumerate() {
-        if !c.step_live[si] {
+    for (si, step) in steps.iter().enumerate() {
+        if !step_live[si] {
             continue;
         }
         let at = step.at();
         if at > cursor {
-            c.plan.run_range(&mut c.arena, &b, cursor, at);
+            plan.run_range(arena, b, cursor, at);
             cursor = at;
         }
         match step {
             DynStep::Input { state, input_node, source, .. } => {
-                let positions = match source {
-                    StateSource::Sample => cloud.clone(),
-                    StateSource::Derived(f) => f(cloud),
-                };
-                if let Some(ip) = c.plan.input_position(*input_node) {
-                    b.inputs[ip] = Matrix::from_vec(positions.len(), 3, positions.to_xyz_rows());
+                match source {
+                    StateSource::Sample => state_bufs[*state].copy_from(cloud),
+                    StateSource::Derived(f) => {
+                        let derived = f(cloud);
+                        state_bufs[*state].copy_from(&derived);
+                    }
                 }
-                states[*state] = Some(positions);
+                state_set[*state] = true;
+                if let Some(ip) = plan.input_position(*input_node) {
+                    write_xyz_rows(&state_bufs[*state], &mut b.inputs[ip]);
+                }
             }
             DynStep::Search {
                 state_in,
@@ -662,11 +751,23 @@ fn derive_and_run(c: &mut Compiled, cloud: &PointCloud) -> Bindings {
                 repeated_bid,
                 ..
             } => {
-                let positions =
-                    states[*state_in].as_ref().expect("live steps derive their inputs first");
-                let centroids = select_centroids(positions, *n_out, *seed);
-                let features = feature_node.map(|f| c.plan.value(&c.arena, VarId::from_index(f)));
-                let nit = search_nit(positions, features, *neighbor, &centroids, *k);
+                assert!(state_set[*state_in], "live steps derive their inputs first");
+                let positions = &state_bufs[*state_in];
+                select_centroids_into(positions, *n_out, *seed, shuffle, centroids);
+                let features = feature_node.map(|f| plan.value(arena, VarId::from_index(f)));
+                // Spaces are keyed by state id: stable across frames, so a
+                // stream rebuilds each space's index in place, and shared
+                // within a frame by every module searching the same state.
+                search_nit_into(
+                    search,
+                    *state_in as u64,
+                    positions,
+                    features,
+                    *neighbor,
+                    centroids,
+                    *k,
+                    nit,
+                );
                 if let Some(bid) = neighbors_bid {
                     b.indices[*bid].clear();
                     b.indices[*bid].extend_from_slice(nit.neighbors_flat());
@@ -683,19 +784,48 @@ fn derive_and_run(c: &mut Compiled, cloud: &PointCloud) -> Bindings {
                     }
                 }
                 if let Some(so) = state_out {
-                    states[*so] = Some(positions.select(&centroids));
+                    let (src, dst) = two_bufs(state_bufs, *state_in, *so);
+                    src.select_into(centroids, dst);
+                    state_set[*so] = true;
                 }
             }
             DynStep::Stencil { coarse, fine, bid, .. } => {
-                let coarse_pos = states[*coarse].as_ref().expect("coarse derived first");
-                let fine_pos = states[*fine].as_ref().expect("fine derived first");
-                let (idx, w) = fp_stencils(coarse_pos, fine_pos);
-                b.stencils[*bid] = (idx, w);
+                assert!(
+                    state_set[*coarse] && state_set[*fine],
+                    "stencil endpoints derive before the stencil"
+                );
+                let (idx, w) = &mut b.stencils[*bid];
+                fp_stencils_into(&state_bufs[*coarse], &state_bufs[*fine], idx, w);
             }
         }
     }
-    c.plan.run_range(&mut c.arena, &b, cursor, c.plan.len());
-    b
+    plan.run_range(arena, b, cursor, plan.len());
+}
+
+/// Writes `positions`' xyz rows into `m` (reshaped to `n × 3`), reusing
+/// its backing allocation — the streaming path's replacement for
+/// `Matrix::from_vec(cloud.to_xyz_rows())`.
+fn write_xyz_rows(positions: &PointCloud, m: &mut Matrix) {
+    m.reset_shape(positions.len(), 3);
+    let data = m.as_mut_slice();
+    for (i, p) in positions.points().iter().enumerate() {
+        data[3 * i] = p.x;
+        data[3 * i + 1] = p.y;
+        data[3 * i + 2] = p.z;
+    }
+}
+
+/// Disjoint `(source, destination)` borrows of two state buffers — a
+/// module's output state is always distinct from its input state.
+fn two_bufs(bufs: &mut [PointCloud], src: usize, dst: usize) -> (&PointCloud, &mut PointCloud) {
+    assert_ne!(src, dst, "a module's output state is distinct from its input");
+    if src < dst {
+        let (lo, hi) = bufs.split_at_mut(dst);
+        (&lo[src], &mut hi[0])
+    } else {
+        let (lo, hi) = bufs.split_at_mut(src);
+        (&hi[0], &mut lo[dst])
+    }
 }
 
 #[cfg(test)]
@@ -831,6 +961,59 @@ mod tests {
             let out = engine.run(&cloud, &record);
             assert_eq!(out.get(0), &expected, "cloud {cloud_seed}");
         }
+    }
+
+    #[test]
+    fn streamed_frames_match_cached_runs_bit_exactly() {
+        // The streaming path bypasses the NIT cache and reuses the search
+        // arena across frames — outputs must not change by a single bit,
+        // including for ball and feature-space searches.
+        for module in [
+            offset_module(NeighborMode::CoordKnn),
+            offset_module(NeighborMode::CoordBall { radius: 0.4 }),
+            edge_module(),
+        ] {
+            let record = |g: &mut Graph, cloud: &PointCloud| {
+                let state = ModuleState::from_cloud(g, cloud);
+                let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+                vec![out.state.features]
+            };
+            let mut cached = PlanEngine::new();
+            let mut streamed = PlanEngine::new();
+            for frame_seed in [1, 2, 3, 4] {
+                let cloud = sample_shape(ShapeClass::Cup, 96, frame_seed);
+                let want = cached.run(&cloud, &record).get(0).clone();
+                let got = streamed.run_streamed(&cloud, &record);
+                assert_eq!(
+                    got.get(0),
+                    &want,
+                    "{} frame {frame_seed}: streamed != cached",
+                    module.config.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_engine_reports_search_arena_stats() {
+        let module = offset_module(NeighborMode::CoordKnn);
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+            vec![out.state.features]
+        };
+        let mut engine = PlanEngine::new();
+        for frame_seed in [10, 11] {
+            let cloud = sample_shape(ShapeClass::Bottle, 80, frame_seed);
+            let _ = engine.run_streamed(&cloud, &record);
+        }
+        let stats = engine.stats(80).expect("plan compiled");
+        assert!(stats.search_bytes > 0, "search arena must retain storage");
+        assert!(stats.search.query_calls >= 2, "one search per frame");
+        assert!(stats.search.distance_evals > 0);
+        assert_eq!(stats.arena.grow_events, 0);
+        let totals = engine.search_counters();
+        assert_eq!(totals, stats.search, "one plan ⇒ totals equal per-plan counters");
     }
 
     #[test]

@@ -13,11 +13,13 @@ use crate::executor;
 use crate::module::{Module, NeighborMode};
 use crate::strategy::Strategy;
 use crate::trace::{AggregateOp, MatMulOp, ModuleTrace, ReduceOp, SearchOp};
-use mesorasi_knn::{ball, bruteforce, feature::FeatureView, kdtree::KdTree, NeighborIndexTable};
+use mesorasi_knn::bruteforce::Candidate;
+use mesorasi_knn::{feature::FeatureView, NeighborIndexTable, SearchContext};
 use mesorasi_nn::layers::SharedMlp;
 use mesorasi_nn::{Graph, VarId};
 use mesorasi_pointcloud::{sampling, Point3, PointCloud};
 use mesorasi_tensor::Matrix;
+use std::cell::RefCell;
 use std::sync::Arc;
 
 /// The data flowing between modules: 3-D positions (for coordinate-space
@@ -95,21 +97,49 @@ pub struct RunOutput {
 /// otherwise — matching the paper's optimized baseline, which replaced FPS
 /// with random sampling (§VI, optimization 3).
 pub fn select_centroids(positions: &PointCloud, n_out: usize, seed: u64) -> Vec<usize> {
+    let mut out = Vec::new();
+    select_centroids_into(positions, n_out, seed, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`select_centroids`] writing into caller-owned buffers (`shuffle` holds
+/// the permutation scratch of the random path) — the engine's streaming
+/// replay re-derives centroid selections without allocating. Bit-identical
+/// to [`select_centroids`].
+pub fn select_centroids_into(
+    positions: &PointCloud,
+    n_out: usize,
+    seed: u64,
+    shuffle: &mut Vec<usize>,
+    out: &mut Vec<usize>,
+) {
     assert!(
         n_out <= positions.len(),
         "cannot select {n_out} centroids from {} points",
         positions.len()
     );
     if n_out == positions.len() {
-        (0..n_out).collect()
+        out.clear();
+        out.extend(0..n_out);
     } else {
-        sampling::random_indices(positions, n_out, seed)
+        sampling::random_indices_into(positions.len(), n_out, seed, shuffle, out);
     }
+}
+
+thread_local! {
+    /// The tape path's search context: persistent per thread so consecutive
+    /// modules (and consecutive forwards) searching the same cloud share
+    /// one built index. Keyed by cloud content hash, verified bit-exactly,
+    /// so sharing can never change a result.
+    static TAPE_SEARCH: RefCell<SearchContext> = RefCell::new(SearchContext::new());
 }
 
 /// Runs the neighbor search of one module: the single search
 /// implementation behind both the tape-based runner and the inference
 /// engine's per-sample replay (both must produce the identical NIT).
+/// The backend is chosen by the [`mesorasi_knn::SearchPlanner`] cost model
+/// (override with `MESORASI_SEARCH`); every backend is exact with
+/// identical tie-breaking, so the choice never changes the NIT.
 ///
 /// `features` is required exactly for [`NeighborMode::FeatureKnn`].
 ///
@@ -124,20 +154,41 @@ pub fn search_nit(
     centroids: &[usize],
     k: usize,
 ) -> NeighborIndexTable {
+    let mut out = NeighborIndexTable::default();
+    TAPE_SEARCH.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let space = positions.content_hash();
+        search_nit_into(&mut ctx, space, positions, features, neighbor, centroids, k, &mut out);
+    });
+    out
+}
+
+/// [`search_nit`] against an explicit [`SearchContext`], writing into a
+/// caller-owned table. `space` identifies the search space for index
+/// sharing: the engine passes its module-state id (stable across frames,
+/// so streaming rebuilds indices in place), the tape wrapper passes the
+/// cloud's content hash.
+#[allow(clippy::too_many_arguments)]
+pub fn search_nit_into(
+    ctx: &mut SearchContext,
+    space: u64,
+    positions: &PointCloud,
+    features: Option<&Matrix>,
+    neighbor: NeighborMode,
+    centroids: &[usize],
+    k: usize,
+    out: &mut NeighborIndexTable,
+) {
     match neighbor {
-        NeighborMode::CoordKnn => {
-            let tree = KdTree::build(positions);
-            tree.knn_indices(positions, centroids, k)
-        }
+        NeighborMode::CoordKnn => ctx.knn_into(space, positions, centroids, k, out),
         NeighborMode::CoordBall { radius } => {
-            let tree = KdTree::build(positions);
-            ball::ball_query(positions, &tree, centroids, radius, k)
+            ctx.ball_into(space, positions, centroids, radius, k, out)
         }
         NeighborMode::FeatureKnn => {
             let feats = features.expect("feature-space search needs the feature matrix");
             let view = FeatureView::new(feats.as_slice(), feats.cols())
                 .expect("matrix storage is always rectangular");
-            mesorasi_knn::feature::knn_rows(view, centroids, k)
+            ctx.feature_knn_into(view, centroids, k, out);
         }
         NeighborMode::Global => unreachable!("global modules never search"),
     }
@@ -243,28 +294,77 @@ pub fn run_module(
 ///
 /// Panics when `coarse` has fewer than 3 points.
 pub fn fp_stencils(coarse: &PointCloud, fine: &PointCloud) -> (Vec<usize>, Vec<f32>) {
+    let (mut indices, mut weights) = (Vec::new(), Vec::new());
+    fp_stencils_into(coarse, fine, &mut indices, &mut weights);
+    (indices, weights)
+}
+
+/// [`fp_stencils`] writing into caller-owned buffers, reusing their
+/// capacity — the engine's streaming replay recomputes interpolation
+/// stencils per frame without allocating. Bit-identical to
+/// [`fp_stencils`]: the 3 nearest coarse points under `(distance, index)`
+/// ordering are unique, and the weight arithmetic is unchanged.
+///
+/// # Panics
+///
+/// Panics when `coarse` has fewer than 3 points.
+pub fn fp_stencils_into(
+    coarse: &PointCloud,
+    fine: &PointCloud,
+    indices: &mut Vec<usize>,
+    weights: &mut Vec<f32>,
+) {
     let n_coarse = coarse.len();
     assert!(n_coarse >= 3, "3-NN interpolation needs at least 3 coarse points");
     let n_fine = fine.len();
-    // Each fine point's stencil is independent — search them in parallel,
-    // then flatten in fine-point order.
-    let stencils = mesorasi_par::par_map_collect_cost(fine.points(), n_coarse * 8, |_, &p| {
-        let nn = bruteforce::knn_point(coarse, p, 3);
-        let mut w = [0f32; 3];
-        for (wi, c) in w.iter_mut().zip(&nn) {
-            *wi = 1.0 / (c.dist_sq + 1e-8);
+    indices.clear();
+    indices.resize(n_fine * 3, 0);
+    weights.clear();
+    weights.resize(n_fine * 3, 0.0);
+    // Each fine point's stencil is independent: split the flat output
+    // buffers into per-chunk slices and search the chunks in parallel.
+    let chunk = mesorasi_par::chunk_len(n_fine, n_coarse * 8);
+    let (fine_pts, coarse_pts) = (fine.points(), coarse.points());
+    mesorasi_par::par_chunks_mut_pair(indices, weights, chunk * 3, chunk * 3, |ci, ic, wc| {
+        for (j, p) in fine_pts[ci * chunk..].iter().take(ic.len() / 3).enumerate() {
+            let nn = knn3(coarse_pts, *p);
+            let mut w = [0f32; 3];
+            for (wi, c) in w.iter_mut().zip(&nn) {
+                *wi = 1.0 / (c.dist_sq + 1e-8);
+            }
+            let sum: f32 = w.iter().sum();
+            for t in 0..3 {
+                ic[j * 3 + t] = nn[t].index;
+                wc[j * 3 + t] = w[t] / sum;
+            }
         }
-        let sum: f32 = w.iter().sum();
-        let idx = [nn[0].index, nn[1].index, nn[2].index];
-        (idx, [w[0] / sum, w[1] / sum, w[2] / sum])
     });
-    let mut indices = Vec::with_capacity(n_fine * 3);
-    let mut weights = Vec::with_capacity(n_fine * 3);
-    for (idx, w) in &stencils {
-        indices.extend_from_slice(idx);
-        weights.extend_from_slice(w);
+}
+
+/// The exact 3 nearest `points` to `query`, ascending by
+/// `(distance, index)` — a fixed-size, allocation-free specialization of
+/// [`mesorasi_knn::bruteforce::knn_point`] for the interpolation stencils.
+fn knn3(points: &[Point3], query: Point3) -> [Candidate; 3] {
+    debug_assert!(points.len() >= 3);
+    let mut best = [Candidate { index: usize::MAX, dist_sq: f32::INFINITY }; 3];
+    let key = |c: &Candidate| (c.dist_sq, c.index);
+    for (i, &p) in points.iter().enumerate() {
+        let c = Candidate { index: i, dist_sq: p.distance_squared(query) };
+        if key(&c) >= key(&best[2]) {
+            continue;
+        }
+        if key(&c) < key(&best[0]) {
+            best[2] = best[1];
+            best[1] = best[0];
+            best[0] = c;
+        } else if key(&c) < key(&best[1]) {
+            best[2] = best[1];
+            best[1] = c;
+        } else {
+            best[2] = c;
+        }
     }
-    (indices, weights)
+    best
 }
 
 fn centroid_or_origin(cloud: &PointCloud) -> Point3 {
@@ -588,6 +688,45 @@ mod tests {
         let coarse = run_module(&mut g, &gmod, &state, Strategy::Original, 0).state;
         let (up, _) = run_feature_propagation(&mut g, &fp_mlp, &coarse, &fine, None, "fp");
         assert_eq!(g.value(up.features).shape(), (96, 16));
+    }
+
+    #[test]
+    fn knn3_matches_reference_selection() {
+        let cloud = sample_shape(ShapeClass::Sphere, 170, 8);
+        for q in [0usize, 31, 169] {
+            let want: Vec<usize> = mesorasi_knn::bruteforce::knn_point(&cloud, cloud.point(q), 3)
+                .iter()
+                .map(|c| c.index)
+                .collect();
+            let got: Vec<usize> =
+                knn3(cloud.points(), cloud.point(q)).iter().map(|c| c.index).collect();
+            assert_eq!(got, want, "query {q}");
+        }
+    }
+
+    #[test]
+    fn fp_stencils_into_reuses_buffers_and_matches() {
+        let fine = sample_shape(ShapeClass::Chair, 120, 2);
+        let coarse = fine.select(&(0..40).collect::<Vec<_>>());
+        let (want_idx, want_w) = fp_stencils(&coarse, &fine);
+        let (mut idx, mut w) = (Vec::new(), Vec::new());
+        fp_stencils_into(&coarse, &fine, &mut idx, &mut w);
+        assert_eq!(idx, want_idx);
+        assert_eq!(w, want_w);
+        // Second fill must not grow the buffers.
+        let caps = (idx.capacity(), w.capacity());
+        fp_stencils_into(&coarse, &fine, &mut idx, &mut w);
+        assert_eq!((idx.capacity(), w.capacity()), caps);
+    }
+
+    #[test]
+    fn select_centroids_into_matches_allocating_variant() {
+        let cloud = sample_shape(ShapeClass::Lamp, 90, 4);
+        let (mut shuffle, mut out) = (Vec::new(), Vec::new());
+        select_centroids_into(&cloud, 24, 11, &mut shuffle, &mut out);
+        assert_eq!(out, select_centroids(&cloud, 24, 11));
+        select_centroids_into(&cloud, 90, 11, &mut shuffle, &mut out);
+        assert_eq!(out, (0..90).collect::<Vec<_>>(), "identity selection when sizes match");
     }
 
     #[test]

@@ -10,17 +10,20 @@ use crate::kdtree::KdTree;
 use crate::NeighborIndexTable;
 use mesorasi_pointcloud::PointCloud;
 
-/// Pads `entry` (the in-radius indices, nearest first) with its first index
-/// until it holds exactly `k` entries — the original implementation's
-/// behaviour for sparse neighborhoods.
-pub(crate) fn pad_entry(mut entry: Vec<usize>, k: usize) -> Vec<usize> {
-    debug_assert!(!entry.is_empty(), "centroid always finds itself");
-    entry.truncate(k);
-    let pad = entry[0];
-    while entry.len() < k {
-        entry.push(pad);
+/// Writes the nearest `min(found.len(), k)` candidate indices into `slot`
+/// (`k` wide), padding the remainder with the first index — the original
+/// implementation's behaviour for sparse neighborhoods. `found` must be
+/// sorted ascending.
+pub(crate) fn pad_slot(found: &[crate::bruteforce::Candidate], slot: &mut [usize]) {
+    debug_assert!(!found.is_empty(), "centroid always finds itself");
+    let take = found.len().min(slot.len());
+    for (s, c) in slot[..take].iter_mut().zip(found) {
+        *s = c.index;
     }
-    entry
+    let pad = found[0].index;
+    for s in &mut slot[take..] {
+        *s = pad;
+    }
 }
 
 /// Runs a padded ball query for every centroid in `queries`, in parallel
@@ -29,7 +32,9 @@ pub(crate) fn pad_entry(mut entry: Vec<usize>, k: usize) -> Vec<usize> {
 /// For each centroid, collects at most `k` points within `radius`
 /// (ascending by distance; the centroid itself, at distance 0, is first) and
 /// pads with the nearest found index up to exactly `k` entries. A centroid
-/// always finds at least itself, so entries are never empty.
+/// always finds at least itself, so entries are never empty. A thin wrapper
+/// over the same batch [`KdTree::ball_into`] runs, so the two paths cannot
+/// diverge.
 ///
 /// # Panics
 ///
@@ -41,12 +46,9 @@ pub fn ball_query(
     radius: f32,
     k: usize,
 ) -> NeighborIndexTable {
-    assert!(k > 0, "k must be positive");
-    assert!(radius >= 0.0, "radius must be non-negative");
-    crate::batch_entries(k, queries, crate::kdtree::per_query_cost(tree.len(), k), |q| {
-        let found = tree.within_radius(cloud, cloud.point(q), radius);
-        pad_entry(found.iter().take(k).map(|c| c.index).collect(), k)
-    })
+    let mut out = NeighborIndexTable::default();
+    tree.ball_batch(cloud, queries, radius, k, &mut Vec::new(), &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -25,22 +25,28 @@ impl Candidate {
     }
 }
 
+/// Inserts `c` into `best`, an ascending insertion-sorted buffer bounded to
+/// `k` candidates (by distance, ties by index). O(k) per insert, which
+/// beats a heap for the k ≤ 128 range point-cloud networks use. Shared by
+/// the brute-force selection, the kd-tree descent, and the feature search,
+/// so every backend breaks ties identically.
+pub(crate) fn push_bounded(best: &mut Vec<Candidate>, k: usize, c: Candidate) {
+    if best.len() == k && c.key() >= best.last().expect("best is non-empty when len == k").key() {
+        return;
+    }
+    let pos = best.partition_point(|b| b.key() < c.key());
+    best.insert(pos, c);
+    if best.len() > k {
+        best.pop();
+    }
+}
+
 /// Selects the `k` smallest candidates (by distance, ties by index) from an
-/// unsorted list, in ascending order. O(n·k) worst case but k is small;
-/// keeps a bounded insertion-sorted buffer, which beats a heap for the
-/// k ≤ 128 range point-cloud networks use.
+/// unsorted list, in ascending order.
 pub(crate) fn select_k_smallest(candidates: &mut Vec<Candidate>, k: usize) -> Vec<Candidate> {
     let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
     for &c in candidates.iter() {
-        if best.len() == k && c.key() >= best.last().expect("best is non-empty when len == k").key()
-        {
-            continue;
-        }
-        let pos = best.partition_point(|b| b.key() < c.key());
-        best.insert(pos, c);
-        if best.len() > k {
-            best.pop();
-        }
+        push_bounded(&mut best, k, c);
     }
     candidates.clear();
     best
@@ -65,7 +71,9 @@ pub fn knn_point(cloud: &PointCloud, query: Point3, k: usize) -> Vec<Candidate> 
 
 /// Runs KNN for every centroid in `queries` (indices into `cloud`) and
 /// collects the results into a [`NeighborIndexTable`]. Queries are searched
-/// in parallel (each is an independent exhaustive scan).
+/// in parallel (each is an independent exhaustive scan). A thin wrapper
+/// over [`crate::index::BruteForceIndex`]'s `knn_into`, so the reference
+/// path and the pluggable backend cannot diverge.
 ///
 /// Matches the paper's module semantics: the query set is a subset of the
 /// input points ("the neighbor search might be applied to only a subset of
@@ -75,9 +83,10 @@ pub fn knn_point(cloud: &PointCloud, query: Point3, k: usize) -> Vec<Candidate> 
 ///
 /// Panics if any query index is out of bounds or `k > cloud.len()`.
 pub fn knn_indices(cloud: &PointCloud, queries: &[usize], k: usize) -> NeighborIndexTable {
-    crate::batch_entries(k, queries, cloud.len() * 8, |q| {
-        knn_point(cloud, cloud.point(q), k).iter().map(|c| c.index).collect()
-    })
+    use crate::index::SearchIndex;
+    let mut out = NeighborIndexTable::default();
+    crate::index::BruteForceIndex::default().knn_into(cloud, queries, k, &mut out);
+    out
 }
 
 /// The number of distance computations a brute-force KNN performs — the

@@ -8,7 +8,7 @@
 //! dense pairwise-distance computation. This module provides that search
 //! over row-major feature matrices.
 
-use crate::bruteforce::{select_k_smallest, Candidate};
+use crate::bruteforce::Candidate;
 use crate::NeighborIndexTable;
 
 /// A borrowed row-major `rows × dim` feature matrix.
@@ -75,14 +75,39 @@ pub fn distance_squared(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if `k == 0`, `k > view.rows()`, or a query index is out of range.
 pub fn knn_rows(view: FeatureView<'_>, queries: &[usize], k: usize) -> NeighborIndexTable {
+    let mut out = NeighborIndexTable::default();
+    knn_rows_into(view, queries, k, &mut out, &mut Vec::new());
+    out
+}
+
+/// [`knn_rows`] writing into a caller-owned table, with caller-owned
+/// candidate scratch for the sequential path. Produces identical tables to
+/// [`knn_rows`] (the bounded selection visits rows in the same order) and
+/// returns the number of distance evaluations (`rows × queries`).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > view.rows()`, or a query index is out of range.
+pub fn knn_rows_into(
+    view: FeatureView<'_>,
+    queries: &[usize],
+    k: usize,
+    out: &mut NeighborIndexTable,
+    scratch: &mut Vec<Candidate>,
+) -> u64 {
     assert!(k > 0 && k <= view.rows(), "k = {k} out of range for {} rows", view.rows());
-    // One dense scan of all rows per query; queries run in parallel.
-    crate::batch_entries(k, queries, view.rows() * view.dim() * 3, |q| {
+    let cost = view.rows() * view.dim() * 3;
+    crate::kdtree::batch_into(out, queries, k, cost, scratch, |best, q, slot| {
         let qrow = view.row(q);
-        let mut candidates: Vec<Candidate> = (0..view.rows())
-            .map(|i| Candidate { index: i, dist_sq: distance_squared(qrow, view.row(i)) })
-            .collect();
-        select_k_smallest(&mut candidates, k).iter().map(|c| c.index).collect()
+        best.clear();
+        for i in 0..view.rows() {
+            let c = Candidate { index: i, dist_sq: distance_squared(qrow, view.row(i)) };
+            crate::bruteforce::push_bounded(best, k, c);
+        }
+        for (s, c) in slot.iter_mut().zip(best.iter()) {
+            *s = c.index;
+        }
+        view.rows() as u64
     })
 }
 
@@ -122,6 +147,18 @@ mod tests {
         let a = knn_rows(view, &queries, 9);
         let b = crate::bruteforce::knn_indices(&cloud, &queries, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_rows_into_matches_allocating_variant() {
+        let data: Vec<f32> = (0..600).map(|i| ((i * 37) % 101) as f32 * 0.1).collect();
+        let view = FeatureView::new(&data, 6).unwrap();
+        let queries: Vec<usize> = (0..100).step_by(7).collect();
+        let want = knn_rows(view, &queries, 5);
+        let mut got = crate::NeighborIndexTable::default();
+        let evals = knn_rows_into(view, &queries, 5, &mut got, &mut Vec::new());
+        assert_eq!(got, want);
+        assert!(evals > 0);
     }
 
     #[test]

@@ -3,14 +3,16 @@
 //!
 //! Results are identical to [`crate::kdtree`]'s radius queries and to the
 //! padded [`crate::ball`] semantics; the grid trades build simplicity and
-//! cache-friendly scans for the kd-tree's generality. Exposed as an
-//! alternative backend so downstream users (and the benches) can pick per
-//! workload.
+//! cache-friendly scans for the kd-tree's generality. The cells are stored
+//! as one sorted `(cell key, point index)` vector rather than a hash map of
+//! per-cell vectors, so [`UniformGrid::build_into`] rebuilds over a new
+//! cloud in place — same-sized frames rebuild without allocating — and a
+//! cell lookup is two binary searches over a contiguous array.
 
 use crate::bruteforce::Candidate;
+use crate::kdtree::sort_candidates;
 use crate::NeighborIndexTable;
 use mesorasi_pointcloud::{Aabb, Point3, PointCloud};
-use std::collections::HashMap;
 
 /// A uniform grid with cell edge `cell_size` over a cloud.
 #[derive(Debug)]
@@ -18,7 +20,27 @@ pub struct UniformGrid {
     bounds: Aabb,
     cell_size: f32,
     dims: [usize; 3],
-    cells: HashMap<u64, Vec<usize>>,
+    /// `(cell key, point index)`, sorted — all members of one cell are a
+    /// contiguous run, in ascending point order.
+    entries: Vec<(u64, u32)>,
+    occupied: usize,
+    /// Sequential-query candidate scratch (parallel chunks use their own).
+    scratch: Vec<Candidate>,
+}
+
+impl Default for UniformGrid {
+    /// An unbuilt grid with no configured cell size; call
+    /// [`UniformGrid::set_cell_size`] then [`UniformGrid::build_into`].
+    fn default() -> Self {
+        UniformGrid {
+            bounds: Aabb::from_points([Point3::ORIGIN]).expect("one point"),
+            cell_size: 0.0,
+            dims: [1, 1, 1],
+            entries: Vec::new(),
+            occupied: 0,
+            scratch: Vec::new(),
+        }
+    }
 }
 
 impl UniformGrid {
@@ -28,17 +50,52 @@ impl UniformGrid {
     ///
     /// Panics if `cell_size <= 0` or the cloud is empty.
     pub fn build(cloud: &PointCloud, cell_size: f32) -> Self {
-        assert!(cell_size > 0.0, "cell size must be positive");
-        let bounds = cloud.bounds().expect("cannot index an empty cloud");
-        let extent = bounds.extent();
-        let dim = |e: f32| ((e / cell_size).ceil() as usize).max(1);
-        let dims = [dim(extent.x), dim(extent.y), dim(extent.z)];
-        let mut grid = UniformGrid { bounds, cell_size, dims, cells: HashMap::new() };
-        for (i, &p) in cloud.points().iter().enumerate() {
-            let key = grid.key(grid.coords(p));
-            grid.cells.entry(key).or_default().push(i);
-        }
+        let mut grid = UniformGrid::default();
+        grid.set_cell_size(cell_size);
+        grid.build_into(cloud);
         grid
+    }
+
+    /// Configures the cell edge length used by the next
+    /// [`UniformGrid::build_into`]. Radius queries are exact as long as the
+    /// query radius does not exceed this (the planner builds one grid per
+    /// `(cloud, radius)` with `cell_size = radius`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size <= 0` or not finite.
+    pub fn set_cell_size(&mut self, cell_size: f32) {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "cell size must be positive");
+        self.cell_size = cell_size;
+    }
+
+    /// Rebuilds the grid over `cloud` with the configured cell size,
+    /// reusing the entry storage: binning is an in-place unstable sort, so
+    /// same-sized frames rebuild with zero allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cloud is empty or no cell size was configured.
+    pub fn build_into(&mut self, cloud: &PointCloud) {
+        assert!(self.cell_size > 0.0, "set_cell_size before build_into");
+        assert!(cloud.len() <= u32::MAX as usize, "grid point indices are 32-bit");
+        self.bounds = cloud.bounds().expect("cannot index an empty cloud");
+        let extent = self.bounds.extent();
+        // A zero-extent cloud (all points coincident) degenerates to a
+        // single cell; `max(1)` keeps every dimension valid.
+        let dim = |e: f32| ((e / self.cell_size).ceil() as usize).max(1);
+        self.dims = [dim(extent.x), dim(extent.y), dim(extent.z)];
+        let mut entries = std::mem::take(&mut self.entries);
+        entries.clear();
+        entries.extend(
+            cloud.points().iter().enumerate().map(|(i, &p)| (self.key(self.coords(p)), i as u32)),
+        );
+        self.entries = entries;
+        // Sort by (cell, point index): cells become contiguous runs and
+        // members stay in ascending point order — the same order the old
+        // hash-map insertion produced.
+        self.entries.sort_unstable();
+        self.occupied = count_runs(&self.entries);
     }
 
     fn coords(&self, p: Point3) -> [isize; 3] {
@@ -53,20 +110,48 @@ impl UniformGrid {
         ((c[0] as u64) * self.dims[1] as u64 + c[1] as u64) * self.dims[2] as u64 + c[2] as u64
     }
 
+    /// The members of the cell with `key`, in ascending point order.
+    fn cell_members(&self, key: u64) -> &[(u64, u32)] {
+        let lo = self.entries.partition_point(|e| e.0 < key);
+        let hi = lo + self.entries[lo..].partition_point(|e| e.0 == key);
+        &self.entries[lo..hi]
+    }
+
     /// Number of occupied cells.
     pub fn occupied_cells(&self) -> usize {
-        self.cells.len()
+        self.occupied
+    }
+
+    /// Heap bytes retained by the grid's storage (capacity, not length).
+    pub fn storage_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u64, u32)>()
+            + self.scratch.capacity() * std::mem::size_of::<Candidate>()
     }
 
     /// All points within `radius` of `query`, ascending by distance (ties
     /// by index). Exact as long as `radius <= cell_size`; larger radii scan
     /// proportionally more cells.
     pub fn within_radius(&self, cloud: &PointCloud, query: Point3, radius: f32) -> Vec<Candidate> {
+        let mut found = Vec::new();
+        self.within_radius_into(cloud, query, radius, &mut found);
+        found
+    }
+
+    /// [`UniformGrid::within_radius`] writing into a caller-owned vector.
+    /// Returns the number of distance evaluations.
+    pub fn within_radius_into(
+        &self,
+        cloud: &PointCloud,
+        query: Point3,
+        radius: f32,
+        found: &mut Vec<Candidate>,
+    ) -> u64 {
         assert!(radius >= 0.0, "radius must be non-negative");
+        found.clear();
         let reach = (radius / self.cell_size).ceil() as isize;
         let center = self.coords(query);
         let r2 = radius * radius;
-        let mut found = Vec::new();
+        let mut evals = 0u64;
         for dx in -reach..=reach {
             for dy in -reach..=reach {
                 for dz in -reach..=reach {
@@ -74,26 +159,24 @@ impl UniformGrid {
                     if c.iter().zip(&self.dims).any(|(&v, &d)| v < 0 || v >= d as isize) {
                         continue;
                     }
-                    if let Some(members) = self.cells.get(&self.key(c)) {
-                        for &i in members {
-                            let d = cloud.point(i).distance_squared(query);
-                            if d <= r2 {
-                                found.push(Candidate { index: i, dist_sq: d });
-                            }
+                    for &(_, i) in self.cell_members(self.key(c)) {
+                        let d = cloud.point(i as usize).distance_squared(query);
+                        evals += 1;
+                        if d <= r2 {
+                            found.push(Candidate { index: i as usize, dist_sq: d });
                         }
                     }
                 }
             }
         }
-        found.sort_by(|a, b| {
-            (a.dist_sq, a.index).partial_cmp(&(b.dist_sq, b.index)).expect("distances are finite")
-        });
-        found
+        sort_candidates(found);
+        evals
     }
 
     /// Padded ball query over member-point centroids — same semantics as
     /// [`crate::ball::ball_query`], different backend. Parallel per query
-    /// (the cell scan is read-only).
+    /// (the cell scan is read-only). A thin wrapper over the same batch
+    /// [`UniformGrid::ball_into`] runs, so the two paths cannot diverge.
     ///
     /// # Panics
     ///
@@ -105,14 +188,68 @@ impl UniformGrid {
         radius: f32,
         k: usize,
     ) -> NeighborIndexTable {
+        let mut out = NeighborIndexTable::default();
+        self.ball_batch(cloud, queries, radius, k, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// [`UniformGrid::ball_query`] writing into a caller-owned table,
+    /// reusing this grid's scratch on the sequential path. Returns the
+    /// number of distance evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `radius < 0`, or a query index is out of bounds.
+    pub fn ball_into(
+        &mut self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let evals = self.ball_batch(cloud, queries, radius, k, &mut scratch, out);
+        self.scratch = scratch;
+        evals
+    }
+
+    fn ball_batch(
+        &self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+        scratch: &mut Vec<Candidate>,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
         assert!(k > 0, "k must be positive");
-        // 27 cells of roughly n / occupied points each is the nominal scan.
-        let cost = 27 * cloud.len().div_ceil(self.occupied_cells().max(1)) * 8;
-        crate::batch_entries(k, queries, cost, |q| {
-            let found = self.within_radius(cloud, cloud.point(q), radius);
-            crate::ball::pad_entry(found.iter().take(k).map(|c| c.index).collect(), k)
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let cost = self.per_query_cost(cloud.len());
+        crate::kdtree::batch_into(out, queries, k, cost, scratch, |found, q, slot| {
+            let evals = self.within_radius_into(cloud, cloud.point(q), radius, found);
+            crate::ball::pad_slot(found, slot);
+            evals
         })
     }
+
+    /// Nominal per-query scan work: 27 cells of average occupancy.
+    fn per_query_cost(&self, n_points: usize) -> usize {
+        27 * n_points.div_ceil(self.occupied.max(1)) * 8
+    }
+}
+
+/// Number of distinct keys in a sorted `(key, _)` slice.
+fn count_runs(entries: &[(u64, u32)]) -> usize {
+    let mut runs = 0;
+    let mut prev = None;
+    for &(k, _) in entries {
+        if prev != Some(k) {
+            runs += 1;
+            prev = Some(k);
+        }
+    }
+    runs
 }
 
 #[cfg(test)]
@@ -146,6 +283,31 @@ mod tests {
     }
 
     #[test]
+    fn ball_into_matches_ball_query() {
+        let cloud = sample_shape(ShapeClass::Chair, 200, 9);
+        let mut grid = UniformGrid::build(&cloud, 0.3);
+        let queries = random_indices(&cloud, 50, 2);
+        let want = grid.ball_query(&cloud, &queries, 0.3, 12);
+        let mut got = NeighborIndexTable::default();
+        let evals = grid.ball_into(&cloud, &queries, 0.3, 12, &mut got);
+        assert_eq!(got, want);
+        assert!(evals > 0);
+    }
+
+    #[test]
+    fn build_into_reuses_storage_across_same_sized_clouds() {
+        let a = sample_shape(ShapeClass::Chair, 256, 1);
+        let b = sample_shape(ShapeClass::Sphere, 256, 2);
+        let mut grid = UniformGrid::build(&a, 0.25);
+        let bytes = grid.storage_bytes();
+        grid.build_into(&b);
+        assert_eq!(grid.storage_bytes(), bytes, "same-sized rebuild must not grow storage");
+        let tree = KdTree::build(&b);
+        let got = grid.within_radius(&b, b.point(17), 0.25);
+        assert_eq!(got, tree.within_radius(&b, b.point(17), 0.25));
+    }
+
+    #[test]
     fn radius_larger_than_cell_still_exact() {
         let cloud = sample_shape(ShapeClass::Sphere, 200, 3);
         let grid = UniformGrid::build(&cloud, 0.1);
@@ -170,5 +332,17 @@ mod tests {
         let found = grid.within_radius(&cloud, cloud.point(7), 0.0);
         assert!(found.iter().any(|c| c.index == 7));
         assert!(found.iter().all(|c| c.dist_sq == 0.0));
+    }
+
+    #[test]
+    fn coincident_points_collapse_to_one_cell() {
+        // Zero-extent AABB: every point lands in the single valid cell and
+        // ball queries still answer exactly (the satellite audit case).
+        let cloud = PointCloud::from_points(vec![Point3::new(0.5, -1.0, 2.0); 40]);
+        let grid = UniformGrid::build(&cloud, 0.2);
+        assert_eq!(grid.occupied_cells(), 1);
+        let nit = grid.ball_query(&cloud, &[0, 7], 0.2, 5);
+        assert_eq!(nit.neighbors(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(nit.neighbors(1), &[0, 1, 2, 3, 4]);
     }
 }

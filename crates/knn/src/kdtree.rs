@@ -5,8 +5,15 @@
 //! [`crate::bruteforce`] (same distance metric, same index tie-breaking), so
 //! either can back the executor — the simulator charges GPU brute-force
 //! cost regardless of which structure produced the indices.
+//!
+//! The tree stores its nodes in a flat `Vec` (leaves reference ranges of a
+//! single index permutation) so [`KdTree::build_into`] can rebuild over a
+//! new cloud **in place**: same-sized clouds produce the same node layout,
+//! so a streaming frame sequence rebuilds contents without touching the
+//! allocator. The [`crate::index::SearchIndex`] implementation exposes the
+//! build/query split to the planner.
 
-use crate::bruteforce::Candidate;
+use crate::bruteforce::{push_bounded, Candidate};
 use crate::NeighborIndexTable;
 use mesorasi_pointcloud::{Point3, PointCloud};
 
@@ -14,21 +21,24 @@ use mesorasi_pointcloud::{Point3, PointCloud};
 /// cost for the 1K–130K point clouds used here.
 const LEAF_SIZE: usize = 16;
 
-#[derive(Debug)]
+/// One flat tree node. A split's left child is the next node in the vec
+/// (pre-order layout); only the right child needs an explicit link.
+#[derive(Debug, Clone, Copy)]
 enum Node {
     Leaf {
-        /// Indices into the original cloud.
-        points: Vec<usize>,
+        /// Range `start..start + len` of the items permutation.
+        start: u32,
+        /// Number of points in the leaf.
+        len: u32,
     },
     Split {
-        axis: usize,
+        axis: u8,
         value: f32,
-        left: Box<Node>,
-        right: Box<Node>,
+        right: u32,
     },
 }
 
-/// An immutable kd-tree over a point cloud.
+/// A kd-tree over a point cloud with reusable storage.
 ///
 /// # Example
 ///
@@ -41,10 +51,14 @@ enum Node {
 /// let nn = tree.knn(&cloud, cloud.point(7), 1);
 /// assert_eq!(nn[0].index, 7); // a member point is its own nearest neighbor
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct KdTree {
-    root: Node,
+    nodes: Vec<Node>,
+    /// Permutation of `0..size`; leaves own disjoint ranges of it.
+    items: Vec<usize>,
     size: usize,
+    /// Sequential-query candidate scratch (parallel chunks use their own).
+    scratch: Vec<Candidate>,
 }
 
 impl KdTree {
@@ -52,9 +66,26 @@ impl KdTree {
     ///
     /// An empty cloud yields a tree whose queries panic (callers check).
     pub fn build(cloud: &PointCloud) -> Self {
-        let mut indices: Vec<usize> = (0..cloud.len()).collect();
-        let root = build_node(cloud.points(), &mut indices);
-        KdTree { root, size: cloud.len() }
+        let mut tree = KdTree::default();
+        tree.build_into(cloud);
+        tree
+    }
+
+    /// Rebuilds the tree over `cloud`, reusing the node and permutation
+    /// storage. Clouds of equal size produce identical node layouts, so
+    /// rebuilding over a same-sized frame performs zero allocations once
+    /// the buffers are warm.
+    pub fn build_into(&mut self, cloud: &PointCloud) {
+        assert!(cloud.len() <= u32::MAX as usize, "kd-tree indices are 32-bit");
+        self.size = cloud.len();
+        self.items.clear();
+        self.items.extend(0..cloud.len());
+        self.nodes.clear();
+        if !self.items.is_empty() {
+            let mut items = std::mem::take(&mut self.items);
+            build_node(cloud.points(), &mut items, 0, &mut self.nodes);
+            self.items = items;
+        }
     }
 
     /// Number of indexed points.
@@ -67,6 +98,13 @@ impl KdTree {
         self.size == 0
     }
 
+    /// Heap bytes retained by the tree's storage (capacity, not length).
+    pub fn storage_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.items.capacity() * std::mem::size_of::<usize>()
+            + self.scratch.capacity() * std::mem::size_of::<Candidate>()
+    }
+
     /// Exact `k` nearest neighbors of `query`, ascending by distance with
     /// index tie-breaking — identical ordering to the brute-force search.
     ///
@@ -76,32 +114,215 @@ impl KdTree {
     pub fn knn(&self, cloud: &PointCloud, query: Point3, k: usize) -> Vec<Candidate> {
         assert!(k > 0 && k <= self.size, "k = {k} out of range for {} points", self.size);
         let mut best: Vec<Candidate> = Vec::with_capacity(k + 1);
-        search(&self.root, cloud.points(), query, k, &mut best);
+        let mut evals = 0u64;
+        search(&self.nodes, &self.items, 0, cloud.points(), query, k, &mut best, &mut evals);
         best
     }
 
     /// KNN for a batch of member-point queries, as a [`NeighborIndexTable`].
-    /// Queries run in parallel (tree descent is read-only).
+    /// Queries run in parallel (tree descent is read-only). A thin wrapper
+    /// over the same search [`KdTree::knn_into`] runs, so the two paths
+    /// cannot diverge.
     pub fn knn_indices(
         &self,
         cloud: &PointCloud,
         queries: &[usize],
         k: usize,
     ) -> NeighborIndexTable {
-        crate::batch_entries(k, queries, per_query_cost(self.size, k), |q| {
-            self.knn(cloud, cloud.point(q), k).iter().map(|c| c.index).collect()
-        })
+        let mut out = NeighborIndexTable::default();
+        self.knn_batch(cloud, queries, k, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// [`KdTree::knn_indices`] writing into a caller-owned table (reset to
+    /// `queries.len()` entries of `k`), reusing this tree's scratch on the
+    /// sequential path. Returns the number of distance evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > self.len()`, or a query is out of bounds.
+    pub fn knn_into(
+        &mut self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        k: usize,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        let KdTree { nodes, items, scratch, .. } = self;
+        // Split borrows by hand: the scratch is a field of the same struct
+        // the (immutable) tree data lives in.
+        let tree = KdView { nodes, items, size: self.size };
+        tree.knn_batch_inner(cloud, queries, k, scratch, out)
+    }
+
+    fn knn_batch(
+        &self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        k: usize,
+        scratch: &mut Vec<Candidate>,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        KdView { nodes: &self.nodes, items: &self.items, size: self.size }
+            .knn_batch_inner(cloud, queries, k, scratch, out)
+    }
+
+    /// Padded ball query (see [`crate::ball::ball_query`] for semantics)
+    /// writing into a caller-owned table. Returns the number of distance
+    /// evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `radius < 0`, or a query is out of bounds.
+    pub fn ball_into(
+        &mut self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        let KdTree { nodes, items, scratch, .. } = self;
+        let tree = KdView { nodes, items, size: self.size };
+        tree.ball_batch_inner(cloud, queries, radius, k, scratch, out)
+    }
+
+    /// [`KdTree::ball_into`] from a shared reference, with caller-owned
+    /// scratch — what [`crate::ball::ball_query`] wraps.
+    pub(crate) fn ball_batch(
+        &self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+        scratch: &mut Vec<Candidate>,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        KdView { nodes: &self.nodes, items: &self.items, size: self.size }
+            .ball_batch_inner(cloud, queries, radius, k, scratch, out)
     }
 
     /// All points within `radius` of `query`, ascending by distance.
     pub fn within_radius(&self, cloud: &PointCloud, query: Point3, radius: f32) -> Vec<Candidate> {
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut found = Vec::new();
-        radius_search(&self.root, cloud.points(), query, radius * radius, &mut found);
-        found.sort_by(|a, b| {
-            (a.dist_sq, a.index).partial_cmp(&(b.dist_sq, b.index)).expect("distances are finite")
-        });
+        let mut evals = 0u64;
+        radius_search(
+            &self.nodes,
+            &self.items,
+            0,
+            cloud.points(),
+            query,
+            radius * radius,
+            &mut found,
+            &mut evals,
+        );
+        sort_candidates(&mut found);
         found
+    }
+}
+
+/// Sorts candidates ascending by `(distance, index)`. The key is unique per
+/// candidate (indices are distinct), so the unstable sort — which does not
+/// allocate, unlike `sort_by` — is fully deterministic.
+pub(crate) fn sort_candidates(found: &mut [Candidate]) {
+    found.sort_unstable_by(|a, b| {
+        (a.dist_sq, a.index).partial_cmp(&(b.dist_sq, b.index)).expect("distances are finite")
+    });
+}
+
+/// Borrowed view of a tree's immutable search data, so the batch query
+/// bodies exist exactly once whether scratch comes from the tree itself
+/// (`&mut self` paths) or from the caller (`&self` wrappers).
+struct KdView<'t> {
+    nodes: &'t [Node],
+    items: &'t [usize],
+    size: usize,
+}
+
+impl KdView<'_> {
+    fn knn_batch_inner(
+        &self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        k: usize,
+        scratch: &mut Vec<Candidate>,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        assert!(k > 0 && k <= self.size, "k = {k} out of range for {} points", self.size);
+        let (nodes, items) = (self.nodes, self.items);
+        batch_into(out, queries, k, per_query_cost(self.size, k), scratch, |best, q, slot| {
+            best.clear();
+            let mut evals = 0u64;
+            search(nodes, items, 0, cloud.points(), cloud.point(q), k, best, &mut evals);
+            for (s, c) in slot.iter_mut().zip(best.iter()) {
+                *s = c.index;
+            }
+            evals
+        })
+    }
+
+    fn ball_batch_inner(
+        &self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+        scratch: &mut Vec<Candidate>,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        assert!(k > 0, "k must be positive");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let (nodes, items) = (self.nodes, self.items);
+        let r2 = radius * radius;
+        batch_into(out, queries, k, per_query_cost(self.size, k), scratch, |found, q, slot| {
+            found.clear();
+            let mut evals = 0u64;
+            radius_search(nodes, items, 0, cloud.points(), cloud.point(q), r2, found, &mut evals);
+            sort_candidates(found);
+            crate::ball::pad_slot(found, slot);
+            evals
+        })
+    }
+}
+
+/// Shared out-parameter batch driver for `&mut self` index queries: fills
+/// `out` with one entry per query, running `per_query(scratch, query, slot)`
+/// (which returns its distance-evaluation count) sequentially with the
+/// caller's reusable scratch, or in parallel chunks with per-chunk scratch
+/// when the workload justifies it. Entries are written in query order, so
+/// both paths produce identical tables.
+pub(crate) fn batch_into(
+    out: &mut NeighborIndexTable,
+    queries: &[usize],
+    k: usize,
+    cost_per_query: usize,
+    scratch: &mut Vec<Candidate>,
+    per_query: impl Fn(&mut Vec<Candidate>, usize, &mut [usize]) -> u64 + Sync,
+) -> u64 {
+    let entries = queries.len();
+    let (cents, neighs) = out.fill_slots(k, entries);
+    let chunk = mesorasi_par::chunk_len(entries, cost_per_query);
+    if chunk >= entries {
+        let mut evals = 0u64;
+        for (i, &q) in queries.iter().enumerate() {
+            cents[i] = q;
+            evals += per_query(scratch, q, &mut neighs[i * k..(i + 1) * k]);
+        }
+        evals
+    } else {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        mesorasi_par::par_chunks_mut_pair(cents, neighs, chunk, chunk * k, |ci, cc, nc| {
+            let mut local = Vec::new();
+            let mut evals = 0u64;
+            for (j, cent) in cc.iter_mut().enumerate() {
+                let q = queries[ci * chunk + j];
+                *cent = q;
+                evals += per_query(&mut local, q, &mut nc[j * k..(j + 1) * k]);
+            }
+            total.fetch_add(evals, std::sync::atomic::Ordering::Relaxed);
+        });
+        total.into_inner()
     }
 }
 
@@ -112,14 +333,15 @@ pub(crate) fn per_query_cost(size: usize, k: usize) -> usize {
     LEAF_SIZE * depth * (k + 8)
 }
 
-fn build_node(points: &[Point3], indices: &mut [usize]) -> Node {
-    if indices.len() <= LEAF_SIZE {
-        return Node::Leaf { points: indices.to_vec() };
+fn build_node(points: &[Point3], items: &mut [usize], base: u32, nodes: &mut Vec<Node>) {
+    if items.len() <= LEAF_SIZE {
+        nodes.push(Node::Leaf { start: base, len: items.len() as u32 });
+        return;
     }
     // Split on the widest axis at the median.
-    let mut min = points[indices[0]];
+    let mut min = points[items[0]];
     let mut max = min;
-    for &i in indices.iter() {
+    for &i in items.iter() {
         min = min.min(points[i]);
         max = max.max(points[i]);
     }
@@ -131,76 +353,86 @@ fn build_node(points: &[Point3], indices: &mut [usize]) -> Node {
     } else {
         2
     };
-    let mid = indices.len() / 2;
-    indices.select_nth_unstable_by(mid, |&a, &b| {
+    let mid = items.len() / 2;
+    items.select_nth_unstable_by(mid, |&a, &b| {
         points[a][axis]
             .partial_cmp(&points[b][axis])
             .expect("coordinates are finite")
             .then(a.cmp(&b))
     });
-    let value = points[indices[mid]][axis];
-    let (left_idx, right_idx) = indices.split_at_mut(mid);
-    let left = build_node(points, left_idx);
-    let right = build_node(points, right_idx);
-    Node::Split { axis, value, left: Box::new(left), right: Box::new(right) }
+    let value = points[items[mid]][axis];
+    let me = nodes.len();
+    nodes.push(Node::Split { axis: axis as u8, value, right: 0 });
+    let (left, right) = items.split_at_mut(mid);
+    build_node(points, left, base, nodes);
+    let right_at = nodes.len() as u32;
+    let Node::Split { right: r, .. } = &mut nodes[me] else { unreachable!("pushed above") };
+    *r = right_at;
+    build_node(points, right, base + mid as u32, nodes);
 }
 
-fn push_candidate(best: &mut Vec<Candidate>, k: usize, c: Candidate) {
-    let key = |x: &Candidate| (x.dist_sq, x.index);
-    if best.len() == k && key(&c) >= key(best.last().expect("non-empty")) {
-        return;
-    }
-    let pos = best.partition_point(|b| key(b) < key(&c));
-    best.insert(pos, c);
-    if best.len() > k {
-        best.pop();
-    }
-}
-
-fn search(node: &Node, points: &[Point3], query: Point3, k: usize, best: &mut Vec<Candidate>) {
-    match node {
-        Node::Leaf { points: leaf } => {
-            for &i in leaf {
+#[allow(clippy::too_many_arguments)]
+fn search(
+    nodes: &[Node],
+    items: &[usize],
+    at: usize,
+    points: &[Point3],
+    query: Point3,
+    k: usize,
+    best: &mut Vec<Candidate>,
+    evals: &mut u64,
+) {
+    match nodes[at] {
+        Node::Leaf { start, len } => {
+            for &i in &items[start as usize..(start + len) as usize] {
                 let d = points[i].distance_squared(query);
-                push_candidate(best, k, Candidate { index: i, dist_sq: d });
+                *evals += 1;
+                push_bounded(best, k, Candidate { index: i, dist_sq: d });
             }
         }
-        Node::Split { axis, value, left, right } => {
-            let delta = query[*axis] - value;
-            let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
-            search(near, points, query, k, best);
+        Node::Split { axis, value, right } => {
+            let delta = query[axis as usize] - value;
+            let (near, far) =
+                if delta < 0.0 { (at + 1, right as usize) } else { (right as usize, at + 1) };
+            search(nodes, items, near, points, query, k, best, evals);
             // Visit the far side only if the splitting plane is closer than
             // the current k-th best (or we have fewer than k yet).
             let worst = best.last().map_or(f32::INFINITY, |c| c.dist_sq);
             if best.len() < k || delta * delta <= worst {
-                search(far, points, query, k, best);
+                search(nodes, items, far, points, query, k, best, evals);
             }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn radius_search(
-    node: &Node,
+    nodes: &[Node],
+    items: &[usize],
+    at: usize,
     points: &[Point3],
     query: Point3,
     radius_sq: f32,
     found: &mut Vec<Candidate>,
+    evals: &mut u64,
 ) {
-    match node {
-        Node::Leaf { points: leaf } => {
-            for &i in leaf {
+    match nodes[at] {
+        Node::Leaf { start, len } => {
+            for &i in &items[start as usize..(start + len) as usize] {
                 let d = points[i].distance_squared(query);
+                *evals += 1;
                 if d <= radius_sq {
                     found.push(Candidate { index: i, dist_sq: d });
                 }
             }
         }
-        Node::Split { axis, value, left, right } => {
-            let delta = query[*axis] - value;
-            let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
-            radius_search(near, points, query, radius_sq, found);
+        Node::Split { axis, value, right } => {
+            let delta = query[axis as usize] - value;
+            let (near, far) =
+                if delta < 0.0 { (at + 1, right as usize) } else { (right as usize, at + 1) };
+            radius_search(nodes, items, near, points, query, radius_sq, found, evals);
             if delta * delta <= radius_sq {
-                radius_search(far, points, query, radius_sq, found);
+                radius_search(nodes, items, far, points, query, radius_sq, found, evals);
             }
         }
     }
@@ -226,6 +458,42 @@ mod tests {
                 assert_eq!(a, b, "class {:?} k {k}", class);
             }
         }
+    }
+
+    #[test]
+    fn knn_into_matches_allocating_path_and_counts_evals() {
+        let cloud = sample_shape(ShapeClass::Guitar, 220, 4);
+        let mut tree = KdTree::build(&cloud);
+        let queries: Vec<usize> = (0..220).step_by(3).collect();
+        let mut out = NeighborIndexTable::default();
+        let evals = tree.knn_into(&cloud, &queries, 9, &mut out);
+        assert_eq!(out, tree.knn_indices(&cloud, &queries, 9));
+        assert!(evals > 0, "descents must evaluate distances");
+        assert!(evals <= (cloud.len() * queries.len()) as u64, "never worse than brute force");
+    }
+
+    #[test]
+    fn build_into_reuses_storage_across_same_sized_clouds() {
+        let a = sample_shape(ShapeClass::Chair, 256, 1);
+        let b = sample_shape(ShapeClass::Lamp, 256, 2);
+        let mut tree = KdTree::build(&a);
+        let bytes = tree.storage_bytes();
+        tree.build_into(&b);
+        assert_eq!(tree.storage_bytes(), bytes, "same-sized rebuild must not grow storage");
+        // Rebuilt contents answer for the new cloud.
+        let queries: Vec<usize> = (0..256).step_by(13).collect();
+        assert_eq!(tree.knn_indices(&b, &queries, 5), bruteforce::knn_indices(&b, &queries, 5));
+    }
+
+    #[test]
+    fn ball_into_matches_ball_query() {
+        let cloud = sample_shape(ShapeClass::Lamp, 180, 6);
+        let mut tree = KdTree::build(&cloud);
+        let queries: Vec<usize> = (0..180).step_by(5).collect();
+        let want = crate::ball::ball_query(&cloud, &tree, &queries, 0.3, 8);
+        let mut got = NeighborIndexTable::default();
+        tree.ball_into(&cloud, &queries, 0.3, 8, &mut got);
+        assert_eq!(got, want);
     }
 
     #[test]

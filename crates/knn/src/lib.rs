@@ -15,7 +15,16 @@
 //!   DGCNN's dynamic graph construction,
 //! * [`nit`] — the Neighbor Index Table, the `N_out × K` index structure
 //!   that the delayed-aggregation hardware streams through the NIT buffer,
-//! * [`stats`] — neighborhood-membership statistics (reproduces Fig. 6).
+//! * [`index`] — the pluggable [`SearchIndex`] trait over every backend
+//!   (explicit build/query split, out-parameter queries) and the
+//!   [`SearchContext`] that owns reusable per-space index storage,
+//! * [`planner`] — the cost-model [`SearchPlanner`] choosing a backend per
+//!   workload shape (overridable via `MESORASI_SEARCH`),
+//! * [`stats`] — neighborhood-membership statistics (reproduces Fig. 6)
+//!   and the [`stats::SearchCounters`] traffic meters.
+//!
+//! Every backend is exact with identical `(distance, index)` tie-breaking,
+//! so the planner's choice changes *where time goes*, never the results.
 //!
 //! # Example
 //!
@@ -35,28 +44,12 @@ pub mod ball;
 pub mod bruteforce;
 pub mod feature;
 pub mod grid;
+pub mod index;
 pub mod kdtree;
 pub mod nit;
+pub mod planner;
 pub mod stats;
 
+pub use index::{SearchContext, SearchIndex};
 pub use nit::NeighborIndexTable;
-
-/// Shared batched-query driver: runs `entry_for(query)` for every query —
-/// in parallel when the workload justifies it (`cost_per_query` is the
-/// approximate per-query work in inner-loop operations) — and assembles the
-/// results into a [`NeighborIndexTable`] in query order. Queries are
-/// independent, so parallel and sequential execution produce identical
-/// tables.
-pub(crate) fn batch_entries(
-    k: usize,
-    queries: &[usize],
-    cost_per_query: usize,
-    entry_for: impl Fn(usize) -> Vec<usize> + Sync,
-) -> NeighborIndexTable {
-    let entries = mesorasi_par::par_map_collect_cost(queries, cost_per_query, |_, &q| entry_for(q));
-    let mut nit = NeighborIndexTable::with_capacity(k, queries.len());
-    for (&q, idx) in queries.iter().zip(&entries) {
-        nit.push_entry(q, idx);
-    }
-    nit
-}
+pub use planner::{SearchBackend, SearchPlanner};

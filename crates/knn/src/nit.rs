@@ -31,6 +31,14 @@ pub struct NeighborIndexTable {
     neighbors: Vec<usize>,
 }
 
+impl Default for NeighborIndexTable {
+    /// An empty `k = 1` table — the neutral state of a reusable buffer;
+    /// every query path [`NeighborIndexTable::reset`]s `k` before writing.
+    fn default() -> Self {
+        NeighborIndexTable::new(1)
+    }
+}
+
 impl NeighborIndexTable {
     /// Bits per stored neighbor index in the hardware encoding (§VI).
     pub const INDEX_BITS: usize = 12;
@@ -55,6 +63,41 @@ impl NeighborIndexTable {
             centroids: Vec::with_capacity(entries),
             neighbors: Vec::with_capacity(entries * k),
         }
+    }
+
+    /// Clears the table and switches it to `k` neighbors per entry, keeping
+    /// the backing allocations — the reusable-buffer counterpart of
+    /// [`NeighborIndexTable::new`] that the search arenas cycle through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "neighbor count must be positive");
+        self.k = k;
+        self.centroids.clear();
+        self.neighbors.clear();
+    }
+
+    /// Resets the table to `entries` zero-filled entries of `k` neighbors
+    /// and exposes the `(centroids, neighbors)` storage for direct writes —
+    /// the out-parameter query paths fill disjoint per-query slots, possibly
+    /// from parallel workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub(crate) fn fill_slots(&mut self, k: usize, entries: usize) -> (&mut [usize], &mut [usize]) {
+        self.reset(k);
+        self.centroids.resize(entries, 0);
+        self.neighbors.resize(entries * k, 0);
+        (&mut self.centroids, &mut self.neighbors)
+    }
+
+    /// Heap bytes retained by the table's backing storage (capacity, not
+    /// length) — part of the search-arena statistics.
+    pub fn storage_bytes(&self) -> usize {
+        (self.centroids.capacity() + self.neighbors.capacity()) * std::mem::size_of::<usize>()
     }
 
     /// Appends one centroid's neighbor list.
@@ -164,6 +207,34 @@ mod tests {
         let mut nit = NeighborIndexTable::new(64);
         nit.push_entry(0, &vec![0; 64]);
         assert_eq!(nit.hardware_bytes(), 98);
+    }
+
+    #[test]
+    fn reset_switches_k_and_keeps_capacity() {
+        let mut nit = NeighborIndexTable::new(2);
+        nit.push_entry(0, &[1, 2]);
+        nit.push_entry(1, &[3, 4]);
+        let bytes = nit.storage_bytes();
+        nit.reset(3);
+        assert!(nit.is_empty());
+        assert_eq!(nit.k(), 3);
+        nit.push_entry(5, &[5, 6, 7]);
+        assert_eq!(nit.neighbors(0), &[5, 6, 7]);
+        assert!(nit.storage_bytes() >= bytes, "reset must not shrink storage");
+    }
+
+    #[test]
+    fn fill_slots_exposes_writable_entries() {
+        let mut nit = NeighborIndexTable::new(4);
+        {
+            let (cents, neighs) = nit.fill_slots(2, 3);
+            assert_eq!((cents.len(), neighs.len()), (3, 6));
+            cents.copy_from_slice(&[9, 8, 7]);
+            neighs.copy_from_slice(&[0, 1, 2, 3, 4, 5]);
+        }
+        assert_eq!(nit.len(), 3);
+        assert_eq!(nit.centroid(0), 9);
+        assert_eq!(nit.neighbors(2), &[4, 5]);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Backend planning: which search structure should answer a module's query?
+//!
+//! PointAcc-style measurements show index construction and backend choice
+//! dominate end-to-end latency for point-cloud workloads, and the best
+//! backend depends on the workload shape: exhaustive scans win when
+//! `N · Q` is small (no build cost, perfect locality), trees win for large
+//! kNN batches, grids win for fixed-radius queries once clouds are dense.
+//! The [`SearchPlanner`] encodes that choice as a deterministic cost model
+//! over `(mode, N_in, queries, k)` — *never* affecting results, since every
+//! backend in this crate is exact with identical index tie-breaking; only
+//! where the time goes.
+//!
+//! The choice can be forced for experiments via the `MESORASI_SEARCH`
+//! environment variable (`auto` | `kdtree` | `grid` | `bruteforce`) or the
+//! session builder's override. Forcing a backend that cannot serve a query
+//! class (the grid answers radius queries only, and needs a positive
+//! radius) falls back to the automatic choice for that query rather than
+//! failing — the override is a preference, not a correctness knob.
+
+use std::sync::OnceLock;
+
+/// A selectable search backend. Feature-space kNN is not listed: feature
+/// dimensions reach 64–512 where spatial structures degenerate, so those
+/// searches always run the dense row scan (see [`crate::feature`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchBackend {
+    /// Exhaustive scan — no index, best for small workloads.
+    BruteForce,
+    /// kd-tree — exact kNN and radius queries, `O(log n)` descents.
+    KdTree,
+    /// Uniform grid with `cell_size = radius` — radius queries only.
+    Grid,
+}
+
+impl SearchBackend {
+    /// The name used in bench records and the `MESORASI_SEARCH` variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchBackend::BruteForce => "bruteforce",
+            SearchBackend::KdTree => "kdtree",
+            SearchBackend::Grid => "grid",
+        }
+    }
+}
+
+/// One planned search workload: `queries` centroids against `n` candidate
+/// points with `k` results each.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchLoad {
+    /// Candidate point count (`N_in`).
+    pub n: usize,
+    /// Number of centroid queries.
+    pub queries: usize,
+    /// Neighbors per query.
+    pub k: usize,
+}
+
+/// `⌈log₂ n⌉`-ish tree depth used by the cost terms.
+fn depth(n: usize) -> u64 {
+    (usize::BITS - n.max(2).leading_zeros()) as u64
+}
+
+/// Estimated cost, in distance-evaluation units, of answering `load` as a
+/// kNN batch on `backend`, **including** index construction. The constants
+/// are calibrated against the bench harness's measured ns/op on the
+/// 1K–130K-point clouds this repo runs (brute-force ≈ `3·n·q` inner ops;
+/// a kd-tree descent touches a few leaves plus backtracking); they decide
+/// crossover points only — every backend returns identical tables.
+pub fn knn_cost(backend: SearchBackend, load: &SearchLoad) -> u64 {
+    let (n, q, k) = (load.n as u64, load.queries as u64, load.k as u64);
+    match backend {
+        SearchBackend::BruteForce => 3 * n * q,
+        // Build: one median select per level over n items. Query: ~4 leaf
+        // scans of LEAF_SIZE=16 points plus k maintenance per level.
+        SearchBackend::KdTree => n * depth(load.n) + q * (64 + 3 * k) * depth(load.n),
+        SearchBackend::Grid => u64::MAX, // cannot answer kNN exactly
+    }
+}
+
+/// Estimated cost of answering `load` as a padded radius batch on
+/// `backend`, including index construction. Same units as [`knn_cost`].
+pub fn ball_cost(backend: SearchBackend, load: &SearchLoad) -> u64 {
+    let (n, q, k) = (load.n as u64, load.queries as u64, load.k as u64);
+    match backend {
+        SearchBackend::BruteForce => 3 * n * q,
+        // Radius descents visit every in-range leaf; charge like kNN with
+        // a sort tail proportional to k.
+        SearchBackend::KdTree => n * depth(load.n) + q * (64 + 4 * k) * depth(load.n),
+        // Build: bin + sort. Query: a 3×3×3 cell scan of bounded occupancy
+        // (cell edge = radius keeps occupancy near k for the paper's
+        // workloads) — cheaper per query than a descent on large clouds.
+        SearchBackend::Grid => 2 * n * depth(load.n) + q * 27 * (8 + k),
+    }
+}
+
+/// Picks backends per query shape from the cost model, with an optional
+/// forced override. Copyable and cheap: every engine worker owns one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchPlanner {
+    forced: Option<SearchBackend>,
+}
+
+impl SearchPlanner {
+    /// The automatic cost-model planner.
+    pub fn auto() -> SearchPlanner {
+        SearchPlanner { forced: None }
+    }
+
+    /// A planner that prefers `backend` wherever it can serve the query.
+    pub fn forced(backend: SearchBackend) -> SearchPlanner {
+        SearchPlanner { forced: Some(backend) }
+    }
+
+    /// A planner configured from the `MESORASI_SEARCH` environment variable
+    /// (read once per process): `auto` (or unset) for the cost model,
+    /// `kdtree` / `grid` / `bruteforce` to force a backend. Invalid values
+    /// warn once and fall back to `auto`.
+    pub fn from_env() -> SearchPlanner {
+        static RESOLVED: OnceLock<Option<SearchBackend>> = OnceLock::new();
+        let forced = *RESOLVED.get_or_init(|| {
+            let raw = std::env::var("MESORASI_SEARCH").ok()?;
+            match parse_override(&raw) {
+                Ok(forced) => forced,
+                Err(InvalidSearchOverride) => {
+                    eprintln!(
+                        "[mesorasi-knn] ignoring invalid MESORASI_SEARCH='{raw}' \
+                         (want auto|kdtree|grid|bruteforce)"
+                    );
+                    None
+                }
+            }
+        });
+        SearchPlanner { forced }
+    }
+
+    /// The forced backend, if any.
+    pub fn forced_backend(&self) -> Option<SearchBackend> {
+        self.forced
+    }
+
+    /// The backend that should answer a kNN batch. The grid cannot (it
+    /// serves fixed-radius queries only), so a forced grid falls back to
+    /// the automatic choice here.
+    pub fn plan_knn(&self, load: &SearchLoad) -> SearchBackend {
+        match self.forced {
+            Some(SearchBackend::Grid) | None => {
+                pick_min(&[SearchBackend::BruteForce, SearchBackend::KdTree], |b| knn_cost(b, load))
+            }
+            Some(b) => b,
+        }
+    }
+
+    /// The backend that should answer a padded radius batch. A
+    /// non-positive radius excludes the grid (its cell edge must be
+    /// positive), so degenerate `radius = 0` queries route to the kd-tree
+    /// or brute force.
+    pub fn plan_ball(&self, load: &SearchLoad, radius: f32) -> SearchBackend {
+        let grid_ok = radius > 0.0 && radius.is_finite();
+        match self.forced {
+            Some(SearchBackend::Grid) if !grid_ok => {}
+            Some(b) => return b,
+            None => {}
+        }
+        let mut candidates = vec![SearchBackend::BruteForce, SearchBackend::KdTree];
+        if grid_ok {
+            candidates.push(SearchBackend::Grid);
+        }
+        pick_min(&candidates, |b| ball_cost(b, load))
+    }
+}
+
+fn pick_min(candidates: &[SearchBackend], cost: impl Fn(SearchBackend) -> u64) -> SearchBackend {
+    *candidates.iter().min_by_key(|&&b| cost(b)).expect("candidate list is never empty")
+}
+
+/// Error of [`parse_override`]: the value was none of
+/// `auto|kdtree|grid|bruteforce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSearchOverride;
+
+impl std::fmt::Display for InvalidSearchOverride {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected one of auto|kdtree|grid|bruteforce")
+    }
+}
+
+impl std::error::Error for InvalidSearchOverride {}
+
+/// Parses a `MESORASI_SEARCH` value: `Ok(None)` means auto, `Ok(Some(_))`
+/// a forced backend.
+pub fn parse_override(raw: &str) -> Result<Option<SearchBackend>, InvalidSearchOverride> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "auto" => Ok(None),
+        "kdtree" => Ok(Some(SearchBackend::KdTree)),
+        "grid" => Ok(Some(SearchBackend::Grid)),
+        "bruteforce" => Ok(Some(SearchBackend::BruteForce)),
+        _ => Err(InvalidSearchOverride),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: SearchLoad = SearchLoad { n: 96, queries: 24, k: 8 };
+    const LARGE: SearchLoad = SearchLoad { n: 4096, queries: 1024, k: 32 };
+
+    #[test]
+    fn parse_override_accepts_documented_values() {
+        assert_eq!(parse_override("auto"), Ok(None));
+        assert_eq!(parse_override(" KdTree "), Ok(Some(SearchBackend::KdTree)));
+        assert_eq!(parse_override("grid"), Ok(Some(SearchBackend::Grid)));
+        assert_eq!(parse_override("bruteforce"), Ok(Some(SearchBackend::BruteForce)));
+        assert_eq!(parse_override("octree"), Err(InvalidSearchOverride));
+    }
+
+    #[test]
+    fn auto_knn_prefers_brute_for_tiny_and_tree_for_large() {
+        let p = SearchPlanner::auto();
+        assert_eq!(p.plan_knn(&SMALL), SearchBackend::BruteForce);
+        assert_eq!(p.plan_knn(&LARGE), SearchBackend::KdTree);
+    }
+
+    #[test]
+    fn auto_ball_uses_grid_only_at_scale_and_with_positive_radius() {
+        let p = SearchPlanner::auto();
+        assert_eq!(p.plan_ball(&SMALL, 0.3), SearchBackend::BruteForce);
+        assert_eq!(p.plan_ball(&LARGE, 0.3), SearchBackend::Grid);
+        assert_ne!(p.plan_ball(&LARGE, 0.0), SearchBackend::Grid, "radius 0 excludes the grid");
+        assert_ne!(
+            p.plan_ball(&LARGE, f32::INFINITY),
+            SearchBackend::Grid,
+            "non-finite radius excludes the grid"
+        );
+    }
+
+    #[test]
+    fn forced_backends_are_honored_where_servable() {
+        let brute = SearchPlanner::forced(SearchBackend::BruteForce);
+        assert_eq!(brute.plan_knn(&LARGE), SearchBackend::BruteForce);
+        assert_eq!(brute.plan_ball(&LARGE, 0.3), SearchBackend::BruteForce);
+        let grid = SearchPlanner::forced(SearchBackend::Grid);
+        assert_eq!(grid.plan_ball(&LARGE, 0.3), SearchBackend::Grid);
+        // Grid cannot serve kNN or degenerate radii: automatic fallback.
+        assert_ne!(grid.plan_knn(&LARGE), SearchBackend::Grid);
+        assert_ne!(grid.plan_ball(&LARGE, 0.0), SearchBackend::Grid);
+    }
+
+    #[test]
+    fn knn_cost_is_monotone_in_workload() {
+        let mid = SearchLoad { n: 1024, queries: 512, k: 16 };
+        for backend in [SearchBackend::BruteForce, SearchBackend::KdTree] {
+            assert!(knn_cost(backend, &SMALL) < knn_cost(backend, &mid));
+            assert!(knn_cost(backend, &mid) < knn_cost(backend, &LARGE));
+        }
+        assert_eq!(knn_cost(SearchBackend::Grid, &mid), u64::MAX);
+    }
+}

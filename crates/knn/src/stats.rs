@@ -10,6 +10,56 @@
 
 use crate::NeighborIndexTable;
 
+/// Search-traffic counters accumulated by a [`crate::index::SearchContext`]:
+/// how much index-build vs query work real inference traffic performs, and
+/// how many pairwise distance evaluations the chosen backends actually ran
+/// (the quantity the GPU cost model charges, here measured instead of
+/// assumed). Plain fields, no global state — each context owns its own
+/// counters, and the bench harness reads them off the serving session, so
+/// Fig. 6-style overlap analysis can run against production-shaped traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Index structures (re)built — kd-trees and grids, not the stateless
+    /// brute-force backends.
+    pub index_builds: u64,
+    /// Wall time spent building indices, in nanoseconds.
+    pub index_build_ns: u64,
+    /// Batched query calls answered (one per module search).
+    pub query_calls: u64,
+    /// Individual centroid queries answered across all calls.
+    pub queries: u64,
+    /// Wall time spent answering queries, in nanoseconds.
+    pub query_ns: u64,
+    /// Pairwise distance evaluations performed by the backends.
+    pub distance_evals: u64,
+}
+
+impl SearchCounters {
+    /// Accumulates `other` into `self` (sessions sum their workers).
+    pub fn add(&mut self, other: &SearchCounters) {
+        self.index_builds += other.index_builds;
+        self.index_build_ns += other.index_build_ns;
+        self.query_calls += other.query_calls;
+        self.queries += other.queries;
+        self.query_ns += other.query_ns;
+        self.distance_evals += other.distance_evals;
+    }
+
+    /// `self - baseline`, for measuring a traffic window between two
+    /// snapshots. Saturates at zero (snapshots from the same context are
+    /// monotonic, so saturation only absorbs caller mistakes).
+    pub fn since(&self, baseline: &SearchCounters) -> SearchCounters {
+        SearchCounters {
+            index_builds: self.index_builds.saturating_sub(baseline.index_builds),
+            index_build_ns: self.index_build_ns.saturating_sub(baseline.index_build_ns),
+            query_calls: self.query_calls.saturating_sub(baseline.query_calls),
+            queries: self.queries.saturating_sub(baseline.queries),
+            query_ns: self.query_ns.saturating_sub(baseline.query_ns),
+            distance_evals: self.distance_evals.saturating_sub(baseline.distance_evals),
+        }
+    }
+}
+
 /// Counts, for each input point, the number of NIT entries (neighborhoods)
 /// it appears in. Duplicate occurrences within one entry (ball-query
 /// padding) are counted once per entry, matching the figure's definition of

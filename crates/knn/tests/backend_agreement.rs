@@ -3,10 +3,20 @@
 //! implementation) on seeded clouds, including the edge cases the proptest
 //! suite's randomized inputs rarely hit: k = 1, k = n, and duplicate
 //! points (distance ties, broken by index in every backend).
+//!
+//! The second half drives the *pluggable* subsystem: every backend behind
+//! the [`SearchIndex`] trait-object path, and every backend the
+//! [`SearchPlanner`] can select through a [`SearchContext`], must produce
+//! NITs bit-identical to brute force for both kNN and padded radius
+//! queries — including degenerate grids (zero-extent AABB) and k far
+//! beyond any cell's population.
 
 use mesorasi_knn::grid::UniformGrid;
+use mesorasi_knn::index::{BruteForceIndex, FeatureBrute};
 use mesorasi_knn::kdtree::KdTree;
-use mesorasi_knn::{ball, bruteforce};
+use mesorasi_knn::{
+    ball, bruteforce, NeighborIndexTable, SearchBackend, SearchContext, SearchIndex, SearchPlanner,
+};
 use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
 use mesorasi_pointcloud::{Point3, PointCloud};
 
@@ -150,4 +160,152 @@ fn single_point_cloud_every_backend_returns_the_point() {
     assert_eq!(tree.knn_indices(&cloud, &[0], 1), want);
     assert_eq!(ball::ball_query(&cloud, &tree, &[0], 0.5, 1), want);
     assert_eq!(grid.ball_query(&cloud, &[0], 0.5, 1), want);
+}
+
+// ---------------------------------------------------------------------
+// The pluggable subsystem: trait objects, the planner, and the context.
+// ---------------------------------------------------------------------
+
+/// Every kNN-capable backend behind `Box<dyn SearchIndex>`.
+fn knn_backends(cloud: &PointCloud) -> Vec<Box<dyn SearchIndex>> {
+    vec![
+        Box::new(<KdTree as SearchIndex>::build(cloud)),
+        Box::new(<BruteForceIndex as SearchIndex>::build(cloud)),
+        Box::new(<FeatureBrute as SearchIndex>::build(cloud)),
+    ]
+}
+
+/// Every ball-capable backend behind `Box<dyn SearchIndex>` (the grid
+/// needs its cell size configured before building).
+fn ball_backends(cloud: &PointCloud, radius: f32) -> Vec<Box<dyn SearchIndex>> {
+    let mut grid = UniformGrid::default();
+    grid.set_cell_size(radius);
+    SearchIndex::build_into(&mut grid, cloud);
+    let mut backends = knn_backends(cloud);
+    backends.push(Box::new(grid));
+    backends
+}
+
+#[test]
+fn trait_object_knn_matches_bruteforce_with_ties_and_extremes() {
+    let clouds = [sample_shape(ShapeClass::Vase, 180, 21), cloud_with_duplicates()];
+    for cloud in &clouds {
+        let n = cloud.len();
+        let queries = all_queries(cloud);
+        for k in [1, 3, n / 2, n] {
+            let want = bruteforce::knn_indices(cloud, &queries, k);
+            for backend in &mut knn_backends(cloud) {
+                let mut got = NeighborIndexTable::default();
+                let evals = backend.knn_into(cloud, &queries, k, &mut got);
+                assert_eq!(got, want, "{:?} kNN drifted at k {k}, n {n}", backend.kind());
+                assert!(evals > 0, "{:?} must meter distance work", backend.kind());
+            }
+        }
+    }
+}
+
+#[test]
+fn trait_object_ball_matches_reference_with_padding_and_ties() {
+    // The duplicate cloud forces index-order tie-breaks; the sparse pair
+    // forces padding in every backend.
+    for (cloud, radius, k) in [
+        (sample_shape(ShapeClass::Table, 160, 22), 0.25, 8),
+        (cloud_with_duplicates(), 0.3, 9),
+        // Covering radius: the padded ball query degenerates to exact kNN.
+        (sample_shape(ShapeClass::Sphere, 90, 23), 3.0, 5),
+    ] {
+        let tree = KdTree::build(&cloud);
+        let queries = all_queries(&cloud);
+        let want = ball::ball_query(&cloud, &tree, &queries, radius, k);
+        for backend in &mut ball_backends(&cloud, radius) {
+            let mut got = NeighborIndexTable::default();
+            backend.ball_into(&cloud, &queries, radius, k, &mut got);
+            assert_eq!(got, want, "{:?} ball drifted (r {radius}, k {k})", backend.kind());
+        }
+    }
+}
+
+#[test]
+fn trait_object_rebuild_over_new_frame_answers_for_the_new_cloud() {
+    let a = sample_shape(ShapeClass::Chair, 128, 24);
+    let b = sample_shape(ShapeClass::Guitar, 128, 25);
+    let queries = all_queries(&a);
+    for backend in &mut knn_backends(&a) {
+        backend.build_into(&b);
+        let mut got = NeighborIndexTable::default();
+        backend.knn_into(&b, &queries, 6, &mut got);
+        assert_eq!(got, bruteforce::knn_indices(&b, &queries, 6), "{:?}", backend.kind());
+    }
+}
+
+/// Satellite audit: a zero-extent AABB (all points coincident) collapses
+/// the grid to one cell; every backend must still agree, ties broken by
+/// index, padding never needed (everything is in radius).
+#[test]
+fn coincident_cloud_zero_extent_grid_agrees_with_all_backends() {
+    let cloud = PointCloud::from_points(vec![Point3::new(-2.0, 0.5, 3.25); 30]);
+    let queries = all_queries(&cloud);
+    for k in [1, 7, 30] {
+        let tree = KdTree::build(&cloud);
+        let want = ball::ball_query(&cloud, &tree, &queries, 0.4, k);
+        // All coincident ⇒ the k nearest are simply indices 0..k.
+        assert_eq!(want.neighbors(0), (0..k).collect::<Vec<_>>().as_slice());
+        for backend in &mut ball_backends(&cloud, 0.4) {
+            let mut got = NeighborIndexTable::default();
+            backend.ball_into(&cloud, &queries, 0.4, k, &mut got);
+            assert_eq!(got, want, "{:?} on coincident cloud, k {k}", backend.kind());
+        }
+    }
+}
+
+/// Satellite audit: k far larger than any cell's population — the grid
+/// must pad from neighboring cells' sorted union exactly like the
+/// kd-tree path pads, never panic or truncate.
+#[test]
+fn grid_k_beyond_cell_population_pads_identically() {
+    // A line of tight pairs: cell size 0.1 puts at most 2 points per cell.
+    let mut pts = Vec::new();
+    for i in 0..24 {
+        pts.push(Point3::new(i as f32, 0.0, 0.0));
+        pts.push(Point3::new(i as f32 + 0.01, 0.0, 0.0));
+    }
+    let cloud = PointCloud::from_points(pts);
+    let tree = KdTree::build(&cloud);
+    let mut grid = UniformGrid::build(&cloud, 0.1);
+    let queries = all_queries(&cloud);
+    for k in [2, 5, 16] {
+        let want = ball::ball_query(&cloud, &tree, &queries, 0.1, k);
+        assert_eq!(grid.ball_query(&cloud, &queries, 0.1, k), want, "k {k}");
+        let mut got = NeighborIndexTable::default();
+        grid.ball_into(&cloud, &queries, 0.1, k, &mut got);
+        assert_eq!(got, want, "ball_into k {k}");
+        // Sparse neighborhoods: entries pad with their first index.
+        assert!(got.neighbors(0).iter().filter(|&&i| i == 0).count() >= k - 2);
+    }
+}
+
+/// Every backend the planner can select — auto and all three forced
+/// choices — must produce the NIT the kd-tree path produced before the
+/// subsystem existed, for kNN and ball alike.
+#[test]
+fn planner_selected_backends_agree_through_the_context() {
+    let cloud = sample_shape(ShapeClass::Airplane, 300, 26);
+    let queries: Vec<usize> = (0..300).step_by(2).collect();
+    let knn_want = bruteforce::knn_indices(&cloud, &queries, 10);
+    let tree = KdTree::build(&cloud);
+    let ball_want = ball::ball_query(&cloud, &tree, &queries, 0.3, 10);
+    let planners = [
+        SearchPlanner::auto(),
+        SearchPlanner::forced(SearchBackend::BruteForce),
+        SearchPlanner::forced(SearchBackend::KdTree),
+        SearchPlanner::forced(SearchBackend::Grid),
+    ];
+    for planner in planners {
+        let mut ctx = SearchContext::with_planner(planner);
+        let mut got = NeighborIndexTable::default();
+        ctx.knn_into(0, &cloud, &queries, 10, &mut got);
+        assert_eq!(got, knn_want, "kNN drifted under {planner:?}");
+        ctx.ball_into(0, &cloud, &queries, 0.3, 10, &mut got);
+        assert_eq!(got, ball_want, "ball drifted under {planner:?}");
+    }
 }

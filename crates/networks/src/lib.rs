@@ -31,7 +31,9 @@ use mesorasi_nn::{Graph, Param, VarId};
 use mesorasi_pointcloud::PointCloud;
 
 pub use registry::{Domain, NetworkKind};
-pub use session::{Boxes3D, Inference, Logits, PerPointLabels, Session, SessionBuilder};
+pub use session::{
+    Boxes3D, FrameStream, Inference, Logits, PerPointLabels, Session, SessionBuilder,
+};
 
 /// Result of a network forward pass: task output plus the recorded
 /// workload.

@@ -38,10 +38,11 @@
 
 use crate::registry::{Domain, NetworkKind};
 use crate::PointCloudNetwork;
-use mesorasi_core::engine::PlanEngine;
+use mesorasi_core::engine::{EngineStats, PlanEngine};
 use mesorasi_core::Strategy;
+use mesorasi_knn::stats::SearchCounters;
+use mesorasi_knn::{SearchBackend, SearchPlanner};
 use mesorasi_nn::loss;
-use mesorasi_nn::plan::ArenaStats;
 use mesorasi_nn::{Graph, VarId};
 use mesorasi_par as par;
 use mesorasi_pointcloud::{Point3, PointCloud};
@@ -258,6 +259,7 @@ pub struct SessionBuilder {
     classes: usize,
     paper_scale: bool,
     init_seed: u64,
+    search: Option<SearchBackend>,
 }
 
 impl SessionBuilder {
@@ -270,6 +272,7 @@ impl SessionBuilder {
             classes: 10,
             paper_scale: false,
             init_seed: 0,
+            search: None,
         }
     }
 
@@ -340,6 +343,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Forces every worker's neighbor searches onto one backend instead of
+    /// the cost-model choice (the programmatic form of `MESORASI_SEARCH`).
+    /// Every backend is exact, so this changes where search time goes,
+    /// never the inference results — useful for benchmarking and for
+    /// pinning behaviour in latency-sensitive deployments.
+    pub fn search_backend(mut self, backend: SearchBackend) -> Self {
+        self.search = Some(backend);
+        self
+    }
+
     /// Builds the session. Plan compilation is lazy: each worker engine
     /// records the network on first contact with a given input shape.
     pub fn build(self) -> Session {
@@ -356,12 +369,16 @@ impl SessionBuilder {
         };
         let workers = self.workers.unwrap_or_else(par::current_threads).max(1);
         let domain = net.domain();
+        let planner = match self.search {
+            Some(backend) => SearchPlanner::forced(backend),
+            None => SearchPlanner::from_env(),
+        };
         Session {
             net,
             strategy: self.strategy,
             seed: self.seed,
             domain,
-            engines: (0..workers).map(|_| Mutex::new(PlanEngine::new())).collect(),
+            engines: (0..workers).map(|_| Mutex::new(PlanEngine::with_planner(planner))).collect(),
             next: AtomicUsize::new(0),
         }
     }
@@ -461,7 +478,10 @@ impl Session {
 
     /// Lazily infers a stream of clouds, yielding one result per input in
     /// order. Each item runs like [`Session::infer`]; for throughput,
-    /// collect chunks and call [`Session::infer_batch`] instead.
+    /// collect chunks and call [`Session::infer_batch`] instead — and for
+    /// *frame sequences* (consecutive captures of a scene, where inputs
+    /// rarely repeat), use [`Session::infer_frames`] / [`Session::frames`],
+    /// which reuse search state across frames instead of caching samples.
     pub fn infer_stream<'s, I>(&'s self, clouds: I) -> impl Iterator<Item = Inference> + 's
     where
         I: IntoIterator + 's,
@@ -470,22 +490,74 @@ impl Session {
         clouds.into_iter().map(move |cloud| self.infer(cloud.borrow()))
     }
 
+    /// Checks out one worker engine for a frame sequence. All frames run
+    /// on that engine's streaming path: the per-sample NIT cache is
+    /// bypassed (frames rarely repeat) and neighbor-search indices
+    /// warm-start from the previous frame — capacity reused, contents
+    /// rebuilt — so a warm same-shaped stream performs zero heap
+    /// allocations per frame in search and tensor execution alike.
+    /// Results are bit-identical to [`Session::infer`] on the same cloud.
+    ///
+    /// The handle holds the engine until dropped; other workers keep
+    /// serving [`Session::infer`] / [`Session::infer_batch`] concurrently.
+    ///
+    /// **Drop the handle before calling the session from the same thread
+    /// again.** While a `FrameStream` is live, methods that visit *every*
+    /// worker ([`Session::warm`], [`Session::arena_stats`],
+    /// [`Session::search_counters`]) — and, on a session whose other
+    /// workers are all busy, [`Session::infer`] itself — block on the held
+    /// engine; from the holding thread that is a self-deadlock, since
+    /// `std::sync::Mutex` is not re-entrant.
+    pub fn frames(&self) -> FrameStream<'_> {
+        FrameStream { session: self, engine: self.checkout_engine() }
+    }
+
+    /// Convenience over [`Session::frames`]: lazily infers a frame
+    /// sequence on one engine, yielding results in order.
+    ///
+    /// The engine is checked out **eagerly** and held until the returned
+    /// iterator is dropped — the same-thread re-entrancy caveat on
+    /// [`Session::frames`] applies for as long as the iterator lives.
+    pub fn infer_frames<'s, I>(&'s self, clouds: I) -> impl Iterator<Item = Inference> + 's
+    where
+        I: IntoIterator + 's,
+        I::Item: Borrow<PointCloud>,
+    {
+        let mut frames = self.frames();
+        clouds.into_iter().map(move |cloud| frames.infer(cloud.borrow()))
+    }
+
     /// Pre-warms every worker engine on `cloud`: compiles the plan for its
-    /// shape and fills the per-sample NIT cache, so later [`Session::infer`]
-    /// / [`Session::infer_batch`] calls on same-shaped inputs start from
-    /// the zero-search steady state no matter which engine serves them.
-    /// Call before timing-sensitive traffic; purely an optimization.
+    /// shape, fills the per-sample NIT cache, **and** primes the search
+    /// state — per-space indices and the streaming buffers — so later
+    /// [`Session::infer`] / [`Session::infer_batch`] / [`Session::frames`]
+    /// traffic on same-shaped inputs starts from the fully warm steady
+    /// state no matter which engine serves it. Call before
+    /// timing-sensitive traffic; purely an optimization.
     pub fn warm(&self, cloud: &PointCloud) {
         for engine in &self.engines {
             let mut engine = lock_unpoisoned(engine);
             let _ = self.run_on(&mut engine, cloud);
+            let _ = self.exec(&mut engine, cloud, true);
         }
     }
 
-    /// Arena statistics of the plan compiled for `n_points` inputs, from
-    /// the first worker that has compiled that shape.
-    pub fn arena_stats(&self, n_points: usize) -> Option<ArenaStats> {
+    /// Statistics of the plan compiled for `n_points` inputs, from the
+    /// first worker that has compiled that shape: tensor-arena usage plus
+    /// search-arena bytes and traffic counters.
+    pub fn arena_stats(&self, n_points: usize) -> Option<EngineStats> {
         self.engines.iter().find_map(|e| lock_unpoisoned(e).stats(n_points))
+    }
+
+    /// Search-traffic counters summed across the worker pool — what the
+    /// bench harness reads to report distance evaluations and the index
+    /// build/query time split of real inference traffic.
+    pub fn search_counters(&self) -> SearchCounters {
+        let mut total = SearchCounters::default();
+        for e in &self.engines {
+            total.add(&lock_unpoisoned(e).search_counters());
+        }
+        total
     }
 
     /// Total plans compiled across the worker pool (one per worker per
@@ -509,13 +581,27 @@ impl Session {
         lock_unpoisoned(&self.engines[i])
     }
 
-    fn run_on(&self, engine: &mut PlanEngine, cloud: &PointCloud) -> Inference {
+    /// Runs one forward on `engine` — the plan-and-cache path when
+    /// `streamed` is false, the cache-bypassing streaming path otherwise.
+    fn exec<'e>(
+        &self,
+        engine: &'e mut PlanEngine,
+        cloud: &PointCloud,
+        streamed: bool,
+    ) -> mesorasi_core::engine::PlannedOutputs<'e> {
         let net = self.net.as_ref();
         let (strategy, seed) = (self.strategy, self.seed);
         let record = move |g: &mut Graph, c: &PointCloud| -> Vec<VarId> {
             net.session_outputs(g, c, strategy, seed)
         };
-        let out = engine.run(cloud, &record);
+        if streamed {
+            engine.run_streamed(cloud, &record)
+        } else {
+            engine.run(cloud, &record)
+        }
+    }
+
+    fn package(&self, out: mesorasi_core::engine::PlannedOutputs<'_>) -> Inference {
         match self.domain {
             Domain::Classification => {
                 Inference::Classification(Logits { scores: out.get(0).clone() })
@@ -534,6 +620,67 @@ impl Session {
                 })
             }
         }
+    }
+
+    /// Like [`Session::package`] but recycling `dst`'s buffers: when the
+    /// variant already matches the session's domain, output matrices are
+    /// copied in place (zero allocation once capacities are warm).
+    fn package_into(&self, out: mesorasi_core::engine::PlannedOutputs<'_>, dst: &mut Inference) {
+        match (self.domain, &mut *dst) {
+            (Domain::Classification, Inference::Classification(l)) => {
+                l.scores.copy_from(out.get(0));
+            }
+            (Domain::Segmentation, Inference::Segmentation(s)) => {
+                s.logits.copy_from(out.get(0));
+            }
+            (Domain::Detection, Inference::Detection(d)) => {
+                assert!(
+                    out.len() >= 2,
+                    "a detection network's session_outputs must yield [seg_logits, box_params]"
+                );
+                d.seg_logits.copy_from(out.get(0));
+                d.params.copy_from(out.get(1));
+            }
+            (_, other) => *other = self.package(out),
+        }
+    }
+
+    fn run_on(&self, engine: &mut PlanEngine, cloud: &PointCloud) -> Inference {
+        let out = self.exec(engine, cloud, false);
+        self.package(out)
+    }
+}
+
+/// A frame-sequence handle over one checked-out worker engine; see
+/// [`Session::frames`] (including its same-thread re-entrancy caveat).
+/// Frames run in call order on the engine's streaming path, warm-starting
+/// search indices from the previous frame.
+pub struct FrameStream<'s> {
+    session: &'s Session,
+    engine: MutexGuard<'s, PlanEngine>,
+}
+
+impl FrameStream<'_> {
+    /// Infers the next frame. Bit-identical to [`Session::infer`] on the
+    /// same cloud.
+    pub fn infer(&mut self, cloud: &PointCloud) -> Inference {
+        let out = self.session.exec(&mut self.engine, cloud, true);
+        self.session.package(out)
+    }
+
+    /// Infers the next frame into `out`, recycling its buffers — the
+    /// fully allocation-free serving path: once the stream is warm (same
+    /// frame shape, matching `out` variant), a call performs **zero** heap
+    /// allocations end to end, neighbor search included.
+    pub fn infer_into(&mut self, cloud: &PointCloud, out: &mut Inference) {
+        let planned = self.session.exec(&mut self.engine, cloud, true);
+        self.session.package_into(planned, out);
+    }
+}
+
+impl std::fmt::Debug for FrameStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameStream").field("session", &self.session).finish()
     }
 }
 
@@ -624,6 +771,70 @@ mod tests {
         assert_eq!(session.infer_batch(&refs), singles);
         let streamed: Vec<Inference> = session.infer_stream(clouds.iter()).collect();
         assert_eq!(streamed, singles);
+    }
+
+    #[test]
+    fn frame_stream_matches_single_infer_per_frame() {
+        // Streaming bypasses the NIT cache and reuses search indices
+        // across frames; results must stay bit-identical to infer().
+        for kind in [NetworkKind::PointNetPPClassification, NetworkKind::DgcnnClassification] {
+            let session = SessionBuilder::from_kind(kind).classes(4).workers(1).build();
+            let n = session.network().input_points();
+            let clouds: Vec<PointCloud> =
+                (0..4).map(|s| sample_shape(ShapeClass::Airplane, n, s)).collect();
+            let singles: Vec<Inference> = clouds.iter().map(|c| session.infer(c)).collect();
+            let framed: Vec<Inference> = session.infer_frames(clouds.iter()).collect();
+            assert_eq!(framed, singles, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn frame_infer_into_recycles_the_result() {
+        let session =
+            SessionBuilder::from_kind(NetworkKind::PointNetPPClassification).classes(5).build();
+        let n = session.network().input_points();
+        let clouds: Vec<PointCloud> =
+            (0..3).map(|s| sample_shape(ShapeClass::Car, n, s + 10)).collect();
+        let expected: Vec<Inference> = clouds.iter().map(|c| session.infer(c)).collect();
+        let mut frames = session.frames();
+        let mut out = frames.infer(&clouds[0]);
+        for (cloud, want) in clouds.iter().zip(&expected) {
+            frames.infer_into(cloud, &mut out);
+            assert_eq!(&out, want);
+        }
+    }
+
+    #[test]
+    fn forced_search_backends_do_not_change_results() {
+        let mut rng = mesorasi_pointcloud::seeded_rng(8);
+        let net = crate::pointnetpp::PointNetPP::classification_small(4, &mut rng);
+        let cloud = sample_shape(ShapeClass::Guitar, net.input_points(), 3);
+        let reference = SessionBuilder::from_network_ref(&net).build().infer(&cloud);
+        for backend in [SearchBackend::BruteForce, SearchBackend::KdTree, SearchBackend::Grid] {
+            let session = SessionBuilder::from_network_ref(&net).search_backend(backend).build();
+            assert_eq!(session.infer(&cloud), reference, "forced {backend:?} drifted");
+        }
+    }
+
+    #[test]
+    fn warm_primes_search_state_and_stats_report_it() {
+        let session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+            .classes(3)
+            .workers(2)
+            // Forced kd-tree so index builds are observable even at the
+            // small scale where the cost model prefers brute force.
+            .search_backend(SearchBackend::KdTree)
+            .build();
+        let n = session.network().input_points();
+        let cloud = sample_shape(ShapeClass::Chair, n, 2);
+        session.warm(&cloud);
+        let stats = session.arena_stats(n).expect("warmed shape is compiled");
+        assert!(stats.search_bytes > 0, "warming must build search state");
+        assert!(stats.arena.peak_bytes > 0);
+        let counters = session.search_counters();
+        assert!(counters.query_calls > 0);
+        assert!(counters.index_builds > 0, "warming builds indices");
+        assert!(counters.distance_evals > 0);
     }
 
     #[test]

@@ -142,9 +142,91 @@ impl PointCloud {
     ///
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> PointCloud {
-        let points: Vec<Point3> = indices.iter().map(|&i| self.points[i]).collect();
-        let labels = self.labels.as_ref().map(|l| indices.iter().map(|&i| l[i]).collect());
-        PointCloud { points, labels }
+        let mut out = PointCloud::new();
+        self.select_into(indices, &mut out);
+        out
+    }
+
+    /// [`PointCloud::select`] writing into a caller-owned cloud, reusing its
+    /// backing storage — the inference engine's streaming path derives
+    /// per-frame module states through this without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_into(&self, indices: &[usize], out: &mut PointCloud) {
+        out.points.clear();
+        out.points.extend(indices.iter().map(|&i| self.points[i]));
+        match &self.labels {
+            Some(l) => {
+                let dst = out.labels.get_or_insert_with(Vec::new);
+                dst.clear();
+                dst.extend(indices.iter().map(|&i| l[i]));
+            }
+            None => out.labels = None,
+        }
+    }
+
+    /// Overwrites this cloud with `other`'s contents, reusing the backing
+    /// storage (unlike `*self = other.clone()`, which reallocates). Streams
+    /// of same-sized frames stabilize to zero allocations per copy.
+    pub fn copy_from(&mut self, other: &PointCloud) {
+        self.points.clear();
+        self.points.extend_from_slice(&other.points);
+        match &other.labels {
+            Some(l) => {
+                let dst = self.labels.get_or_insert_with(Vec::new);
+                dst.clear();
+                dst.extend_from_slice(l);
+            }
+            None => self.labels = None,
+        }
+    }
+
+    /// FNV-1a over the points' coordinate bits and the labels — a cheap
+    /// content fingerprint for index caches (always paired with
+    /// [`PointCloud::content_eq`] before trusting a match).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u32| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for p in &self.points {
+            mix(p.x.to_bits());
+            mix(p.y.to_bits());
+            mix(p.z.to_bits());
+        }
+        if let Some(labels) = &self.labels {
+            for &l in labels {
+                mix(l);
+            }
+        }
+        h
+    }
+
+    /// Bit-exact equality of positions and labels. Unlike `PartialEq`, two
+    /// clouds holding `-0.0` vs `0.0` (or different NaN payloads) compare
+    /// *unequal* here — exactly the discipline content-addressed caches
+    /// need, since downstream results are functions of the bits.
+    pub fn content_eq(&self, other: &PointCloud) -> bool {
+        self.points.len() == other.points.len()
+            && self.labels() == other.labels()
+            && self.points.iter().zip(&other.points).all(|(p, q)| {
+                p.x.to_bits() == q.x.to_bits()
+                    && p.y.to_bits() == q.y.to_bits()
+                    && p.z.to_bits() == q.z.to_bits()
+            })
+    }
+
+    /// Heap bytes retained by the cloud's backing storage (capacity, not
+    /// length) — reported as part of the inference engine's search-arena
+    /// statistics.
+    pub fn storage_bytes(&self) -> usize {
+        self.points.capacity() * std::mem::size_of::<Point3>()
+            + self.labels.as_ref().map_or(0, |l| l.capacity() * std::mem::size_of::<u32>())
     }
 
     /// Flattens the cloud into a row-major `N×3` coordinate buffer — the
@@ -276,5 +358,44 @@ mod tests {
     fn from_iterator_collects() {
         let c: PointCloud = (0..5).map(|i| Point3::splat(i as f32)).collect();
         assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn select_into_matches_select_and_reuses_capacity() {
+        let c = PointCloud::from_labelled_points(
+            vec![Point3::ORIGIN, Point3::splat(1.0), Point3::splat(2.0)],
+            vec![7, 8, 9],
+        );
+        let mut out = PointCloud::new();
+        c.select_into(&[2, 0, 2], &mut out);
+        assert_eq!(out, c.select(&[2, 0, 2]));
+        let cap = out.points.capacity();
+        c.select_into(&[1], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out.points.capacity() >= cap, "select_into must not shrink capacity");
+    }
+
+    #[test]
+    fn copy_from_round_trips_and_drops_stale_labels() {
+        let labelled =
+            PointCloud::from_labelled_points(vec![Point3::ORIGIN, Point3::splat(1.0)], vec![1, 2]);
+        let plain = sample();
+        let mut buf = PointCloud::new();
+        buf.copy_from(&labelled);
+        assert_eq!(buf, labelled);
+        buf.copy_from(&plain);
+        assert_eq!(buf, plain);
+        assert!(buf.labels().is_none(), "copy_from must clear labels absent in the source");
+    }
+
+    #[test]
+    fn content_hash_and_eq_are_bit_exact() {
+        let a = PointCloud::from_points(vec![Point3::new(0.0, 1.0, 2.0)]);
+        let b = PointCloud::from_points(vec![Point3::new(-0.0, 1.0, 2.0)]);
+        assert!(a.content_eq(&a.clone()));
+        assert!(!a.content_eq(&b), "-0.0 and 0.0 are different bits");
+        assert_ne!(a.content_hash(), b.content_hash());
+        let labelled = PointCloud::from_labelled_points(vec![Point3::ORIGIN], vec![3]);
+        assert!(!labelled.content_eq(&PointCloud::from_points(vec![Point3::ORIGIN])));
     }
 }

@@ -152,6 +152,15 @@ impl Matrix {
         self.cols = cols;
     }
 
+    /// Overwrites this matrix with `other`'s shape and contents, reusing the
+    /// backing allocation — the buffer-recycling sibling of `Clone::clone`,
+    /// used by the session's `infer_into` path so repeated inference on
+    /// same-shaped inputs stops allocating for outputs.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.reset_shape(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Number of `f32` elements the backing allocation can hold without
     /// growing — used by the arena to report steady-state behaviour.
     #[inline]
@@ -354,6 +363,19 @@ mod tests {
     #[test]
     fn size_bytes_counts_f32s() {
         assert_eq!(Matrix::zeros(4, 8).size_bytes(), 128);
+    }
+
+    #[test]
+    fn copy_from_matches_clone_and_keeps_capacity() {
+        let big = Matrix::from_fn(6, 5, |r, c| (r * 7 + c) as f32);
+        let small = Matrix::from_fn(2, 2, |r, c| -((r + c) as f32));
+        let mut buf = Matrix::zeros(0, 0);
+        buf.copy_from(&big);
+        assert_eq!(buf, big);
+        let cap = buf.capacity();
+        buf.copy_from(&small);
+        assert_eq!(buf, small);
+        assert_eq!(buf.capacity(), cap, "copy_from must not shrink the backing store");
     }
 
     #[test]

@@ -51,9 +51,10 @@ pub use mesorasi_tensor as tensor;
 // The curated top level: the session-first inference API and the handful
 // of types almost every caller touches.
 pub use mesorasi_core::Strategy;
+pub use mesorasi_knn::{SearchBackend, SearchPlanner};
 pub use mesorasi_networks::{
-    Boxes3D, Domain, Inference, Logits, NetworkKind, PerPointLabels, PointCloudNetwork, Session,
-    SessionBuilder,
+    Boxes3D, Domain, FrameStream, Inference, Logits, NetworkKind, PerPointLabels,
+    PointCloudNetwork, Session, SessionBuilder,
 };
 pub use mesorasi_pointcloud::{seeded_rng, PointCloud};
 
@@ -64,8 +65,8 @@ pub use mesorasi_pointcloud::{seeded_rng, PointCloud};
 /// ```
 pub mod prelude {
     pub use crate::{
-        seeded_rng, Boxes3D, Domain, Inference, Logits, NetworkKind, PerPointLabels, PointCloud,
-        PointCloudNetwork, Session, SessionBuilder, Strategy,
+        seeded_rng, Boxes3D, Domain, FrameStream, Inference, Logits, NetworkKind, PerPointLabels,
+        PointCloud, PointCloudNetwork, SearchBackend, Session, SessionBuilder, Strategy,
     };
     pub use mesorasi_nn::Graph;
     pub use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};

@@ -7,11 +7,17 @@
 //! asserts exactly that. It lives alone in its own test file so no
 //! concurrently-running test can perturb the counter while it is armed.
 //!
-//! The audit targets [`PlanEngine`] — the execution layer under
-//! [`mesorasi::Session`] — directly: the session facade clones its output
-//! matrices into owned domain-typed results (a deliberate ergonomic
-//! trade), so the zero-allocation contract lives one level down, where
-//! outputs are borrowed from the arena.
+//! Three audits, in increasing strictness:
+//!
+//! 1. the original cache-hit audit on [`PlanEngine::run`] — searches are
+//!    cached, pure planned tensor execution;
+//! 2. the streaming audit on [`PlanEngine::run_streamed`], where the NIT
+//!    cache is bypassed, so centroid sampling, **index rebuilds, and
+//!    neighbor queries run on every frame** — the search arena must make
+//!    them allocation-free too;
+//! 3. the session-level audit: a warm [`mesorasi::Session`] frame stream
+//!    served through `infer_into` (outputs recycled) performs zero heap
+//!    allocations end to end.
 
 use mesorasi::core::engine::PlanEngine;
 use mesorasi::prelude::*;
@@ -73,5 +79,83 @@ fn warm_planned_forward_allocates_nothing() {
         ARMED.store(false, Ordering::SeqCst);
 
         assert_eq!(after - before, 0, "a warm planned forward must not touch the allocator");
+    });
+}
+
+#[test]
+fn warm_streamed_forward_allocates_nothing_including_search() {
+    // The streaming path never caches samples: every frame re-selects
+    // centroids, rebuilds per-space indices (forced kd-tree, so real index
+    // construction — not just brute-force scans — is under audit), and
+    // re-queries. All of it must run out of the engine's persistent search
+    // arena. Sequential execution for the same reason as above.
+    mesorasi_par::with_threads(1, || {
+        let mut rng = seeded_rng(6);
+        let net = NetworkKind::PointNetPPClassification.build_small(5, &mut rng);
+        let mut engine =
+            PlanEngine::with_planner(mesorasi::SearchPlanner::forced(SearchBackend::KdTree));
+        let record =
+            |g: &mut Graph, c: &PointCloud| net.session_outputs(g, c, Strategy::Delayed, 7);
+        let frames: Vec<PointCloud> =
+            (0..4).map(|s| sample_shape(ShapeClass::Chair, net.input_points(), s)).collect();
+
+        // Warm pass: compiles the plan, sizes the stream bindings, and
+        // grows every search buffer to this frame population's high-water
+        // mark. The streamed replay re-derives everything per frame, so
+        // re-running the same frames still exercises the full search path.
+        for frame in &frames {
+            let _ = engine.run_streamed(frame, &record);
+        }
+
+        ARMED.store(true, Ordering::SeqCst);
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for frame in &frames {
+            let _ = engine.run_streamed(frame, &record);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        ARMED.store(false, Ordering::SeqCst);
+
+        assert_eq!(
+            after - before,
+            0,
+            "a warm streamed forward must not allocate — searches included"
+        );
+        let stats = engine.stats(net.input_points()).expect("compiled");
+        assert!(stats.search.index_builds >= 8, "every streamed frame rebuilds its indices");
+    });
+}
+
+#[test]
+fn warm_session_frame_inference_allocates_nothing_end_to_end() {
+    // The full serving path: Session → FrameStream::infer_into with a
+    // recycled result. Once warm, a frame costs zero heap allocations —
+    // engine checkout, per-frame searches, planned execution, and output
+    // delivery included.
+    mesorasi_par::with_threads(1, || {
+        let session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+            .classes(5)
+            .workers(1)
+            .search_backend(SearchBackend::KdTree)
+            .build();
+        let n = session.network().input_points();
+        let frames: Vec<PointCloud> =
+            (0..4).map(|s| sample_shape(ShapeClass::Lamp, n, 40 + s)).collect();
+
+        let mut frame_stream = session.frames();
+        let mut out = frame_stream.infer(&frames[0]);
+        for frame in &frames {
+            frame_stream.infer_into(frame, &mut out);
+        }
+
+        ARMED.store(true, Ordering::SeqCst);
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for frame in &frames {
+            frame_stream.infer_into(frame, &mut out);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        ARMED.store(false, Ordering::SeqCst);
+
+        assert_eq!(after - before, 0, "a warm Session frame must not touch the allocator");
+        assert_eq!(out.domain(), Domain::Classification, "results still flow");
     });
 }

@@ -73,6 +73,58 @@ fn all_seven_networks_bit_identical_at_every_thread_count() {
     }
 }
 
+/// Frame-sequence mode: the streaming path (NIT cache bypassed, search
+/// indices warm-started from the previous frame) must stay bit-identical
+/// to the tape for every network on every frame of an unseen sequence.
+#[test]
+fn all_seven_networks_framed_streams_bit_identical_to_tape() {
+    let mut rng = seeded_rng(23);
+    for kind in NetworkKind::ALL {
+        let net = kind.build_small(5, &mut rng);
+        let frames: Vec<PointCloud> =
+            (10u64..14).map(|s| sample_shape(ShapeClass::Chair, net.input_points(), s)).collect();
+        let expected: Vec<Matrix> =
+            frames.iter().map(|c| tape_logits(net.as_ref(), c, Strategy::Delayed, 7)).collect();
+        let session = SessionBuilder::from_network_ref(net.as_ref()).seed(7).workers(1).build();
+        let framed: Vec<Inference> = session.infer_frames(frames.iter()).collect();
+        for (i, (out, want)) in framed.iter().zip(&expected).enumerate() {
+            assert_eq!(out.logits(), want, "{} frame {i}: framed != tape", kind.name());
+        }
+        // A second pass over the same sequence reuses all warm search
+        // state and must reproduce the results exactly.
+        let again: Vec<Inference> = session.infer_frames(frames.iter()).collect();
+        assert_eq!(again, framed, "{}: warm stream drifted", kind.name());
+    }
+}
+
+/// The acceptance bar for backend pluggability: every backend the planner
+/// can select (forced brute-force, kd-tree, grid — and auto) produces
+/// network outputs bit-identical to the tape, which still runs whatever
+/// `MESORASI_SEARCH` dictates (unset in CI ⇒ the cost model).
+#[test]
+fn forced_search_backends_match_tape_for_every_network() {
+    use mesorasi::knn::SearchBackend;
+    let mut rng = seeded_rng(31);
+    for kind in NetworkKind::ALL {
+        let net = kind.build_small(4, &mut rng);
+        let cloud = sample_shape(ShapeClass::Lamp, net.input_points(), 6);
+        let want = tape_logits(net.as_ref(), &cloud, Strategy::Delayed, 7);
+        for backend in [SearchBackend::BruteForce, SearchBackend::KdTree, SearchBackend::Grid] {
+            let session = SessionBuilder::from_network_ref(net.as_ref())
+                .seed(7)
+                .workers(1)
+                .search_backend(backend)
+                .build();
+            assert_eq!(
+                session.infer(&cloud).logits(),
+                &want,
+                "{} under forced {backend:?} != tape",
+                kind.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn sessions_return_the_domain_typed_variant() {
     let mut rng = seeded_rng(17);
@@ -184,9 +236,11 @@ fn steady_state_arena_never_grows_and_reuses_slots() {
         let _ = session.infer(&cloud);
     }
     let stats = session.arena_stats(net.input_points()).expect("plan compiled");
-    assert_eq!(stats.grow_events, 0, "steady state must stay inside planned capacities");
-    assert!(stats.reuse_ratio > 1.5, "deep networks must reuse slots, got {stats:?}");
-    assert!(stats.peak_bytes > 0);
+    assert_eq!(stats.arena.grow_events, 0, "steady state must stay inside planned capacities");
+    assert!(stats.arena.reuse_ratio > 1.5, "deep networks must reuse slots, got {stats:?}");
+    assert!(stats.arena.peak_bytes > 0);
+    assert!(stats.search_bytes > 0, "the first infer derives search state through the arena");
+    assert!(stats.search.query_calls > 0, "searches are metered");
 }
 
 proptest! {
