@@ -7,7 +7,7 @@
 //! cargo run --release -p mesorasi-bench --bin repro -- bench --json --smoke
 //! ```
 
-use mesorasi_bench::{experiments, perf, Context};
+use mesorasi_bench::{experiments, perf, serve_bench, Context};
 use mesorasi_core::Strategy;
 use mesorasi_networks::registry::NetworkKind;
 use std::io::Write;
@@ -122,6 +122,66 @@ fn run_bench(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Runs the served-latency harness
+/// (`repro serve-bench [--json] [--smoke] [--out PATH]`).
+fn run_serve_bench(args: &[String]) -> ! {
+    let mut json = false;
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("[repro] --out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "[repro] unknown serve-bench flag '{other}' (use --json, --smoke, --out PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "[repro] serve-bench: {} streams, {} load, {} host thread(s)...",
+        serve_bench::STREAMS,
+        if smoke { "smoke" } else { "full" },
+        mesorasi_par::current_threads()
+    );
+    let report = serve_bench::run(smoke);
+
+    if json {
+        let path = out_path.unwrap_or_else(|| format!("SERVE_{}.json", report.date));
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[repro] wrote {path}");
+    }
+
+    {
+        let mut out = std::io::stdout().lock();
+        if let Err(e) = writeln!(out, "{}", report.to_table().trim_end()) {
+            if e.kind() != std::io::ErrorKind::BrokenPipe {
+                panic!("failed writing to stdout: {e}");
+            }
+        }
+    }
+
+    // Unlike `bench`, the serve gate holds in full runs too: sheds and
+    // latency cliffs are correctness-adjacent, not tuning noise.
+    let violations = report.serve_regressions();
+    for v in &violations {
+        eprintln!("[repro] REGRESSION: {v}");
+    }
+    std::process::exit(if violations.is_empty() { 0 } else { 1 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -129,20 +189,30 @@ fn main() {
         emit("");
         emit("usage: repro [--list] [EXPERIMENT_ID ...]");
         emit("       repro bench [--json] [--smoke] [--out PATH]");
+        emit("       repro serve-bench [--json] [--smoke] [--out PATH]");
         emit("");
         emit("With no arguments every experiment runs in order. Paper-scale");
         emit("traces are built once (in parallel) and shared.");
         emit("");
         emit("`repro bench` times the parallel kernels across a thread sweep,");
         emit("whole-network forwards (tape vs Session), and batched Session");
-        emit("throughput; --json writes BENCH_<date>.json (mesorasi-bench/3),");
+        emit("throughput; --json writes BENCH_<date>.json (mesorasi-bench/5),");
         emit("--smoke runs reduced workloads and exits non-zero if a parallel,");
         emit("planned, or batched path regresses past its gate.");
+        emit("");
+        emit("`repro serve-bench` serves inference over TCP and drives it with");
+        emit("concurrent sensor-replay streams (fresh vs mixed traffic),");
+        emit("reporting p50/p99/p999 request latency; --json writes");
+        emit("SERVE_<date>.json (same mesorasi-bench/5 schema). Exits non-zero");
+        emit("on any shed request or a mixed-traffic p99 beyond 1.5x fresh.");
         emit("MESORASI_THREADS caps the pool.");
         return;
     }
     if args.first().map(String::as_str) == Some("bench") {
         run_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve-bench") {
+        run_serve_bench(&args[1..]);
     }
     if args.iter().any(|a| a == "--list") {
         for (id, _) in experiments::all() {

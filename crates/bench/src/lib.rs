@@ -12,6 +12,7 @@
 pub mod context;
 pub mod experiments;
 pub mod perf;
+pub mod serve_bench;
 pub mod training;
 
 pub use context::Context;

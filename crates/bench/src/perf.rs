@@ -8,11 +8,11 @@
 //! `BENCH_<date>.json` so the ROADMAP's performance trajectory accumulates
 //! comparable data points across PRs.
 //!
-//! JSON schema (`mesorasi-bench/4`):
+//! JSON schema (`mesorasi-bench/5`):
 //!
 //! ```json
 //! {
-//!   "schema": "mesorasi-bench/4",
+//!   "schema": "mesorasi-bench/5",
 //!   "date": "2026-07-28",
 //!   "unix_time": 1785000000,
 //!   "host_threads": 8,
@@ -33,7 +33,11 @@
 //!       "distance_evals_per_frame": 1843200.0,
 //!       "index_builds_per_frame": 4.0,
 //!       "index_build_ns_per_frame": 81234.0,
-//!       "query_ns_per_frame": 412345.0 }
+//!       "query_ns_per_frame": 412345.0 },
+//!     { "op": "serve_mixed", "backend": "PointNet++ (c)", "threads": 8,
+//!       "ns_per_op": 812345.0, "streams": 4, "requests": 256,
+//!       "throughput_rps": 1234.5, "p50_us": 700, "p99_us": 1400,
+//!       "p999_us": 1900, "shed": 0, "errored": 0 }
 //!   ]
 //! }
 //! ```
@@ -61,13 +65,26 @@
 //! time split of genuine inference traffic (Fig. 6-style analysis without
 //! synthetic workloads).
 //!
-//! Three smoke gates guard CI: any parallel record more than 1.5× slower
+//! `serve_fresh` / `serve_mixed` records (new in `/5`, produced by
+//! `repro serve-bench`, see [`crate::serve_bench`]) measure end-to-end
+//! request latency through the `mesorasi-serve` network server under
+//! concurrent client streams: `ns_per_op` is the mean send→response
+//! latency, and the extras carry the latency tail (`p50_us` / `p99_us` /
+//! `p999_us`, nearest-rank), achieved throughput, and the shed/error
+//! counts. `serve_fresh` sends never-repeating clouds (every request an
+//! engine NIT-cache miss); `serve_mixed` sends the hot-set-plus-fresh mix
+//! a deployed server sees, where the engine cache must help.
+//!
+//! Four smoke gates guard CI: any parallel record more than 1.5× slower
 //! than its own sequential baseline fails (parallelism may never change
 //! results, and may not wreck performance either), any network whose
 //! planned forward is slower than its tape forward fails (the inference
-//! engine must never lose to the allocating tape), and any batched record
+//! engine must never lose to the allocating tape), any batched record
 //! more than 1.5× slower per sample than sequential single-sample
-//! inference fails (batching must never wreck throughput).
+//! inference fails (batching must never wreck throughput), and any serve
+//! record with sheds/errors, or a `serve_mixed` p99 more than 1.5× its
+//! `serve_fresh` p99, fails (cache-friendly traffic may never develop a
+//! latency cliff — the repo's standard 1.5× tolerance).
 
 use mesorasi_core::Strategy;
 use mesorasi_knn::feature::FeatureView;
@@ -124,6 +141,30 @@ pub struct SearchExtra {
     pub query_ns_per_frame: f64,
 }
 
+/// Served-latency extras carried by `serve_fresh` / `serve_mixed` records
+/// (schema `mesorasi-bench/5`): the tail of end-to-end request latency
+/// through the network server under concurrent streams.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeExtra {
+    /// Concurrent client connections the load ran over.
+    pub streams: usize,
+    /// Requests sent across all streams.
+    pub requests: u64,
+    /// Completed requests per second of wall-clock (slowest stream's
+    /// window).
+    pub throughput_rps: f64,
+    /// Median send→response latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds (nearest-rank).
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds (nearest-rank).
+    pub p999_us: u64,
+    /// Requests shed by server admission control.
+    pub shed: u64,
+    /// Requests failed with any other typed error.
+    pub errored: u64,
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -147,6 +188,8 @@ pub struct BenchRecord {
     pub batch: Option<BatchExtra>,
     /// Search-traffic extras (`infer_frames` records only).
     pub search: Option<SearchExtra>,
+    /// Served-latency extras (`serve_fresh` / `serve_mixed` records only).
+    pub serve: Option<ServeExtra>,
 }
 
 /// A full harness run: records plus the metadata the JSON header carries.
@@ -176,7 +219,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mesorasi-bench/4\",\n");
+        s.push_str("  \"schema\": \"mesorasi-bench/5\",\n");
         s.push_str(&format!("  \"date\": \"{}\",\n", self.date));
         s.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
@@ -209,11 +252,26 @@ impl BenchReport {
                     f.query_ns_per_frame
                 )
             });
+            let serve = r.serve.map_or(String::new(), |v| {
+                format!(
+                    ", \"streams\": {}, \"requests\": {}, \"throughput_rps\": {:.1}, \
+                     \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \"shed\": {}, \
+                     \"errored\": {}",
+                    v.streams,
+                    v.requests,
+                    v.throughput_rps,
+                    v.p50_us,
+                    v.p99_us,
+                    v.p999_us,
+                    v.shed,
+                    v.errored
+                )
+            });
             let speedup =
                 r.speedup_vs_1t.map_or(String::new(), |s| format!(", \"speedup_vs_1t\": {s:.3}"));
             s.push_str(&format!(
                 "    {{ \"op\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
-                 \"ns_per_op\": {:.1}{speedup}{extra}{batch}{search} }}{}\n",
+                 \"ns_per_op\": {:.1}{speedup}{extra}{batch}{search}{serve} }}{}\n",
                 r.op,
                 r.backend,
                 r.threads,
@@ -259,9 +317,15 @@ impl BenchReport {
                     f.distance_evals_per_frame, f.index_build_ns_per_frame, f.query_ns_per_frame
                 )
             });
+            let serve = r.serve.map_or(String::new(), |v| {
+                format!(
+                    "   {} streams, {:.0} req/s, p50 {} us, p99 {} us, p999 {} us, shed {}",
+                    v.streams, v.throughput_rps, v.p50_us, v.p99_us, v.p999_us, v.shed
+                )
+            });
             let speedup = r.speedup_vs_1t.map_or("          -".into(), |s| format!("{s:>11.2}x"));
             s.push_str(&format!(
-                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}{batch}{search}\n",
+                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}{batch}{search}{serve}\n",
                 r.op, r.backend, r.threads, r.ns_per_op
             ));
         }
@@ -300,6 +364,51 @@ impl BenchReport {
                     && r.batch.is_some_and(|b| b.speedup_vs_sequential < 1.0 / 1.5)
             })
             .collect()
+    }
+
+    /// The serving smoke gate, as human-readable violations (empty means
+    /// the gate passes): no serve record may shed or error — the load
+    /// generator sizes the queue so a healthy scheduler admits everything
+    /// — and `serve_mixed` p99 latency may not exceed 1.5× the same
+    /// backend's `serve_fresh` p99. Under the old wholesale cache clear,
+    /// mixed traffic periodically hit an emptied cache and its tail blew
+    /// past fresh-traffic latency; true LRU keeps the hot set resident, so
+    /// this gate holding is exactly the "no cache cliff" property, served.
+    pub fn serve_regressions(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for r in &self.records {
+            let Some(v) = r.serve else { continue };
+            if v.shed > 0 {
+                violations.push(format!(
+                    "{}/{}: {} of {} requests shed (gate: a sized queue sheds none)",
+                    r.op, r.backend, v.shed, v.requests
+                ));
+            }
+            if v.errored > 0 {
+                violations.push(format!(
+                    "{}/{}: {} of {} requests errored",
+                    r.op, r.backend, v.errored, v.requests
+                ));
+            }
+        }
+        for mixed in self.records.iter().filter(|r| r.op == "serve_mixed") {
+            let Some(m) = mixed.serve else { continue };
+            let fresh = self
+                .records
+                .iter()
+                .find(|r| r.op == "serve_fresh" && r.backend == mixed.backend)
+                .and_then(|r| r.serve);
+            if let Some(f) = fresh {
+                if m.p99_us as f64 > 1.5 * f.p99_us as f64 {
+                    violations.push(format!(
+                        "serve_mixed/{}: p99 {} us exceeds 1.5x serve_fresh p99 {} us \
+                         (cache-friendly traffic developed a latency cliff)",
+                        mixed.backend, m.p99_us, f.p99_us
+                    ));
+                }
+            }
+        }
+        violations
     }
 }
 
@@ -474,6 +583,7 @@ pub fn run(smoke: bool) -> BenchReport {
                 extra: None,
                 batch: None,
                 search: None,
+                serve: None,
             });
         }
     }
@@ -532,6 +642,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             extra: None,
             batch: None,
             search: None,
+            serve: None,
         });
         records.push(BenchRecord {
             op: "forward_planned",
@@ -546,6 +657,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             }),
             batch: None,
             search: None,
+            serve: None,
         });
 
         // Batched throughput: every worker engine is warm on `cloud`, so a
@@ -574,6 +686,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
                     },
                 }),
                 search: None,
+                serve: None,
             });
         }
 
@@ -635,12 +748,13 @@ fn frames_record(
             index_build_ns_per_frame: per_frame(delta.index_build_ns),
             query_ns_per_frame: per_frame(delta.query_ns),
         }),
+        serve: None,
     }
 }
 
 /// `YYYY-MM-DD` (UTC) for a Unix timestamp — civil-from-days, Hinnant's
 /// algorithm, so the harness needs no date dependency.
-fn utc_date(unix_time: u64) -> String {
+pub(crate) fn utc_date(unix_time: u64) -> String {
     let days = (unix_time / 86_400) as i64;
     let z = days + 719_468;
     let era = z.div_euclid(146_097);
@@ -683,6 +797,7 @@ mod tests {
                     extra: None,
                     batch: None,
                     search: None,
+                    serve: None,
                 },
                 BenchRecord {
                     op: "forward_planned",
@@ -697,6 +812,7 @@ mod tests {
                     }),
                     batch: None,
                     search: None,
+                    serve: None,
                 },
                 BenchRecord {
                     op: "infer_batch",
@@ -711,6 +827,7 @@ mod tests {
                         speedup_vs_sequential: 2.0,
                     }),
                     search: None,
+                    serve: None,
                 },
                 BenchRecord {
                     op: "infer_frames",
@@ -727,11 +844,32 @@ mod tests {
                         index_build_ns_per_frame: 81_234.0,
                         query_ns_per_frame: 412_345.5,
                     }),
+                    serve: None,
+                },
+                BenchRecord {
+                    op: "serve_mixed",
+                    backend: "PointNet++ (c)",
+                    threads: 2,
+                    ns_per_op: 812_345.0,
+                    speedup_vs_1t: None,
+                    extra: None,
+                    batch: None,
+                    search: None,
+                    serve: Some(ServeExtra {
+                        streams: 4,
+                        requests: 256,
+                        throughput_rps: 1234.5,
+                        p50_us: 700,
+                        p99_us: 1400,
+                        p999_us: 1900,
+                        shed: 0,
+                        errored: 0,
+                    }),
                 },
             ],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mesorasi-bench/4\""));
+        assert!(json.contains("\"schema\": \"mesorasi-bench/5\""));
         assert!(json.contains("\"op\": \"matmul\""));
         assert!(json.contains("\"speedup_vs_1t\": 1.800"));
         assert!(json.contains("\"speedup_vs_tape\": 3.500"));
@@ -744,8 +882,56 @@ mod tests {
         assert!(json.contains("\"distance_evals_per_frame\": 1843200.0"));
         assert!(json.contains("\"index_builds_per_frame\": 4.00"));
         assert!(json.contains("\"query_ns_per_frame\": 412345.5"));
+        assert!(json.contains("\"streams\": 4"));
+        assert!(json.contains("\"throughput_rps\": 1234.5"));
+        assert!(json.contains("\"p50_us\": 700"));
+        assert!(json.contains("\"p999_us\": 1900"));
+        assert!(json.contains("\"shed\": 0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(report.filename(), "BENCH_2026-07-28.json");
+    }
+
+    #[test]
+    fn serve_gate_flags_sheds_and_p99_cliffs() {
+        let serve_rec = |op: &'static str, p99_us: u64, shed: u64| BenchRecord {
+            op,
+            backend: "PointNet++ (c)",
+            threads: 2,
+            ns_per_op: 1000.0,
+            speedup_vs_1t: None,
+            extra: None,
+            batch: None,
+            search: None,
+            serve: Some(ServeExtra {
+                streams: 4,
+                requests: 64,
+                throughput_rps: 100.0,
+                p50_us: p99_us / 2,
+                p99_us,
+                p999_us: p99_us * 2,
+                shed,
+                errored: 0,
+            }),
+        };
+        let report = |fresh_p99: u64, mixed_p99: u64, shed: u64| BenchReport {
+            date: "2026-08-08".into(),
+            unix_time: 1,
+            host_threads: 4,
+            smoke: true,
+            records: vec![
+                serve_rec("serve_fresh", fresh_p99, 0),
+                serve_rec("serve_mixed", mixed_p99, shed),
+            ],
+        };
+        assert!(report(1000, 1200, 0).serve_regressions().is_empty());
+        // Mixed faster than fresh (the cache helping) is the expected case.
+        assert!(report(1000, 400, 0).serve_regressions().is_empty());
+        let cliff = report(1000, 1501, 0).serve_regressions();
+        assert_eq!(cliff.len(), 1);
+        assert!(cliff[0].contains("latency cliff"), "{}", cliff[0]);
+        let shed = report(1000, 1000, 3).serve_regressions();
+        assert_eq!(shed.len(), 1);
+        assert!(shed[0].contains("shed"), "{}", shed[0]);
     }
 
     fn rec(threads: usize, speedup: f64) -> BenchRecord {
@@ -758,6 +944,7 @@ mod tests {
             extra: None,
             batch: None,
             search: None,
+            serve: None,
         }
     }
 
@@ -789,6 +976,7 @@ mod tests {
             }),
             batch: None,
             search: None,
+            serve: None,
         };
         let report = BenchReport {
             date: String::new(),
@@ -819,6 +1007,7 @@ mod tests {
                 speedup_vs_sequential: vs_seq,
             }),
             search: None,
+            serve: None,
         };
         let report = BenchReport {
             date: String::new(),

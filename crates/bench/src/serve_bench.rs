@@ -1,0 +1,217 @@
+//! Served-inference load generator (`repro serve-bench`).
+//!
+//! Stands up an in-process `mesorasi-serve` server over a warmed session
+//! pool and drives it with [`STREAMS`] concurrent sensor-replay clients at
+//! full speed, measuring end-to-end (send → response) latency per request.
+//! Two traffic phases per network:
+//!
+//! - **fresh** — every request a never-before-seen cloud: all engine
+//!   NIT-cache misses, the worst honest case.
+//! - **mixed** — each stream cycles a small hot set with a fresh cloud
+//!   mixed in every `FRESH_EVERY`th request: the shape of deployed
+//!   traffic, where the engine cache must pay for itself.
+//!
+//! The records land in the shared `BENCH` schema as `serve_fresh` /
+//! `serve_mixed` ops (`mesorasi-bench/5`) carrying p50/p99/p999 latency,
+//! throughput, and shed/error counts; the smoke gate
+//! ([`BenchReport::serve_regressions`]) requires zero sheds (the queue is
+//! sized for the offered load) and a mixed-traffic p99 within 1.5× of the
+//! fresh-traffic p99 — under the old wholesale cache clear, mixed traffic
+//! periodically hit an emptied cache and failed exactly that bound.
+
+use crate::perf::{utc_date, BenchRecord, BenchReport, ServeExtra};
+use mesorasi_networks::registry::NetworkKind;
+use mesorasi_networks::session::SessionBuilder;
+use mesorasi_par as par;
+use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi_pointcloud::PointCloud;
+use mesorasi_serve::{quantile_us, replay, ReplayReport, SchedulerConfig, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Concurrent client connections per phase (the acceptance bar is ≥ 4).
+pub const STREAMS: usize = 4;
+
+/// In the mixed phase, every `FRESH_EVERY`th request is a fresh cloud; the
+/// rest cycle the stream's hot set.
+const FRESH_EVERY: usize = 8;
+
+/// Hot-set size per stream in the mixed phase. `STREAMS × HOT_SET` stays
+/// far under the engines' cache capacity, so with true LRU the hot set
+/// must remain resident through the interleaved fresh traffic.
+const HOT_SET: usize = 4;
+
+/// One phase's merged observation across all streams.
+struct Phase {
+    latencies_us: Vec<u64>,
+    requests: u64,
+    shed: u64,
+    errored: u64,
+    window: Duration,
+}
+
+impl Phase {
+    fn extra(&self) -> ServeExtra {
+        let done = (self.latencies_us.len() as u64).saturating_sub(self.shed + self.errored);
+        ServeExtra {
+            streams: STREAMS,
+            requests: self.requests,
+            throughput_rps: done as f64 / self.window.as_secs_f64().max(1e-9),
+            p50_us: quantile_us(&self.latencies_us, 0.50).unwrap_or(0),
+            p99_us: quantile_us(&self.latencies_us, 0.99).unwrap_or(0),
+            p999_us: quantile_us(&self.latencies_us, 0.999).unwrap_or(0),
+            shed: self.shed,
+            errored: self.errored,
+        }
+    }
+
+    fn mean_ns(&self) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let total_us: u64 = self.latencies_us.iter().sum();
+        total_us as f64 * 1000.0 / self.latencies_us.len() as f64
+    }
+}
+
+/// Runs one phase: [`STREAMS`] threads, each replaying its own frame
+/// sequence at full speed over its own connection.
+fn run_phase(
+    addr: SocketAddr,
+    frames_per_stream: usize,
+    clouds: impl Fn(usize) -> Vec<PointCloud> + Sync,
+) -> Phase {
+    let reports: Vec<ReplayReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..STREAMS)
+            .map(|stream| {
+                let clouds = &clouds;
+                scope.spawn(move || {
+                    let frames = clouds(stream);
+                    assert_eq!(frames.len(), frames_per_stream);
+                    replay(addr, &frames, 0.0).expect("replay stream")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stream thread")).collect()
+    });
+    let mut phase = Phase {
+        latencies_us: Vec::new(),
+        requests: 0,
+        shed: 0,
+        errored: 0,
+        window: Duration::ZERO,
+    };
+    for r in reports {
+        phase.latencies_us.extend_from_slice(&r.latencies_us);
+        phase.requests += r.sent;
+        phase.shed += r.shed;
+        phase.errored += r.errored;
+        phase.window = phase.window.max(r.elapsed);
+    }
+    phase
+}
+
+/// Runs the served-latency harness and returns a report holding only the
+/// `serve_*` records (same artifact schema as `repro bench`).
+pub fn run(smoke: bool) -> BenchReport {
+    let host_threads = par::current_threads();
+    let frames_per_stream = if smoke { 16 } else { 64 };
+    let kind = NetworkKind::PointNetPPClassification;
+
+    // A small-scale session regardless of smoke: serve-bench measures the
+    // scheduler and the cache behavior, not network FLOPs, and the latency
+    // *ratios* the gate checks are scale-free.
+    let session = Arc::new(
+        SessionBuilder::from_kind(kind).classes(10).workers(host_threads.clamp(2, 4)).build(),
+    );
+    let n = session.network().input_points();
+    // Compile every worker's plan outside the measured window — cold plan
+    // compilation is a once-per-deploy cost, not request latency.
+    session.warm(&sample_shape(ShapeClass::Chair, n, 1));
+
+    let server = Server::spawn(
+        Arc::clone(&session),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            // Queue sized for the whole offered load: any shed under this
+            // config is a scheduler bug, which is exactly what the gate
+            // should catch.
+            scheduler: SchedulerConfig {
+                queue_depth: STREAMS * frames_per_stream + 1,
+                max_batch: 8,
+                dispatchers: 2,
+            },
+        },
+    )
+    .expect("bind serve-bench server");
+    let addr = server.local_addr();
+
+    let fresh = run_phase(addr, frames_per_stream, |stream| {
+        (0..frames_per_stream)
+            .map(|i| {
+                sample_shape(ShapeClass::Car, n, 100_000 + (stream * frames_per_stream + i) as u64)
+            })
+            .collect()
+    });
+    let mixed = run_phase(addr, frames_per_stream, |stream| {
+        (0..frames_per_stream)
+            .map(|i| {
+                let seed = if (i + 1) % FRESH_EVERY == 0 {
+                    // Fresh interleave: unique across streams and phases.
+                    200_000 + (stream * frames_per_stream + i) as u64
+                } else {
+                    // Hot set: per-stream, revisited throughout the phase.
+                    (stream * HOT_SET + i % HOT_SET) as u64
+                };
+                sample_shape(ShapeClass::Chair, n, seed)
+            })
+            .collect()
+    });
+    server.shutdown();
+
+    let record = |op: &'static str, phase: &Phase| BenchRecord {
+        op,
+        backend: kind.name(),
+        threads: host_threads,
+        ns_per_op: phase.mean_ns(),
+        speedup_vs_1t: None,
+        extra: None,
+        batch: None,
+        search: None,
+        serve: Some(phase.extra()),
+    };
+    let records = vec![record("serve_fresh", &fresh), record("serve_mixed", &mixed)];
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    BenchReport { date: utc_date(unix_time), unix_time, host_threads, smoke, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_gated_serve_records() {
+        let report = run(true);
+        assert_eq!(report.records.len(), 2);
+        let ops: Vec<&str> = report.records.iter().map(|r| r.op).collect();
+        assert_eq!(ops, ["serve_fresh", "serve_mixed"]);
+        for r in &report.records {
+            let v = r.serve.expect("serve records carry serve extras");
+            assert_eq!(v.streams, STREAMS);
+            assert_eq!(v.requests, (STREAMS * 16) as u64);
+            assert!(v.p50_us > 0 && v.p50_us <= v.p99_us && v.p99_us <= v.p999_us);
+            assert!(v.throughput_rps > 0.0);
+        }
+        let violations = report.serve_regressions();
+        assert!(violations.is_empty(), "serve gate violated: {violations:?}");
+        // The artifact serializes under the /5 schema.
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"mesorasi-bench/5\""));
+        assert!(json.contains("\"op\": \"serve_fresh\""));
+        assert!(json.contains("\"p999_us\""));
+    }
+}

@@ -1,0 +1,50 @@
+//! Invalid `MESORASI_*` environment overrides must fail loudly, naming the
+//! accepted values — never be silently ignored (which would make a typo'd
+//! override *look* honored and skew experiments).
+//!
+//! The parse results are cached in process-wide `OnceLock`s, so these
+//! tests drive a subprocess (the `repro` binary) instead of mutating this
+//! process' environment.
+
+use std::process::Command;
+
+fn repro_bench_with(var: &str, value: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["bench", "--smoke"])
+        .env(var, value)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn invalid_mesorasi_threads_fails_loudly_with_accepted_values() {
+    let out = repro_bench_with("MESORASI_THREADS", "lots");
+    assert!(!out.status.success(), "invalid MESORASI_THREADS must not be ignored");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid MESORASI_THREADS='lots'"), "stderr: {err}");
+    assert!(err.contains("positive integers 1..="), "must name accepted values: {err}");
+}
+
+#[test]
+fn invalid_mesorasi_search_fails_loudly_with_accepted_values() {
+    let out = repro_bench_with("MESORASI_SEARCH", "octree");
+    assert!(!out.status.success(), "invalid MESORASI_SEARCH must not be ignored");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid MESORASI_SEARCH='octree'"), "stderr: {err}");
+    assert!(err.contains("auto|kdtree|grid|bruteforce"), "must name accepted values: {err}");
+}
+
+#[test]
+fn valid_overrides_still_accepted() {
+    // `0`/negative are rejected; a plain valid pair must boot far enough
+    // to start benching (we don't wait for completion — kill via timeout
+    // is unavailable, so assert only on the loud-failure cases above and
+    // on the cheap parse acceptance here).
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--list")
+        .env("MESORASI_THREADS", "2")
+        .env("MESORASI_SEARCH", "kdtree")
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success(), "valid overrides must not fail: {:?}", out);
+}

@@ -32,6 +32,7 @@
 
 use crate::module::NeighborMode;
 use crate::runner::{fp_stencils_into, search_nit_into, select_centroids_into};
+use crate::sample_cache::{SampleCache, SampleCacheStats, DEFAULT_SAMPLE_CACHE_CAP};
 use mesorasi_knn::stats::SearchCounters;
 use mesorasi_knn::{NeighborIndexTable, SearchContext, SearchPlanner};
 use mesorasi_nn::ir::VarId;
@@ -371,11 +372,6 @@ pub(crate) mod rec {
     }
 }
 
-/// Samples the NIT cache may hold per compiled plan before it resets —
-/// bounds memory for unbounded streams while covering every eval set in
-/// the repo.
-const SAMPLE_CACHE_CAP: usize = 1024;
-
 struct Compiled {
     n_points: usize,
     plan: Plan,
@@ -383,8 +379,8 @@ struct Compiled {
     /// Steps that survived plan dead-code elimination.
     step_live: Vec<bool>,
     arena: Arena,
-    /// NIT cache: `(hash, cloud, bindings)` per seen sample.
-    samples: Vec<(u64, PointCloud, Bindings)>,
+    /// NIT cache: hash-keyed, true-LRU bindings per seen sample.
+    samples: SampleCache,
     /// The search arena: planner + per-space reusable index storage, keyed
     /// by module-state id so streaming frames rebuild indices in place.
     search: SearchContext,
@@ -403,10 +399,12 @@ struct Compiled {
 
 impl Compiled {
     /// Heap bytes retained by the search arena: cached indices, NIT and
-    /// centroid buffers, and the per-state position clouds.
+    /// centroid buffers, the per-state position clouds, and the clouds the
+    /// sample cache keeps for collision checks.
     fn search_bytes(&self) -> usize {
         self.search.storage_bytes()
             + self.nit.storage_bytes()
+            + self.samples.cloud_bytes()
             + (self.centroids.capacity() + self.shuffle.capacity()) * std::mem::size_of::<usize>()
             + self.state_bufs.iter().map(PointCloud::storage_bytes).sum::<usize>()
     }
@@ -454,6 +452,8 @@ pub struct EngineStats {
     pub search_bytes: usize,
     /// Search-traffic counters of this plan's context.
     pub search: SearchCounters,
+    /// NIT sample-cache traffic (hits / misses / LRU evictions).
+    pub cache: SampleCacheStats,
 }
 
 /// A plan-and-execute inference session.
@@ -468,6 +468,7 @@ pub struct EngineStats {
 pub struct PlanEngine {
     compiled: Vec<Compiled>,
     planner: SearchPlanner,
+    sample_cache_cap: usize,
 }
 
 impl Default for PlanEngine {
@@ -486,7 +487,26 @@ impl PlanEngine {
     /// An engine with an explicit search planner (the session builder's
     /// backend override).
     pub fn with_planner(planner: SearchPlanner) -> PlanEngine {
-        PlanEngine { compiled: Vec::new(), planner }
+        PlanEngine { compiled: Vec::new(), planner, sample_cache_cap: DEFAULT_SAMPLE_CACHE_CAP }
+    }
+
+    /// Sets the per-plan NIT sample-cache capacity (0 disables caching —
+    /// every request re-derives, like the streaming path). Applies to
+    /// already-compiled plans immediately, evicting LRU-first if shrinking.
+    pub fn set_sample_cache_cap(&mut self, cap: usize) {
+        self.sample_cache_cap = cap;
+        for c in &mut self.compiled {
+            c.samples.set_cap(cap);
+        }
+    }
+
+    /// NIT sample-cache traffic summed over every compiled plan.
+    pub fn sample_cache_stats(&self) -> SampleCacheStats {
+        let mut total = SampleCacheStats::default();
+        for c in &self.compiled {
+            total.add(&c.samples.stats());
+        }
+        total
     }
 
     /// Runs one planned forward. `record` must build the network's forward
@@ -507,21 +527,22 @@ impl PlanEngine {
         let c = &mut self.compiled[ci];
 
         let hash = cloud.content_hash();
-        let hit = c.samples.iter().position(|(h, pc, _)| *h == hash && pc.content_eq(cloud));
-        match hit {
-            Some(si) => {
+        // Split the borrows: the cache hands out `&Bindings` while the plan
+        // runs against the arena.
+        let Compiled { samples, plan, arena, .. } = c;
+        match samples.get(hash, cloud) {
+            Some(bindings) => {
                 // Steady state: pure planned tensor execution, no searches,
-                // no allocation.
-                let bindings = &c.samples[si].2;
-                c.plan.run(&mut c.arena, bindings);
+                // no allocation (the LRU relink is pointer surgery).
+                plan.run(arena, bindings);
             }
             None => {
                 let mut bindings = Bindings::for_plan(&c.plan);
                 derive_and_run(c, cloud, &mut bindings);
-                if c.samples.len() >= SAMPLE_CACHE_CAP {
-                    c.samples.clear();
-                }
-                c.samples.push((hash, cloud.clone(), bindings));
+                // True LRU: at capacity exactly one (least recently used)
+                // entry is evicted — never a wholesale clear, so hot
+                // samples survive unbounded fresh traffic.
+                c.samples.insert(hash, cloud, bindings);
             }
         }
         let c = &self.compiled[ci];
@@ -565,6 +586,7 @@ impl PlanEngine {
             arena: c.plan.stats(&c.arena),
             search_bytes: c.search_bytes(),
             search: c.search.counters(),
+            cache: c.samples.stats(),
         })
     }
 
@@ -620,7 +642,7 @@ impl PlanEngine {
             steps: recording.steps,
             step_live,
             arena,
-            samples: Vec::new(),
+            samples: SampleCache::new(self.sample_cache_cap),
             search: SearchContext::with_planner(self.planner),
             nit: NeighborIndexTable::default(),
             centroids: Vec::new(),
@@ -1014,6 +1036,90 @@ mod tests {
         assert_eq!(stats.arena.grow_events, 0);
         let totals = engine.search_counters();
         assert_eq!(totals, stats.search, "one plan ⇒ totals equal per-plan counters");
+    }
+
+    #[test]
+    fn mixed_traffic_has_no_full_clear_cache_cliff() {
+        // The serving workload that exposed the old bug: a hot sample
+        // interleaved with unbounded fresh traffic. The wholesale-clear
+        // cache dropped the hot entry every time a fresh burst crossed the
+        // cap; true LRU must keep the hot sample's hit rate at 100% across
+        // more distinct samples than the cache holds.
+        let module = offset_module(NeighborMode::CoordKnn);
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+            vec![out.state.features]
+        };
+        let mut engine = PlanEngine::new();
+        engine.set_sample_cache_cap(8);
+        let hot = sample_shape(ShapeClass::Chair, 64, 1000);
+        let want = engine.run(&hot, &record).get(0).clone();
+        let fresh_count = 32; // 4× the cap: would trigger 4 wholesale clears
+        for seed in 0..fresh_count {
+            let fresh = sample_shape(ShapeClass::Cup, 64, seed);
+            let _ = engine.run(&fresh, &record);
+            let again = engine.run(&hot, &record);
+            assert_eq!(again.get(0), &want, "hot sample replay after fresh #{seed}");
+        }
+        let cache = engine.sample_cache_stats();
+        // Every hot re-run hits; only the fresh samples miss.
+        assert_eq!(cache.hits, fresh_count, "hot sample never evicted");
+        assert_eq!(cache.misses, 1 + fresh_count);
+        assert!(cache.hit_rate() > 0.45, "hit rate floor, got {}", cache.hit_rate());
+        assert_eq!(cache.entries, 8, "cache stays full, never cleared");
+        // 1 hot + 32 fresh inserts into 8 slots: the first 8 fill, the
+        // remaining 25 each evict exactly one entry.
+        assert_eq!(cache.evictions, fresh_count - 7, "one eviction per overflow");
+    }
+
+    #[test]
+    fn eviction_preserves_bit_identical_outputs() {
+        // Evict a sample by flooding the cache, then re-run it: the
+        // re-derivation must reproduce the original output bit-for-bit.
+        let module = offset_module(NeighborMode::CoordKnn);
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+            vec![out.state.features]
+        };
+        let mut engine = PlanEngine::new();
+        engine.set_sample_cache_cap(2);
+        let victim = sample_shape(ShapeClass::Lamp, 64, 7);
+        let want = engine.run(&victim, &record).get(0).clone();
+        for seed in 0..4 {
+            let _ = engine.run(&sample_shape(ShapeClass::Table, 64, seed), &record);
+        }
+        let evictions_before = engine.sample_cache_stats().evictions;
+        assert!(evictions_before >= 3, "victim must have been evicted");
+        let misses_before = engine.sample_cache_stats().misses;
+        let again = engine.run(&victim, &record).get(0).clone();
+        assert_eq!(again, want, "re-derived output differs from the cached one");
+        assert_eq!(
+            engine.sample_cache_stats().misses,
+            misses_before + 1,
+            "the re-run was a miss (the victim really was evicted)"
+        );
+    }
+
+    #[test]
+    fn cache_stats_surface_in_engine_stats() {
+        let module = offset_module(NeighborMode::CoordKnn);
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+            vec![out.state.features]
+        };
+        let mut engine = PlanEngine::new();
+        let cloud = sample_shape(ShapeClass::Bottle, 80, 4);
+        let _ = engine.run(&cloud, &record);
+        let _ = engine.run(&cloud, &record);
+        let stats = engine.stats(80).expect("plan compiled");
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.entries, 1);
+        assert_eq!(stats.cache.capacity, DEFAULT_SAMPLE_CACHE_CAP);
+        assert_eq!(stats.cache.evictions, 0);
     }
 
     #[test]

@@ -48,8 +48,10 @@ pub mod engine;
 pub mod executor;
 pub mod module;
 pub mod runner;
+pub mod sample_cache;
 pub mod strategy;
 pub mod trace;
 
+pub use sample_cache::{SampleCacheStats, DEFAULT_SAMPLE_CACHE_CAP};
 pub use strategy::Strategy;
 pub use trace::{ModuleTrace, NetworkTrace, Stage};

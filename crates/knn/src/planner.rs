@@ -113,21 +113,24 @@ impl SearchPlanner {
 
     /// A planner configured from the `MESORASI_SEARCH` environment variable
     /// (read once per process): `auto` (or unset) for the cost model,
-    /// `kdtree` / `grid` / `bruteforce` to force a backend. Invalid values
-    /// warn once and fall back to `auto`.
+    /// `kdtree` / `grid` / `bruteforce` to force a backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value, naming the accepted ones. A typo'd
+    /// override silently falling back to `auto` would *look* like the
+    /// requested backend was measured — config errors must fail loudly,
+    /// not skew experiments.
     pub fn from_env() -> SearchPlanner {
         static RESOLVED: OnceLock<Option<SearchBackend>> = OnceLock::new();
         let forced = *RESOLVED.get_or_init(|| {
             let raw = std::env::var("MESORASI_SEARCH").ok()?;
             match parse_override(&raw) {
                 Ok(forced) => forced,
-                Err(InvalidSearchOverride) => {
-                    eprintln!(
-                        "[mesorasi-knn] ignoring invalid MESORASI_SEARCH='{raw}' \
-                         (want auto|kdtree|grid|bruteforce)"
-                    );
-                    None
-                }
+                Err(InvalidSearchOverride) => panic!(
+                    "invalid MESORASI_SEARCH='{raw}': accepted values are \
+                     auto|kdtree|grid|bruteforce (case-insensitive)"
+                ),
             }
         });
         SearchPlanner { forced }

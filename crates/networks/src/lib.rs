@@ -32,7 +32,7 @@ use mesorasi_pointcloud::PointCloud;
 
 pub use registry::{Domain, NetworkKind};
 pub use session::{
-    Boxes3D, FrameStream, Inference, Logits, PerPointLabels, Session, SessionBuilder,
+    Boxes3D, CheckoutError, FrameStream, Inference, Logits, PerPointLabels, Session, SessionBuilder,
 };
 
 /// Result of a network forward pass: task output plus the recorded

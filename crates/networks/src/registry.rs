@@ -72,6 +72,27 @@ impl NetworkKind {
         }
     }
 
+    /// Short, shell-safe identifier for CLI flags and config files
+    /// (`mesorasi-serve --network pointnetpp-cls`).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            NetworkKind::PointNetPPClassification => "pointnetpp-cls",
+            NetworkKind::PointNetPPSegmentation => "pointnetpp-seg",
+            NetworkKind::DgcnnClassification => "dgcnn-cls",
+            NetworkKind::DgcnnSegmentation => "dgcnn-seg",
+            NetworkKind::FPointNet => "fpointnet",
+            NetworkKind::Ldgcnn => "ldgcnn",
+            NetworkKind::DensePoint => "densepoint",
+        }
+    }
+
+    /// Parses a [`NetworkKind::cli_name`] (case-insensitive, surrounding
+    /// whitespace ignored); `None` for unknown names.
+    pub fn from_cli_name(name: &str) -> Option<NetworkKind> {
+        let want = name.trim().to_ascii_lowercase();
+        NetworkKind::ALL.into_iter().find(|k| k.cli_name() == want)
+    }
+
     /// Application domain (Table I).
     pub fn domain(self) -> Domain {
         match self {
@@ -201,6 +222,17 @@ mod tests {
         assert_eq!(NetworkKind::FPointNet.dataset(), "KITTI");
         assert_eq!(NetworkKind::FPointNet.year(), 2018);
         assert_eq!(NetworkKind::Ldgcnn.year(), 2019);
+    }
+
+    #[test]
+    fn cli_names_round_trip_and_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in NetworkKind::ALL {
+            assert!(seen.insert(kind.cli_name()), "duplicate cli name {}", kind.cli_name());
+            assert_eq!(NetworkKind::from_cli_name(kind.cli_name()), Some(kind));
+            assert_eq!(NetworkKind::from_cli_name(&kind.cli_name().to_uppercase()), Some(kind));
+        }
+        assert_eq!(NetworkKind::from_cli_name("pointnet5000"), None);
     }
 
     #[test]

@@ -39,7 +39,7 @@
 use crate::registry::{Domain, NetworkKind};
 use crate::PointCloudNetwork;
 use mesorasi_core::engine::{EngineStats, PlanEngine};
-use mesorasi_core::Strategy;
+use mesorasi_core::{SampleCacheStats, Strategy};
 use mesorasi_knn::stats::SearchCounters;
 use mesorasi_knn::{SearchBackend, SearchPlanner};
 use mesorasi_nn::loss;
@@ -48,7 +48,8 @@ use mesorasi_par as par;
 use mesorasi_pointcloud::{Point3, PointCloud};
 use mesorasi_tensor::Matrix;
 use std::borrow::Borrow;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Classification output: one row of class scores.
@@ -58,6 +59,12 @@ pub struct Logits {
 }
 
 impl Logits {
+    /// Wraps a raw `1 × classes` score matrix — for callers (e.g. network
+    /// clients) that rebuild an [`Inference`] from transported matrices.
+    pub fn new(scores: Matrix) -> Logits {
+        Logits { scores }
+    }
+
     /// The raw `1 × classes` score matrix (pre-softmax).
     pub fn matrix(&self) -> &Matrix {
         &self.scores
@@ -87,6 +94,12 @@ pub struct PerPointLabels {
 }
 
 impl PerPointLabels {
+    /// Wraps a raw `N × parts` per-point score matrix — for callers that
+    /// rebuild an [`Inference`] from transported matrices.
+    pub fn new(logits: Matrix) -> PerPointLabels {
+        PerPointLabels { logits }
+    }
+
     /// The raw `N × parts` per-point score matrix.
     pub fn matrix(&self) -> &Matrix {
         &self.logits
@@ -122,6 +135,13 @@ pub struct Boxes3D {
 }
 
 impl Boxes3D {
+    /// Wraps raw mask logits (`N × 2`) and box regression (`1 × 7`)
+    /// matrices — for callers that rebuild an [`Inference`] from
+    /// transported matrices.
+    pub fn new(seg_logits: Matrix, params: Matrix) -> Boxes3D {
+        Boxes3D { seg_logits, params }
+    }
+
     /// Per-point object/background logits, `N × 2`.
     pub fn seg_logits(&self) -> &Matrix {
         &self.seg_logits
@@ -260,6 +280,7 @@ pub struct SessionBuilder {
     paper_scale: bool,
     init_seed: u64,
     search: Option<SearchBackend>,
+    sample_cache_cap: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -273,6 +294,7 @@ impl SessionBuilder {
             paper_scale: false,
             init_seed: 0,
             search: None,
+            sample_cache_cap: None,
         }
     }
 
@@ -353,6 +375,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Per-worker, per-plan NIT sample-cache capacity (default
+    /// [`mesorasi_core::DEFAULT_SAMPLE_CACHE_CAP`]; 0 disables caching).
+    /// Eviction is true LRU — hot samples survive unbounded fresh traffic —
+    /// so servers sizing for memory can shrink this without re-introducing
+    /// a periodic cold-cache latency cliff.
+    pub fn sample_cache_cap(mut self, cap: usize) -> Self {
+        self.sample_cache_cap = Some(cap);
+        self
+    }
+
     /// Builds the session. Plan compilation is lazy: each worker engine
     /// records the network on first contact with a given input shape.
     pub fn build(self) -> Session {
@@ -378,9 +410,111 @@ impl SessionBuilder {
             strategy: self.strategy,
             seed: self.seed,
             domain,
-            engines: (0..workers).map(|_| Mutex::new(PlanEngine::with_planner(planner))).collect(),
+            engines: (0..workers)
+                .map(|_| {
+                    let mut engine = PlanEngine::with_planner(planner);
+                    if let Some(cap) = self.sample_cache_cap {
+                        engine.set_sample_cache_cap(cap);
+                    }
+                    Worker { engine: Mutex::new(engine), holder: AtomicU64::new(0) }
+                })
+                .collect(),
             next: AtomicUsize::new(0),
         }
+    }
+}
+
+/// The fallible checkout paths' error: every worker engine is already
+/// checked out **by the calling thread** (via live [`FrameStream`]s), so
+/// blocking would self-deadlock — `std::sync::Mutex` is not re-entrant.
+///
+/// Returned by [`Session::try_infer`] / [`Session::try_frames`]; the
+/// infallible paths panic with the same message instead of hanging. Server
+/// handler code should use the `try_` variants and surface this as a typed
+/// "unavailable" response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckoutError {
+    workers: usize,
+}
+
+impl CheckoutError {
+    /// Pool size at the time of the failed checkout.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl std::fmt::Display for CheckoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "all {} worker engine(s) are already checked out by this thread \
+             (live FrameStream handles?); blocking would self-deadlock — drop \
+             a handle or grow the pool via SessionBuilder::workers",
+            self.workers
+        )
+    }
+}
+
+impl std::error::Error for CheckoutError {}
+
+/// One pool slot: the engine plus the token of the thread currently
+/// holding it (0 = unheld). The holder tag is what lets checkout detect
+/// same-thread re-entrancy instead of deadlocking.
+struct Worker {
+    engine: Mutex<PlanEngine>,
+    holder: AtomicU64,
+}
+
+/// A process-unique, never-zero token for the calling thread.
+fn thread_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+    TOKEN.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+/// A checked-out engine: the mutex guard plus the holder tag that marks it
+/// as owned by this thread for the lifetime of the guard.
+struct EngineGuard<'s> {
+    guard: MutexGuard<'s, PlanEngine>,
+    holder: &'s AtomicU64,
+}
+
+impl<'s> EngineGuard<'s> {
+    fn new(worker: &'s Worker, guard: MutexGuard<'s, PlanEngine>, token: u64) -> EngineGuard<'s> {
+        worker.holder.store(token, Ordering::Release);
+        EngineGuard { guard, holder: &worker.holder }
+    }
+}
+
+impl Drop for EngineGuard<'_> {
+    fn drop(&mut self) {
+        self.holder.store(0, Ordering::Release);
+    }
+}
+
+impl std::ops::Deref for EngineGuard<'_> {
+    type Target = PlanEngine;
+
+    fn deref(&self) -> &PlanEngine {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for EngineGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PlanEngine {
+        &mut self.guard
     }
 }
 
@@ -397,7 +531,7 @@ pub struct Session {
     strategy: Strategy,
     seed: u64,
     domain: Domain,
-    engines: Vec<Mutex<PlanEngine>>,
+    engines: Vec<Worker>,
     next: AtomicUsize,
 }
 
@@ -444,6 +578,16 @@ impl Session {
     pub fn infer(&self, cloud: &PointCloud) -> Inference {
         let mut engine = self.checkout_engine();
         self.run_on(&mut engine, cloud)
+    }
+
+    /// Like [`Session::infer`], but returns a typed [`CheckoutError`]
+    /// instead of panicking when every worker engine is already held by
+    /// the calling thread (live [`FrameStream`]s) — the variant server
+    /// handlers should use, so a would-be deadlock becomes a reportable
+    /// "unavailable" condition.
+    pub fn try_infer(&self, cloud: &PointCloud) -> Result<Inference, CheckoutError> {
+        let mut engine = self.try_checkout_engine()?;
+        Ok(self.run_on(&mut engine, cloud))
     }
 
     /// Runs a batch data-parallel over the worker pool: the batch is split
@@ -504,12 +648,22 @@ impl Session {
     /// **Drop the handle before calling the session from the same thread
     /// again.** While a `FrameStream` is live, methods that visit *every*
     /// worker ([`Session::warm`], [`Session::arena_stats`],
-    /// [`Session::search_counters`]) — and, on a session whose other
-    /// workers are all busy, [`Session::infer`] itself — block on the held
-    /// engine; from the holding thread that is a self-deadlock, since
-    /// `std::sync::Mutex` is not re-entrant.
+    /// [`Session::search_counters`], [`Session::cache_stats`]) — and, on a
+    /// session whose other workers are all busy, [`Session::infer`] itself
+    /// — would block on the held engine; from the holding thread that is a
+    /// self-deadlock, since `std::sync::Mutex` is not re-entrant. The
+    /// session detects this and **panics with a clear message instead of
+    /// hanging**; use [`Session::try_infer`] / [`Session::try_frames`] to
+    /// get a typed [`CheckoutError`] instead.
     pub fn frames(&self) -> FrameStream<'_> {
         FrameStream { session: self, engine: self.checkout_engine() }
+    }
+
+    /// Like [`Session::frames`], but returns a typed [`CheckoutError`]
+    /// instead of panicking when every worker engine is already held by
+    /// the calling thread.
+    pub fn try_frames(&self) -> Result<FrameStream<'_>, CheckoutError> {
+        Ok(FrameStream { session: self, engine: self.try_checkout_engine()? })
     }
 
     /// Convenience over [`Session::frames`]: lazily infers a frame
@@ -535,8 +689,8 @@ impl Session {
     /// state no matter which engine serves it. Call before
     /// timing-sensitive traffic; purely an optimization.
     pub fn warm(&self, cloud: &PointCloud) {
-        for engine in &self.engines {
-            let mut engine = lock_unpoisoned(engine);
+        for i in 0..self.engines.len() {
+            let mut engine = self.lock_pool_engine(i);
             let _ = self.run_on(&mut engine, cloud);
             let _ = self.exec(&mut engine, cloud, true);
         }
@@ -544,9 +698,9 @@ impl Session {
 
     /// Statistics of the plan compiled for `n_points` inputs, from the
     /// first worker that has compiled that shape: tensor-arena usage plus
-    /// search-arena bytes and traffic counters.
+    /// search-arena bytes, traffic counters, and NIT-cache traffic.
     pub fn arena_stats(&self, n_points: usize) -> Option<EngineStats> {
-        self.engines.iter().find_map(|e| lock_unpoisoned(e).stats(n_points))
+        (0..self.engines.len()).find_map(|i| self.lock_pool_engine(i).stats(n_points))
     }
 
     /// Search-traffic counters summed across the worker pool — what the
@@ -554,8 +708,19 @@ impl Session {
     /// build/query time split of real inference traffic.
     pub fn search_counters(&self) -> SearchCounters {
         let mut total = SearchCounters::default();
-        for e in &self.engines {
-            total.add(&lock_unpoisoned(e).search_counters());
+        for i in 0..self.engines.len() {
+            total.add(&self.lock_pool_engine(i).search_counters());
+        }
+        total
+    }
+
+    /// NIT sample-cache traffic (hits / misses / LRU evictions) summed
+    /// across the worker pool — what a server reports per connection to
+    /// show whether traffic is being served from the warm steady state.
+    pub fn cache_stats(&self) -> SampleCacheStats {
+        let mut total = SampleCacheStats::default();
+        for i in 0..self.engines.len() {
+            total.add(&self.lock_pool_engine(i).sample_cache_stats());
         }
         total
     }
@@ -563,22 +728,58 @@ impl Session {
     /// Total plans compiled across the worker pool (one per worker per
     /// distinct input shape it has seen).
     pub fn compiled_plans(&self) -> usize {
-        self.engines.iter().map(|e| lock_unpoisoned(e).compiled_plans()).sum()
+        (0..self.engines.len()).map(|i| self.lock_pool_engine(i).compiled_plans()).sum()
+    }
+
+    /// Blocking lock of one pool engine for the whole-pool visitors —
+    /// panics (rather than self-deadlocking) when the calling thread
+    /// already holds that engine through a live [`FrameStream`].
+    fn lock_pool_engine(&self, i: usize) -> MutexGuard<'_, PlanEngine> {
+        let w = &self.engines[i];
+        assert!(
+            w.holder.load(Ordering::Acquire) != thread_token(),
+            "worker engine #{i} is already checked out by this thread (a live \
+             FrameStream?); locking it again would self-deadlock — drop the \
+             handle before calling whole-pool session methods"
+        );
+        lock_unpoisoned(&w.engine)
     }
 
     /// Picks an engine: any free worker first, else round-robin blocking —
     /// callers beyond the pool size queue on an engine rather than failing.
-    fn checkout_engine(&self) -> MutexGuard<'_, PlanEngine> {
-        for engine in &self.engines {
+    /// Skips engines the calling thread already holds; errs when that is
+    /// all of them (same-thread re-entrancy, which would self-deadlock).
+    fn try_checkout_engine(&self) -> Result<EngineGuard<'_>, CheckoutError> {
+        let token = thread_token();
+        for w in &self.engines {
             // A poisoned engine is free, not busy (see [`lock_unpoisoned`]).
-            match engine.try_lock() {
-                Ok(guard) => return guard,
-                Err(std::sync::TryLockError::Poisoned(p)) => return p.into_inner(),
+            match w.engine.try_lock() {
+                Ok(guard) => return Ok(EngineGuard::new(w, guard, token)),
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    return Ok(EngineGuard::new(w, p.into_inner(), token))
+                }
                 Err(std::sync::TryLockError::WouldBlock) => {}
             }
         }
-        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.engines.len();
-        lock_unpoisoned(&self.engines[i])
+        // All busy: block on a round-robin engine — but never on one this
+        // thread itself holds. The round-robin counter visits every slot
+        // once across `n` probes, so a skippable engine costs one probe.
+        let n = self.engines.len();
+        for _ in 0..n {
+            let i = self.next.fetch_add(1, Ordering::Relaxed) % n;
+            let w = &self.engines[i];
+            if w.holder.load(Ordering::Acquire) == token {
+                continue;
+            }
+            return Ok(EngineGuard::new(w, lock_unpoisoned(&w.engine), token));
+        }
+        Err(CheckoutError { workers: n })
+    }
+
+    /// Infallible checkout: panics with the [`CheckoutError`] message on
+    /// same-thread re-entrancy instead of deadlocking.
+    fn checkout_engine(&self) -> EngineGuard<'_> {
+        self.try_checkout_engine().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs one forward on `engine` — the plan-and-cache path when
@@ -657,7 +858,7 @@ impl Session {
 /// search indices from the previous frame.
 pub struct FrameStream<'s> {
     session: &'s Session,
-    engine: MutexGuard<'s, PlanEngine>,
+    engine: EngineGuard<'s>,
 }
 
 impl FrameStream<'_> {
@@ -932,6 +1133,81 @@ mod tests {
         let want = reference.forward(&mut g, &cloud, Strategy::Delayed, 5);
         let got = session.infer(&cloud).into_classification();
         assert_eq!(got.matrix(), g.value(want.logits));
+    }
+
+    #[test]
+    fn reentrant_checkout_is_a_typed_error_not_a_deadlock() {
+        // With a single worker held by a live FrameStream on this thread,
+        // the old code deadlocked; now the try_ paths return a typed
+        // error and the infallible paths panic with the same message.
+        let session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+            .classes(3)
+            .workers(1)
+            .build();
+        let n = session.network().input_points();
+        let cloud = sample_shape(ShapeClass::Chair, n, 1);
+        let mut frames = session.try_frames().expect("free pool checks out");
+        let _ = frames.infer(&cloud);
+
+        let err = session.try_infer(&cloud).expect_err("all engines self-held");
+        assert_eq!(err.workers(), 1);
+        assert!(err.to_string().contains("self-deadlock"), "unhelpful message: {err}");
+        assert!(session.try_frames().is_err());
+
+        // Dropping the stream frees the engine for the same thread again.
+        drop(frames);
+        let _ = session.try_infer(&cloud).expect("freed engine checks out");
+    }
+
+    #[test]
+    fn whole_pool_visitors_panic_loudly_when_self_held() {
+        let session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+            .classes(3)
+            .workers(1)
+            .build();
+        let _frames = session.frames();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = session.search_counters();
+        }))
+        .expect_err("must not silently deadlock");
+        let msg = err.downcast_ref::<String>().expect("panic carries a message");
+        assert!(msg.contains("self-deadlock"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn a_held_frame_stream_does_not_block_other_workers() {
+        let session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+            .classes(3)
+            .workers(2)
+            .build();
+        let n = session.network().input_points();
+        let cloud = sample_shape(ShapeClass::Chair, n, 1);
+        let mut frames = session.frames();
+        let want = frames.infer(&cloud);
+        // The second worker serves the same thread while the first is held.
+        let got = session.try_infer(&cloud).expect("second worker is free");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sample_cache_cap_knob_reaches_the_engines() {
+        let session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+            .classes(3)
+            .workers(1)
+            .sample_cache_cap(2)
+            .build();
+        let n = session.network().input_points();
+        let clouds: Vec<PointCloud> = (0..4).map(|s| sample_shape(ShapeClass::Car, n, s)).collect();
+        for c in &clouds {
+            let _ = session.infer(c);
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 2, "LRU evicts one at a time past the cap");
+        let per_shape = session.arena_stats(n).expect("shape compiled");
+        assert_eq!(per_shape.cache.capacity, 2);
     }
 
     #[test]

@@ -56,14 +56,23 @@ thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// Resolves the `MESORASI_THREADS` override, once per process.
+///
+/// # Panics
+///
+/// Panics on a value that is not a positive integer, naming the accepted
+/// range. Silently falling back to the hardware count would make a typo'd
+/// override *look* honored — config errors must fail loudly, not skew
+/// thread-sweep experiments.
 fn env_or_hardware_threads() -> usize {
     static RESOLVED: OnceLock<usize> = OnceLock::new();
     *RESOLVED.get_or_init(|| {
         if let Ok(raw) = std::env::var("MESORASI_THREADS") {
             match raw.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => return n.min(MAX_POOL),
-                _ => eprintln!(
-                    "[mesorasi-par] ignoring invalid MESORASI_THREADS='{raw}' (want a positive integer)"
+                _ => panic!(
+                    "invalid MESORASI_THREADS='{raw}': accepted values are \
+                     positive integers 1..={MAX_POOL}"
                 ),
             }
         }

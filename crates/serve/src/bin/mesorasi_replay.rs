@@ -1,0 +1,169 @@
+//! `mesorasi-replay`: feed a recorded (or synthetic) frame sequence to a
+//! running `mesorasi-serve` at a target rate and report latency.
+//!
+//! ```text
+//! mesorasi-replay --addr 127.0.0.1:7077 [--frames 64] [--hz 30]
+//!                 [--points N] [--dir PATH] [--seed N]
+//! ```
+
+use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+use mesorasi_pointcloud::PointCloud;
+use mesorasi_serve::{replay, Client};
+
+const USAGE: &str = "\
+mesorasi-replay: replay a frame sequence against mesorasi-serve
+
+USAGE:
+    mesorasi-replay --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT   server to replay against (required)
+    --frames N         synthetic frames to send (default 64; ignored with --dir)
+    --hz RATE          target frame rate (default 30; 0 = as fast as possible)
+    --points N         points per synthetic frame (default: the server's
+                       native input size, read from its hello)
+    --dir PATH         replay every .xyz/.ply file in PATH (sorted by name)
+                       instead of synthesizing frames
+    --seed N           synthetic-shape seed (default 0)
+    -h, --help         print this help
+";
+
+struct Args {
+    addr: String,
+    frames: usize,
+    hz: f64,
+    points: Option<usize>,
+    dir: Option<std::path::PathBuf>,
+    seed: u64,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { addr: String::new(), frames: 64, hz: 30.0, points: None, dir: None, seed: 0 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |flag: &str| it.next().unwrap_or_else(|| usage_error(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--frames" => {
+                let raw = value("--frames");
+                args.frames = match raw.parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage_error(&format!("--frames wants a positive integer, got '{raw}'")),
+                };
+            }
+            "--hz" => {
+                let raw = value("--hz");
+                args.hz = match raw.parse::<f64>() {
+                    Ok(hz) if hz >= 0.0 && hz.is_finite() => hz,
+                    _ => usage_error(&format!("--hz wants a non-negative rate, got '{raw}'")),
+                };
+            }
+            "--points" => {
+                let raw = value("--points");
+                args.points = match raw.parse() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => usage_error(&format!("--points wants a positive integer, got '{raw}'")),
+                };
+            }
+            "--dir" => args.dir = Some(value("--dir").into()),
+            "--seed" => {
+                let raw = value("--seed");
+                args.seed =
+                    raw.parse().unwrap_or_else(|_| usage_error(&format!("--seed got '{raw}'")));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag '{other}'")),
+        }
+    }
+    if args.addr.is_empty() {
+        usage_error("--addr is required");
+    }
+    args
+}
+
+/// Loads every .xyz/.ply in `dir`, sorted by file name.
+fn load_dir(dir: &std::path::Path) -> Vec<PointCloud> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| usage_error(&format!("cannot read {}: {e}", dir.display())))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| matches!(p.extension().and_then(|e| e.to_str()), Some("xyz") | Some("ply")))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        usage_error(&format!("no .xyz/.ply files in {}", dir.display()));
+    }
+    paths
+        .iter()
+        .map(|p| {
+            mesorasi_pointcloud::io::read_path(p)
+                .unwrap_or_else(|e| usage_error(&format!("cannot load {}: {e}", p.display())))
+        })
+        .collect()
+}
+
+fn synthesize(frames: usize, points: usize, seed: u64) -> Vec<PointCloud> {
+    // A rotating handful of classes: same shape size (so the scheduler can
+    // batch), varied content (so the NIT cache sees realistic traffic).
+    const CLASSES: [ShapeClass; 4] =
+        [ShapeClass::Chair, ShapeClass::Car, ShapeClass::Lamp, ShapeClass::Monitor];
+    (0..frames).map(|i| sample_shape(CLASSES[i % CLASSES.len()], points, seed + i as u64)).collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let frames = match &args.dir {
+        Some(dir) => load_dir(dir),
+        None => {
+            let points = args.points.unwrap_or_else(|| {
+                let client = Client::connect(&args.addr).unwrap_or_else(|e| {
+                    eprintln!("error: cannot reach {}: {e}", args.addr);
+                    std::process::exit(1);
+                });
+                client.input_points() as usize
+            });
+            synthesize(args.frames, points, args.seed)
+        }
+    };
+    eprintln!(
+        "replaying {} frames at {} to {}",
+        frames.len(),
+        if args.hz > 0.0 { format!("{} Hz", args.hz) } else { "full speed".into() },
+        args.addr,
+    );
+
+    let report = match replay(&args.addr, &frames, args.hz) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let ms = |q: f64| match report.latency_quantile_us(q) {
+        Some(us) => format!("{:.3}", us as f64 / 1000.0),
+        None => "-".into(),
+    };
+    println!(
+        "sent {}  ok {}  shed {}  errored {}  in {:.2}s ({:.1} fps achieved)",
+        report.sent,
+        report.ok,
+        report.shed,
+        report.errored,
+        report.elapsed.as_secs_f64(),
+        report.sent as f64 / report.elapsed.as_secs_f64().max(1e-9),
+    );
+    println!("latency ms: p50 {}  p99 {}  p999 {}", ms(0.50), ms(0.99), ms(0.999));
+    if report.shed > 0 {
+        std::process::exit(3);
+    }
+}

@@ -1,0 +1,445 @@
+//! The client side: a blocking request/response [`Client`] and a paced
+//! sensor-[`replay`] harness that feeds recorded frame sequences at a
+//! target rate while measuring per-request latency.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, ProtocolError, ServerStats, PROTOCOL_VERSION,
+};
+use mesorasi_networks::{Boxes3D, Domain, Inference, Logits, PerPointLabels};
+use mesorasi_pointcloud::PointCloud;
+use mesorasi_tensor::Matrix;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Wire-level failure (socket or framing).
+    Protocol(ProtocolError),
+    /// The server speaks a different protocol version.
+    VersionMismatch {
+        /// Version announced by the server.
+        server: u16,
+        /// Version this build speaks ([`PROTOCOL_VERSION`]).
+        client: u16,
+    },
+    /// The server sent a frame that makes no sense here.
+    UnexpectedFrame(&'static str),
+    /// The server answered a request with a typed error.
+    Rejected {
+        /// The request's correlation id.
+        id: u64,
+        /// Why it was rejected.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::VersionMismatch { server, client } => {
+                write!(f, "server speaks protocol v{server}, this client v{client}")
+            }
+            ClientError::UnexpectedFrame(what) => write!(f, "unexpected frame: {what}"),
+            ClientError::Rejected { id, code, message } => {
+                write!(f, "request {id} rejected ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> ClientError {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// One server response to an inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded.
+    Result {
+        /// Echoed correlation id.
+        id: u64,
+        /// The rebuilt, domain-typed result.
+        inference: Inference,
+    },
+    /// The request failed with a typed error (e.g. shed under load).
+    Error {
+        /// Echoed correlation id (0 if unattributable).
+        id: u64,
+        /// Why it failed.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+/// A blocking protocol client over one TCP connection.
+///
+/// [`Client::infer`] is the simple lock-step path; for pipelined traffic
+/// send with [`Client::send_infer`] and collect with [`Client::recv`] —
+/// the server replies in dispatch order, not necessarily send order.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    domain: Domain,
+    input_points: u32,
+}
+
+impl Client {
+    /// Connects, reads the server's [`Frame::Hello`], and verifies the
+    /// protocol version.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ProtocolError::Io)?;
+        let _ = stream.set_nodelay(true);
+        let writer = BufWriter::new(stream.try_clone().map_err(ProtocolError::Io)?);
+        let mut reader = BufReader::new(stream);
+        match read_frame(&mut reader)? {
+            Frame::Hello { version, domain, input_points } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ClientError::VersionMismatch {
+                        server: version,
+                        client: PROTOCOL_VERSION,
+                    });
+                }
+                Ok(Client { reader, writer, domain, input_points })
+            }
+            _ => Err(ClientError::UnexpectedFrame("server did not greet with a hello")),
+        }
+    }
+
+    /// Task domain of the served network (decides the [`Inference`]
+    /// variant results are rebuilt into).
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// The served network's native input size; same-size requests batch
+    /// best on the server.
+    pub fn input_points(&self) -> u32 {
+        self.input_points
+    }
+
+    /// Sends one inference request without waiting for the response.
+    pub fn send_infer(&mut self, id: u64, cloud: &PointCloud) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &Frame::Infer { id, cloud: cloud.clone() })?;
+        use std::io::Write;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receives the next inference response (result or typed error).
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.reader)? {
+            Frame::Result { id, mats } => {
+                let inference = rebuild_inference(self.domain, mats)?;
+                Ok(Response::Result { id, inference })
+            }
+            Frame::Error { id, code, message } => Ok(Response::Error { id, code, message }),
+            Frame::StatsResult(_) => {
+                Err(ClientError::UnexpectedFrame("stats reply amid inference"))
+            }
+            _ => Err(ClientError::UnexpectedFrame("non-response frame")),
+        }
+    }
+
+    /// Lock-step inference: send, wait for this request's response, and
+    /// surface a server-side rejection as [`ClientError::Rejected`].
+    pub fn infer(&mut self, id: u64, cloud: &PointCloud) -> Result<Inference, ClientError> {
+        self.send_infer(id, cloud)?;
+        match self.recv()? {
+            Response::Result { id: got, inference } => {
+                if got != id {
+                    return Err(ClientError::UnexpectedFrame("response id mismatch"));
+                }
+                Ok(inference)
+            }
+            Response::Error { id, code, message } => {
+                Err(ClientError::Rejected { id, code, message })
+            }
+        }
+    }
+
+    /// Fetches the server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        write_frame(&mut self.writer, &Frame::Stats)?;
+        use std::io::Write;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Frame::StatsResult(stats) => Ok(stats),
+            _ => Err(ClientError::UnexpectedFrame("expected a stats reply")),
+        }
+    }
+}
+
+/// Rebuilds the domain-typed result from transported matrices, validating
+/// the matrix count against the domain's layout.
+fn rebuild_inference(domain: Domain, mats: Vec<Matrix>) -> Result<Inference, ClientError> {
+    let mut mats = mats.into_iter();
+    let inference = match domain {
+        Domain::Classification => {
+            let scores = mats.next().ok_or(ClientError::UnexpectedFrame("empty result"))?;
+            Inference::Classification(Logits::new(scores))
+        }
+        Domain::Segmentation => {
+            let logits = mats.next().ok_or(ClientError::UnexpectedFrame("empty result"))?;
+            Inference::Segmentation(PerPointLabels::new(logits))
+        }
+        Domain::Detection => {
+            let seg = mats.next().ok_or(ClientError::UnexpectedFrame("empty result"))?;
+            let params = mats
+                .next()
+                .ok_or(ClientError::UnexpectedFrame("detection result needs 2 matrices"))?;
+            Inference::Detection(Boxes3D::new(seg, params))
+        }
+    };
+    if mats.next().is_some() {
+        return Err(ClientError::UnexpectedFrame("extra matrices in result"));
+    }
+    Ok(inference)
+}
+
+/// What a [`replay`] run observed.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Requests answered with a result.
+    pub ok: u64,
+    /// Requests shed by server admission control.
+    pub shed: u64,
+    /// Requests failed with any other typed error.
+    pub errored: u64,
+    /// Per-request latency (send → response), microseconds, in completion
+    /// order. Length is `ok + shed + errored`.
+    pub latencies_us: Vec<u64>,
+    /// Wall-clock from first send to last response.
+    pub elapsed: Duration,
+}
+
+impl ReplayReport {
+    /// Latency quantile `q` in `[0, 1]` over every completed request
+    /// (nearest-rank); `None` when nothing completed.
+    pub fn latency_quantile_us(&self, q: f64) -> Option<u64> {
+        quantile_us(&self.latencies_us, q)
+    }
+}
+
+/// Nearest-rank quantile over a latency sample, `q` clamped to `[0, 1]`.
+pub fn quantile_us(latencies_us: &[u64], q: f64) -> Option<u64> {
+    if latencies_us.is_empty() {
+        return None;
+    }
+    let mut sorted = latencies_us.to_vec();
+    sorted.sort_unstable();
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Replays a recorded frame sequence against a server at `hz` frames per
+/// second (0 = as fast as possible), pipelining sends against receives the
+/// way a live sensor would: capture timing never waits for inference, and
+/// a dedicated reader thread timestamps each response as it arrives, so
+/// latency is send → response, not send → end-of-replay.
+///
+/// Every request gets a typed outcome — the protocol never drops silently
+/// — so the report's counters always sum to `sent`.
+pub fn replay<A: ToSocketAddrs>(
+    addr: A,
+    frames: &[PointCloud],
+    hz: f64,
+) -> Result<ReplayReport, ClientError> {
+    let client = Client::connect(addr)?;
+    let Client { reader, mut writer, .. } = client;
+    let interval = if hz > 0.0 { Duration::from_secs_f64(1.0 / hz) } else { Duration::ZERO };
+
+    let start = Instant::now();
+    let total = frames.len() as u64;
+    let in_flight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    // The reader runs concurrently with the send schedule and stamps each
+    // response the moment it is read. It owns the read half; it exits
+    // after exactly `total` responses (every request is guaranteed a typed
+    // outcome) or on a dead socket.
+    let collector = {
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::spawn(move || -> Result<ReplayReport, ClientError> {
+            let mut reader = reader;
+            let mut report = ReplayReport::default();
+            for _ in 0..total {
+                let (id, outcome) = match read_frame(&mut reader)? {
+                    Frame::Result { id, .. } => (id, Outcome::Ok),
+                    Frame::Error { id, code: ErrorCode::Shed, .. } => (id, Outcome::Shed),
+                    Frame::Error { id, .. } => (id, Outcome::Err),
+                    _ => return Err(ClientError::UnexpectedFrame("non-response frame in replay")),
+                };
+                let sent_at = in_flight
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .remove(&id)
+                    .ok_or(ClientError::UnexpectedFrame("response to unknown id"))?;
+                report.latencies_us.push(sent_at.elapsed().as_micros() as u64);
+                match outcome {
+                    Outcome::Ok => report.ok += 1,
+                    Outcome::Shed => report.shed += 1,
+                    Outcome::Err => report.errored += 1,
+                }
+            }
+            Ok(report)
+        })
+    };
+
+    let send_result: Result<(), ClientError> = (|| {
+        for (i, cloud) in frames.iter().enumerate() {
+            let due = start + interval.mul_f64(i as f64);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let id = i as u64;
+            // Register the send time before the bytes can hit the wire so
+            // the reader never sees a response to an unknown id.
+            in_flight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(id, Instant::now());
+            write_frame(&mut writer, &Frame::Infer { id, cloud: cloud.clone() })?;
+            use std::io::Write;
+            writer.flush()?;
+        }
+        Ok(())
+    })();
+    if send_result.is_err() {
+        // Unblock the reader: fewer than `total` requests made it out, so
+        // it would otherwise wait forever for responses that cannot come.
+        let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+    let collected = collector.join().expect("replay reader thread");
+    send_result?;
+    let mut report = collected?;
+    report.sent = total;
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+enum Outcome {
+    Ok,
+    Shed,
+    Err,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerConfig;
+    use crate::server::{Server, ServerConfig};
+    use mesorasi_networks::{NetworkKind, SessionBuilder};
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+    use std::sync::Arc;
+
+    #[test]
+    fn replay_collects_every_outcome_and_measures_latency() {
+        let session = Arc::new(
+            SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+                .classes(4)
+                .workers(2)
+                .build(),
+        );
+        let n = session.network().input_points();
+        let server = Server::spawn(session, ServerConfig::default()).expect("bind");
+        let frames: Vec<PointCloud> =
+            (0..10).map(|i| sample_shape(ShapeClass::Monitor, n, i)).collect();
+        let report = replay(server.local_addr(), &frames, 0.0).expect("replay");
+        assert_eq!(report.sent, 10);
+        assert_eq!(report.ok + report.shed + report.errored, 10);
+        assert_eq!(report.shed + report.errored, 0, "an idle server sheds nothing");
+        assert_eq!(report.latencies_us.len(), 10);
+        assert!(report.latencies_us.iter().all(|&us| us > 0));
+        let p50 = report.latency_quantile_us(0.50).expect("quantile");
+        let p99 = report.latency_quantile_us(0.99).expect("quantile");
+        assert!(p50 <= p99);
+        server.shutdown();
+    }
+
+    #[test]
+    fn replay_under_overload_reports_sheds_not_hangs() {
+        let session = Arc::new(
+            SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+                .classes(4)
+                .workers(1)
+                .build(),
+        );
+        let n = session.network().input_points();
+        let server = Server::spawn(
+            session,
+            ServerConfig {
+                scheduler: SchedulerConfig { queue_depth: 2, max_batch: 1, dispatchers: 1 },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        // Full speed into a depth-2 queue: the first dispatch compiles the
+        // plan, so a backlog forms and admission control must engage.
+        let frames: Vec<PointCloud> =
+            (0..32).map(|i| sample_shape(ShapeClass::Stool, n, i)).collect();
+        let report = replay(server.local_addr(), &frames, 0.0).expect("replay");
+        assert_eq!(report.ok + report.shed + report.errored, 32, "no silent drops");
+        assert!(report.shed > 0, "overload must shed");
+        assert_eq!(report.errored, 0);
+        assert_eq!(server.stats().shed, report.shed);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_us(&lat, 0.50), Some(50));
+        assert_eq!(quantile_us(&lat, 0.99), Some(99));
+        assert_eq!(quantile_us(&lat, 0.999), Some(100));
+        assert_eq!(quantile_us(&lat, 0.0), Some(1));
+        assert_eq!(quantile_us(&lat, 1.0), Some(100));
+        assert_eq!(quantile_us(&[], 0.5), None);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        use crate::protocol::{write_frame, Frame};
+        use std::io::Write;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let hello = Frame::Hello {
+                version: PROTOCOL_VERSION + 1,
+                domain: Domain::Classification,
+                input_points: 64,
+            };
+            write_frame(&mut stream, &hello).expect("write hello");
+            stream.flush().expect("flush");
+        });
+        match Client::connect(addr) {
+            Err(ClientError::VersionMismatch { server, client }) => {
+                assert_eq!(server, PROTOCOL_VERSION + 1);
+                assert_eq!(client, PROTOCOL_VERSION);
+            }
+            Err(other) => panic!("expected a version mismatch, got {other:?}"),
+            Ok(_) => panic!("connect accepted a mismatched version"),
+        }
+        fake.join().expect("fake server");
+    }
+}

@@ -1,0 +1,393 @@
+//! Admission control and adaptive micro-batching over one session pool.
+//!
+//! Every connection's requests funnel into one bounded FIFO. A small team
+//! of dispatch workers pops the queue and **coalesces the longest prefix
+//! of same-shape requests** (up to `max_batch`) into a single
+//! [`Session::infer_batch`] call — batching is purely opportunistic, so an
+//! idle server adds zero artificial latency (a lone request dispatches
+//! immediately with batch size 1), while a backlogged server amortizes
+//! checkout and scheduling across the batch exactly when throughput needs
+//! it.
+//!
+//! Admission control is **shed-oldest**: when the queue is at
+//! `queue_depth`, the *oldest* queued request is dropped to make room and
+//! its client is told so with a typed [`ErrorCode::Shed`] error — never a
+//! silent drop. Oldest-first matches the sensor-stream model (HgPCN's
+//! end-to-end framing): the newest frame is the one worth answering; a
+//! stale frame's answer is worthless to a client that has already sent
+//! two more.
+
+use crate::protocol::{ErrorCode, Frame, ServerStats};
+use mesorasi_networks::{Inference, Session};
+use mesorasi_pointcloud::PointCloud;
+use mesorasi_tensor::Matrix;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Scheduler knobs; see the [module docs](self) for semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Queued requests beyond which admission control sheds the oldest
+    /// (default 64).
+    pub queue_depth: usize,
+    /// Most requests one engine dispatch may coalesce (default 8).
+    /// Batching only ever coalesces a contiguous same-shape prefix — it
+    /// never waits for stragglers.
+    pub max_batch: usize,
+    /// Dispatch worker threads (default 2). Each dispatch checks out one
+    /// session engine, so more than `Session::workers` dispatchers just
+    /// queue on engines.
+    pub dispatchers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig { queue_depth: 64, max_batch: 8, dispatchers: 2 }
+    }
+}
+
+/// One queued inference request: the sample plus the home connection's
+/// outgoing-frame channel.
+pub(crate) struct Job {
+    pub id: u64,
+    pub cloud: PointCloud,
+    pub reply: mpsc::Sender<Frame>,
+}
+
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    malformed: AtomicU64,
+    batches: AtomicU64,
+}
+
+struct Shared {
+    session: Arc<Session>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    open: AtomicBool,
+    max_batch: usize,
+    queue_depth: usize,
+    counters: Counters,
+}
+
+/// The batching scheduler: a bounded queue plus dispatch workers. Created
+/// by the server; exposed only through [`crate::server::Server`].
+pub(crate) struct Scheduler {
+    shared: Arc<Shared>,
+    dispatchers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    pub(crate) fn start(session: Arc<Session>, config: SchedulerConfig) -> Scheduler {
+        let shared = Arc::new(Shared {
+            session,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            open: AtomicBool::new(true),
+            max_batch: config.max_batch.max(1),
+            queue_depth: config.queue_depth.max(1),
+            counters: Counters::default(),
+        });
+        let dispatchers = (0..config.dispatchers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mesorasi-dispatch-{i}"))
+                    .spawn(move || dispatch_loop(&shared))
+                    .expect("spawn dispatcher")
+            })
+            .collect();
+        Scheduler { shared, dispatchers: Mutex::new(dispatchers) }
+    }
+
+    /// Enqueues a request, shedding the oldest queued one on overflow.
+    pub(crate) fn submit(&self, job: Job) {
+        if !self.shared.open.load(Ordering::Acquire) {
+            reject(&job, ErrorCode::Unavailable, "server is shutting down");
+            return;
+        }
+        {
+            let mut q = lock(&self.shared.queue);
+            if q.len() >= self.shared.queue_depth {
+                let oldest = q.pop_front().expect("depth >= 1 implies non-empty at cap");
+                self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                reject(
+                    &oldest,
+                    ErrorCode::Shed,
+                    "queue full: this (oldest) request was shed to admit a newer one",
+                );
+            }
+            q.push_back(job);
+        }
+        self.shared.available.notify_one();
+    }
+
+    /// Counts one rejected-at-parse frame (the connection layer detected
+    /// it; the scheduler only owns the counter).
+    pub(crate) fn note_malformed(&self) {
+        self.shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the server counters, including the session pool's
+    /// NIT-cache traffic.
+    pub(crate) fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        let cache = self.shared.session.cache_stats();
+        ServerStats {
+            served: c.served.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            malformed: c.malformed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            queue_depth: lock(&self.shared.queue).len() as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+        }
+    }
+
+    /// Stops accepting work, fails the backlog as `Unavailable`, and joins
+    /// the dispatchers. Idempotent.
+    pub(crate) fn shutdown(&self) {
+        self.shared.open.store(false, Ordering::Release);
+        {
+            let mut q = lock(&self.shared.queue);
+            for job in q.drain(..) {
+                reject(&job, ErrorCode::Unavailable, "server is shutting down");
+            }
+        }
+        self.shared.available.notify_all();
+        for d in lock(&self.dispatchers).drain(..) {
+            let _ = d.join();
+        }
+    }
+}
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn reject(job: &Job, code: ErrorCode, message: &str) {
+    // A dead reply channel means the connection is gone; nothing to tell.
+    let _ = job.reply.send(Frame::Error { id: job.id, code, message: message.into() });
+}
+
+/// Pops one batch: the queue's front job plus the longest same-shape
+/// prefix behind it, up to `max_batch`. Blocks while the queue is empty;
+/// returns `None` at shutdown.
+fn pop_batch(shared: &Shared) -> Option<Vec<Job>> {
+    let mut q = lock(&shared.queue);
+    loop {
+        if let Some(first) = q.pop_front() {
+            let n = first.cloud.len();
+            let mut batch = vec![first];
+            while batch.len() < shared.max_batch {
+                match q.front() {
+                    Some(next) if next.cloud.len() == n => {
+                        batch.push(q.pop_front().expect("front exists"));
+                    }
+                    _ => break,
+                }
+            }
+            return Some(batch);
+        }
+        if !shared.open.load(Ordering::Acquire) {
+            return None;
+        }
+        q = shared.available.wait(q).unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+fn dispatch_loop(shared: &Shared) {
+    while let Some(batch) = pop_batch(shared) {
+        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+        dispatch(shared, batch);
+    }
+}
+
+/// Runs one coalesced batch and replies to every job. Inference panics
+/// (poisoned engines recover on the next checkout) are contained here so
+/// one bad request cannot kill a dispatcher.
+fn dispatch(shared: &Shared, batch: Vec<Job>) {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if batch.len() == 1 {
+            // Fallible checkout: a would-be same-thread deadlock surfaces
+            // as a typed CheckoutError instead of hanging the dispatcher.
+            match shared.session.try_infer(&batch[0].cloud) {
+                Ok(inference) => Ok(vec![inference]),
+                Err(e) => Err(e.to_string()),
+            }
+        } else {
+            let clouds: Vec<&PointCloud> = batch.iter().map(|j| &j.cloud).collect();
+            Ok(shared.session.infer_batch(&clouds))
+        }
+    }));
+    match outcome {
+        Ok(Ok(inferences)) => {
+            debug_assert_eq!(inferences.len(), batch.len());
+            for (job, inference) in batch.iter().zip(inferences) {
+                shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                let _ =
+                    job.reply.send(Frame::Result { id: job.id, mats: inference_mats(inference) });
+            }
+        }
+        Ok(Err(msg)) => {
+            for job in &batch {
+                reject(job, ErrorCode::Unavailable, &msg);
+            }
+        }
+        Err(_) => {
+            for job in &batch {
+                reject(job, ErrorCode::Unavailable, "inference panicked on this batch");
+            }
+        }
+    }
+}
+
+/// Flattens a domain-typed result into wire matrices (session-output
+/// order; see [`crate::protocol::Frame::Result`]).
+fn inference_mats(inference: Inference) -> Vec<Matrix> {
+    match inference {
+        Inference::Classification(l) => vec![l.into_matrix()],
+        Inference::Segmentation(s) => vec![s.into_matrix()],
+        Inference::Detection(d) => vec![d.seg_logits().clone(), d.params().clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesorasi_networks::{NetworkKind, SessionBuilder};
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    fn tiny_session() -> Arc<Session> {
+        Arc::new(
+            SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+                .classes(3)
+                .workers(1)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn lone_requests_dispatch_without_waiting_for_a_batch() {
+        let session = tiny_session();
+        let n = session.network().input_points();
+        let scheduler = Scheduler::start(session, SchedulerConfig::default());
+        let (tx, rx) = mpsc::channel();
+        scheduler.submit(Job { id: 5, cloud: sample_shape(ShapeClass::Chair, n, 1), reply: tx });
+        match rx.recv_timeout(std::time::Duration::from_secs(30)).expect("reply arrives") {
+            Frame::Result { id, mats } => {
+                assert_eq!(id, 5);
+                assert_eq!(mats.len(), 1);
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+        let stats = scheduler.stats();
+        assert_eq!((stats.served, stats.shed), (1, 0));
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn overflow_sheds_the_oldest_with_a_typed_error() {
+        let session = tiny_session();
+        let n = session.network().input_points();
+        // One dispatcher, queue depth 2: stall the dispatcher with a first
+        // job, then overfill the queue and watch the oldest queued job go.
+        let scheduler = Scheduler::start(
+            session,
+            SchedulerConfig { queue_depth: 2, max_batch: 1, dispatchers: 1 },
+        );
+        let (tx, rx) = mpsc::channel();
+        for id in 0..8u64 {
+            scheduler.submit(Job {
+                id,
+                cloud: sample_shape(ShapeClass::Chair, n, id),
+                reply: tx.clone(),
+            });
+        }
+        drop(tx);
+        let mut shed_ids = Vec::new();
+        let mut ok_ids = Vec::new();
+        while let Ok(frame) = rx.recv_timeout(std::time::Duration::from_secs(60)) {
+            match frame {
+                Frame::Error { id, code, message } => {
+                    assert_eq!(code, ErrorCode::Shed, "id {id}: {message}");
+                    assert!(!message.is_empty(), "shed errors must explain themselves");
+                    shed_ids.push(id);
+                }
+                Frame::Result { id, .. } => ok_ids.push(id),
+                other => panic!("unexpected frame {other:?}"),
+            }
+            if shed_ids.len() + ok_ids.len() == 8 {
+                break;
+            }
+        }
+        assert_eq!(shed_ids.len() + ok_ids.len(), 8, "every request gets a typed outcome");
+        assert!(!shed_ids.is_empty(), "overflow must shed");
+        // Shed-oldest: every shed id is smaller than the newest admitted id.
+        let newest_ok = ok_ids.iter().max().expect("some requests succeed");
+        for shed in &shed_ids {
+            assert!(shed < newest_ok, "shed {shed} is older than served {newest_ok}");
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.shed as usize, shed_ids.len());
+        assert_eq!(stats.served as usize, ok_ids.len());
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn same_shape_requests_coalesce_into_batches() {
+        let session = tiny_session();
+        let n = session.network().input_points();
+        let scheduler = Scheduler::start(
+            session,
+            SchedulerConfig { queue_depth: 64, max_batch: 8, dispatchers: 1 },
+        );
+        // Stall dispatch long enough to build a backlog by submitting
+        // everything before the dispatcher can drain: the first dispatch
+        // compiles the plan (slow), the rest then coalesce.
+        let (tx, rx) = mpsc::channel();
+        let total = 12u64;
+        for id in 0..total {
+            scheduler.submit(Job {
+                id,
+                cloud: sample_shape(ShapeClass::Cup, n, 3),
+                reply: tx.clone(),
+            });
+        }
+        drop(tx);
+        let mut got = 0;
+        while got < total {
+            match rx.recv_timeout(std::time::Duration::from_secs(60)).expect("reply") {
+                Frame::Result { .. } => got += 1,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.served, total);
+        assert!(
+            stats.batches < total,
+            "same-shape backlog must coalesce: {} dispatches for {total} requests",
+            stats.batches
+        );
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_late_submissions_as_unavailable() {
+        let session = tiny_session();
+        let n = session.network().input_points();
+        let scheduler = Scheduler::start(session, SchedulerConfig::default());
+        scheduler.shutdown();
+        let (tx, rx) = mpsc::channel();
+        scheduler.submit(Job { id: 1, cloud: sample_shape(ShapeClass::Chair, n, 1), reply: tx });
+        match rx.recv().expect("typed rejection") {
+            Frame::Error { code: ErrorCode::Unavailable, .. } => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+}

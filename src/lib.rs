@@ -45,6 +45,7 @@ pub use mesorasi_networks as networks;
 pub use mesorasi_nn as nn;
 pub use mesorasi_par as par;
 pub use mesorasi_pointcloud as pointcloud;
+pub use mesorasi_serve as serve;
 pub use mesorasi_sim as sim;
 pub use mesorasi_tensor as tensor;
 
