@@ -7,7 +7,7 @@
 //! cargo run --release -p mesorasi-bench --bin repro -- bench --json --smoke
 //! ```
 
-use mesorasi_bench::{experiments, perf, serve_bench, Context};
+use mesorasi_bench::{diff, experiments, perf, serve_bench, Context};
 use mesorasi_core::Strategy;
 use mesorasi_networks::registry::NetworkKind;
 use std::io::Write;
@@ -23,6 +23,105 @@ fn emit(s: &str) {
         }
         panic!("failed writing to stdout: {e}");
     }
+}
+
+/// Probes that `path` is writable *before* the expensive measurement
+/// runs, so a bad `--out` fails in milliseconds with a clear message
+/// instead of a panic that loses a multi-minute run. The probe creates
+/// (or truncates nothing of) the file; the real artifact overwrites it.
+fn ensure_writable(path: &str) {
+    if let Err(e) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        eprintln!("[repro] cannot write --out path {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Compares a fresh (or `--current`) bench artifact against a committed
+/// baseline (`repro bench-diff --baseline PATH [--current PATH]
+/// [--threshold X] [--smoke]`) and exits non-zero past the threshold.
+fn run_bench_diff(args: &[String]) -> ! {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut threshold = diff::DEFAULT_THRESHOLD;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("[repro] --baseline requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--current" => match it.next() {
+                Some(p) => current_path = Some(p.clone()),
+                None => {
+                    eprintln!("[repro] --current requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t > 1.0 => threshold = t,
+                _ => {
+                    eprintln!("[repro] --threshold requires a number > 1.0");
+                    std::process::exit(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "[repro] unknown bench-diff flag '{other}' (use --baseline PATH, \
+                     --current PATH, --threshold X, --smoke)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(baseline_path) = baseline_path else {
+        eprintln!("[repro] bench-diff requires --baseline PATH (the committed BENCH_*.json)");
+        std::process::exit(2);
+    };
+
+    let read_report = |path: &str| -> diff::ParsedReport {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("[repro] cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        diff::parse_report(&text).unwrap_or_else(|e| {
+            eprintln!("[repro] cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    let baseline = read_report(&baseline_path);
+    let current = match current_path {
+        Some(p) => read_report(&p),
+        None => {
+            // Measure fresh, at the baseline's own scale unless --smoke
+            // forces the reduced workloads (the diff refuses mismatches).
+            eprintln!(
+                "[repro] bench-diff: measuring a fresh {} run against {baseline_path}...",
+                if smoke { "smoke" } else { "full" }
+            );
+            let report = perf::run(smoke);
+            diff::parse_report(&report.to_json()).expect("the writer's own output parses")
+        }
+    };
+
+    let d = diff::diff(&baseline, &current, threshold).unwrap_or_else(|e| {
+        eprintln!("[repro] bench-diff: {e}");
+        std::process::exit(2);
+    });
+    emit(d.to_table().trim_end());
+    let regressions = d.regressions();
+    for r in &regressions {
+        eprintln!(
+            "[repro] TRAJECTORY REGRESSION: {} is {:.2}x its committed baseline (gate: {:.2}x)",
+            r.key, r.ratio, threshold
+        );
+    }
+    std::process::exit(if regressions.is_empty() { 0 } else { 1 });
 }
 
 /// Runs the perf harness (`repro bench [--json] [--smoke] [--out PATH]`).
@@ -49,6 +148,9 @@ fn run_bench(args: &[String]) -> ! {
         }
     }
 
+    if let Some(p) = &out_path {
+        ensure_writable(p);
+    }
     eprintln!(
         "[repro] bench: {} workloads on {} host thread(s)...",
         if smoke { "smoke" } else { "full" },
@@ -62,8 +164,10 @@ fn run_bench(args: &[String]) -> ! {
     // of, table printing. A broken pipe here only silences the table.
     if json {
         let path = out_path.unwrap_or_else(|| report.filename());
-        std::fs::write(&path, report.to_json())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("[repro] cannot write {path}: {e} — the run is lost, fix the path");
+            std::process::exit(2);
+        }
         eprintln!("[repro] wrote {path}");
     }
 
@@ -149,6 +253,9 @@ fn run_serve_bench(args: &[String]) -> ! {
         }
     }
 
+    if let Some(p) = &out_path {
+        ensure_writable(p);
+    }
     eprintln!(
         "[repro] serve-bench: {} streams, {} load, {} host thread(s)...",
         serve_bench::STREAMS,
@@ -159,8 +266,10 @@ fn run_serve_bench(args: &[String]) -> ! {
 
     if json {
         let path = out_path.unwrap_or_else(|| format!("SERVE_{}.json", report.date));
-        std::fs::write(&path, report.to_json())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("[repro] cannot write {path}: {e} — the run is lost, fix the path");
+            std::process::exit(2);
+        }
         eprintln!("[repro] wrote {path}");
     }
 
@@ -190,26 +299,37 @@ fn main() {
         emit("usage: repro [--list] [EXPERIMENT_ID ...]");
         emit("       repro bench [--json] [--smoke] [--out PATH]");
         emit("       repro serve-bench [--json] [--smoke] [--out PATH]");
+        emit("       repro bench-diff --baseline PATH [--current PATH]");
+        emit("                        [--threshold X] [--smoke]");
         emit("");
         emit("With no arguments every experiment runs in order. Paper-scale");
         emit("traces are built once (in parallel) and shared.");
         emit("");
         emit("`repro bench` times the parallel kernels across a thread sweep,");
         emit("whole-network forwards (tape vs Session), and batched Session");
-        emit("throughput; --json writes BENCH_<date>.json (mesorasi-bench/5),");
+        emit("throughput; --json writes BENCH_<date>.json (mesorasi-bench/6),");
         emit("--smoke runs reduced workloads and exits non-zero if a parallel,");
         emit("planned, or batched path regresses past its gate.");
         emit("");
         emit("`repro serve-bench` serves inference over TCP and drives it with");
         emit("concurrent sensor-replay streams (fresh vs mixed traffic),");
         emit("reporting p50/p99/p999 request latency; --json writes");
-        emit("SERVE_<date>.json (same mesorasi-bench/5 schema). Exits non-zero");
+        emit("SERVE_<date>.json (same mesorasi-bench/6 schema). Exits non-zero");
         emit("on any shed request or a mixed-traffic p99 beyond 1.5x fresh.");
         emit("MESORASI_THREADS caps the pool.");
+        emit("");
+        emit("`repro bench-diff` compares a bench artifact (--current, or a");
+        emit("fresh in-process run) against a committed baseline per (op,");
+        emit("backend, threads, dtype, batch) record, printing a trajectory");
+        emit("table and exiting non-zero when any shared configuration is");
+        emit("more than --threshold (default 1.5) times slower.");
         return;
     }
     if args.first().map(String::as_str) == Some("bench") {
         run_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        run_bench_diff(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("serve-bench") {
         run_serve_bench(&args[1..]);

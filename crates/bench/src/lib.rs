@@ -9,7 +9,10 @@
 //! The [`Context`] caches paper-scale traces — the expensive part — so
 //! experiments that share workloads (most of them) build each trace once.
 
+#![forbid(unsafe_code)]
+
 pub mod context;
+pub mod diff;
 pub mod experiments;
 pub mod perf;
 pub mod serve_bench;

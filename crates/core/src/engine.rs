@@ -36,10 +36,10 @@ use crate::sample_cache::{SampleCache, SampleCacheStats, DEFAULT_SAMPLE_CACHE_CA
 use mesorasi_knn::stats::SearchCounters;
 use mesorasi_knn::{NeighborIndexTable, SearchContext, SearchPlanner};
 use mesorasi_nn::ir::VarId;
-use mesorasi_nn::plan::{Arena, ArenaStats, Bindings, DynMarks, Plan};
+use mesorasi_nn::plan::{Arena, Arena64, ArenaStats, Bindings, DynMarks, Plan, ShadowPlan};
 use mesorasi_nn::Graph;
 use mesorasi_pointcloud::PointCloud;
-use mesorasi_tensor::Matrix;
+use mesorasi_tensor::{Dtype, Matrix};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -395,6 +395,38 @@ struct Compiled {
     state_set: Vec<bool>,
     /// Persistent bindings of the streaming (cache-bypass) path.
     stream_bindings: Option<Bindings>,
+    /// The f64 shadow-execution state, built lazily on the first
+    /// [`Dtype::F64`] run against this plan.
+    shadow: Option<ShadowExec>,
+}
+
+/// Lazy per-plan state of the f64 execution mode: the widened constants,
+/// the f64 arena, and the rounded-to-f32 output views callers borrow.
+struct ShadowExec {
+    plan: ShadowPlan,
+    arena: Arena64,
+    /// One f32 matrix per plan output, refreshed (rounded once per
+    /// element) after every shadow replay.
+    outs: Vec<Matrix>,
+}
+
+/// Replays the complete plan in f64 against the bindings the f32 pass
+/// derived, then rounds every output to f32 once. Neighbor structure is
+/// **dtype-invariant by construction**: every dynamic step (centroid
+/// selection, neighbor search — including DGCNN's feature-space kNN —
+/// and stencil derivation) reads the f32 arena, so an f64 run gathers
+/// exactly the rows an f32 run gathers and only the dense arithmetic
+/// changes precision.
+fn run_shadow(plan: &Plan, shadow: &mut Option<ShadowExec>, bindings: &Bindings) {
+    let ex = shadow.get_or_insert_with(|| ShadowExec {
+        plan: plan.shadow(),
+        arena: plan.arena64(),
+        outs: vec![Matrix::zeros(0, 0); plan.output_count()],
+    });
+    plan.run_f64(&ex.plan, &mut ex.arena, bindings);
+    for (i, o) in ex.outs.iter_mut().enumerate() {
+        plan.output64(&ex.plan, &ex.arena, i).round_into(o);
+    }
 }
 
 impl Compiled {
@@ -415,14 +447,21 @@ pub struct PlannedOutputs<'a> {
     plan: &'a Plan,
     arena: &'a Arena,
     outputs: usize,
+    /// When the engine ran in [`Dtype::F64`] mode: the rounded shadow
+    /// outputs, overriding the f32 arena values.
+    shadow_outs: Option<&'a [Matrix]>,
 }
 
 impl<'a> PlannedOutputs<'a> {
     /// The `i`-th output requested by the recording closure. The borrow
     /// carries the engine's lifetime, so several outputs can be held at
-    /// once.
+    /// once. In [`Dtype::F64`] mode this is the shadow execution's value,
+    /// rounded to f32 once at the boundary.
     pub fn get(&self, i: usize) -> &'a Matrix {
-        self.plan.output(self.arena, i)
+        match self.shadow_outs {
+            Some(outs) => &outs[i],
+            None => self.plan.output(self.arena, i),
+        }
     }
 
     /// Number of outputs.
@@ -469,6 +508,7 @@ pub struct PlanEngine {
     compiled: Vec<Compiled>,
     planner: SearchPlanner,
     sample_cache_cap: usize,
+    dtype: Dtype,
 }
 
 impl Default for PlanEngine {
@@ -487,7 +527,32 @@ impl PlanEngine {
     /// An engine with an explicit search planner (the session builder's
     /// backend override).
     pub fn with_planner(planner: SearchPlanner) -> PlanEngine {
-        PlanEngine { compiled: Vec::new(), planner, sample_cache_cap: DEFAULT_SAMPLE_CACHE_CAP }
+        PlanEngine {
+            compiled: Vec::new(),
+            planner,
+            sample_cache_cap: DEFAULT_SAMPLE_CACHE_CAP,
+            dtype: Dtype::F32,
+        }
+    }
+
+    /// Selects the execution dtype for subsequent runs.
+    ///
+    /// [`Dtype::F32`] (the default) is pure native execution. In
+    /// [`Dtype::F64`] mode the engine still runs the f32 plan — the
+    /// dynamic derivation steps (searches, stencils) read intermediate
+    /// features from the f32 arena, which keeps neighbor structure
+    /// dtype-invariant — and then replays the complete plan through the
+    /// sequential f64 shadow kernels, so [`PlannedOutputs::get`] returns
+    /// f64-accumulated values rounded once to f32. Shadow state is built
+    /// lazily per compiled plan on the first f64 run; switching back to
+    /// f32 keeps it around for later reuse.
+    pub fn set_dtype(&mut self, dtype: Dtype) {
+        self.dtype = dtype;
+    }
+
+    /// The execution dtype selected via [`PlanEngine::set_dtype`].
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
     }
 
     /// Sets the per-plan NIT sample-cache capacity (0 disables caching —
@@ -523,30 +588,36 @@ impl PlanEngine {
         cloud: &PointCloud,
         record: &dyn Fn(&mut Graph, &PointCloud) -> Vec<VarId>,
     ) -> PlannedOutputs<'a> {
+        let dtype = self.dtype;
         let ci = self.ensure_compiled(cloud, record);
         let c = &mut self.compiled[ci];
 
         let hash = cloud.content_hash();
         // Split the borrows: the cache hands out `&Bindings` while the plan
         // runs against the arena.
-        let Compiled { samples, plan, arena, .. } = c;
+        let Compiled { samples, plan, arena, shadow, .. } = c;
         match samples.get(hash, cloud) {
             Some(bindings) => {
                 // Steady state: pure planned tensor execution, no searches,
                 // no allocation (the LRU relink is pointer surgery).
                 plan.run(arena, bindings);
+                if dtype == Dtype::F64 {
+                    run_shadow(plan, shadow, bindings);
+                }
             }
             None => {
                 let mut bindings = Bindings::for_plan(&c.plan);
                 derive_and_run(c, cloud, &mut bindings);
+                if dtype == Dtype::F64 {
+                    run_shadow(&c.plan, &mut c.shadow, &bindings);
+                }
                 // True LRU: at capacity exactly one (least recently used)
                 // entry is evicted — never a wholesale clear, so hot
                 // samples survive unbounded fresh traffic.
                 c.samples.insert(hash, cloud, bindings);
             }
         }
-        let c = &self.compiled[ci];
-        PlannedOutputs { plan: &c.plan, arena: &c.arena, outputs: c.plan.output_count() }
+        self.outputs_of(ci)
     }
 
     /// Runs one planned forward in streaming (frame-sequence) mode: the
@@ -567,6 +638,7 @@ impl PlanEngine {
         cloud: &PointCloud,
         record: &dyn Fn(&mut Graph, &PointCloud) -> Vec<VarId>,
     ) -> PlannedOutputs<'a> {
+        let dtype = self.dtype;
         let ci = self.ensure_compiled(cloud, record);
         let c = &mut self.compiled[ci];
         let mut bindings = match c.stream_bindings.take() {
@@ -574,9 +646,25 @@ impl PlanEngine {
             None => Bindings::for_plan(&c.plan),
         };
         derive_and_run(c, cloud, &mut bindings);
+        if dtype == Dtype::F64 {
+            run_shadow(&c.plan, &mut c.shadow, &bindings);
+        }
         c.stream_bindings = Some(bindings);
+        self.outputs_of(ci)
+    }
+
+    /// The output borrow of a finished execution, honoring the dtype mode.
+    fn outputs_of(&self, ci: usize) -> PlannedOutputs<'_> {
         let c = &self.compiled[ci];
-        PlannedOutputs { plan: &c.plan, arena: &c.arena, outputs: c.plan.output_count() }
+        PlannedOutputs {
+            plan: &c.plan,
+            arena: &c.arena,
+            outputs: c.plan.output_count(),
+            shadow_outs: match self.dtype {
+                Dtype::F64 => c.shadow.as_ref().map(|s| s.outs.as_slice()),
+                Dtype::F32 => None,
+            },
+        }
     }
 
     /// Statistics of the plan compiled for `n_points`, if any: tensor-arena
@@ -650,6 +738,7 @@ impl PlanEngine {
             state_bufs: vec![PointCloud::new(); n_states],
             state_set: vec![false; n_states],
             stream_bindings: None,
+            shadow: None,
         });
         self.compiled.len() - 1
     }
@@ -1120,6 +1209,44 @@ mod tests {
         assert_eq!(stats.cache.entries, 1);
         assert_eq!(stats.cache.capacity, DEFAULT_SAMPLE_CACHE_CAP);
         assert_eq!(stats.cache.evictions, 0);
+    }
+
+    #[test]
+    fn f64_mode_tracks_f32_and_keeps_neighbor_structure() {
+        let module = offset_module(NeighborMode::CoordKnn);
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+            vec![out.state.features]
+        };
+        let cloud = sample_shape(ShapeClass::Cup, 96, 7);
+
+        let mut f32_engine = PlanEngine::new();
+        let f32_out = f32_engine.run(&cloud, &record).get(0).clone();
+
+        let mut engine = PlanEngine::new();
+        engine.set_dtype(Dtype::F64);
+        assert_eq!(engine.dtype(), Dtype::F64);
+        // Cover both the cache-miss (derive) and cache-hit paths.
+        let first = engine.run(&cloud, &record).get(0).clone();
+        let second = engine.run(&cloud, &record).get(0).clone();
+        assert_eq!(first, second, "f64 replay must be deterministic");
+        assert_eq!(first.shape(), f32_out.shape());
+        for r in 0..first.rows() {
+            for (a, b) in first.row(r).iter().zip(f32_out.row(r)) {
+                assert!(
+                    (a - b).abs() <= 1e-3 * (1.0 + b.abs()),
+                    "f64 value {a} drifted from f32 value {b}"
+                );
+            }
+        }
+        // Streamed execution honors the dtype too.
+        let streamed = engine.run_streamed(&cloud, &record).get(0).clone();
+        assert_eq!(streamed, first, "streamed f64 must match cached f64");
+
+        // Switching back to f32 returns the native arena values.
+        engine.set_dtype(Dtype::F32);
+        assert_eq!(engine.run(&cloud, &record).get(0), &f32_out);
     }
 
     #[test]

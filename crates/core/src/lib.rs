@@ -42,6 +42,8 @@
 //! assert_eq!(g.value(out.state.features).shape(), (32, 32));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod distributivity;
 pub mod engine;

@@ -40,6 +40,8 @@
 //! assert_eq!(exact.neighbors_flat(), fast.neighbors_flat());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ball;
 pub mod bruteforce;
 pub mod feature;

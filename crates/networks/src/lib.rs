@@ -16,6 +16,8 @@
 //! [`NetworkTrace`] the hardware simulator replays. Paper-scale and small
 //! (trainable in seconds) configurations are provided for each.
 
+#![forbid(unsafe_code)]
+
 pub mod cnn;
 pub mod datasets;
 pub mod densepoint;

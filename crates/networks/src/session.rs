@@ -46,7 +46,7 @@ use mesorasi_nn::loss;
 use mesorasi_nn::{Graph, VarId};
 use mesorasi_par as par;
 use mesorasi_pointcloud::{Point3, PointCloud};
-use mesorasi_tensor::Matrix;
+use mesorasi_tensor::{Dtype, Matrix};
 use std::borrow::Borrow;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -281,6 +281,21 @@ pub struct SessionBuilder {
     init_seed: u64,
     search: Option<SearchBackend>,
     sample_cache_cap: Option<usize>,
+    dtype: Option<Dtype>,
+}
+
+/// Reads `MESORASI_DTYPE` (`"f32"` or `"f64"`). Like `MESORASI_SEARCH`
+/// and `MESORASI_THREADS`, an invalid value fails loudly rather than
+/// silently running the wrong configuration.
+fn dtype_from_env() -> Dtype {
+    match std::env::var("MESORASI_DTYPE") {
+        Ok(v) => match v.as_str() {
+            "f32" => Dtype::F32,
+            "f64" => Dtype::F64,
+            other => panic!("MESORASI_DTYPE must be \"f32\" or \"f64\", got {other:?}"),
+        },
+        Err(_) => Dtype::F32,
+    }
 }
 
 impl SessionBuilder {
@@ -295,6 +310,7 @@ impl SessionBuilder {
             init_seed: 0,
             search: None,
             sample_cache_cap: None,
+            dtype: None,
         }
     }
 
@@ -385,6 +401,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Execution dtype for every worker engine. The default (also when
+    /// `MESORASI_DTYPE` is unset) is [`Dtype::F32`] — the native fast
+    /// tier. [`Dtype::F64`] selects shadow-precision execution: the f32
+    /// plan still runs and derives all neighbor structure (searches are
+    /// dtype-invariant), then a sequential f64 replay produces the
+    /// outputs, rounded to f32 once. Bit-identity contracts (tape vs.
+    /// planned, thread invariance) hold *within* each dtype; use f64 runs
+    /// to measure what f32 execution costs in end-task accuracy.
+    pub fn dtype(mut self, dtype: Dtype) -> Self {
+        self.dtype = Some(dtype);
+        self
+    }
+
     /// Builds the session. Plan compilation is lazy: each worker engine
     /// records the network on first contact with a given input shape.
     pub fn build(self) -> Session {
@@ -405,17 +434,20 @@ impl SessionBuilder {
             Some(backend) => SearchPlanner::forced(backend),
             None => SearchPlanner::from_env(),
         };
+        let dtype = self.dtype.unwrap_or_else(dtype_from_env);
         Session {
             net,
             strategy: self.strategy,
             seed: self.seed,
             domain,
+            dtype,
             engines: (0..workers)
                 .map(|_| {
                     let mut engine = PlanEngine::with_planner(planner);
                     if let Some(cap) = self.sample_cache_cap {
                         engine.set_sample_cache_cap(cap);
                     }
+                    engine.set_dtype(dtype);
                     Worker { engine: Mutex::new(engine), holder: AtomicU64::new(0) }
                 })
                 .collect(),
@@ -531,6 +563,7 @@ pub struct Session {
     strategy: Strategy,
     seed: u64,
     domain: Domain,
+    dtype: Dtype,
     engines: Vec<Worker>,
     next: AtomicUsize,
 }
@@ -555,6 +588,11 @@ impl Session {
     /// The centroid-sampling seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The execution dtype every worker engine runs at.
+    pub fn dtype(&self) -> Dtype {
+        self.dtype
     }
 
     /// The task domain, deciding which [`Inference`] variant is returned.
@@ -924,6 +962,8 @@ mod tests {
             let session = SessionBuilder::from_network_ref(net.as_ref())
                 .strategy(Strategy::Delayed)
                 .seed(9)
+                // Bit-identity to the tape is a per-dtype (f32) contract.
+                .dtype(Dtype::F32)
                 .build();
             for cloud_seed in [1, 2] {
                 let cloud = sample_shape(ShapeClass::Guitar, net.input_points(), cloud_seed);
@@ -946,8 +986,11 @@ mod tests {
         let mut rng = mesorasi_pointcloud::seeded_rng(4);
         let net = FPointNet::small(&mut rng);
         let frustums = crate::datasets::frustums(2, 128, 5);
-        let session =
-            SessionBuilder::from_network_ref(&net).strategy(Strategy::Original).seed(11).build();
+        let session = SessionBuilder::from_network_ref(&net)
+            .strategy(Strategy::Original)
+            .seed(11)
+            .dtype(Dtype::F32)
+            .build();
         for ex in frustums.iter().take(3) {
             let mut g = Graph::new();
             let det = net.forward_detection(&mut g, &ex.cloud, Strategy::Original, 11);
@@ -1119,7 +1162,8 @@ mod tests {
         let inner = crate::pointnetpp::PointNetPP::classification_small(3, &mut rng);
         let reference = inner.clone();
         let flaky = FlakyOnce { inner, tripped: std::sync::atomic::AtomicBool::new(false) };
-        let session = SessionBuilder::from_network(flaky).seed(5).workers(2).build();
+        let session =
+            SessionBuilder::from_network(flaky).seed(5).workers(2).dtype(Dtype::F32).build();
         let cloud = sample_shape(ShapeClass::Chair, reference.input_points(), 8);
 
         let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -42,6 +42,8 @@
 //! assert!((layer.weight.value[(0, 0)] - 2.0).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod graph;
 pub mod init;
 pub mod ir;

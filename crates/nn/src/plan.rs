@@ -25,7 +25,7 @@
 
 use crate::graph::Graph;
 use crate::ir::{Op, VarId};
-use mesorasi_tensor::{group, ops, Matrix};
+use mesorasi_tensor::{group, ops, ops64, Matrix, Matrix64};
 use std::collections::HashMap;
 
 /// Marks ops of a recorded graph whose index operands are per-sample
@@ -132,6 +132,53 @@ impl Arena {
         let elems: usize =
             self.slots.iter().map(Matrix::capacity).sum::<usize>() + self.scratch.capacity();
         elems * std::mem::size_of::<f32>()
+    }
+}
+
+/// The compile-time f64 half of a plan's shadow-precision tier: every
+/// constant payload of the plan (parameter snapshots, [`Op::MulConst`]
+/// masks, static [`Op::WeightedGather`] weights) widened to f64 exactly
+/// once. Create with [`Plan::shadow`]; execute with [`Plan::run_f64`].
+///
+/// The shadow executor replays the *same* plan — same schedule, same slot
+/// assignment, same per-sample [`Bindings`] — through the sequential
+/// [`ops64`] kernels on [`Matrix64`] values. Per-sample data crosses the
+/// f32 → f64 boundary at [`Op::Input`] nodes and at dynamic stencil
+/// weights; everything downstream accumulates in f64.
+#[derive(Debug)]
+pub struct ShadowPlan {
+    consts: Vec<Matrix64>,
+    /// Live [`Op::MulConst`] node index → widened mask.
+    masks: HashMap<usize, Matrix64>,
+    /// Live [`Op::WeightedGather`] node index → widened weights, for
+    /// stencils that are network structure rather than per-sample values.
+    weights: HashMap<usize, Vec<f64>>,
+}
+
+/// The reusable f64 execution state for one plan — the [`Arena`] of the
+/// shadow tier. Create with [`Plan::arena64`]; after the first execution
+/// it stops allocating.
+#[derive(Debug)]
+pub struct Arena64 {
+    slots: Vec<Matrix64>,
+    scratch: Vec<f64>,
+    /// Reused widening buffer for per-sample stencil weights.
+    wscratch: Vec<f64>,
+    grow_events: usize,
+}
+
+impl Arena64 {
+    /// Times any slot grew beyond its planned capacity (0 in steady state).
+    pub fn grow_events(&self) -> usize {
+        self.grow_events
+    }
+
+    /// Total bytes currently reserved by the arena.
+    pub fn peak_bytes(&self) -> usize {
+        let elems: usize = self.slots.iter().map(Matrix64::capacity).sum::<usize>()
+            + self.scratch.capacity()
+            + self.wscratch.capacity();
+        elems * std::mem::size_of::<f64>()
     }
 }
 
@@ -539,6 +586,268 @@ impl Plan {
             }
         }
     }
+
+    /// Widens every constant payload of this plan to f64 — the one-time
+    /// compile step of the shadow-precision tier.
+    pub fn shadow(&self) -> ShadowPlan {
+        let mut masks = HashMap::new();
+        let mut weights = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.loc, Loc::Dead) {
+                continue;
+            }
+            match &self.ops[i] {
+                Op::MulConst { mask, .. } => {
+                    masks.insert(i, Matrix64::widened(mask));
+                }
+                Op::WeightedGather { weights: w, .. } if node.stencil_bid.is_none() => {
+                    weights.insert(i, w.iter().map(|&v| f64::from(v)).collect::<Vec<f64>>());
+                }
+                _ => {}
+            }
+        }
+        ShadowPlan { consts: self.consts.iter().map(Matrix64::widened).collect(), masks, weights }
+    }
+
+    /// A fresh f64 arena sized for this plan — same slot layout as
+    /// [`Plan::arena`].
+    pub fn arena64(&self) -> Arena64 {
+        Arena64 {
+            slots: self.slot_elems.iter().map(|&e| Matrix64::with_capacity(e)).collect(),
+            scratch: Vec::new(),
+            wscratch: Vec::new(),
+            grow_events: 0,
+        }
+    }
+
+    /// The f64 value of `v` after shadow execution reached past its
+    /// definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` was eliminated as dead code.
+    pub fn value64<'a>(
+        &self,
+        shadow: &'a ShadowPlan,
+        arena: &'a Arena64,
+        v: VarId,
+    ) -> &'a Matrix64 {
+        match self.nodes[v.index()].loc {
+            Loc::Slot(s) => &arena.slots[s],
+            Loc::Const(c) => &shadow.consts[c],
+            Loc::Dead => panic!("node {} was eliminated as dead code", v.index()),
+        }
+    }
+
+    /// The `idx`-th requested output of the shadow execution.
+    pub fn output64<'a>(
+        &self,
+        shadow: &'a ShadowPlan,
+        arena: &'a Arena64,
+        idx: usize,
+    ) -> &'a Matrix64 {
+        self.value64(shadow, arena, VarId::from_index(self.outputs[idx]))
+    }
+
+    /// Executes the whole plan in f64 against `arena` with the same
+    /// per-sample `bindings` an f32 execution would take. Inputs are
+    /// widened at the boundary; every kernel then runs sequentially in
+    /// f64 ([`ops64`]), so the result is deterministic at any thread
+    /// count by construction.
+    pub fn run_f64(&self, shadow: &ShadowPlan, arena: &mut Arena64, bindings: &Bindings) {
+        self.run_range_f64(shadow, arena, bindings, 0, self.ops.len());
+    }
+
+    /// Shadow-executes nodes `lo..hi` — the f64 sibling of
+    /// [`Plan::run_range`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when bindings disagree with the recorded shapes.
+    pub fn run_range_f64(
+        &self,
+        shadow: &ShadowPlan,
+        arena: &mut Arena64,
+        bindings: &Bindings,
+        lo: usize,
+        hi: usize,
+    ) {
+        for i in lo..hi {
+            self.exec_node_f64(i, shadow, arena, bindings);
+        }
+    }
+
+    fn exec_node_f64(&self, i: usize, shadow: &ShadowPlan, arena: &mut Arena64, bind: &Bindings) {
+        let node = &self.nodes[i];
+        let out_slot = match node.loc {
+            Loc::Slot(s) => s,
+            // Params were widened at shadow-compile time; dead code never
+            // runs.
+            Loc::Const(_) | Loc::Dead => return,
+        };
+        let mut out = std::mem::take(&mut arena.slots[out_slot]);
+        let cap_before = out.capacity();
+        match &self.ops[i] {
+            Op::Param { .. } => unreachable!("params are consts"),
+            Op::Input => {
+                let src = &bind.inputs[node.input_idx.expect("live inputs are indexed")];
+                assert_eq!(
+                    src.shape(),
+                    (node.rows, node.cols),
+                    "input {i} shape changed since the plan was recorded"
+                );
+                out.copy_widened(src);
+            }
+            Op::MatMul { a, b } => {
+                ops64::matmul_into(
+                    self.value64(shadow, arena, *a),
+                    self.value64(shadow, arena, *b),
+                    &mut out,
+                );
+            }
+            Op::AddBias { x, bias } => {
+                ops64::add_bias_row_into(
+                    self.value64(shadow, arena, *x),
+                    self.value64(shadow, arena, *bias),
+                    &mut out,
+                );
+            }
+            Op::Add { a, b } => {
+                ops64::add_into(
+                    self.value64(shadow, arena, *a),
+                    self.value64(shadow, arena, *b),
+                    &mut out,
+                );
+            }
+            Op::Sub { a, b } => {
+                ops64::sub_into(
+                    self.value64(shadow, arena, *a),
+                    self.value64(shadow, arena, *b),
+                    &mut out,
+                );
+            }
+            Op::Relu { x } => ops64::relu_into(self.value64(shadow, arena, *x), &mut out),
+            Op::Hadamard { a, b } => {
+                ops64::hadamard_into(
+                    self.value64(shadow, arena, *a),
+                    self.value64(shadow, arena, *b),
+                    &mut out,
+                );
+            }
+            Op::MulConst { x, .. } => {
+                ops64::hadamard_into(self.value64(shadow, arena, *x), &shadow.masks[&i], &mut out);
+            }
+            Op::Scale { x, s } => {
+                ops64::scale_into(self.value64(shadow, arena, *x), f64::from(*s), &mut out);
+            }
+            Op::Gather { x, indices } => {
+                let idx = node.index_bid.map_or(&indices[..], |bid| &bind.indices[bid]);
+                debug_assert_eq!(idx.len(), indices.len(), "dynamic gather length changed");
+                ops64::gather_rows_into(self.value64(shadow, arena, *x), idx, &mut out);
+            }
+            Op::SubCentroid { grouped, centroids, k } => {
+                ops64::subtract_centroid_per_group_into(
+                    self.value64(shadow, arena, *grouped),
+                    self.value64(shadow, arena, *centroids),
+                    *k,
+                    &mut out,
+                );
+            }
+            Op::GroupMax { x, k } => {
+                ops64::group_max_into(self.value64(shadow, arena, *x), *k, &mut out);
+            }
+            Op::GatherMax { x, groups, k } => {
+                let idx = node.index_bid.map_or(&groups[..], |bid| &bind.indices[bid]);
+                debug_assert_eq!(idx.len(), groups.len(), "dynamic group length changed");
+                ops64::gather_max_into(self.value64(shadow, arena, *x), idx, *k, &mut out);
+            }
+            Op::WeightedGather { x, indices, weights: _, k } => match node.stencil_bid {
+                Some(bid) => {
+                    let (idx, w32) = &bind.stencils[bid];
+                    debug_assert_eq!(idx.len(), indices.len(), "dynamic stencil length changed");
+                    // Widen the per-sample weights into the reusable
+                    // buffer — the only other f32 → f64 boundary besides
+                    // inputs.
+                    let mut w = std::mem::take(&mut arena.wscratch);
+                    w.clear();
+                    w.extend(w32.iter().map(|&v| f64::from(v)));
+                    ops64::weighted_gather_into(
+                        self.value64(shadow, arena, *x),
+                        idx,
+                        &w,
+                        *k,
+                        &mut out,
+                    );
+                    arena.wscratch = w;
+                }
+                None => {
+                    ops64::weighted_gather_into(
+                        self.value64(shadow, arena, *x),
+                        indices,
+                        &shadow.weights[&i],
+                        *k,
+                        &mut out,
+                    );
+                }
+            },
+            Op::HStack { a, b } => {
+                self.value64(shadow, arena, *a)
+                    .hstack_into(self.value64(shadow, arena, *b), &mut out);
+            }
+            Op::Standardize { x } => {
+                let mut scratch = std::mem::take(&mut arena.scratch);
+                ops64::standardize_into(self.value64(shadow, arena, *x), &mut scratch, &mut out);
+                arena.scratch = scratch;
+            }
+            // Losses mirror the f32 executor's arithmetic, carried in f64
+            // end to end.
+            Op::Mse { pred, target } => {
+                let (p, t) =
+                    (self.value64(shadow, arena, *pred), self.value64(shadow, arena, *target));
+                assert_eq!(p.shape(), t.shape(), "mse shape mismatch");
+                let n = p.len() as f64;
+                let loss = p
+                    .as_slice()
+                    .iter()
+                    .zip(t.as_slice())
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    / n;
+                out.reset_shape(1, 1);
+                out[(0, 0)] = loss;
+            }
+            Op::SoftmaxCrossEntropy { logits, labels } => {
+                let l = self.value64(shadow, arena, *logits);
+                assert_eq!(labels.len(), l.rows(), "one label per row");
+                let mut loss = 0.0f64;
+                for (r, &label) in labels.iter().enumerate() {
+                    let row = l.row(r);
+                    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let mut sum = 0.0f64;
+                    let mut p_label = 0.0f64;
+                    for (c, &v) in row.iter().enumerate() {
+                        let e = (v - max).exp();
+                        sum += e;
+                        if c == label as usize {
+                            p_label = e;
+                        }
+                    }
+                    loss -= (p_label / sum).max(1e-12).ln();
+                }
+                out.reset_shape(1, 1);
+                out[(0, 0)] = loss / labels.len() as f64;
+            }
+        }
+        debug_assert_eq!(
+            out.shape(),
+            (node.rows, node.cols),
+            "node {i} produced a shape differing from the recording"
+        );
+        if out.capacity() > cap_before {
+            arena.grow_events += 1;
+        }
+        arena.slots[out_slot] = out;
+    }
 }
 
 #[cfg(test)]
@@ -652,6 +961,76 @@ mod tests {
         let mut arena = plan.arena();
         let b = input_bindings(&plan, &Matrix::zeros(11, 4));
         plan.run(&mut arena, &b);
+    }
+
+    #[test]
+    fn shadow_replay_tracks_f32_closely_and_never_allocates_warm() {
+        let x = Matrix::from_fn(10, 4, |r, c| ((r * 5 + c) as f32 * 0.37).sin());
+        let (g, y, _mlp) = record_mlp(&x);
+        let plan = Plan::from_graph(&g, &[y], &DynMarks::default());
+        let mut arena = plan.arena();
+        let b = input_bindings(&plan, &x);
+        plan.run(&mut arena, &b);
+
+        let shadow = plan.shadow();
+        let mut arena64 = plan.arena64();
+        for _ in 0..3 {
+            plan.run_f64(&shadow, &mut arena64, &b);
+        }
+        assert_eq!(arena64.grow_events(), 0, "shadow capacities must cover execution");
+
+        let f32_out = plan.output(&arena, 0);
+        let f64_out = plan.output64(&shadow, &arena64, 0);
+        assert_eq!(f32_out.shape(), f64_out.shape());
+        for r in 0..f32_out.rows() {
+            for (a, &b) in f32_out.row(r).iter().zip(f64_out.row(r)) {
+                assert!((f64::from(*a) - b).abs() < 1e-4, "f32 {a} drifted from f64 {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn shadow_replay_is_deterministic() {
+        let x = Matrix::from_fn(12, 4, |r, c| ((r * 7 + c) as f32 * 0.19).cos());
+        let (g, y, _mlp) = record_mlp(&x);
+        let plan = Plan::from_graph(&g, &[y], &DynMarks::default());
+        let shadow = plan.shadow();
+        let b = input_bindings(&plan, &x);
+        let mut a1 = plan.arena64();
+        let mut a2 = plan.arena64();
+        plan.run_f64(&shadow, &mut a1, &b);
+        plan.run_f64(&shadow, &mut a2, &b);
+        assert_eq!(
+            plan.output64(&shadow, &a1, 0).as_slice(),
+            plan.output64(&shadow, &a2, 0).as_slice()
+        );
+    }
+
+    #[test]
+    fn shadow_honors_dynamic_index_bindings() {
+        let src = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32);
+        let mut g = Graph::new();
+        let x = g.input(src.clone());
+        let gathered = g.gather(x, vec![0, 1, 2]);
+        let marks = DynMarks {
+            indices: HashMap::from([(gathered.index(), 0)]),
+            stencils: HashMap::new(),
+            n_index: 1,
+            n_stencil: 0,
+        };
+        let plan = Plan::from_graph(&g, &[gathered], &marks);
+        let shadow = plan.shadow();
+        let mut arena64 = plan.arena64();
+        let mut b = input_bindings(&plan, &src);
+        b.indices[0] = vec![5, 4, 3];
+        plan.run_f64(&shadow, &mut arena64, &b);
+        let got = plan.output64(&shadow, &arena64, 0);
+        let want = group::gather_rows(&src, &[5, 4, 3]);
+        for r in 0..want.rows() {
+            for (w, &v) in want.row(r).iter().zip(got.row(r)) {
+                assert_eq!(f64::from(*w), v);
+            }
+        }
     }
 
     #[test]

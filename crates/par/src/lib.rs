@@ -30,6 +30,14 @@
 //! parallel evaluation loop calling parallel matmuls cannot oversubscribe
 //! the machine.
 
+// `par` is, with `mesorasi_tensor::simd`, one of the two documented
+// unsafe exceptions in the workspace: the chunk-claiming primitives hand
+// disjoint sub-slices of one buffer to scoped workers, which cannot be
+// expressed in safe Rust without an extra dependency. Every unsafe item
+// below carries an explicit `#[allow(unsafe_code)]` and a SAFETY comment;
+// everything else in the crate stays under the deny.
+#![deny(unsafe_code)]
+
 mod pool;
 
 use std::cell::Cell;
@@ -132,7 +140,12 @@ pub fn chunk_len(n: usize, cost_per_item: usize) -> usize {
 /// Raw mutable base pointer that is safe to ship across scoped threads:
 /// each worker only ever touches the disjoint chunk it claimed.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced through disjoint [start, end)
+// ranges, each claimed by exactly one worker via an atomic chunk queue,
+// and the pointee buffer outlives the scoped job.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Send for SendPtr<T> {}
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -155,6 +168,7 @@ impl<T> SendPtr<T> {
 /// # Panics
 ///
 /// Panics if `chunk == 0` while `data` is non-empty.
+#[allow(unsafe_code)]
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
 where
     T: Send,
@@ -241,6 +255,7 @@ impl PanicSlot {
 ///
 /// Panics if either chunk length is zero while its slice is non-empty, or
 /// if the two slices disagree on the number of chunks.
+#[allow(unsafe_code)]
 pub fn par_chunks_mut_pair<A, B, F>(a: &mut [A], b: &mut [B], chunk_a: usize, chunk_b: usize, f: F)
 where
     A: Send,

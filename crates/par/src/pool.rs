@@ -116,6 +116,7 @@ fn ensure_workers(wanted: usize) {
 /// self-scheduling chunk-claim loop: idempotent to run on any number of
 /// threads concurrently, a no-op once all chunks are claimed, and
 /// panic-free (it catches its own panics).
+#[allow(unsafe_code)]
 pub(crate) fn run(extra: usize, body: &(dyn Fn() + Sync)) {
     if extra == 0 {
         body();

@@ -29,6 +29,8 @@
 //! assert_eq!(idx.len(), 128);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aabb;
 pub mod cloud;
 pub mod io;

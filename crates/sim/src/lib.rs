@@ -33,6 +33,8 @@
 //! assert_eq!(report.total_ms(), 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod au;
 pub mod energy;

@@ -24,9 +24,54 @@
 //! let c = mesorasi_tensor::ops::matmul(&a, &b);
 //! assert_eq!(c, a);
 //! ```
+//!
+//! # Kernel tiers and dtypes
+//!
+//! The matmul family runs through cache-blocked, register-tiled
+//! micro-kernels ([`simd`] supplies the vector inner loops behind runtime
+//! detection; the `simd` cargo feature, on by default, gates them). The
+//! pre-tier loops survive as [`ops::naive`] — the bit-identical semantics
+//! reference. [`Matrix64`] and [`ops64`] carry the `f64` shadow-precision
+//! tier: sequential, deterministic mirrors of every forward kernel, used
+//! by the planned engine's opt-in f64 execution mode to measure what f32
+//! costs in end-task accuracy.
+
+// The `simd` module is the workspace's single unsafe island; everything
+// else in this crate (and every other crate) refuses unsafe code.
+#![deny(unsafe_code)]
 
 pub mod group;
 pub mod matrix;
+pub mod matrix64;
 pub mod ops;
+pub mod ops64;
+pub mod simd;
 
 pub use matrix::Matrix;
+pub use matrix64::Matrix64;
+
+/// Element precision of a planned execution.
+///
+/// The workspace's native storage is `f32` ([`Matrix`]); `F64` selects the
+/// shadow-precision tier, which replays planned forwards through the
+/// [`ops64`] kernels on [`Matrix64`] values. Bit-identity guarantees
+/// (tape vs. planned, thread-count invariance) hold *within* a dtype —
+/// that is the per-dtype contract; across dtypes only closeness holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dtype {
+    /// Native single precision — the fast tier, and the default.
+    #[default]
+    F32,
+    /// Shadow double precision: sequential, deterministic, for measuring
+    /// the end-task accuracy delta of f32 execution.
+    F64,
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dtype::F32 => write!(f, "f32"),
+            Dtype::F64 => write!(f, "f64"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The [`Matrix64`] storage type of the f64 shadow-precision tier.
+
+use crate::Matrix;
+
+/// A dense row-major `f64` matrix — the storage of the shadow-precision
+/// execution tier.
+///
+/// Deliberately a separate type rather than a generic `Matrix<T>`: the
+/// whole workspace speaks [`Matrix`] (`f32`), and the f64 tier exists only
+/// inside the planned executor's shadow replay, so the narrow API here is
+/// exactly what the [`crate::ops64`] kernels and the engine's conversion
+/// boundaries need.
+#[derive(Clone, PartialEq)]
+pub struct Matrix64 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix64 {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix64 {
+        Matrix64 { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `0 × 0` matrix whose backing store can hold `elems` elements
+    /// without reallocating — the initial state of a shadow-arena slot.
+    pub fn with_capacity(elems: usize) -> Matrix64 {
+        Matrix64 { rows: 0, cols: 0, data: Vec::with_capacity(elems) }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The raw row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The raw row-major data, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Number of `f64` elements the backing allocation can hold without
+    /// growing.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reshapes in place to `rows × cols`, keeping the backing allocation
+    /// (element values unspecified afterwards; never shrinks capacity) —
+    /// mirrors [`Matrix::reset_shape`].
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Overwrites this matrix with the widened contents of the `f32`
+    /// matrix `src`, reusing the backing allocation — the engine's
+    /// f32 → f64 conversion boundary (inputs, constants).
+    pub fn copy_widened(&mut self, src: &Matrix) {
+        self.reset_shape(src.rows(), src.cols());
+        for (o, &v) in self.data.iter_mut().zip(src.as_slice()) {
+            *o = f64::from(v);
+        }
+    }
+
+    /// A new `Matrix64` widened from `src` — `copy_widened` without a
+    /// reusable destination (plan-compile-time conversions).
+    pub fn widened(src: &Matrix) -> Matrix64 {
+        let mut out = Matrix64::zeros(0, 0);
+        out.copy_widened(src);
+        out
+    }
+
+    /// Rounds this matrix into the `f32` matrix `dst`, reusing its backing
+    /// allocation — the engine's f64 → f32 output boundary (one rounding
+    /// per element, IEEE round-to-nearest).
+    pub fn round_into(&self, dst: &mut Matrix) {
+        dst.reset_shape(self.rows, self.cols);
+        for (o, &v) in dst.as_mut_slice().iter_mut().zip(&self.data) {
+            *o = v as f32;
+        }
+    }
+
+    /// Horizontal concatenation into a caller-owned buffer — mirrors
+    /// [`Matrix::hstack_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when row counts differ.
+    pub fn hstack_into(&self, other: &Matrix64, out: &mut Matrix64) {
+        assert_eq!(self.rows, other.rows, "hstack requires equal row counts");
+        out.reset_shape(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+    }
+}
+
+impl Default for Matrix64 {
+    /// The empty `0 × 0` matrix (no allocation) — lets shadow-arena slots
+    /// be `std::mem::take`n during execution.
+    fn default() -> Matrix64 {
+        Matrix64::zeros(0, 0)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix64 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix64 {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Debug for Matrix64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix64 {}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_round_trips_f32_values_exactly() {
+        // Every f32 is exactly representable in f64, so widen → round is
+        // the identity.
+        let src = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f32 * 0.7).sin());
+        let wide = Matrix64::widened(&src);
+        let mut back = Matrix::zeros(0, 0);
+        wide.round_into(&mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn reset_shape_keeps_capacity() {
+        let mut m = Matrix64::zeros(8, 8);
+        let cap = m.capacity();
+        m.reset_shape(2, 2);
+        m.reset_shape(8, 8);
+        assert_eq!(m.capacity(), cap);
+    }
+
+    #[test]
+    fn hstack_concatenates_rows() {
+        let a = Matrix64::widened(&Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = Matrix64::widened(&Matrix::from_rows(&[&[3.0]]));
+        let mut out = Matrix64::zeros(0, 0);
+        a.hstack_into(&b, &mut out);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -5,14 +5,33 @@
 //! accumulation order, so results are bit-identical at every thread count
 //! (and the whole layer degrades to the plain sequential loop at an
 //! effective thread count of 1 or for small shapes).
+//!
+//! # The fast tier and the [`naive`] reference
+//!
+//! The three matmul variants run through cache-blocked, register-tiled
+//! micro-kernels built on [`crate::simd`] (AVX2 behind runtime detection,
+//! auto-vectorizable block-accumulator scalar otherwise). The pre-tier
+//! kernels are
+//! preserved verbatim in [`naive`]: they are the semantics reference the
+//! property tests compare against, and the `"naive"` backend the bench
+//! harness records so every `BENCH_*.json` carries the measured speedup.
+//!
+//! Fast tier and reference are **bit-identical for finite inputs**: every
+//! output element accumulates its products in ascending-`p` order in both
+//! (tiling reorders only *which rows and columns* are resident in
+//! registers and cache, never the per-element chain), and the vector lanes
+//! perform the same one-mul-one-add per element as the scalar loop (no
+//! FMA). The only textual difference is the reference's skip of zero `A`
+//! elements in [`matmul_into`], which here adds `±0.0` products instead —
+//! an IEEE-754 identity on every finite sum (a running sum that starts at
+//! `+0.0` can never become `-0.0`: `+0.0 + ±0.0 == +0.0` and exact
+//! cancellation rounds to `+0.0`, so `x + ±0.0 == x` bitwise throughout
+//! the chain).
 
-use crate::Matrix;
+use crate::{simd, Matrix};
 use mesorasi_par as par;
 
 /// `A · B` for `A: m×k`, `B: k×n`, parallel over output rows.
-///
-/// Uses the cache-friendly i-k-j loop order; the inner loop is a
-/// scalar-times-row AXPY that the compiler auto-vectorizes.
 ///
 /// # Panics
 ///
@@ -26,6 +45,18 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// [`matmul`] writing into a caller-owned buffer (reshaped, fully
 /// overwritten; no allocation once the buffer's capacity suffices).
 ///
+/// Register-tiled: output rows go four at a time through [`simd::mm4`],
+/// which holds a 4-row × 16-column output tile in registers for the whole
+/// `p` walk — each `B` row segment is loaded once per four output rows,
+/// and each output element is written exactly once (the naive kernel
+/// re-reads and re-writes the output row on every `p` step, which is what
+/// makes it memory-bound). The column panels double as cache blocking: a
+/// 16-column slice of `B` (`k × 64` bytes) stays L1-resident across the
+/// `p` walk. Per output element the products still accumulate in
+/// ascending-`p` order, so the result is bit-identical to
+/// [`naive::matmul_into`] for finite inputs (see the module docs; the
+/// reference's sparse zero-skip becomes `±0.0` additions here).
+///
 /// # Panics
 ///
 /// Panics when the inner dimensions disagree.
@@ -37,20 +68,32 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     if n == 0 {
         return;
     }
-    out.as_mut_slice().fill(0.0);
     let row_chunk = par::chunk_len(m, 2 * k * n);
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
-        for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
-            let a_row = a.row(ci * row_chunk + ri);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(p);
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ip * b_pj;
-                }
-            }
+        let first = ci * row_chunk;
+        let rows_here = chunk.len() / n;
+        let mut ri = 0;
+        while ri + 4 <= rows_here {
+            let quad = &mut chunk[ri * n..(ri + 4) * n];
+            let (r0, rest) = quad.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            simd::mm4(
+                [
+                    a.row(first + ri),
+                    a.row(first + ri + 1),
+                    a.row(first + ri + 2),
+                    a.row(first + ri + 3),
+                ],
+                b.as_slice(),
+                n,
+                [r0, r1, r2, r3],
+            );
+            ri += 4;
+        }
+        while ri < rows_here {
+            simd::mm1(a.row(first + ri), b.as_slice(), n, &mut chunk[ri * n..(ri + 1) * n]);
+            ri += 1;
         }
     });
 }
@@ -99,13 +142,14 @@ pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
             let a_cols = &a.row(p)[first..first + rows_here];
             let b_row = b.row(p);
             for (ri, &a_pi) in a_cols.iter().enumerate() {
+                // The zero skip is the reference kernel's sparse shortcut
+                // (gradients behind a ReLU are mostly zeros); `p` stays the
+                // outer loop so each element accumulates in ascending-`p`
+                // order — bit-identical to the sequential formulation.
                 if a_pi == 0.0 {
                     continue;
                 }
-                let out_row = &mut chunk[ri * n..(ri + 1) * n];
-                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_pi * b_pj;
-                }
+                simd::axpy(a_pi, b_row, &mut chunk[ri * n..(ri + 1) * n]);
             }
         }
     });
@@ -146,7 +190,31 @@ pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
         for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
             let a_row = a.row(ci * row_chunk + ri);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+            // Four output columns at a time: four *independent* dot
+            // products share each load of `a_row`, filling the FP-add
+            // latency with instruction-level parallelism. Each element
+            // keeps a single accumulator walked in ascending `p` — lane
+            // splitting a dot product would re-associate the sum, so the
+            // unroll is across columns, never within one.
+            let n4 = n - n % 4;
+            let mut j = 0;
+            while j < n4 {
+                let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for p in 0..k {
+                    let x = a_row[p];
+                    s0 += x * b0[p];
+                    s1 += x * b1[p];
+                    s2 += x * b2[p];
+                    s3 += x * b3[p];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for (j, o) in out_row.iter_mut().enumerate().skip(n4) {
                 let b_row = b.row(j);
                 let mut acc = 0.0;
                 for (&x, &y) in a_row.iter().zip(b_row) {
@@ -425,6 +493,123 @@ pub fn max_pool_columns(a: &Matrix) -> (Matrix, Vec<usize>) {
     (out, arg)
 }
 
+/// The pre-tier matmul kernels, preserved verbatim: plain i-k-j AXPY loops
+/// with a sparse zero-skip, parallel over the same fixed row chunks as the
+/// fast tier. They are the semantics reference the property suite compares
+/// the blocked/vectorized kernels against (bit-identical for finite
+/// inputs), and the `"naive"` backend of the bench harness, so every
+/// committed `BENCH_*.json` carries the kernel tier's measured speedup.
+pub mod naive {
+    use super::par;
+    use crate::Matrix;
+
+    /// Reference `A · B` — see [`super::matmul_into`] for the fast tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} × {:?}", a.shape(), b.shape());
+        let (m, k) = a.shape();
+        let n = b.cols();
+        out.reset_shape(m, n);
+        if n == 0 {
+            return;
+        }
+        out.as_mut_slice().fill(0.0);
+        let row_chunk = par::chunk_len(m, 2 * k * n);
+        par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
+            for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = a.row(ci * row_chunk + ri);
+                for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(p);
+                    for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ip * b_pj;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Reference `Aᵀ · B` — see [`super::matmul_at_b_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row counts disagree.
+    pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            a.rows(),
+            b.rows(),
+            "matmul_at_b shape mismatch: {:?}ᵀ × {:?}",
+            a.shape(),
+            b.shape()
+        );
+        let (k, m) = a.shape();
+        let n = b.cols();
+        out.reset_shape(m, n);
+        if n == 0 {
+            return;
+        }
+        out.as_mut_slice().fill(0.0);
+        let row_chunk = par::chunk_len(m, 2 * k * n);
+        par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
+            let first = ci * row_chunk;
+            let rows_here = chunk.len() / n;
+            for p in 0..k {
+                let a_cols = &a.row(p)[first..first + rows_here];
+                let b_row = b.row(p);
+                for (ri, &a_pi) in a_cols.iter().enumerate() {
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut chunk[ri * n..(ri + 1) * n];
+                    for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                        *o += a_pi * b_pj;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Reference `A · Bᵀ` — see [`super::matmul_a_bt_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column counts disagree.
+    pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            a.cols(),
+            b.cols(),
+            "matmul_a_bt shape mismatch: {:?} × {:?}ᵀ",
+            a.shape(),
+            b.shape()
+        );
+        let (m, k) = a.shape();
+        let n = b.rows();
+        out.reset_shape(m, n);
+        if n == 0 {
+            return;
+        }
+        let row_chunk = par::chunk_len(m, 2 * k * n);
+        par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
+            for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
+                let a_row = a.row(ci * row_chunk + ri);
+                for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                    let b_row = b.row(j);
+                    let mut acc = 0.0;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,5 +721,72 @@ mod tests {
     fn sum_rows_matches_manual() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(sum_rows(&a), Matrix::from_rows(&[&[4.0, 6.0]]));
+    }
+
+    /// Deterministic pseudo-random matrix with a configurable fraction of
+    /// exact zeros (the fast tier and the reference treat zeros through
+    /// different code paths — both must stay value-identical).
+    fn noisy(rows: usize, cols: usize, seed: u32, zero_every: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((c as u32).wrapping_mul(40503))
+                .wrapping_add(seed);
+            if zero_every > 0 && (h as usize).is_multiple_of(zero_every) {
+                0.0
+            } else {
+                ((h >> 8) as f32 / 1e5).sin() * 3.0
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        // Shapes straddle every block boundary: odd rows (the unpaired
+        // tail), k below/at/above MATMUL_KC, n not a multiple of the
+        // vector width, and degenerate edges (K=0, 1×N, empty).
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 9),
+            (2, 64, 8),
+            (3, 65, 17),
+            (5, 0, 4),
+            (0, 3, 3),
+            (7, 130, 33),
+            (16, 128, 128),
+            (9, 200, 1),
+        ] {
+            for zero_every in [0, 2, 3] {
+                let a = noisy(m, k, 11, zero_every);
+                let b = noisy(k, n, 23, 0);
+                let mut fast = Matrix::zeros(0, 0);
+                let mut reference = Matrix::zeros(0, 0);
+                matmul_into(&a, &b, &mut fast);
+                naive::matmul_into(&a, &b, &mut reference);
+                assert_eq!(fast, reference, "matmul {m}×{k}×{n} zeros 1/{zero_every}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_b_and_a_bt_are_bit_identical_to_naive() {
+        for &(k, m, n) in &[(1usize, 1usize, 1usize), (7, 3, 9), (64, 5, 12), (130, 33, 2)] {
+            let a = noisy(k, m, 31, 3);
+            let b = noisy(k, n, 41, 0);
+            let mut fast = Matrix::zeros(0, 0);
+            let mut reference = Matrix::zeros(0, 0);
+            matmul_at_b_into(&a, &b, &mut fast);
+            naive::matmul_at_b_into(&a, &b, &mut reference);
+            assert_eq!(fast, reference, "at_b {k}ᵀ{m}×{n}");
+        }
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 9, 7), (5, 12, 64), (33, 2, 130)] {
+            let a = noisy(m, k, 51, 0);
+            let b = noisy(n, k, 61, 4);
+            let mut fast = Matrix::zeros(0, 0);
+            let mut reference = Matrix::zeros(0, 0);
+            matmul_a_bt_into(&a, &b, &mut fast);
+            naive::matmul_a_bt_into(&a, &b, &mut reference);
+            assert_eq!(fast, reference, "a_bt {m}×{k}×{n}ᵀ");
+        }
     }
 }

@@ -1,0 +1,366 @@
+//! The f64 shadow-precision kernel set: sequential mirrors of every
+//! forward op the planned executor dispatches.
+//!
+//! These exist for one purpose — replaying a compiled inference plan in
+//! double precision so the end-task cost of f32 execution can be measured
+//! and asserted (see the engine's dtype mode). Design constraints follow
+//! from that purpose:
+//!
+//! * **deterministic and thread-invariant by construction**: every kernel
+//!   is sequential, so the per-dtype bit-identity contract is trivial;
+//! * **zero-alloc in steady state**: all kernels are `_into` writers over
+//!   [`Matrix64`] buffers that reuse capacity, like their f32 siblings;
+//! * **not a performance tier**: no vectorization, no parallelism —
+//!   shadow replay doubles inference cost by design and is opt-in.
+//!
+//! Accumulation orders mirror the f32 reference kernels exactly (ascending
+//! `p`, first-wins max scans), so an f64 value differs from its f32
+//! counterpart only by rounding, never by reassociation.
+
+use crate::Matrix64;
+
+/// `A · B` — sequential i-k-j AXPY, ascending-`p` accumulation.
+///
+/// # Panics
+///
+/// Panics when the inner dimensions disagree.
+pub fn matmul_into(a: &Matrix64, b: &Matrix64, out: &mut Matrix64) {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} × {:?}", a.shape(), b.shape());
+    let (m, k) = a.shape();
+    let n = b.cols();
+    out.reset_shape(m, n);
+    if n == 0 {
+        return;
+    }
+    out.as_mut_slice().fill(0.0);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            let start = i * n;
+            for (o, &b_pj) in out.as_mut_slice()[start..start + n].iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Elementwise `a + b`.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn add_into(a: &Matrix64, b: &Matrix64, out: &mut Matrix64) {
+    assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+    out.reset_shape(a.rows(), a.cols());
+    for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = x + y;
+    }
+}
+
+/// Elementwise `a - b`.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn sub_into(a: &Matrix64, b: &Matrix64, out: &mut Matrix64) {
+    assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+    out.reset_shape(a.rows(), a.cols());
+    for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = x - y;
+    }
+}
+
+/// Elementwise (Hadamard) product — also serves the constant-mask multiply.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn hadamard_into(a: &Matrix64, b: &Matrix64, out: &mut Matrix64) {
+    assert_eq!(a.shape(), b.shape(), "hadamard shape mismatch");
+    out.reset_shape(a.rows(), a.cols());
+    for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = x * y;
+    }
+}
+
+/// `a · s` for a scalar `s`.
+pub fn scale_into(a: &Matrix64, s: f64, out: &mut Matrix64) {
+    out.reset_shape(a.rows(), a.cols());
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *o = x * s;
+    }
+}
+
+/// ReLU: `max(v, 0)` elementwise.
+pub fn relu_into(a: &Matrix64, out: &mut Matrix64) {
+    out.reset_shape(a.rows(), a.cols());
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *o = x.max(0.0);
+    }
+}
+
+/// Adds the `1 × cols` row vector `bias` to every row of `a`.
+///
+/// # Panics
+///
+/// Panics when `bias` is not a single row of matching width.
+pub fn add_bias_row_into(a: &Matrix64, bias: &Matrix64, out: &mut Matrix64) {
+    assert_eq!(bias.rows(), 1, "bias must be a row vector");
+    assert_eq!(bias.cols(), a.cols(), "bias width must match");
+    out.reset_shape(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        let b = bias.row(0);
+        for ((o, &x), &v) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(b) {
+            *o = x + v;
+        }
+    }
+}
+
+/// Per-column standardization with population statistics — the f64 mirror
+/// of the f32 `standardize_into`, same `1e-5` variance epsilon, same
+/// accumulation order. `stats` is reusable scratch (`[means…, inv_stds…]`).
+///
+/// # Panics
+///
+/// Panics on an empty matrix.
+pub fn standardize_into(a: &Matrix64, stats: &mut Vec<f64>, out: &mut Matrix64) {
+    assert!(a.rows() > 0, "column stats of empty matrix");
+    let (rows, cols) = a.shape();
+    let n = rows as f64;
+    stats.clear();
+    stats.resize(2 * cols, 0.0);
+    let (mean, inv) = stats.split_at_mut(cols);
+    for r in 0..rows {
+        for (m, &v) in mean.iter_mut().zip(a.row(r)) {
+            *m += v;
+        }
+    }
+    let s = 1.0 / n;
+    for m in mean.iter_mut() {
+        *m *= s;
+    }
+    for r in 0..rows {
+        for (c, &v) in a.row(r).iter().enumerate() {
+            let d = v - mean[c];
+            inv[c] += d * d;
+        }
+    }
+    for v in inv.iter_mut() {
+        *v = 1.0 / (*v / n + 1e-5).sqrt();
+    }
+    out.reset_shape(rows, cols);
+    for r in 0..rows {
+        for (c, (o, &v)) in out.row_mut(r).iter_mut().zip(a.row(r)).enumerate() {
+            *o = (v - mean[c]) * inv[c];
+        }
+    }
+}
+
+/// Gathers `indices.len()` rows of `src`.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn gather_rows_into(src: &Matrix64, indices: &[usize], out: &mut Matrix64) {
+    let cols = src.cols();
+    out.reset_shape(indices.len(), cols);
+    for (r, &i) in indices.iter().enumerate() {
+        assert!(i < src.rows(), "gather index {i} out of bounds for {} rows", src.rows());
+        if cols > 0 {
+            out.row_mut(r).copy_from_slice(src.row(i));
+        }
+    }
+}
+
+/// Subtracts `centroid_rows.row(i / k)` from each row `i` of `grouped`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn subtract_centroid_per_group_into(
+    grouped: &Matrix64,
+    centroid_rows: &Matrix64,
+    k: usize,
+    out: &mut Matrix64,
+) {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(grouped.rows() % k, 0, "grouped rows must be a multiple of k");
+    assert_eq!(grouped.rows() / k, centroid_rows.rows(), "one centroid per group");
+    assert_eq!(grouped.cols(), centroid_rows.cols(), "widths must match");
+    out.reset_shape(grouped.rows(), grouped.cols());
+    for r in 0..grouped.rows() {
+        let c = centroid_rows.row(r / k);
+        for ((o, &v), &cv) in out.row_mut(r).iter_mut().zip(grouped.row(r)).zip(c) {
+            *o = v - cv;
+        }
+    }
+}
+
+/// Column-wise max over each group of `k` consecutive rows — first-wins
+/// comparison order, matching the f32 kernel.
+///
+/// # Panics
+///
+/// Panics if `rows` is not a multiple of `k` or `k == 0`.
+pub fn group_max_into(grouped: &Matrix64, k: usize, out: &mut Matrix64) {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(grouped.rows() % k, 0, "rows must be a multiple of k");
+    let n_out = grouped.rows() / k;
+    let cols = grouped.cols();
+    out.reset_shape(n_out, cols);
+    if cols == 0 {
+        return;
+    }
+    for g in 0..n_out {
+        let first = g * k;
+        out.row_mut(g).copy_from_slice(grouped.row(first));
+        for r in first + 1..first + k {
+            let row = grouped.row(r);
+            for (o, &v) in out.row_mut(g).iter_mut().zip(row) {
+                if v > *o {
+                    *o = v;
+                }
+            }
+        }
+    }
+}
+
+/// [`group_max_into`] with the groups given as explicit row-index lists.
+///
+/// # Panics
+///
+/// Panics if `groups.len()` is not a multiple of `k`, `k == 0`, or an
+/// index is out of bounds.
+pub fn gather_max_into(src: &Matrix64, groups: &[usize], k: usize, out: &mut Matrix64) {
+    assert!(k > 0, "group size must be positive");
+    assert_eq!(groups.len() % k, 0, "groups must be a multiple of k");
+    let n_out = groups.len() / k;
+    let cols = src.cols();
+    out.reset_shape(n_out, cols);
+    if cols == 0 {
+        for &i in groups {
+            assert!(i < src.rows(), "group index {i} out of bounds");
+        }
+        return;
+    }
+    for g in 0..n_out {
+        let entry = &groups[g * k..(g + 1) * k];
+        let first = entry[0];
+        assert!(first < src.rows(), "group index {first} out of bounds");
+        out.row_mut(g).copy_from_slice(src.row(first));
+        for &i in &entry[1..] {
+            assert!(i < src.rows(), "group index {i} out of bounds");
+            let row = src.row(i);
+            for (o, &v) in out.row_mut(g).iter_mut().zip(row) {
+                if v > *o {
+                    *o = v;
+                }
+            }
+        }
+    }
+}
+
+/// Weighted row interpolation — the 3-NN feature-propagation stencil.
+///
+/// # Panics
+///
+/// Panics when `indices.len() != weights.len()`, the length is not a
+/// multiple of `k`, or an index is out of bounds.
+pub fn weighted_gather_into(
+    src: &Matrix64,
+    indices: &[usize],
+    weights: &[f64],
+    k: usize,
+    out: &mut Matrix64,
+) {
+    assert_eq!(indices.len(), weights.len(), "one weight per index");
+    assert!(k > 0 && indices.len().is_multiple_of(k), "indices must be n × k");
+    let n_out = indices.len() / k;
+    out.reset_shape(n_out, src.cols());
+    out.as_mut_slice().fill(0.0);
+    for g in 0..n_out {
+        for j in 0..k {
+            let w = weights[g * k + j];
+            let row = src.row(indices[g * k + j]);
+            for (o, &v) in out.row_mut(g).iter_mut().zip(row) {
+                *o += w * v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{group, ops, Matrix};
+
+    fn noisy(rows: usize, cols: usize, seed: u32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add((c as u32).wrapping_mul(40503))
+                .wrapping_add(seed);
+            ((h >> 8) as f32 / 1e5).sin() * 2.0
+        })
+    }
+
+    fn close(a: &Matrix64, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - f64::from(y)).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn f64_matmul_tracks_f32_closely() {
+        let a = noisy(9, 17, 1);
+        let b = noisy(17, 5, 2);
+        let mut wide = Matrix64::zeros(0, 0);
+        matmul_into(&Matrix64::widened(&a), &Matrix64::widened(&b), &mut wide);
+        close(&wide, &ops::matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn f64_group_kernels_track_f32() {
+        let src = noisy(12, 6, 3);
+        let groups = [0usize, 5, 11, 2, 2, 7, 9, 1, 4];
+        let src64 = Matrix64::widened(&src);
+
+        let mut gathered = Matrix64::zeros(0, 0);
+        gather_rows_into(&src64, &groups, &mut gathered);
+        close(&gathered, &group::gather_rows(&src, &groups), 0.0);
+
+        let mut maxed = Matrix64::zeros(0, 0);
+        gather_max_into(&src64, &groups, 3, &mut maxed);
+        let mut f32_maxed = Matrix::zeros(0, 0);
+        group::gather_max_into(&src, &groups, 3, &mut f32_maxed);
+        close(&maxed, &f32_maxed, 0.0);
+    }
+
+    #[test]
+    fn f64_standardize_matches_f32_shape_and_scale() {
+        let a = noisy(20, 4, 7);
+        let mut out = Matrix64::zeros(0, 0);
+        let mut scratch = Vec::new();
+        standardize_into(&Matrix64::widened(&a), &mut scratch, &mut out);
+        let mut f32_out = Matrix::zeros(0, 0);
+        let mut f32_scratch = Vec::new();
+        ops::standardize_into(&a, &mut f32_scratch, &mut f32_out);
+        close(&out, &f32_out, 1e-4);
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        let a = Matrix64::widened(&noisy(8, 8, 9));
+        let b = Matrix64::widened(&noisy(8, 8, 10));
+        let mut o1 = Matrix64::zeros(0, 0);
+        let mut o2 = Matrix64::zeros(0, 0);
+        matmul_into(&a, &b, &mut o1);
+        matmul_into(&a, &b, &mut o2);
+        assert_eq!(o1, o2);
+    }
+}

@@ -1,0 +1,435 @@
+//! Vectorized micro-kernels — the workspace's only `unsafe` island.
+//!
+//! Two primitive families power the matmul tier in [`crate::ops`]:
+//!
+//! * [`mm4`] / [`mm1`] — register-accumulator matmul blocks. A 4-row ×
+//!   16-column output tile lives entirely in registers while the kernel
+//!   walks `p` over the shared dimension, so the hot loop touches memory
+//!   only to read `A` coefficients and stream rows of `B`; each output
+//!   element is stored exactly once. Per element the products accumulate
+//!   in ascending-`p` order with separate `mul` and `add` instructions,
+//!   which is the whole bit-identity contract: any lane width (8-lane
+//!   AVX2, auto-vectorized scalar) produces the same rounding sequence.
+//! * [`axpy`] — scalar-times-row accumulate (`y[j] += a · x[j]`), the
+//!   inner loop of the transpose-product kernels. One multiply and one add
+//!   per element per call, so there is no accumulation chain inside a call
+//!   for lane width to re-associate.
+//!
+//! FMA is deliberately never used: a fused multiply-add rounds once where
+//! `mul` + `add` round twice, which would break the scalar ≡ vector
+//! contract.
+//!
+//! Dispatch: with the `simd` cargo feature (default on), x86_64 checks for
+//! AVX2 at runtime (`is_x86_feature_detected!`, cached by std) and falls
+//! back to the scalar micro-kernels on machines without it; other
+//! architectures (including aarch64, where the scalar blocks
+//! auto-vectorize to NEON — Rust never contracts `mul` + `add` into FMA)
+//! always use the scalar micro-kernels. Without the feature, only the
+//! scalar micro-kernels compile — no `unsafe` remains in the crate.
+//!
+//! The rest of the workspace is `#![forbid(unsafe_code)]` (the crate root
+//! here carries `deny` so this one module can opt back in); keep every
+//! `unsafe` block inside this file.
+#![allow(unsafe_code)]
+
+/// `y[j] += a · x[j]` over the common length.
+///
+/// Bit-identical across the scalar and AVX2 paths (see the module docs
+/// for why).
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    axpy_impl(a, x, y);
+}
+
+/// Four-row matmul block: `out[r][j] = Σ_p a[r][p] · b[p·n + j]` for the
+/// row-major `k × n` matrix `b`, overwriting each `out[r]` completely.
+///
+/// This is the register-tiled heart of [`crate::ops::matmul_into`]: four
+/// output rows share every load of a `B` row, and the output tile stays in
+/// registers for the whole `p` walk (each element accumulates in ascending
+/// `p`, one `mul` + one `add` per step — bit-identical to the naive
+/// kernel on finite inputs).
+///
+/// # Panics
+///
+/// Panics when the `a` rows disagree in length, when an `out` row is not
+/// exactly `n` long, or when `b` is smaller than `k × n`.
+#[inline]
+pub fn mm4(a: [&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
+    let k = a[0].len();
+    for row in &a[1..] {
+        assert_eq!(row.len(), k, "mm4 A-row length mismatch");
+    }
+    for row in &out {
+        assert_eq!(row.len(), n, "mm4 out-row length mismatch");
+    }
+    assert!(b.len() >= k * n, "mm4 B too small");
+    mm4_impl(a, b, n, out);
+}
+
+/// Single-row matmul block: `out[j] = Σ_p a[p] · b[p·n + j]` — the row
+/// tail of [`mm4`], same accumulation order and rounding contract.
+///
+/// # Panics
+///
+/// Panics when `out` is not exactly `n` long or `b` is smaller than
+/// `k × n`.
+#[inline]
+pub fn mm1(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), n, "mm1 out length mismatch");
+    assert!(b.len() >= a.len() * n, "mm1 B too small");
+    mm1_impl(a, b, n, out);
+}
+
+/// True when the vector path is compiled in *and* usable on this CPU —
+/// surfaced so the bench report can label records honestly.
+pub fn vector_path_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// The scalar AXPY micro-kernel: 4-wide manual unroll. Stable-Rust
+/// friendly and the semantics reference for the vector path (one `mul`,
+/// one `add` per element — Rust never contracts them into FMA, and the
+/// vector path matches by construction).
+#[inline(always)]
+fn axpy_scalar(a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let n4 = n - n % 4;
+    let (x4, xt) = x.split_at(n4);
+    let (y4, yt) = y.split_at_mut(n4);
+    for (yc, xc) in y4.chunks_exact_mut(4).zip(x4.chunks_exact(4)) {
+        yc[0] += a * xc[0];
+        yc[1] += a * xc[1];
+        yc[2] += a * xc[2];
+        yc[3] += a * xc[3];
+    }
+    for (yo, &xv) in yt.iter_mut().zip(xt) {
+        *yo += a * xv;
+    }
+}
+
+/// The scalar single-row matmul micro-kernel: 8 column accumulators held
+/// in locals over the full `p` walk (auto-vectorizes on SSE2/NEON without
+/// changing the per-element mul-then-add rounding sequence), stored once.
+#[inline(always)]
+fn mm1_scalar(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    let mut j = 0;
+    while j + 8 <= n {
+        let mut acc = [0.0f32; 8];
+        for (p, &ap) in a.iter().enumerate() {
+            let br = &b[p * n + j..p * n + j + 8];
+            for (s, &bv) in acc.iter_mut().zip(br) {
+                *s += ap * bv;
+            }
+        }
+        out[j..j + 8].copy_from_slice(&acc);
+        j += 8;
+    }
+    for (jj, o) in out.iter_mut().enumerate().skip(j) {
+        let mut s = 0.0f32;
+        for (p, &ap) in a.iter().enumerate() {
+            s += ap * b[p * n + jj];
+        }
+        *o = s;
+    }
+}
+
+#[inline(always)]
+fn mm4_scalar(a: [&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
+    for (ar, or) in a.into_iter().zip(out) {
+        mm1_scalar(ar, b, n, or);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn axpy_impl(a: f32, x: &[f32], y: &mut [f32]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { x86::axpy_avx2(a, x, y) }
+    } else {
+        axpy_scalar(a, x, y);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn mm4_impl(a: [&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { x86::mm4_avx2(a, b, n, out) }
+    } else {
+        mm4_scalar(a, b, n, out);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn mm1_impl(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { x86::mm1_avx2(a, b, n, out) }
+    } else {
+        mm1_scalar(a, b, n, out);
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn axpy_impl(a: f32, x: &[f32], y: &mut [f32]) {
+    axpy_scalar(a, x, y);
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn mm4_impl(a: [&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
+    mm4_scalar(a, b, n, out);
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn mm1_impl(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+    mm1_scalar(a, b, n, out);
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps,
+    };
+
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(a: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let va = _mm256_set1_ps(a);
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n bounds both 8-lane accesses; loads and
+            // stores are the unaligned variants (Vec<f32> is 4-aligned).
+            unsafe {
+                let vx = _mm256_loadu_ps(x.as_ptr().add(j));
+                let vy = _mm256_loadu_ps(y.as_mut_ptr().add(j));
+                // mul then add — never FMA — so lanes round exactly like
+                // the scalar micro-kernel.
+                _mm256_storeu_ps(y.as_mut_ptr().add(j), _mm256_add_ps(vy, _mm256_mul_ps(va, vx)));
+            }
+            j += 8;
+        }
+        for (yo, &xv) in y[j..].iter_mut().zip(&x[j..]) {
+            *yo += a * xv;
+        }
+    }
+
+    /// 4 rows × 16 columns of the output held in eight ymm accumulators
+    /// for the whole `p` walk; each `B` row segment is loaded once and
+    /// feeds all four output rows.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime, and the
+    /// bounds checked by [`super::mm4`] must hold.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mm4_avx2(a: [&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
+        let k = a[0].len();
+        let mut j = 0;
+        while j + 16 <= n {
+            // SAFETY: j + 16 <= n and b.len() >= k·n bound every access;
+            // mul then add — never FMA — matches scalar rounding.
+            unsafe {
+                let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+                for p in 0..k {
+                    let bp = b.as_ptr().add(p * n + j);
+                    let vb0 = _mm256_loadu_ps(bp);
+                    let vb1 = _mm256_loadu_ps(bp.add(8));
+                    for r in 0..4 {
+                        let va = _mm256_set1_ps(*a[r].get_unchecked(p));
+                        acc[r][0] = _mm256_add_ps(acc[r][0], _mm256_mul_ps(va, vb0));
+                        acc[r][1] = _mm256_add_ps(acc[r][1], _mm256_mul_ps(va, vb1));
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_ps(out[r].as_mut_ptr().add(j), acc[r][0]);
+                    _mm256_storeu_ps(out[r].as_mut_ptr().add(j + 8), acc[r][1]);
+                }
+            }
+            j += 16;
+        }
+        if j + 8 <= n {
+            // SAFETY: j + 8 <= n and b.len() >= k·n bound every access.
+            unsafe {
+                let mut acc = [_mm256_setzero_ps(); 4];
+                for p in 0..k {
+                    let vb = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                    for r in 0..4 {
+                        let va = _mm256_set1_ps(*a[r].get_unchecked(p));
+                        acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(va, vb));
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_ps(out[r].as_mut_ptr().add(j), acc[r]);
+                }
+            }
+            j += 8;
+        }
+        for jj in j..n {
+            for r in 0..4 {
+                let mut s = 0.0f32;
+                for (p, &ap) in a[r].iter().enumerate() {
+                    s += ap * b[p * n + jj];
+                }
+                out[r][jj] = s;
+            }
+        }
+    }
+
+    /// One output row, 32 columns per pass in four ymm accumulators.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime, and the
+    /// bounds checked by [`super::mm1`] must hold.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mm1_avx2(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
+        let k = a.len();
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n and b.len() >= k·n bound every access;
+            // mul then add — never FMA — matches scalar rounding.
+            unsafe {
+                let mut acc: __m256 = _mm256_setzero_ps();
+                for p in 0..k {
+                    let va = _mm256_set1_ps(*a.get_unchecked(p));
+                    let vb = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+                }
+                _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+            }
+            j += 8;
+        }
+        for (jj, o) in out.iter_mut().enumerate().skip(j) {
+            let mut s = 0.0f32;
+            for (p, &ap) in a.iter().enumerate() {
+                s += ap * b[p * n + jj];
+            }
+            *o = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, seed: u32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                (((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) as f32 / 1e6).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn axpy_matches_plain_loop_bitwise() {
+        for n in [0, 1, 3, 4, 7, 8, 9, 16, 31, 64, 100] {
+            let x = sample(n, 1);
+            let mut y = sample(n, 2);
+            let mut want = y.clone();
+            for (w, &xv) in want.iter_mut().zip(&x) {
+                *w += 0.37 * xv;
+            }
+            axpy(0.37, &x, &mut y);
+            assert_eq!(y, want, "n = {n}");
+        }
+    }
+
+    fn mm_reference(a: &[f32], b: &[f32], k: usize, n: usize) -> Vec<f32> {
+        // The naive per-element chain: ascending p, one mul + one add.
+        (0..n)
+            .map(|j| {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[p] * b[p * n + j];
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mm1_matches_reference_bitwise() {
+        for (k, n) in [(0, 5), (1, 1), (3, 8), (7, 16), (13, 17), (64, 40), (128, 33)] {
+            let a = sample(k, 1);
+            let b = sample(k * n, 2);
+            let mut out = vec![f32::NAN; n];
+            mm1(&a, &b, n, &mut out);
+            assert_eq!(out, mm_reference(&a, &b, k, n), "k = {k}, n = {n}");
+        }
+    }
+
+    #[test]
+    fn mm4_matches_four_mm1_bitwise() {
+        for (k, n) in [(0, 3), (2, 8), (5, 16), (9, 24), (64, 19), (100, 48)] {
+            let rows: Vec<Vec<f32>> = (0..4).map(|r| sample(k, 10 + r)).collect();
+            let b = sample(k * n, 99);
+            let mut out =
+                [vec![f32::NAN; n], vec![f32::NAN; n], vec![f32::NAN; n], vec![f32::NAN; n]];
+            {
+                let [o0, o1, o2, o3] = &mut out;
+                mm4([&rows[0], &rows[1], &rows[2], &rows[3]], &b, n, [o0, o1, o2, o3]);
+            }
+            for (r, o) in out.iter().enumerate() {
+                let mut want = vec![0.0f32; n];
+                mm1(&rows[r], &b, n, &mut want);
+                assert_eq!(o, &want, "k = {k}, n = {n}, row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_and_scalar_micro_kernels_agree_bitwise() {
+        // The contract the whole crate rests on: whatever path the public
+        // kernels dispatch to must equal the scalar micro-kernels
+        // bit-for-bit.
+        for n in [1, 7, 8, 9, 24, 129] {
+            let x = sample(n, 6);
+            let mut via_dispatch = sample(n, 7);
+            let mut via_scalar = via_dispatch.clone();
+            axpy(1.372_89, &x, &mut via_dispatch);
+            axpy_scalar(1.372_89, &x, &mut via_scalar);
+            assert_eq!(via_dispatch, via_scalar, "n = {n}");
+        }
+        for (k, n) in [(3, 7), (17, 16), (64, 31), (128, 64)] {
+            let a = sample(k, 8);
+            let b = sample(k * n, 9);
+            let mut via_dispatch = vec![f32::NAN; n];
+            let mut via_scalar = vec![f32::NAN; n];
+            mm1(&a, &b, n, &mut via_dispatch);
+            mm1_scalar(&a, &b, n, &mut via_scalar);
+            assert_eq!(via_dispatch, via_scalar, "k = {k}, n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let x = [1.0f32; 4];
+        let mut y = [0.0f32; 3];
+        axpy(1.0, &x, &mut y);
+    }
+}

@@ -33,6 +33,7 @@
 //! README for the full table.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 // `bench` is a real (not dev) dependency so examples and downstream code
 // reach the training loops and experiment drivers through one namespace;
@@ -58,6 +59,7 @@ pub use mesorasi_networks::{
     PointCloudNetwork, Session, SessionBuilder,
 };
 pub use mesorasi_pointcloud::{seeded_rng, PointCloud};
+pub use mesorasi_tensor::Dtype;
 
 /// One-stop imports for the common inference and training workflow.
 ///
@@ -66,8 +68,9 @@ pub use mesorasi_pointcloud::{seeded_rng, PointCloud};
 /// ```
 pub mod prelude {
     pub use crate::{
-        seeded_rng, Boxes3D, Domain, FrameStream, Inference, Logits, NetworkKind, PerPointLabels,
-        PointCloud, PointCloudNetwork, SearchBackend, Session, SessionBuilder, Strategy,
+        seeded_rng, Boxes3D, Domain, Dtype, FrameStream, Inference, Logits, NetworkKind,
+        PerPointLabels, PointCloud, PointCloudNetwork, SearchBackend, Session, SessionBuilder,
+        Strategy,
     };
     pub use mesorasi_nn::Graph;
     pub use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};

@@ -83,6 +83,38 @@ fn warm_planned_forward_allocates_nothing() {
 }
 
 #[test]
+fn warm_f64_shadow_forward_allocates_nothing() {
+    // The shadow-precision tier replays the full plan in f64 after every
+    // forward. Its arena, scratch, and rounded outputs are all persistent,
+    // so a warm f64-mode forward must be exactly as allocation-free as the
+    // f32 path it shadows — the dtype knob may not reintroduce the per-op
+    // allocation the planner exists to eliminate.
+    mesorasi_par::with_threads(1, || {
+        let mut rng = seeded_rng(6);
+        let net = NetworkKind::PointNetPPClassification.build_small(5, &mut rng);
+        let mut engine = PlanEngine::new();
+        engine.set_dtype(Dtype::F64);
+        let record =
+            |g: &mut Graph, c: &PointCloud| net.session_outputs(g, c, Strategy::Delayed, 7);
+        let cloud = sample_shape(ShapeClass::Chair, net.input_points(), 4);
+
+        // Warm-up: compile the plan and build the shadow (forward 1), fill
+        // the NIT cache, and settle any lazy growth in the f64 arena.
+        for _ in 0..3 {
+            let _ = engine.run(&cloud, &record);
+        }
+
+        ARMED.store(true, Ordering::SeqCst);
+        let before = ALLOCS.load(Ordering::SeqCst);
+        let _ = engine.run(&cloud, &record);
+        let after = ALLOCS.load(Ordering::SeqCst);
+        ARMED.store(false, Ordering::SeqCst);
+
+        assert_eq!(after - before, 0, "a warm f64 shadow forward must not touch the allocator");
+    });
+}
+
+#[test]
 fn warm_streamed_forward_allocates_nothing_including_search() {
     // The streaming path never caches samples: every frame re-selects
     // centroids, rebuilds per-space indices (forced kd-tree, so real index

@@ -59,6 +59,58 @@ proptest! {
     }
 
     #[test]
+    fn blocked_matmul_matches_naive_reference_bitwise(
+        m in 1usize..41, k in 0usize..25, n in 0usize..34, seed in 0u64..1000, zero_every in 0usize..4
+    ) {
+        // The fast tier (register-tiled, AVX2 where detected) promises bit
+        // identity with the pre-tier reference kernel: same ascending-k
+        // accumulation order per element, no FMA contraction. Adversarial
+        // shapes hit every tail path — m % 4 rows, n % 16 / n % 8 columns,
+        // k == 0 and n == 0 empties — and injected exact zeros hit the
+        // reference kernel's zero-skip (covered by the ±0.0 identity).
+        use rand::Rng;
+        let mut rng = mesorasi::pointcloud::seeded_rng(seed);
+        let mut a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-2.0..2.0f32));
+        let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-2.0..2.0f32));
+        if zero_every > 0 {
+            for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+                if i % (zero_every + 1) == 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        let fast = ops::matmul(&a, &b);
+        let mut reference = Matrix::zeros(0, 0);
+        ops::naive::matmul_into(&a, &b, &mut reference);
+        prop_assert_eq!(fast.shape(), reference.shape());
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        prop_assert_eq!(bits(&fast), bits(&reference));
+    }
+
+    #[test]
+    fn transposed_matmul_variants_match_naive_bitwise(
+        p in 1usize..20, m in 1usize..16, n in 1usize..16, seed in 0u64..1000
+    ) {
+        use rand::Rng;
+        let mut rng = mesorasi::pointcloud::seeded_rng(seed);
+        let a = Matrix::from_fn(p, m, |_, _| rng.gen_range(-2.0..2.0f32));
+        let b = Matrix::from_fn(p, n, |_, _| rng.gen_range(-2.0..2.0f32));
+        let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+
+        let fast = ops::matmul_at_b(&a, &b);
+        let mut reference = Matrix::zeros(0, 0);
+        ops::naive::matmul_at_b_into(&a, &b, &mut reference);
+        prop_assert_eq!(bits(&fast), bits(&reference));
+
+        let at = a.transposed();
+        let bt = b.transposed();
+        let fast = ops::matmul_a_bt(&at, &bt);
+        let mut reference = Matrix::zeros(0, 0);
+        ops::naive::matmul_a_bt_into(&at, &bt, &mut reference);
+        prop_assert_eq!(bits(&fast), bits(&reference));
+    }
+
+    #[test]
     fn gather_scatter_is_adjoint(m in arb_matrix(4..20, 1..6), seed in 0u64..1000) {
         // <gather(x, idx), y> == <x, scatter(idx, y)> — the adjoint property
         // the autograd backward pass relies on.

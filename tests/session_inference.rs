@@ -47,6 +47,8 @@ fn all_seven_networks_bit_identical_at_every_thread_count() {
                 .strategy(strategy)
                 .seed(7)
                 .workers(2)
+                // Bit-identity to the tape is a per-dtype (f32) contract.
+                .dtype(Dtype::F32)
                 .build();
             for threads in [1usize, 2, 8] {
                 mesorasi_par::with_threads(threads, || {
@@ -85,7 +87,11 @@ fn all_seven_networks_framed_streams_bit_identical_to_tape() {
             (10u64..14).map(|s| sample_shape(ShapeClass::Chair, net.input_points(), s)).collect();
         let expected: Vec<Matrix> =
             frames.iter().map(|c| tape_logits(net.as_ref(), c, Strategy::Delayed, 7)).collect();
-        let session = SessionBuilder::from_network_ref(net.as_ref()).seed(7).workers(1).build();
+        let session = SessionBuilder::from_network_ref(net.as_ref())
+            .seed(7)
+            .workers(1)
+            .dtype(Dtype::F32)
+            .build();
         let framed: Vec<Inference> = session.infer_frames(frames.iter()).collect();
         for (i, (out, want)) in framed.iter().zip(&expected).enumerate() {
             assert_eq!(out.logits(), want, "{} frame {i}: framed != tape", kind.name());
@@ -113,6 +119,7 @@ fn forced_search_backends_match_tape_for_every_network() {
             let session = SessionBuilder::from_network_ref(net.as_ref())
                 .seed(7)
                 .workers(1)
+                .dtype(Dtype::F32)
                 .search_backend(backend)
                 .build();
             assert_eq!(
@@ -160,7 +167,11 @@ fn detection_sessions_match_tape_outputs_on_labelled_frustums() {
     let net = mesorasi::networks::fpointnet::FPointNet::small(&mut rng);
     let frustums = mesorasi::networks::datasets::frustums(3, 128, 9);
     for strategy in Strategy::ALL {
-        let session = SessionBuilder::from_network_ref(&net).strategy(strategy).seed(13).build();
+        let session = SessionBuilder::from_network_ref(&net)
+            .strategy(strategy)
+            .seed(13)
+            .dtype(Dtype::F32)
+            .build();
         for ex in frustums.iter().take(4) {
             let mut g = Graph::new();
             let det = net.forward_detection(&mut g, &ex.cloud, strategy, 13);
@@ -186,6 +197,7 @@ fn concurrent_callers_sharing_a_session_stay_deterministic() {
             .strategy(Strategy::Delayed)
             .seed(7)
             .workers(2)
+            .dtype(Dtype::F32)
             .build(),
     );
     let per_thread: Vec<Vec<Matrix>> = std::thread::scope(|scope| {
@@ -261,7 +273,11 @@ proptest! {
         let cloud = sample_shape(ShapeClass::Guitar, n, cloud_seed);
         let expected = tape_logits(net.as_ref(), &cloud, strategy, 3);
         let session =
-            SessionBuilder::from_network_ref(net.as_ref()).strategy(strategy).seed(3).build();
+            SessionBuilder::from_network_ref(net.as_ref())
+                .strategy(strategy)
+                .seed(3)
+                .dtype(Dtype::F32)
+                .build();
         let out = session.infer(&cloud);
         prop_assert_eq!(out.logits(), &expected);
     }
@@ -277,7 +293,8 @@ proptest! {
         let net = NetworkKind::DgcnnClassification.build_small(4, &mut rng);
         let cloud = sample_shape(ShapeClass::Bottle, n, cloud_seed);
         let expected = tape_logits(net.as_ref(), &cloud, Strategy::Delayed, 3);
-        let session = SessionBuilder::from_network_ref(net.as_ref()).seed(3).build();
+        let session =
+            SessionBuilder::from_network_ref(net.as_ref()).seed(3).dtype(Dtype::F32).build();
         let out = session.infer(&cloud);
         prop_assert_eq!(out.logits(), &expected);
     }
