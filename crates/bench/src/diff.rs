@@ -11,10 +11,12 @@
 //! smoke gate — shows up as a trajectory regression.
 //!
 //! Records are matched on their full identity: `(op, backend, threads,
-//! dtype, batch)`. `dtype` is absent on native-f32 records (see
-//! [`crate::perf`], schema `/6`) and `batch` distinguishes the
+//! dtype, batch, tile_budget)`. `dtype` is absent on native-f32 records
+//! (see [`crate::perf`], schema `/6`), `batch` distinguishes the
 //! `infer_batch` sweep points that share an `(op, backend, threads)`
-//! triple. Keys present on only one side are reported but never fail the
+//! triple, and `tile_budget` (schema `/7`) does the same for the
+//! `stream_tiled` sweep points. Keys present on only one side are
+//! reported but never fail the
 //! gate — new kernels appear and old ones retire as the repo grows, and
 //! a trajectory gate that punished adding a benchmark would teach people
 //! not to add benchmarks.
@@ -260,6 +262,9 @@ pub struct DiffRecord {
     /// Batch size for `infer_batch` records, 0 otherwise (part of the
     /// key: batch sizes share an `(op, backend, threads)` triple).
     pub batch: u64,
+    /// Tile budget for `stream_tiled` records, 0 otherwise (part of the
+    /// key: tile budgets share an `(op, backend, threads)` triple).
+    pub tile_budget: u64,
     /// Mean wall time per operation, nanoseconds.
     pub ns_per_op: f64,
 }
@@ -270,6 +275,9 @@ impl DiffRecord {
         let mut k = format!("{}/{}", self.op, self.backend);
         if self.batch > 0 {
             let _ = write!(k, "[batch={}]", self.batch);
+        }
+        if self.tile_budget > 0 {
+            let _ = write!(k, "[tile={}]", self.tile_budget);
         }
         if self.dtype != "f32" {
             let _ = write!(k, "[{}]", self.dtype);
@@ -333,6 +341,7 @@ pub fn parse_report(src: &str) -> Result<ParsedReport, String> {
             threads: field_num("threads")? as u64,
             dtype: r.get("dtype").and_then(Json::as_str).unwrap_or("f32").to_owned(),
             batch: r.get("batch").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            tile_budget: r.get("tile_budget").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             ns_per_op: field_num("ns_per_op")?,
         });
     }
@@ -485,6 +494,7 @@ mod tests {
             batch: None,
             search: None,
             serve: None,
+            stream: None,
         }
     }
 
@@ -502,7 +512,7 @@ mod tests {
             ],
         );
         let parsed = parse_report(&rep.to_json()).expect("writer output parses");
-        assert_eq!(parsed.schema, "mesorasi-bench/6");
+        assert_eq!(parsed.schema, "mesorasi-bench/7");
         assert!(!parsed.smoke);
         assert_eq!(parsed.records.len(), 2);
         assert_eq!(parsed.records[0].dtype, "f32");
@@ -584,6 +594,41 @@ mod tests {
             vec![
                 "infer_batch/PointNet++ (c)[batch=2] @2t",
                 "infer_batch/PointNet++ (c)[batch=8] @2t"
+            ]
+        );
+    }
+
+    #[test]
+    fn tile_budgets_get_distinct_keys() {
+        // stream_tiled records share (op, backend, threads); the tile
+        // budget keeps their trajectories separate, and the untiled
+        // baseline (tile_budget 0) stays a plain key.
+        let stream = |op: &'static str, tile: usize, ns: f64| {
+            let mut r = record(op, "PointNet++ (c)", 2, None, ns);
+            r.stream = Some(crate::perf::StreamExtra {
+                tile_budget: tile,
+                frames: 8,
+                p99_frame_us: 100,
+                speedup_vs_untiled: 1.0,
+            });
+            r
+        };
+        let rep = report(
+            false,
+            vec![
+                stream("stream_tiled", 256, 100.0),
+                stream("stream_tiled", 1024, 90.0),
+                stream("stream_untiled", 0, 150.0),
+            ],
+        );
+        let parsed = parse_report(&rep.to_json()).unwrap();
+        let keys: Vec<String> = parsed.records.iter().map(DiffRecord::key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "stream_tiled/PointNet++ (c)[tile=256] @2t",
+                "stream_tiled/PointNet++ (c)[tile=1024] @2t",
+                "stream_untiled/PointNet++ (c) @2t"
             ]
         );
     }

@@ -8,11 +8,11 @@
 //! `BENCH_<date>.json` so the ROADMAP's performance trajectory accumulates
 //! comparable data points across PRs.
 //!
-//! JSON schema (`mesorasi-bench/6`):
+//! JSON schema (`mesorasi-bench/7`):
 //!
 //! ```json
 //! {
-//!   "schema": "mesorasi-bench/6",
+//!   "schema": "mesorasi-bench/7",
 //!   "date": "2026-07-28",
 //!   "unix_time": 1785000000,
 //!   "host_threads": 8,
@@ -41,7 +41,10 @@
 //!     { "op": "serve_mixed", "backend": "PointNet++ (c)", "threads": 8,
 //!       "ns_per_op": 812345.0, "streams": 4, "requests": 256,
 //!       "throughput_rps": 1234.5, "p50_us": 700, "p99_us": 1400,
-//!       "p999_us": 1900, "shed": 0, "errored": 0 }
+//!       "p999_us": 1900, "shed": 0, "errored": 0 },
+//!     { "op": "stream_tiled", "backend": "PointNet++ (c)", "threads": 2,
+//!       "ns_per_op": 512345.0, "tile_budget": 256, "frames": 120,
+//!       "p99_frame_us": 780, "speedup_vs_untiled": 1.62 }
 //!   ]
 //! }
 //! ```
@@ -79,6 +82,23 @@
 //! native f32 tier. The committed artifact therefore carries the fast
 //! tier's speedup over the scalar reference (the ISSUE's >= 2x
 //! acceptance bar) as an ordinary pair of records.
+//!
+//! New in `/7`: the tiled streaming sweep and the full transpose-product
+//! kernel family. `stream_tiled` records time [`Session::frames`] on a
+//! tile-streaming session ([`SessionBuilder::tile_budget`]) over the same
+//! distinct-cloud pool as `infer_frames`, for every tile budget in
+//! [`STREAM_TILE_BUDGETS`] crossed with the thread sweep (so 1- and
+//! 2-thread rows exist on any host, like the kernel records); the extras
+//! carry the budget (part of the record's identity for `bench-diff`), the
+//! frame count, the p99 frame latency (nearest-rank, microseconds), and
+//! `speedup_vs_untiled` — the `stream_untiled` baseline's ns/frame over
+//! this record's (the `stream_untiled` record is the same workload
+//! through a sequential untiled session, the pre-tiling configuration;
+//! it carries `tile_budget: 0`). The `matmul_at_b` / `matmul_a_bt`
+//! kernels are recorded through both the register-tiled fast tier
+//! (`backend: "tensor"`) and the pre-tier reference (`backend: "naive"`),
+//! completing the naive-vs-tensor pairs the `/6` schema introduced for
+//! `matmul`.
 //!
 //! `serve_fresh` / `serve_mixed` records (new in `/5`, produced by
 //! `repro serve-bench`, see [`crate::serve_bench`]) measure end-to-end
@@ -180,6 +200,22 @@ pub struct ServeExtra {
     pub errored: u64,
 }
 
+/// Tiled-streaming extras carried by `stream_tiled` / `stream_untiled`
+/// records (schema `mesorasi-bench/7`).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamExtra {
+    /// Points per tile the session streamed with; `0` on the
+    /// `stream_untiled` baseline record.
+    pub tile_budget: usize,
+    /// Frames inferred in the timed window.
+    pub frames: usize,
+    /// 99th-percentile frame latency, microseconds (nearest-rank).
+    pub p99_frame_us: u64,
+    /// The `stream_untiled` baseline's ns/frame over this record's
+    /// (1.0 on the baseline itself; >1 means tiling + workers help).
+    pub speedup_vs_untiled: f64,
+}
+
 /// One measured configuration.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
@@ -209,6 +245,9 @@ pub struct BenchRecord {
     pub search: Option<SearchExtra>,
     /// Served-latency extras (`serve_fresh` / `serve_mixed` records only).
     pub serve: Option<ServeExtra>,
+    /// Tiled-streaming extras (`stream_tiled` / `stream_untiled` records
+    /// only).
+    pub stream: Option<StreamExtra>,
 }
 
 /// A full harness run: records plus the metadata the JSON header carries.
@@ -238,7 +277,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mesorasi-bench/6\",\n");
+        s.push_str("  \"schema\": \"mesorasi-bench/7\",\n");
         s.push_str(&format!("  \"date\": \"{}\",\n", self.date));
         s.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
@@ -286,12 +325,19 @@ impl BenchReport {
                     v.errored
                 )
             });
+            let stream = r.stream.map_or(String::new(), |t| {
+                format!(
+                    ", \"tile_budget\": {}, \"frames\": {}, \"p99_frame_us\": {}, \
+                     \"speedup_vs_untiled\": {:.3}",
+                    t.tile_budget, t.frames, t.p99_frame_us, t.speedup_vs_untiled
+                )
+            });
             let speedup =
                 r.speedup_vs_1t.map_or(String::new(), |s| format!(", \"speedup_vs_1t\": {s:.3}"));
             let dtype = r.dtype.map_or(String::new(), |d| format!(", \"dtype\": \"{d}\""));
             s.push_str(&format!(
                 "    {{ \"op\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
-                 \"ns_per_op\": {:.1}{dtype}{speedup}{extra}{batch}{search}{serve} }}{}\n",
+                 \"ns_per_op\": {:.1}{dtype}{speedup}{extra}{batch}{search}{serve}{stream} }}{}\n",
                 r.op,
                 r.backend,
                 r.threads,
@@ -343,13 +389,19 @@ impl BenchReport {
                     v.streams, v.throughput_rps, v.p50_us, v.p99_us, v.p999_us, v.shed
                 )
             });
+            let stream = r.stream.map_or(String::new(), |t| {
+                format!(
+                    "   tile {} x {} frames, p99 {} us, vs untiled {:.2}x",
+                    t.tile_budget, t.frames, t.p99_frame_us, t.speedup_vs_untiled
+                )
+            });
             let speedup = r.speedup_vs_1t.map_or("          -".into(), |s| format!("{s:>11.2}x"));
             let backend = match r.dtype {
                 Some(d) => format!("{} ({d})", r.backend),
                 None => r.backend.to_owned(),
             };
             s.push_str(&format!(
-                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}{batch}{search}{serve}\n",
+                "{:<18} {:<14} {:>7} {:>14.0} {speedup}{extra}{batch}{search}{serve}{stream}\n",
                 r.op, backend, r.threads, r.ns_per_op
             ));
         }
@@ -539,6 +591,9 @@ pub fn run(smoke: bool) -> BenchReport {
     // the committed artifact carries the tier speedup and the cost of
     // shadow precision as first-class records.
     let naive_out = std::cell::RefCell::new(Matrix::zeros(0, 0));
+    let at_b_naive_out = std::cell::RefCell::new(Matrix::zeros(0, 0));
+    let a_bt_naive_out = std::cell::RefCell::new(Matrix::zeros(0, 0));
+    let mm_bt = w.mm_b.transposed();
     let mut mm_a64 = Matrix64::zeros(0, 0);
     let mut mm_b64 = Matrix64::zeros(0, 0);
     mm_a64.copy_widened(&w.mm_a);
@@ -566,6 +621,28 @@ pub fn run(smoke: bool) -> BenchReport {
             "tensor",
             None,
             Box::new(|| drop(black_box(ops::matmul_at_b(&mm_at, &w.mm_b)))),
+        ),
+        (
+            "matmul_at_b",
+            "naive",
+            None,
+            Box::new(|| {
+                ops::naive::matmul_at_b_into(&mm_at, &w.mm_b, &mut at_b_naive_out.borrow_mut())
+            }),
+        ),
+        (
+            "matmul_a_bt",
+            "tensor",
+            None,
+            Box::new(|| drop(black_box(ops::matmul_a_bt(&w.mm_a, &mm_bt)))),
+        ),
+        (
+            "matmul_a_bt",
+            "naive",
+            None,
+            Box::new(|| {
+                ops::naive::matmul_a_bt_into(&w.mm_a, &mm_bt, &mut a_bt_naive_out.borrow_mut())
+            }),
         ),
         (
             "group_max_reduce",
@@ -644,10 +721,12 @@ pub fn run(smoke: bool) -> BenchReport {
                 batch: None,
                 search: None,
                 serve: None,
+                stream: None,
             });
         }
     }
     records.extend(net_forward_records(smoke, budget));
+    records.extend(stream_records(smoke, budget));
 
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -704,6 +783,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             batch: None,
             search: None,
             serve: None,
+            stream: None,
         });
         records.push(BenchRecord {
             op: "forward_planned",
@@ -720,6 +800,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
             batch: None,
             search: None,
             serve: None,
+            stream: None,
         });
 
         // Batched throughput: every worker engine is warm on `cloud`, so a
@@ -750,6 +831,7 @@ fn net_forward_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
                 }),
                 search: None,
                 serve: None,
+                stream: None,
             });
         }
 
@@ -813,7 +895,121 @@ fn frames_record(
             query_ns_per_frame: per_frame(delta.query_ns),
         }),
         serve: None,
+        stream: None,
     }
+}
+
+/// Tile budgets the streamed-tile sweep measures (points per tile). At
+/// paper scale (2048-point frames) these split a frame into 8 and 2
+/// tiles respectively; smoke instances may fit in one tile, which still
+/// exercises the tiled code path end to end.
+pub const STREAM_TILE_BUDGETS: [usize; 2] = [256, 1024];
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The tiled streaming sweep: [`Session::frames`] on the representative
+/// network through a tile-streaming session, every budget in
+/// [`STREAM_TILE_BUDGETS`] crossed with the thread sweep, against a
+/// sequential untiled baseline (`stream_untiled`) — the record pair the
+/// tentpole's acceptance bar reads (tiled multi-worker ns/frame vs
+/// untiled sequential). Per-frame latencies are captured individually so
+/// the records carry the p99 frame latency, not just the mean.
+fn stream_records(smoke: bool, budget: Duration) -> Vec<BenchRecord> {
+    let sweep = thread_sweep(par::current_threads());
+    let kind = NetworkKind::ALL[0];
+    let make_net = || {
+        let mut rng = mesorasi_pointcloud::seeded_rng(2020);
+        if smoke {
+            kind.build_small(10, &mut rng)
+        } else {
+            kind.build_paper(&mut rng)
+        }
+    };
+    let n = make_net().input_points();
+    let clouds: Vec<PointCloud> =
+        (0..FRAME_POOL).map(|s| sample_shape(ShapeClass::Chair, n, 500 + s as u64)).collect();
+
+    // (mean ns/frame, frames, p99 us) of a warm frame loop at `threads`.
+    let measure = |session: &Session, threads: usize| -> (f64, usize, u64) {
+        par::with_threads(threads, || {
+            let mut frames = session.frames();
+            for cloud in &clouds {
+                black_box(frames.infer(cloud));
+            }
+            let mut lat_us: Vec<u64> = Vec::new();
+            let start = Instant::now();
+            let mut done = 0usize;
+            while done < clouds.len() || start.elapsed() < budget {
+                let t0 = Instant::now();
+                black_box(frames.infer(&clouds[done % clouds.len()]));
+                lat_us.push(t0.elapsed().as_micros() as u64);
+                done += 1;
+            }
+            let ns = start.elapsed().as_nanos() as f64 / done as f64;
+            lat_us.sort_unstable();
+            (ns, done, percentile(&lat_us, 99.0))
+        })
+    };
+
+    let mut records = Vec::new();
+    let untiled: Session =
+        SessionBuilder::from_boxed(make_net()).seed(7).workers(1).untiled().build();
+    untiled.warm(&clouds[0]);
+    let (untiled_ns, untiled_frames, untiled_p99) = measure(&untiled, 1);
+    drop(untiled);
+    records.push(BenchRecord {
+        op: "stream_untiled",
+        backend: kind.name(),
+        threads: 1,
+        dtype: None,
+        ns_per_op: untiled_ns,
+        speedup_vs_1t: None,
+        extra: None,
+        batch: None,
+        search: None,
+        serve: None,
+        stream: Some(StreamExtra {
+            tile_budget: 0,
+            frames: untiled_frames,
+            p99_frame_us: untiled_p99,
+            speedup_vs_untiled: 1.0,
+        }),
+    });
+
+    for &tile in &STREAM_TILE_BUDGETS {
+        let session: Session =
+            SessionBuilder::from_boxed(make_net()).seed(7).workers(1).tile_budget(tile).build();
+        session.warm(&clouds[0]);
+        for &threads in &sweep {
+            let (ns, frames_done, p99) = measure(&session, threads);
+            records.push(BenchRecord {
+                op: "stream_tiled",
+                backend: kind.name(),
+                threads,
+                dtype: None,
+                ns_per_op: ns,
+                speedup_vs_1t: None,
+                extra: None,
+                batch: None,
+                search: None,
+                serve: None,
+                stream: Some(StreamExtra {
+                    tile_budget: tile,
+                    frames: frames_done,
+                    p99_frame_us: p99,
+                    speedup_vs_untiled: if ns > 0.0 { untiled_ns / ns } else { 1.0 },
+                }),
+            });
+        }
+    }
+    records
 }
 
 /// `YYYY-MM-DD` (UTC) for a Unix timestamp — civil-from-days, Hinnant's
@@ -863,6 +1059,7 @@ mod tests {
                     batch: None,
                     search: None,
                     serve: None,
+                    stream: None,
                 },
                 BenchRecord {
                     op: "matmul",
@@ -875,6 +1072,7 @@ mod tests {
                     batch: None,
                     search: None,
                     serve: None,
+                    stream: None,
                 },
                 BenchRecord {
                     op: "forward_planned",
@@ -891,6 +1089,7 @@ mod tests {
                     batch: None,
                     search: None,
                     serve: None,
+                    stream: None,
                 },
                 BenchRecord {
                     op: "infer_batch",
@@ -907,6 +1106,7 @@ mod tests {
                     }),
                     search: None,
                     serve: None,
+                    stream: None,
                 },
                 BenchRecord {
                     op: "infer_frames",
@@ -925,6 +1125,7 @@ mod tests {
                         query_ns_per_frame: 412_345.5,
                     }),
                     serve: None,
+                    stream: None,
                 },
                 BenchRecord {
                     op: "serve_mixed",
@@ -946,11 +1147,30 @@ mod tests {
                         shed: 0,
                         errored: 0,
                     }),
+                    stream: None,
+                },
+                BenchRecord {
+                    op: "stream_tiled",
+                    backend: "PointNet++ (c)",
+                    threads: 2,
+                    dtype: None,
+                    ns_per_op: 512_345.0,
+                    speedup_vs_1t: None,
+                    extra: None,
+                    batch: None,
+                    search: None,
+                    serve: None,
+                    stream: Some(StreamExtra {
+                        tile_budget: 256,
+                        frames: 120,
+                        p99_frame_us: 780,
+                        speedup_vs_untiled: 1.62,
+                    }),
                 },
             ],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mesorasi-bench/6\""));
+        assert!(json.contains("\"schema\": \"mesorasi-bench/7\""));
         assert!(json.contains("\"op\": \"matmul\""));
         assert!(json.contains("\"dtype\": \"f64\""));
         // f32 records carry no dtype key at all (absence = native tier).
@@ -971,6 +1191,9 @@ mod tests {
         assert!(json.contains("\"p50_us\": 700"));
         assert!(json.contains("\"p999_us\": 1900"));
         assert!(json.contains("\"shed\": 0"));
+        assert!(json.contains("\"tile_budget\": 256"));
+        assert!(json.contains("\"p99_frame_us\": 780"));
+        assert!(json.contains("\"speedup_vs_untiled\": 1.620"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(report.filename(), "BENCH_2026-07-28.json");
     }
@@ -997,6 +1220,7 @@ mod tests {
                 shed,
                 errored: 0,
             }),
+            stream: None,
         };
         let report = |fresh_p99: u64, mixed_p99: u64, shed: u64| BenchReport {
             date: "2026-08-08".into(),
@@ -1031,6 +1255,7 @@ mod tests {
             batch: None,
             search: None,
             serve: None,
+            stream: None,
         }
     }
 
@@ -1064,6 +1289,7 @@ mod tests {
             batch: None,
             search: None,
             serve: None,
+            stream: None,
         };
         let report = BenchReport {
             date: String::new(),
@@ -1096,6 +1322,7 @@ mod tests {
             }),
             search: None,
             serve: None,
+            stream: None,
         };
         let report = BenchReport {
             date: String::new(),
@@ -1128,7 +1355,11 @@ mod tests {
         let kernels: Vec<&BenchRecord> = report
             .records
             .iter()
-            .filter(|r| !r.op.starts_with("forward_") && !r.op.starts_with("infer_"))
+            .filter(|r| {
+                !r.op.starts_with("forward_")
+                    && !r.op.starts_with("infer_")
+                    && !r.op.starts_with("stream_")
+            })
             .collect();
         assert_eq!(kernels.len() % sweep.len(), 0);
         for r in kernels.iter().filter(|r| r.threads == 1) {
@@ -1165,6 +1396,33 @@ mod tests {
             assert!(f.distance_evals_per_frame > 0.0, "streamed frames search every frame");
             assert!(f.query_ns_per_frame > 0.0);
         }
+        let untiled: Vec<&BenchRecord> =
+            report.records.iter().filter(|r| r.op == "stream_untiled").collect();
+        assert_eq!(untiled.len(), 1);
+        assert_eq!(untiled[0].threads, 1);
+        let u = untiled[0].stream.expect("stream records carry stream extras");
+        assert_eq!(u.tile_budget, 0);
+        assert!(u.frames >= FRAME_POOL);
+        let tiled: Vec<&BenchRecord> =
+            report.records.iter().filter(|r| r.op == "stream_tiled").collect();
+        assert_eq!(tiled.len(), STREAM_TILE_BUDGETS.len() * sweep.len());
+        for r in &tiled {
+            assert!(sweep.contains(&r.threads), "tiled rows cover the forced 1/2-thread sweep");
+            let t = r.stream.expect("stream records carry stream extras");
+            assert!(STREAM_TILE_BUDGETS.contains(&t.tile_budget));
+            assert!(t.frames >= FRAME_POOL);
+            assert!(t.speedup_vs_untiled > 0.0);
+        }
         assert!(report.records.iter().all(|r| r.ns_per_op > 0.0));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
     }
 }

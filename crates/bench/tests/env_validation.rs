@@ -35,6 +35,26 @@ fn invalid_mesorasi_search_fails_loudly_with_accepted_values() {
 }
 
 #[test]
+fn invalid_mesorasi_tile_budget_fails_loudly_with_accepted_values() {
+    let out = repro_bench_with("MESORASI_TILE_BUDGET", "huge");
+    assert!(!out.status.success(), "invalid MESORASI_TILE_BUDGET must not be ignored");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid MESORASI_TILE_BUDGET='huge'"), "stderr: {err}");
+    assert!(err.contains("positive integers (points per tile) or \"off\""), "stderr: {err}");
+}
+
+#[test]
+fn zero_mesorasi_tile_budget_fails_loudly() {
+    // `0` parses as an integer but is not a legal budget — it must be
+    // rejected by the same loud path, not fall through to a panic deep in
+    // the tile splitter.
+    let out = repro_bench_with("MESORASI_TILE_BUDGET", "0");
+    assert!(!out.status.success(), "zero MESORASI_TILE_BUDGET must not be ignored");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid MESORASI_TILE_BUDGET='0'"), "stderr: {err}");
+}
+
+#[test]
 fn valid_overrides_still_accepted() {
     // `0`/negative are rejected; a plain valid pair must boot far enough
     // to start benching (we don't wait for completion — kill via timeout
@@ -44,6 +64,7 @@ fn valid_overrides_still_accepted() {
         .arg("--list")
         .env("MESORASI_THREADS", "2")
         .env("MESORASI_SEARCH", "kdtree")
+        .env("MESORASI_TILE_BUDGET", "off")
         .output()
         .expect("spawn repro");
     assert!(out.status.success(), "valid overrides must not fail: {:?}", out);

@@ -44,6 +44,10 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// The allocation-free state derivation: reads the sample cloud, writes
+/// the derived positions into the engine's persistent state buffer.
+pub type DeriveIntoFn = Arc<dyn Fn(&PointCloud, &mut PointCloud) + Send + Sync>;
+
 /// How a registered input state's positions derive from the sample cloud.
 #[derive(Clone)]
 pub enum StateSource {
@@ -52,6 +56,10 @@ pub enum StateSource {
     /// A pure function of the sample cloud (e.g. F-PointNet's
     /// mask-and-recenter crop). Must be deterministic.
     Derived(Arc<dyn Fn(&PointCloud) -> PointCloud + Send + Sync>),
+    /// Like [`StateSource::Derived`], but writing into the engine's
+    /// persistent state buffer instead of returning a fresh cloud — the
+    /// streaming form, which derives without allocating on warm frames.
+    DerivedInto(DeriveIntoFn),
 }
 
 impl std::fmt::Debug for StateSource {
@@ -59,7 +67,58 @@ impl std::fmt::Debug for StateSource {
         match self {
             StateSource::Sample => write!(f, "Sample"),
             StateSource::Derived(_) => write!(f, "Derived(..)"),
+            StateSource::DerivedInto(_) => write!(f, "DerivedInto(..)"),
         }
+    }
+}
+
+/// Carves a frame of `n` points into contiguous fixed-budget tiles — the
+/// StreamGrid-style *compulsory split* that bounds per-tile memory and
+/// latency regardless of frame size. Splitting is fully deterministic:
+/// tile `i` covers `i·B .. min((i+1)·B, n)`, so there are `⌈n/B⌉` tiles,
+/// every tile except possibly the last holds exactly `B` points, and the
+/// last holds the remainder (`1..=B` points; a frame smaller than one
+/// budget is a single short tile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSplitter {
+    budget: usize,
+}
+
+impl TileSplitter {
+    /// A splitter with a fixed per-tile point budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn new(budget: usize) -> TileSplitter {
+        assert!(budget > 0, "tile budget must be positive");
+        TileSplitter { budget }
+    }
+
+    /// The per-tile point budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of tiles a frame of `n` points splits into (`0` for an
+    /// empty frame).
+    pub fn tile_count(&self, n: usize) -> usize {
+        n.div_ceil(self.budget)
+    }
+
+    /// The half-open point range of tile `i` in a frame of `n` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.tile_count(n)`.
+    pub fn tile(&self, i: usize, n: usize) -> std::ops::Range<usize> {
+        assert!(i < self.tile_count(n), "tile {i} out of range for {n} points");
+        i * self.budget..((i + 1) * self.budget).min(n)
+    }
+
+    /// The tiles of a frame of `n` points, in split order.
+    pub fn tiles(&self, n: usize) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        (0..self.tile_count(n)).map(move |i| self.tile(i, n))
     }
 }
 
@@ -493,6 +552,13 @@ pub struct EngineStats {
     pub search: SearchCounters,
     /// NIT sample-cache traffic (hits / misses / LRU evictions).
     pub cache: SampleCacheStats,
+    /// Fixed per-tile point budget of the tiled streaming path (`None`
+    /// when the engine runs untiled, cost-model chunked).
+    pub tile_budget: Option<usize>,
+    /// Heap bytes retained by the process-wide per-worker search scratch
+    /// pool (the parallel half of the memory-ceiling contract; shared
+    /// across engines, bounded by worker count).
+    pub parallel_scratch_bytes: usize,
 }
 
 /// A plan-and-execute inference session.
@@ -509,6 +575,7 @@ pub struct PlanEngine {
     planner: SearchPlanner,
     sample_cache_cap: usize,
     dtype: Dtype,
+    tile_budget: Option<usize>,
 }
 
 impl Default for PlanEngine {
@@ -532,7 +599,33 @@ impl PlanEngine {
             planner,
             sample_cache_cap: DEFAULT_SAMPLE_CACHE_CAP,
             dtype: Dtype::F32,
+            tile_budget: None,
         }
+    }
+
+    /// Routes every per-frame derivation through fixed-budget point tiles:
+    /// input-row fills are chunked by [`TileSplitter`] boundaries and batch
+    /// searches run in `budget`-query tiles across the worker pool (each
+    /// worker holding pooled scratch, with the in-flight tile window
+    /// bounded by the participant count). `None` (the default) restores
+    /// cost-model chunking. Tiling is a scheduling knob only — outputs are
+    /// bit-identical at every budget and thread count. Applies to
+    /// already-compiled plans immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is `Some(0)`.
+    pub fn set_tile_budget(&mut self, budget: Option<usize>) {
+        assert!(budget != Some(0), "tile budget must be positive");
+        self.tile_budget = budget;
+        for c in &mut self.compiled {
+            c.search.set_tile_budget(budget);
+        }
+    }
+
+    /// The fixed tile budget set via [`PlanEngine::set_tile_budget`].
+    pub fn tile_budget(&self) -> Option<usize> {
+        self.tile_budget
     }
 
     /// Selects the execution dtype for subsequent runs.
@@ -675,6 +768,8 @@ impl PlanEngine {
             search_bytes: c.search_bytes(),
             search: c.search.counters(),
             cache: c.samples.stats(),
+            tile_budget: self.tile_budget,
+            parallel_scratch_bytes: mesorasi_knn::parallel_scratch_bytes(),
         })
     }
 
@@ -731,7 +826,11 @@ impl PlanEngine {
             step_live,
             arena,
             samples: SampleCache::new(self.sample_cache_cap),
-            search: SearchContext::with_planner(self.planner),
+            search: {
+                let mut search = SearchContext::with_planner(self.planner);
+                search.set_tile_budget(self.tile_budget);
+                search
+            },
             nit: NeighborIndexTable::default(),
             centroids: Vec::new(),
             shuffle: Vec::new(),
@@ -824,6 +923,7 @@ fn derive_and_run(c: &mut Compiled, cloud: &PointCloud, b: &mut Bindings) {
         state_set,
         ..
     } = c;
+    let tiles = search.tile_budget().map(TileSplitter::new);
     state_set.iter_mut().for_each(|s| *s = false);
     let mut cursor = 0usize;
     for (si, step) in steps.iter().enumerate() {
@@ -843,10 +943,11 @@ fn derive_and_run(c: &mut Compiled, cloud: &PointCloud, b: &mut Bindings) {
                         let derived = f(cloud);
                         state_bufs[*state].copy_from(&derived);
                     }
+                    StateSource::DerivedInto(f) => f(cloud, &mut state_bufs[*state]),
                 }
                 state_set[*state] = true;
                 if let Some(ip) = plan.input_position(*input_node) {
-                    write_xyz_rows(&state_bufs[*state], &mut b.inputs[ip]);
+                    write_xyz_rows(&state_bufs[*state], &mut b.inputs[ip], tiles);
                 }
             }
             DynStep::Search {
@@ -915,14 +1016,28 @@ fn derive_and_run(c: &mut Compiled, cloud: &PointCloud, b: &mut Bindings) {
 
 /// Writes `positions`' xyz rows into `m` (reshaped to `n × 3`), reusing
 /// its backing allocation — the streaming path's replacement for
-/// `Matrix::from_vec(cloud.to_xyz_rows())`.
-fn write_xyz_rows(positions: &PointCloud, m: &mut Matrix) {
+/// `Matrix::from_vec(cloud.to_xyz_rows())`. With a [`TileSplitter`], rows
+/// fill in budget-sized tiles across the worker pool — a pure per-element
+/// scatter, so any tiling is bit-identical to the sequential fill.
+fn write_xyz_rows(positions: &PointCloud, m: &mut Matrix, tiles: Option<TileSplitter>) {
     m.reset_shape(positions.len(), 3);
     let data = m.as_mut_slice();
-    for (i, p) in positions.points().iter().enumerate() {
-        data[3 * i] = p.x;
-        data[3 * i + 1] = p.y;
-        data[3 * i + 2] = p.z;
+    let points = positions.points();
+    let fill = |base: usize, rows: &mut [f32]| {
+        for (j, out) in rows.chunks_exact_mut(3).enumerate() {
+            let p = points[base + j];
+            out[0] = p.x;
+            out[1] = p.y;
+            out[2] = p.z;
+        }
+    };
+    match tiles {
+        Some(t) if t.tile_count(positions.len()) > 1 => {
+            mesorasi_par::par_chunks_mut(data, t.budget() * 3, |ti, rows| {
+                fill(t.tile(ti, positions.len()).start, rows);
+            });
+        }
+        _ => fill(0, data),
     }
 }
 
@@ -1247,6 +1362,131 @@ mod tests {
         // Switching back to f32 returns the native arena values.
         engine.set_dtype(Dtype::F32);
         assert_eq!(engine.run(&cloud, &record).get(0), &f32_out);
+    }
+
+    #[test]
+    fn tile_splitter_pins_remainder_rules() {
+        let t = TileSplitter::new(64);
+        assert_eq!(t.budget(), 64);
+        // Exact multiple: every tile holds exactly the budget.
+        assert_eq!(t.tile_count(256), 4);
+        assert_eq!(t.tiles(256).collect::<Vec<_>>(), vec![0..64, 64..128, 128..192, 192..256]);
+        // Remainder: the last tile holds what is left (1..=budget points).
+        assert_eq!(t.tile_count(200), 4);
+        assert_eq!(t.tile(3, 200), 192..200);
+        // One past an exact multiple: a one-point remainder tile.
+        assert_eq!(t.tile_count(257), 5);
+        assert_eq!(t.tile(4, 257), 256..257);
+        // Frame smaller than one budget: a single short tile.
+        assert_eq!(t.tile_count(10), 1);
+        assert_eq!(t.tiles(10).collect::<Vec<_>>(), vec![0..10]);
+        // Empty frame: no tiles.
+        assert_eq!(t.tile_count(0), 0);
+        assert_eq!(t.tiles(0).count(), 0);
+        // Tiles partition the frame: contiguous, in order, disjoint.
+        for n in [1usize, 63, 64, 65, 500] {
+            let mut covered = 0;
+            for r in t.tiles(n) {
+                assert_eq!(r.start, covered, "tiles are contiguous and ordered");
+                assert!(r.len() <= t.budget() && !r.is_empty());
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "tiles cover the frame exactly");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile budget must be positive")]
+    fn zero_budget_splitter_panics() {
+        let _ = TileSplitter::new(0);
+    }
+
+    #[test]
+    fn tiled_streaming_is_bit_identical_to_untiled() {
+        // The tiled hot path re-chunks input fills and searches; outputs
+        // must not move by a bit at any budget or thread count, including
+        // the N (one tile) and N+1 edge budgets.
+        for module in [
+            offset_module(NeighborMode::CoordKnn),
+            offset_module(NeighborMode::CoordBall { radius: 0.4 }),
+            edge_module(),
+        ] {
+            let record = |g: &mut Graph, cloud: &PointCloud| {
+                let state = ModuleState::from_cloud(g, cloud);
+                let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+                vec![out.state.features]
+            };
+            let n = 96;
+            let mut untiled = PlanEngine::new();
+            for budget in [16, n, n + 1] {
+                let mut tiled = PlanEngine::new();
+                tiled.set_tile_budget(Some(budget));
+                assert_eq!(tiled.tile_budget(), Some(budget));
+                for frame_seed in [1, 2] {
+                    let cloud = sample_shape(ShapeClass::Cup, n, frame_seed);
+                    let want = untiled.run_streamed(&cloud, &record).get(0).clone();
+                    for threads in [1, 4] {
+                        let got = mesorasi_par::with_threads(threads, || {
+                            tiled.run_streamed(&cloud, &record).get(0).clone()
+                        });
+                        assert_eq!(
+                            got, want,
+                            "{} budget {budget} threads {threads} frame {frame_seed}",
+                            module.config.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derive_into_states_replay_without_cloning() {
+        // The streaming form of the derived-input pattern: the derivation
+        // writes into the engine's state buffer and must replay per sample
+        // bit-identically to the allocating form.
+        let module = offset_module(NeighborMode::CoordKnn);
+        let derive = |cloud: &PointCloud| {
+            let half: Vec<usize> = (0..cloud.len() / 2).collect();
+            cloud.select(&half)
+        };
+        let derive_into: DeriveIntoFn = Arc::new(move |cloud, out| {
+            let half: Vec<usize> = (0..cloud.len() / 2).collect();
+            cloud.select_into(&half, out);
+        });
+        let record = move |g: &mut Graph, cloud: &PointCloud| {
+            let cropped = derive(cloud);
+            let state = ModuleState::from_cloud_derived_into(g, &cropped, derive_into.clone());
+            let out = runner::run_module(g, &module, &state, Strategy::Original, 5);
+            vec![out.state.features]
+        };
+        let mut engine = PlanEngine::new();
+        for cloud_seed in [30, 31] {
+            let cloud = sample_shape(ShapeClass::Chair, 96, cloud_seed);
+            let mut g = Graph::new();
+            let expected = record(&mut g, &cloud)[0];
+            let expected = g.value(expected).clone();
+            let got = engine.run_streamed(&cloud, &record);
+            assert_eq!(got.get(0), &expected, "cloud {cloud_seed}");
+        }
+    }
+
+    #[test]
+    fn stats_surface_tile_budget_and_parallel_scratch() {
+        let module = offset_module(NeighborMode::CoordKnn);
+        let record = |g: &mut Graph, cloud: &PointCloud| {
+            let state = ModuleState::from_cloud(g, cloud);
+            let out = runner::run_module(g, &module, &state, Strategy::Delayed, 5);
+            vec![out.state.features]
+        };
+        let mut engine = PlanEngine::new();
+        engine.set_tile_budget(Some(32));
+        let cloud = sample_shape(ShapeClass::Bottle, 80, 4);
+        let _ = engine.run_streamed(&cloud, &record);
+        let stats = engine.stats(80).expect("plan compiled");
+        assert_eq!(stats.tile_budget, Some(32));
+        // The pool is process-wide; after any parallel tiled search it
+        // retains bytes, but a 1-thread run may legitimately report 0.
     }
 
     #[test]

@@ -60,6 +60,21 @@ impl ModuleState {
         ModuleState { positions: cloud.clone(), features }
     }
 
+    /// Like [`ModuleState::from_cloud_derived`], but the derivation writes
+    /// into the engine's persistent per-state buffer (`derive(sample,
+    /// out)`) instead of returning a fresh cloud — the streaming form. A
+    /// warm engine replays it with zero heap allocations as long as the
+    /// derivation itself reuses its own scratch.
+    pub fn from_cloud_derived_into(
+        g: &mut Graph,
+        cloud: &PointCloud,
+        derive: crate::engine::DeriveIntoFn,
+    ) -> Self {
+        let features = g.input(Matrix::from_vec(cloud.len(), 3, cloud.to_xyz_rows()));
+        rec::input_state(features, cloud, Some(StateSource::DerivedInto(derive)));
+        ModuleState { positions: cloud.clone(), features }
+    }
+
     /// A state carrying this state's positions but different features
     /// (skip links, dense feature concatenation). Registers the new
     /// features with the inference recorder as sitting on the same

@@ -371,6 +371,10 @@ pub struct SearchContext {
     feature: FeatureBrute,
     slots: Vec<Slot>,
     clock: u64,
+    /// Fixed query-tile budget applied to every batch query through this
+    /// context (see [`crate::with_query_tile_budget`]); `None` defers to
+    /// the cost model. Never changes results, only chunk boundaries.
+    tile_budget: Option<usize>,
 }
 
 impl Default for SearchContext {
@@ -394,12 +398,30 @@ impl SearchContext {
             feature: FeatureBrute::default(),
             slots: Vec::with_capacity(MAX_SLOTS),
             clock: 0,
+            tile_budget: None,
         }
     }
 
     /// The planner deciding this context's backends.
     pub fn planner(&self) -> &SearchPlanner {
         &self.planner
+    }
+
+    /// Forces every batch query through fixed-size query tiles of `budget`
+    /// points (`None` restores cost-model chunking). Tiling is a
+    /// scheduling knob: results stay bit-identical at every budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is `Some(0)`.
+    pub fn set_tile_budget(&mut self, budget: Option<usize>) {
+        assert!(budget != Some(0), "tile budget must be positive");
+        self.tile_budget = budget;
+    }
+
+    /// The fixed query-tile budget, if one is set.
+    pub fn tile_budget(&self) -> Option<usize> {
+        self.tile_budget
     }
 
     /// Traffic counters accumulated since construction.
@@ -419,6 +441,22 @@ impl SearchContext {
     /// written into `out`. `space` identifies the search space for index
     /// sharing (same space + unchanged cloud ⇒ no rebuild).
     pub fn knn_into(
+        &mut self,
+        space: u64,
+        cloud: &PointCloud,
+        queries: &[usize],
+        k: usize,
+        out: &mut NeighborIndexTable,
+    ) {
+        match self.tile_budget {
+            Some(b) => crate::with_query_tile_budget(Some(b), || {
+                self.knn_into_inner(space, cloud, queries, k, out)
+            }),
+            None => self.knn_into_inner(space, cloud, queries, k, out),
+        }
+    }
+
+    fn knn_into_inner(
         &mut self,
         space: u64,
         cloud: &PointCloud,
@@ -448,6 +486,23 @@ impl SearchContext {
     /// Padded radius query for `queries` against `cloud`, on the planned
     /// backend, written into `out`.
     pub fn ball_into(
+        &mut self,
+        space: u64,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+        out: &mut NeighborIndexTable,
+    ) {
+        match self.tile_budget {
+            Some(b) => crate::with_query_tile_budget(Some(b), || {
+                self.ball_into_inner(space, cloud, queries, radius, k, out)
+            }),
+            None => self.ball_into_inner(space, cloud, queries, radius, k, out),
+        }
+    }
+
+    fn ball_into_inner(
         &mut self,
         space: u64,
         cloud: &PointCloud,
@@ -494,7 +549,13 @@ impl SearchContext {
         out: &mut NeighborIndexTable,
     ) {
         let start = Instant::now();
-        let evals = self.feature.knn_view_into(view, queries, k, out);
+        let feature = &mut self.feature;
+        let evals = match self.tile_budget {
+            Some(b) => crate::with_query_tile_budget(Some(b), || {
+                feature.knn_view_into(view, queries, k, out)
+            }),
+            None => feature.knn_view_into(view, queries, k, out),
+        };
         self.note_query(queries.len(), evals, start);
     }
 
@@ -683,6 +744,31 @@ mod tests {
             assert_eq!(out, bruteforce::knn_indices(&cloud, &q, 4), "space {space}");
         }
         assert!(ctx.slots.len() <= MAX_SLOTS);
+    }
+
+    #[test]
+    fn tile_budget_on_context_is_bit_identical_across_budgets() {
+        let cloud = sample_shape(ShapeClass::Airplane, 500, 6);
+        let q: Vec<usize> = (0..500).collect();
+        let want_knn = bruteforce::knn_indices(&cloud, &q, 9);
+        let tree = KdTree::build(&cloud);
+        let want_ball = ball::ball_query(&cloud, &tree, &q, 0.3, 8);
+        for budget in [1, 64, 500, 501] {
+            let mut ctx = SearchContext::with_planner(SearchPlanner::auto());
+            ctx.set_tile_budget(Some(budget));
+            assert_eq!(ctx.tile_budget(), Some(budget));
+            let mut out = NeighborIndexTable::default();
+            ctx.knn_into(3, &cloud, &q, 9, &mut out);
+            assert_eq!(out, want_knn, "budget {budget} knn");
+            ctx.ball_into(3, &cloud, &q, 0.3, 8, &mut out);
+            assert_eq!(out, want_ball, "budget {budget} ball");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile budget must be positive")]
+    fn zero_tile_budget_panics() {
+        SearchContext::new().set_tile_budget(Some(0));
     }
 
     #[test]

@@ -289,9 +289,14 @@ impl KdView<'_> {
 /// Shared out-parameter batch driver for `&mut self` index queries: fills
 /// `out` with one entry per query, running `per_query(scratch, query, slot)`
 /// (which returns its distance-evaluation count) sequentially with the
-/// caller's reusable scratch, or in parallel chunks with per-chunk scratch
-/// when the workload justifies it. Entries are written in query order, so
-/// both paths produce identical tables.
+/// caller's reusable scratch, or in parallel chunks with per-worker pooled
+/// scratch when the workload justifies it. Entries are written in query
+/// order and every `per_query` body resets its scratch before use, so both
+/// paths — at any chunk size — produce identical tables.
+///
+/// An ambient [`crate::with_query_tile_budget`] override replaces the cost
+/// model's chunk choice with fixed-budget query tiles (clamped to the batch
+/// size); a budget covering the whole batch runs sequentially.
 pub(crate) fn batch_into(
     out: &mut NeighborIndexTable,
     queries: &[usize],
@@ -302,7 +307,10 @@ pub(crate) fn batch_into(
 ) -> u64 {
     let entries = queries.len();
     let (cents, neighs) = out.fill_slots(k, entries);
-    let chunk = mesorasi_par::chunk_len(entries, cost_per_query);
+    let chunk = match crate::query_tile_budget() {
+        Some(budget) => budget.min(entries).max(1),
+        None => mesorasi_par::chunk_len(entries, cost_per_query),
+    };
     if chunk >= entries {
         let mut evals = 0u64;
         for (i, &q) in queries.iter().enumerate() {
@@ -313,14 +321,15 @@ pub(crate) fn batch_into(
     } else {
         let total = std::sync::atomic::AtomicU64::new(0);
         mesorasi_par::par_chunks_mut_pair(cents, neighs, chunk, chunk * k, |ci, cc, nc| {
-            let mut local = Vec::new();
-            let mut evals = 0u64;
-            for (j, cent) in cc.iter_mut().enumerate() {
-                let q = queries[ci * chunk + j];
-                *cent = q;
-                evals += per_query(&mut local, q, &mut nc[j * k..(j + 1) * k]);
-            }
-            total.fetch_add(evals, std::sync::atomic::Ordering::Relaxed);
+            crate::candidate_pool().with(|local| {
+                let mut evals = 0u64;
+                for (j, cent) in cc.iter_mut().enumerate() {
+                    let q = queries[ci * chunk + j];
+                    *cent = q;
+                    evals += per_query(local, q, &mut nc[j * k..(j + 1) * k]);
+                }
+                total.fetch_add(evals, std::sync::atomic::Ordering::Relaxed);
+            });
         });
         total.into_inner()
     }
@@ -531,6 +540,38 @@ mod tests {
         assert_eq!(tree.len(), 8);
         let nn = tree.knn(&cloud, cloud.point(0), 8);
         assert_eq!(nn.len(), 8);
+    }
+
+    #[test]
+    fn tile_budget_chunking_is_bit_identical() {
+        let cloud = sample_shape(ShapeClass::Chair, 400, 9);
+        let mut tree = KdTree::build(&cloud);
+        let queries: Vec<usize> = (0..400).collect();
+        let mut want = NeighborIndexTable::default();
+        tree.knn_into(&cloud, &queries, 8, &mut want);
+        for budget in [1, 7, 64, 400, 401] {
+            let mut got = NeighborIndexTable::default();
+            crate::with_query_tile_budget(Some(budget), || {
+                mesorasi_par::with_threads(4, || tree.knn_into(&cloud, &queries, 8, &mut got))
+            });
+            assert_eq!(got, want, "budget {budget}");
+        }
+        // The override restores on exit: cost-model chunking answers again.
+        let mut after = NeighborIndexTable::default();
+        tree.knn_into(&cloud, &queries, 8, &mut after);
+        assert_eq!(after, want);
+    }
+
+    #[test]
+    fn parallel_queries_retain_pooled_scratch() {
+        let cloud = sample_shape(ShapeClass::Sphere, 1024, 2);
+        let mut tree = KdTree::build(&cloud);
+        let queries: Vec<usize> = (0..1024).collect();
+        let mut out = NeighborIndexTable::default();
+        crate::with_query_tile_budget(Some(64), || {
+            mesorasi_par::with_threads(2, || tree.knn_into(&cloud, &queries, 16, &mut out))
+        });
+        assert!(crate::parallel_scratch_bytes() > 0, "parallel chunks must use the pool");
     }
 
     #[test]

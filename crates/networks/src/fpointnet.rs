@@ -192,26 +192,60 @@ impl FPointNet {
     }
 
     fn mask_indices_for(masked_points: usize, cloud: &PointCloud) -> Vec<usize> {
-        let fg: Vec<usize> = match cloud.labels() {
-            Some(labels) => (0..cloud.len()).filter(|&i| labels[i] > 0).collect(),
-            None => Vec::new(),
-        };
-        let pool: Vec<usize> = if fg.is_empty() { (0..cloud.len()).collect() } else { fg };
-        (0..masked_points).map(|i| pool[i % pool.len()]).collect()
+        let mut out = Vec::new();
+        Self::mask_indices_into(masked_points, cloud, &mut out);
+        out
+    }
+
+    /// [`FPointNet::mask_indices_for`] writing into reusable storage. The
+    /// foreground pool is accumulated directly in `out` and then resampled
+    /// with repetition by reading `out`'s own earlier entries (which *are*
+    /// the pool), so a warm buffer derives the mask with zero allocations.
+    fn mask_indices_into(masked_points: usize, cloud: &PointCloud, out: &mut Vec<usize>) {
+        out.clear();
+        if let Some(labels) = cloud.labels() {
+            out.extend((0..cloud.len()).filter(|&i| labels[i] > 0));
+        }
+        if out.is_empty() {
+            out.extend(0..cloud.len());
+        }
+        let pool_len = out.len();
+        if pool_len >= masked_points {
+            out.truncate(masked_points);
+        } else {
+            for i in pool_len..masked_points {
+                let repeat = out[i % pool_len];
+                out.push(repeat);
+            }
+        }
     }
 
     /// The masked, recentered crop the T-Net and box network consume — a
     /// pure function of the sample cloud, which is what lets the inference
     /// plan re-derive it per sample.
     fn masked_centered(masked_points: usize, cloud: &PointCloud) -> PointCloud {
-        let mask = Self::mask_indices_for(masked_points, cloud);
-        let masked_positions = cloud.select(&mask);
-        let centroid = masked_positions.centroid();
-        let mut centered = masked_positions;
-        for p in centered.points_mut() {
+        let mut out = PointCloud::new();
+        Self::masked_centered_into(masked_points, cloud, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// [`FPointNet::masked_centered`] writing into caller-owned buffers —
+    /// the streaming engine's per-frame derivation, allocation-free once
+    /// `mask` and `out` are warm. Identical operation order to the
+    /// allocating form (select, centroid, recenter), so the two derive
+    /// bit-identical crops.
+    fn masked_centered_into(
+        masked_points: usize,
+        cloud: &PointCloud,
+        mask: &mut Vec<usize>,
+        out: &mut PointCloud,
+    ) {
+        Self::mask_indices_into(masked_points, cloud, mask);
+        cloud.select_into(mask, out);
+        let centroid = out.centroid();
+        for p in out.points_mut() {
             *p -= centroid;
         }
-        centered
     }
 
     /// Runs the complete detection pipeline.
@@ -259,10 +293,17 @@ impl FPointNet {
         // --- mask & recenter ----------------------------------------------
         let masked_points = self.masked_points;
         let centered = Self::masked_centered(masked_points, cloud);
-        let masked_state = ModuleState::from_cloud_derived(
+        // The derivation owns its mask scratch (one per compiled plan);
+        // warm streamed frames re-derive the crop without allocating.
+        let mask_scratch = std::sync::Mutex::new(Vec::new());
+        let masked_state = ModuleState::from_cloud_derived_into(
             g,
             &centered,
-            std::sync::Arc::new(move |c| Self::masked_centered(masked_points, c)),
+            std::sync::Arc::new(move |c: &PointCloud, out: &mut PointCloud| {
+                let mut mask =
+                    mask_scratch.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                Self::masked_centered_into(masked_points, c, &mut mask, out);
+            }),
         );
 
         // --- T-Net ----------------------------------------------------------
@@ -416,6 +457,37 @@ mod tests {
         let cloud = PointCloud::from_points(vec![Point3::ORIGIN; 40]);
         let mask = net.mask_indices(&cloud);
         assert_eq!(mask.len(), 32);
+    }
+
+    #[test]
+    fn mask_into_matches_reference_resampling() {
+        // Fewer foreground points than the mask size: the in-place
+        // resampling-with-repetition must match `pool[i % pool.len()]`.
+        let mut cloud = PointCloud::new();
+        for i in 0..40u32 {
+            cloud.push_labelled(Point3::new(i as f32, 0.0, 0.0), u32::from(i % 7 == 0));
+        }
+        let pool: Vec<usize> = (0..40).filter(|i| i % 7 == 0).collect();
+        let want: Vec<usize> = (0..32).map(|i| pool[i % pool.len()]).collect();
+        assert_eq!(FPointNet::mask_indices_for(32, &cloud), want);
+        // The warm buffer reproduces the mask without growing.
+        let mut buf = Vec::new();
+        FPointNet::mask_indices_into(32, &cloud, &mut buf);
+        assert_eq!(buf, want);
+        let cap = buf.capacity();
+        FPointNet::mask_indices_into(32, &cloud, &mut buf);
+        assert_eq!(buf, want);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
+    fn masked_centered_into_matches_allocating_form() {
+        let cloud = toy_frustum(128, 8);
+        let want = FPointNet::masked_centered(32, &cloud);
+        let mut mask = Vec::new();
+        let mut out = PointCloud::new();
+        FPointNet::masked_centered_into(32, &cloud, &mut mask, &mut out);
+        assert!(out.content_eq(&want), "in-place crop must be bit-identical");
     }
 
     #[test]

@@ -34,7 +34,8 @@ use mesorasi_pointcloud::PointCloud;
 
 pub use registry::{Domain, NetworkKind};
 pub use session::{
-    Boxes3D, CheckoutError, FrameStream, Inference, Logits, PerPointLabels, Session, SessionBuilder,
+    Boxes3D, CheckoutError, FrameStream, Inference, Logits, PerPointLabels, Session,
+    SessionBuilder, DEFAULT_TILE_BUDGET,
 };
 
 /// Result of a network forward pass: task output plus the recorded

@@ -282,6 +282,30 @@ pub struct SessionBuilder {
     search: Option<SearchBackend>,
     sample_cache_cap: Option<usize>,
     dtype: Option<Dtype>,
+    tile_budget: Option<Option<usize>>,
+}
+
+/// Default per-tile point budget of the tiled streaming path: large enough
+/// that paper-scale frames split into a handful of tiles, small enough to
+/// bound per-tile latency and scratch.
+pub const DEFAULT_TILE_BUDGET: usize = 256;
+
+/// Reads `MESORASI_TILE_BUDGET` (a positive point count, or `"off"` for
+/// untiled cost-model chunking). Like `MESORASI_SEARCH` and
+/// `MESORASI_THREADS`, an invalid value fails loudly rather than silently
+/// running the wrong configuration.
+fn tile_budget_from_env() -> Option<usize> {
+    match std::env::var("MESORASI_TILE_BUDGET") {
+        Ok(raw) if raw == "off" => None,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(b) if b > 0 => Some(b),
+            _ => panic!(
+                "invalid MESORASI_TILE_BUDGET='{raw}': accepted values are positive \
+                 integers (points per tile) or \"off\""
+            ),
+        },
+        Err(_) => Some(DEFAULT_TILE_BUDGET),
+    }
 }
 
 /// Reads `MESORASI_DTYPE` (`"f32"` or `"f64"`). Like `MESORASI_SEARCH`
@@ -311,6 +335,7 @@ impl SessionBuilder {
             search: None,
             sample_cache_cap: None,
             dtype: None,
+            tile_budget: None,
         }
     }
 
@@ -414,6 +439,30 @@ impl SessionBuilder {
         self
     }
 
+    /// Per-tile point budget of the tiled streaming hot path (default
+    /// [`DEFAULT_TILE_BUDGET`], overridable via `MESORASI_TILE_BUDGET`).
+    /// Every worker engine splits per-frame derivation — input-row fills
+    /// and batch searches — into fixed tiles of this many points,
+    /// pipelined across the `mesorasi-par` workers with a bounded
+    /// in-flight window. A scheduling knob only: results are bit-identical
+    /// at every budget and thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    pub fn tile_budget(mut self, budget: usize) -> Self {
+        assert!(budget > 0, "tile budget must be positive");
+        self.tile_budget = Some(Some(budget));
+        self
+    }
+
+    /// Disables frame tiling: per-frame derivation falls back to
+    /// cost-model chunking (the pre-tiling reference path).
+    pub fn untiled(mut self) -> Self {
+        self.tile_budget = Some(None);
+        self
+    }
+
     /// Builds the session. Plan compilation is lazy: each worker engine
     /// records the network on first contact with a given input shape.
     pub fn build(self) -> Session {
@@ -435,12 +484,14 @@ impl SessionBuilder {
             None => SearchPlanner::from_env(),
         };
         let dtype = self.dtype.unwrap_or_else(dtype_from_env);
+        let tile_budget = self.tile_budget.unwrap_or_else(tile_budget_from_env);
         Session {
             net,
             strategy: self.strategy,
             seed: self.seed,
             domain,
             dtype,
+            tile_budget,
             engines: (0..workers)
                 .map(|_| {
                     let mut engine = PlanEngine::with_planner(planner);
@@ -448,6 +499,7 @@ impl SessionBuilder {
                         engine.set_sample_cache_cap(cap);
                     }
                     engine.set_dtype(dtype);
+                    engine.set_tile_budget(tile_budget);
                     Worker { engine: Mutex::new(engine), holder: AtomicU64::new(0) }
                 })
                 .collect(),
@@ -564,6 +616,7 @@ pub struct Session {
     seed: u64,
     domain: Domain,
     dtype: Dtype,
+    tile_budget: Option<usize>,
     engines: Vec<Worker>,
     next: AtomicUsize,
 }
@@ -593,6 +646,12 @@ impl Session {
     /// The execution dtype every worker engine runs at.
     pub fn dtype(&self) -> Dtype {
         self.dtype
+    }
+
+    /// The per-tile point budget every worker engine streams under
+    /// (`None` when tiling is disabled).
+    pub fn tile_budget(&self) -> Option<usize> {
+        self.tile_budget
     }
 
     /// The task domain, deciding which [`Inference`] variant is returned.
@@ -1252,6 +1311,49 @@ mod tests {
         assert_eq!(stats.evictions, 2, "LRU evicts one at a time past the cap");
         let per_shape = session.arena_stats(n).expect("shape compiled");
         assert_eq!(per_shape.cache.capacity, 2);
+    }
+
+    #[test]
+    fn tile_budget_knob_reaches_the_engines_and_stays_bit_identical() {
+        // Default sessions are tiled; explicit budgets and the untiled
+        // reference path must all produce bit-identical inference.
+        let n;
+        let want;
+        {
+            let untiled = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+                .classes(3)
+                .workers(1)
+                .untiled()
+                .build();
+            assert_eq!(untiled.tile_budget(), None);
+            n = untiled.network().input_points();
+            let cloud = sample_shape(ShapeClass::Chair, n, 1);
+            want = untiled.frames().infer(&cloud);
+        }
+        let cloud = sample_shape(ShapeClass::Chair, n, 1);
+        let default_session = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+            .classes(3)
+            .workers(1)
+            .build();
+        assert_eq!(default_session.tile_budget(), Some(DEFAULT_TILE_BUDGET));
+        assert_eq!(default_session.frames().infer(&cloud), want);
+        for budget in [64, n, n + 1] {
+            let tiled = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification)
+                .classes(3)
+                .workers(1)
+                .tile_budget(budget)
+                .build();
+            assert_eq!(tiled.tile_budget(), Some(budget));
+            assert_eq!(tiled.frames().infer(&cloud), want, "budget {budget}");
+            let stats = tiled.arena_stats(n).expect("shape compiled");
+            assert_eq!(stats.tile_budget, Some(budget), "budget must reach the engines");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile budget must be positive")]
+    fn zero_tile_budget_knob_panics() {
+        let _ = SessionBuilder::from_kind(NetworkKind::PointNetPPClassification).tile_budget(0);
     }
 
     #[test]

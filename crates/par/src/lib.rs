@@ -62,6 +62,77 @@ thread_local! {
     /// Per-thread override installed by [`with_threads`] and by pool
     /// workers (who pin themselves to 1 to serialize nested parallelism).
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// The pool slot of this thread: 0 for every non-pool thread (callers
+    /// participate in their own jobs), `n + 1` for pool worker `n`. What
+    /// [`ScratchPool`] keys its checkouts by.
+    static WORKER_SLOT: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Tags the calling thread with its pool slot — called once per worker at
+/// spawn time.
+pub(crate) fn set_worker_slot(slot: usize) {
+    WORKER_SLOT.with(|s| s.set(slot));
+}
+
+/// The calling thread's scratch slot: 0 on any non-pool thread, a unique
+/// `1..=MAX_POOL` id on pool workers. Distinct participants of one
+/// parallel region always see distinct slots (the caller is the only
+/// participant with slot 0), which is what makes [`ScratchPool`] checkouts
+/// inside `par_*` bodies contention-free.
+pub fn worker_slot() -> usize {
+    WORKER_SLOT.with(|s| s.get())
+}
+
+/// Per-worker scratch buffers for `par_*` chunk bodies.
+///
+/// A chunk body that needs a scratch buffer (e.g. the kNN candidate heap)
+/// cannot share one `&mut` buffer across workers, and allocating per chunk
+/// would break the zero-allocation streaming bar above 1 thread. A
+/// `ScratchPool` holds one lazily-default-initialized buffer per pool
+/// slot; [`ScratchPool::with`] checks out the calling thread's slot for
+/// the duration of a closure. Within one parallel region every
+/// participant has a distinct slot, so checkouts never contend; the mutex
+/// per slot exists for soundness (two *caller* threads from different
+/// sessions share slot 0) and an uncontended `std` mutex does not
+/// allocate.
+///
+/// Buffers keep their capacity across checkouts — after a warm-up pass,
+/// `with` performs zero heap allocations no matter the thread count.
+pub struct ScratchPool<T> {
+    slots: Box<[Mutex<T>]>,
+}
+
+impl<T: Default> Default for ScratchPool<T> {
+    fn default() -> Self {
+        ScratchPool::new()
+    }
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// A pool with one default-initialized slot per possible participant
+    /// (`MAX_POOL` workers plus the slot-0 caller).
+    pub fn new() -> Self {
+        ScratchPool { slots: (0..=MAX_POOL).map(|_| Mutex::new(T::default())).collect() }
+    }
+}
+
+impl<T> ScratchPool<T> {
+    /// Runs `f` with exclusive access to the calling thread's slot buffer.
+    /// The buffer retains whatever state (and capacity) the previous
+    /// checkout on this slot left behind — callers must clear it if they
+    /// need a fresh start.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard =
+            self.slots[worker_slot()].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut guard)
+    }
+
+    /// Folds `measure` over every slot buffer (skipping any slot currently
+    /// checked out) — how retained scratch memory is reported.
+    pub fn measure_bytes(&self, measure: impl Fn(&T) -> usize) -> usize {
+        self.slots.iter().filter_map(|m| m.try_lock().ok()).map(|guard| measure(&guard)).sum()
+    }
 }
 
 /// Resolves the `MESORASI_THREADS` override, once per process.
@@ -529,6 +600,51 @@ mod tests {
             });
         });
         assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn worker_slots_are_distinct_within_a_region() {
+        // Every chunk records the slot of the thread that ran it; the
+        // caller is slot 0 and each pool worker has a unique nonzero slot,
+        // so concurrent participants can never collide in a ScratchPool.
+        let mut slots = vec![usize::MAX; 64];
+        with_threads(4, || {
+            par_chunks_mut(&mut slots, 1, |_, chunk| {
+                // Spread the claims out so several workers participate.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                chunk[0] = worker_slot();
+            });
+        });
+        assert!(slots.iter().all(|&s| s <= MAX_POOL));
+        assert_eq!(worker_slot(), 0, "the calling thread keeps slot 0");
+    }
+
+    #[test]
+    fn scratch_pool_keeps_per_slot_capacity() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        let mut caps = vec![0usize; 64];
+        for _round in 0..2 {
+            with_threads(4, || {
+                par_chunks_mut(&mut caps, 1, |ci, chunk| {
+                    pool.with(|buf| {
+                        buf.clear();
+                        buf.extend((0..128).map(|j| (ci * 128 + j) as u64));
+                        chunk[0] = buf.capacity();
+                    });
+                });
+            });
+        }
+        assert!(caps.iter().all(|&c| c >= 128));
+        // Capacity is retained across checkouts and visible to the meter.
+        assert!(pool.measure_bytes(|v| v.capacity() * 8) >= 128 * 8);
+    }
+
+    #[test]
+    fn scratch_pool_slot_zero_is_shared_but_sound() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        pool.with(|v| v.push(1));
+        pool.with(|v| v.push(2));
+        pool.with(|v| assert_eq!(v.as_slice(), &[1, 2]));
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! `with_threads(8)` sweep on a 2-core host still gets 8 real threads, so
 //! thread-count equivalence tests exercise true concurrency everywhere).
 //!
+//! Job headers are recycled through a bounded freelist, so a warm dispatch
+//! performs no heap allocation — the property the counting-allocator suite
+//! relies on to extend the zero-alloc streaming bar to `MESORASI_THREADS>1`.
+//!
 //! # Safety protocol
 //!
 //! A job body borrows the caller's stack (output slices, closures). The
@@ -15,16 +19,23 @@
 //! from the queue and waits until no worker is still inside the body*
 //! before returning. Workers register themselves (`active += 1`) under the
 //! same lock that queue membership is changed under, so a worker can never
-//! join a job after the caller started tearing it down.
+//! join a job after the caller started tearing it down. Recycling is safe
+//! for the same reason: once the job has left the queue and `active` hit
+//! zero, a stale `Arc` clone held by a worker is only ever *dropped*, never
+//! dereferenced into the body again.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+/// No-op body parked in a freelisted job header between uses.
+fn idle_body() {}
+
 struct Job {
     /// The body with its borrow lifetime erased. Only dereferenced by
     /// workers registered in `active`, which the caller waits out before
-    /// the real borrow ends.
-    body: &'static (dyn Fn() + Sync),
+    /// the real borrow ends. Behind a mutex so recycled headers can be
+    /// re-pointed at the next caller's body.
+    body: Mutex<&'static (dyn Fn() + Sync)>,
     /// Additional workers this job still wants (decremented on join; the
     /// worker taking the last slot removes the job from the queue).
     slots: Mutex<usize>,
@@ -39,20 +50,32 @@ struct PoolShared {
     work_ready: Condvar,
     /// Workers spawned so far (grown on demand, bounded by the caller).
     spawned: Mutex<usize>,
+    /// Retired job headers awaiting reuse — dispatching from a warm pool
+    /// must not allocate.
+    freelist: Mutex<Vec<Arc<Job>>>,
 }
+
+/// Upper bound on retired job headers kept for reuse; headers beyond it
+/// are simply dropped. Concurrent jobs are bounded by live caller threads,
+/// so a small cap covers the steady state.
+const FREELIST_CAP: usize = 64;
 
 fn shared() -> &'static PoolShared {
     static SHARED: OnceLock<PoolShared> = OnceLock::new();
     SHARED.get_or_init(|| PoolShared {
-        queue: Mutex::new(VecDeque::new()),
+        queue: Mutex::new(VecDeque::with_capacity(FREELIST_CAP)),
         work_ready: Condvar::new(),
         spawned: Mutex::new(0),
+        freelist: Mutex::new(Vec::with_capacity(FREELIST_CAP)),
     })
 }
 
-fn worker_loop() {
-    // Workers run nested parallel calls sequentially (see lib.rs).
+fn worker_loop(slot: usize) {
+    // Workers run nested parallel calls sequentially (see lib.rs), and
+    // carry a process-unique slot id so `ScratchPool` checkouts from chunk
+    // bodies are contention-free.
     crate::pin_current_thread_sequential();
+    crate::set_worker_slot(slot);
     let pool = shared();
     loop {
         let job = {
@@ -89,7 +112,8 @@ fn worker_loop() {
         // The chunk-claiming bodies catch their own panics (PanicSlot); a
         // panic escaping here would mean a bug in the claim loop itself.
         // Swallow it rather than killing the worker.
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.body));
+        let body = *job.body.lock().expect("job body poisoned");
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
         let mut active = job.active.lock().expect("job active poisoned");
         *active -= 1;
         if *active == 0 {
@@ -103,11 +127,44 @@ fn ensure_workers(wanted: usize) {
     let pool = shared();
     let mut spawned = pool.spawned.lock().expect("pool spawn count poisoned");
     while *spawned < wanted {
+        // Slot 0 belongs to non-pool threads; worker n gets slot n + 1.
+        let slot = *spawned + 1;
         std::thread::Builder::new()
             .name(format!("mesorasi-par-{}", *spawned))
-            .spawn(worker_loop)
+            .spawn(move || worker_loop(slot))
             .expect("cannot spawn pool worker");
         *spawned += 1;
+    }
+}
+
+/// Pops a retired job header (or allocates the first time) and points it
+/// at `body` with `extra` worker slots.
+fn checkout_job(extra: usize, body: &'static (dyn Fn() + Sync)) -> Arc<Job> {
+    let pool = shared();
+    let recycled = pool.freelist.lock().expect("pool freelist poisoned").pop();
+    match recycled {
+        Some(job) => {
+            *job.body.lock().expect("job body poisoned") = body;
+            *job.slots.lock().expect("job slots poisoned") = extra;
+            debug_assert_eq!(*job.active.lock().expect("job active poisoned"), 0);
+            job
+        }
+        None => Arc::new(Job {
+            body: Mutex::new(body),
+            slots: Mutex::new(extra),
+            active: Mutex::new(0),
+            done: Condvar::new(),
+        }),
+    }
+}
+
+/// Returns a fully torn-down job header to the freelist (drops it past the
+/// cap). Parking the body on [`idle_body`] keeps no dangling borrow alive.
+fn retire_job(job: Arc<Job>) {
+    *job.body.lock().expect("job body poisoned") = &idle_body;
+    let mut freelist = shared().freelist.lock().expect("pool freelist poisoned");
+    if freelist.len() < FREELIST_CAP {
+        freelist.push(job);
     }
 }
 
@@ -129,12 +186,7 @@ pub(crate) fn run(extra: usize, body: &(dyn Fn() + Sync)) {
     // `body` after this function returns, re-establishing the borrow rule.
     let body_static: &'static (dyn Fn() + Sync) =
         unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
-    let job = Arc::new(Job {
-        body: body_static,
-        slots: Mutex::new(extra),
-        active: Mutex::new(0),
-        done: Condvar::new(),
-    });
+    let job = checkout_job(extra, body_static);
     {
         let mut queue = pool.queue.lock().expect("pool queue poisoned");
         queue.push_back(job.clone());
@@ -153,8 +205,11 @@ pub(crate) fn run(extra: usize, body: &(dyn Fn() + Sync)) {
             queue.remove(i);
         }
     }
-    let mut active = job.active.lock().expect("job active poisoned");
-    while *active > 0 {
-        active = job.done.wait(active).expect("job active poisoned");
+    {
+        let mut active = job.active.lock().expect("job active poisoned");
+        while *active > 0 {
+            active = job.done.wait(active).expect("job active poisoned");
+        }
     }
+    retire_job(job);
 }

@@ -22,11 +22,11 @@
 //! registers and cache, never the per-element chain), and the vector lanes
 //! perform the same one-mul-one-add per element as the scalar loop (no
 //! FMA). The only textual difference is the reference's skip of zero `A`
-//! elements in [`matmul_into`], which here adds `±0.0` products instead —
-//! an IEEE-754 identity on every finite sum (a running sum that starts at
-//! `+0.0` can never become `-0.0`: `+0.0 + ±0.0 == +0.0` and exact
-//! cancellation rounds to `+0.0`, so `x + ±0.0 == x` bitwise throughout
-//! the chain).
+//! elements in [`matmul_into`] and [`matmul_at_b_into`], which here adds
+//! `±0.0` products instead — an IEEE-754 identity on every finite sum (a
+//! running sum that starts at `+0.0` can never become `-0.0`:
+//! `+0.0 + ±0.0 == +0.0` and exact cancellation rounds to `+0.0`, so
+//! `x + ±0.0 == x` bitwise throughout the chain).
 
 use crate::{simd, Matrix};
 use mesorasi_par as par;
@@ -100,10 +100,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
 
 /// `Aᵀ · B` for `A: k×m`, `B: k×n` — the weight-gradient product of a
 /// linear layer (`dW = Xᵀ · dY`), computed without materializing `Aᵀ`.
-/// Parallel over output-row chunks. Each chunk keeps the cache-friendly
-/// p-outer loop restricted to its own column slice of `A`, so reads of `A`
-/// and `B` stay contiguous and every output element still accumulates over
-/// `p` ascending — bit-identical to the sequential formulation.
+/// Parallel over output-row chunks.
 ///
 /// # Panics
 ///
@@ -115,6 +112,17 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// [`matmul_at_b`] writing into a caller-owned buffer.
+///
+/// Register-tiled like [`matmul_into`]: output rows go four at a time
+/// through [`simd::mm4t`], which is [`simd::mm4`] with a strided
+/// coefficient walk — output row `i` is column `i` of `A`, so the
+/// coefficient for step `p` sits at `a[p·m + i]` and four adjacent
+/// columns share every load of a `B` row while the 4 × 16 output tile
+/// stays in registers. Each output element accumulates over `p` ascending,
+/// so the result is bit-identical to [`naive::matmul_at_b_into`] for
+/// finite inputs: the reference's sparse zero-skip (gradients behind a
+/// ReLU are mostly zeros) becomes `±0.0` additions here, an IEEE-754
+/// no-op on every finite running sum (see the module docs).
 ///
 /// # Panics
 ///
@@ -133,24 +141,30 @@ pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     if n == 0 {
         return;
     }
-    out.as_mut_slice().fill(0.0);
     let row_chunk = par::chunk_len(m, 2 * k * n);
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
         let first = ci * row_chunk;
         let rows_here = chunk.len() / n;
-        for p in 0..k {
-            let a_cols = &a.row(p)[first..first + rows_here];
-            let b_row = b.row(p);
-            for (ri, &a_pi) in a_cols.iter().enumerate() {
-                // The zero skip is the reference kernel's sparse shortcut
-                // (gradients behind a ReLU are mostly zeros); `p` stays the
-                // outer loop so each element accumulates in ascending-`p`
-                // order — bit-identical to the sequential formulation.
-                if a_pi == 0.0 {
-                    continue;
-                }
-                simd::axpy(a_pi, b_row, &mut chunk[ri * n..(ri + 1) * n]);
-            }
+        let mut ri = 0;
+        while ri + 4 <= rows_here {
+            let quad = &mut chunk[ri * n..(ri + 4) * n];
+            let (r0, rest) = quad.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            simd::mm4t(a.as_slice(), m, first + ri, k, b.as_slice(), n, [r0, r1, r2, r3]);
+            ri += 4;
+        }
+        while ri < rows_here {
+            simd::mm1t(
+                a.as_slice(),
+                m,
+                first + ri,
+                k,
+                b.as_slice(),
+                n,
+                &mut chunk[ri * n..(ri + 1) * n],
+            );
+            ri += 1;
         }
     });
 }
@@ -168,6 +182,19 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// [`matmul_a_bt`] writing into a caller-owned buffer.
+///
+/// Register-tiled over 4 × 4 *output blocks*: sixteen scalar accumulators
+/// live in registers while the block walks `p`, so each load of an
+/// `A`-row element feeds four dot products and each load of a `B`-row
+/// element feeds the other four — 8 loads per 16 multiply-adds, versus
+/// 5 per 4 in a plain column-unrolled row loop, with enough independent
+/// FP-add chains to hide the add latency. Every element still keeps a
+/// single accumulator walked in ascending `p`, which is why this kernel
+/// has **no AVX2 lane-split path**: a dot product's accumulation chain is
+/// sequential over `p`, and splitting it across vector lanes would
+/// re-associate the sum and break bit-identity with
+/// [`naive::matmul_a_bt_into`] (the tiling here reorders only which rows
+/// and columns are register-resident, never any per-element chain).
 ///
 /// # Panics
 ///
@@ -188,42 +215,101 @@ pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     }
     let row_chunk = par::chunk_len(m, 2 * k * n);
     par::par_chunks_mut(out.as_mut_slice(), row_chunk * n, |ci, chunk| {
-        for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
-            let a_row = a.row(ci * row_chunk + ri);
-            // Four output columns at a time: four *independent* dot
-            // products share each load of `a_row`, filling the FP-add
-            // latency with instruction-level parallelism. Each element
-            // keeps a single accumulator walked in ascending `p` — lane
-            // splitting a dot product would re-associate the sum, so the
-            // unroll is across columns, never within one.
-            let n4 = n - n % 4;
-            let mut j = 0;
-            while j < n4 {
-                let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for p in 0..k {
-                    let x = a_row[p];
-                    s0 += x * b0[p];
-                    s1 += x * b1[p];
-                    s2 += x * b2[p];
-                    s3 += x * b3[p];
-                }
-                out_row[j] = s0;
-                out_row[j + 1] = s1;
-                out_row[j + 2] = s2;
-                out_row[j + 3] = s3;
-                j += 4;
-            }
-            for (j, o) in out_row.iter_mut().enumerate().skip(n4) {
-                let b_row = b.row(j);
-                let mut acc = 0.0;
-                for (&x, &y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
+        let first = ci * row_chunk;
+        let rows_here = chunk.len() / n;
+        let mut ri = 0;
+        while ri + 4 <= rows_here {
+            let quad = &mut chunk[ri * n..(ri + 4) * n];
+            let (r0, rest) = quad.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            let a_rows = [
+                a.row(first + ri),
+                a.row(first + ri + 1),
+                a.row(first + ri + 2),
+                a.row(first + ri + 3),
+            ];
+            dot_rows_bt(a_rows, b, [r0, r1, r2, r3]);
+            ri += 4;
+        }
+        while ri < rows_here {
+            dot_row_bt(a.row(first + ri), b, &mut chunk[ri * n..(ri + 1) * n]);
+            ri += 1;
         }
     });
+}
+
+/// The 4 × 4 output block of [`matmul_a_bt_into`]: `out[r][j+c]` holds the
+/// dot product of `a_rows[r]` with `B` row `j+c`, all sixteen accumulated
+/// together in ascending `p`.
+fn dot_rows_bt(a_rows: [&[f32]; 4], b: &Matrix, mut out: [&mut [f32]; 4]) {
+    let n = b.rows();
+    let k = a_rows[0].len();
+    let n4 = n - n % 4;
+    let mut j = 0;
+    while j < n4 {
+        let bq = [b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3)];
+        let mut acc = [[0.0f32; 4]; 4];
+        for p in 0..k {
+            let xs = [a_rows[0][p], a_rows[1][p], a_rows[2][p], a_rows[3][p]];
+            let ys = [bq[0][p], bq[1][p], bq[2][p], bq[3][p]];
+            for (acc_r, &x) in acc.iter_mut().zip(&xs) {
+                for (s, &y) in acc_r.iter_mut().zip(&ys) {
+                    *s += x * y;
+                }
+            }
+        }
+        for (or, acc_r) in out.iter_mut().zip(&acc) {
+            or[j..j + 4].copy_from_slice(acc_r);
+        }
+        j += 4;
+    }
+    for jj in n4..n {
+        let b_row = b.row(jj);
+        let mut acc = [0.0f32; 4];
+        for (p, &y) in b_row.iter().enumerate() {
+            for (s, ar) in acc.iter_mut().zip(&a_rows) {
+                *s += ar[p] * y;
+            }
+        }
+        for (or, &s) in out.iter_mut().zip(&acc) {
+            or[jj] = s;
+        }
+    }
+}
+
+/// The row tail of [`matmul_a_bt_into`]: one output row, four independent
+/// column dot products sharing each `A`-row load, each walked in
+/// ascending `p`.
+fn dot_row_bt(a_row: &[f32], b: &Matrix, out_row: &mut [f32]) {
+    let n = b.rows();
+    let k = a_row.len();
+    let n4 = n - n % 4;
+    let mut j = 0;
+    while j < n4 {
+        let (b0, b1, b2, b3) = (b.row(j), b.row(j + 1), b.row(j + 2), b.row(j + 3));
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for p in 0..k {
+            let x = a_row[p];
+            s0 += x * b0[p];
+            s1 += x * b1[p];
+            s2 += x * b2[p];
+            s3 += x * b3[p];
+        }
+        out_row[j] = s0;
+        out_row[j + 1] = s1;
+        out_row[j + 2] = s2;
+        out_row[j + 3] = s3;
+        j += 4;
+    }
+    for (j, o) in out_row.iter_mut().enumerate().skip(n4) {
+        let b_row = b.row(j);
+        let mut acc = 0.0;
+        for (&x, &y) in a_row.iter().zip(b_row) {
+            acc += x * y;
+        }
+        *o = acc;
+    }
 }
 
 /// Elementwise `a + b`.
@@ -770,16 +856,37 @@ mod tests {
 
     #[test]
     fn at_b_and_a_bt_are_bit_identical_to_naive() {
-        for &(k, m, n) in &[(1usize, 1usize, 1usize), (7, 3, 9), (64, 5, 12), (130, 33, 2)] {
-            let a = noisy(k, m, 31, 3);
-            let b = noisy(k, n, 41, 0);
-            let mut fast = Matrix::zeros(0, 0);
-            let mut reference = Matrix::zeros(0, 0);
-            matmul_at_b_into(&a, &b, &mut fast);
-            naive::matmul_at_b_into(&a, &b, &mut reference);
-            assert_eq!(fast, reference, "at_b {k}ᵀ{m}×{n}");
+        // Shapes straddle the register-tile boundaries: m below/at/above a
+        // quad (unpaired row tails), n across the 16- and 8-lane column
+        // blocks of `mm4t`, and zero fractions that exercise the
+        // reference's sparse skip against the tier's ±0.0 additions.
+        for &(k, m, n) in &[
+            (1usize, 1usize, 1usize),
+            (7, 3, 9),
+            (64, 5, 12),
+            (130, 33, 2),
+            (64, 9, 40),
+            (30, 8, 33),
+            (13, 17, 19),
+        ] {
+            for zero_every in [0, 2, 3] {
+                let a = noisy(k, m, 31, zero_every);
+                let b = noisy(k, n, 41, 0);
+                let mut fast = Matrix::zeros(0, 0);
+                let mut reference = Matrix::zeros(0, 0);
+                matmul_at_b_into(&a, &b, &mut fast);
+                naive::matmul_at_b_into(&a, &b, &mut reference);
+                assert_eq!(fast, reference, "at_b {k}ᵀ{m}×{n} zeros 1/{zero_every}");
+            }
         }
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (3, 9, 7), (5, 12, 64), (33, 2, 130)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 9, 7),
+            (5, 12, 64),
+            (33, 2, 130),
+            (9, 64, 40),
+            (12, 7, 35),
+        ] {
             let a = noisy(m, k, 51, 0);
             let b = noisy(n, k, 61, 4);
             let mut fast = Matrix::zeros(0, 0);

@@ -10,10 +10,14 @@
 //!   in ascending-`p` order with separate `mul` and `add` instructions,
 //!   which is the whole bit-identity contract: any lane width (8-lane
 //!   AVX2, auto-vectorized scalar) produces the same rounding sequence.
-//! * [`axpy`] — scalar-times-row accumulate (`y[j] += a · x[j]`), the
-//!   inner loop of the transpose-product kernels. One multiply and one add
-//!   per element per call, so there is no accumulation chain inside a call
-//!   for lane width to re-associate.
+//! * [`mm4t`] / [`mm1t`] — the same register tiles with a *strided*
+//!   coefficient walk (`a[p·stride + i0 + r]`), so `Aᵀ · B` gets the
+//!   identical treatment without materializing the transpose: four
+//!   adjacent columns of `A` play the role of [`mm4`]'s four rows.
+//! * [`axpy`] — scalar-times-row accumulate (`y[j] += a · x[j]`), kept as
+//!   a general primitive. One multiply and one add per element per call,
+//!   so there is no accumulation chain inside a call for lane width to
+//!   re-associate.
 //!
 //! FMA is deliberately never used: a fused multiply-add rounds once where
 //! `mul` + `add` round twice, which would break the scalar ≡ vector
@@ -86,6 +90,57 @@ pub fn mm1(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
     mm1_impl(a, b, n, out);
 }
 
+/// Four-row *transpose* matmul block:
+/// `out[r][j] = Σ_p a[p·stride + i0 + r] · b[p·n + j]` — four adjacent
+/// columns `i0..i0+4` of a row-major `k × stride` matrix `a` play the role
+/// of [`mm4`]'s four `A` rows, so [`crate::ops::matmul_at_b_into`] gets
+/// the same register-tiled treatment without materializing `Aᵀ`. The `B`
+/// row walk, accumulation order (ascending `p`, one `mul` + one `add` per
+/// step) and 4 × 16 register tile are identical to [`mm4`]; only the
+/// coefficient load is strided.
+///
+/// # Panics
+///
+/// Panics when an `out` row is not exactly `n` long, when `b` is smaller
+/// than `k × n`, or when columns `i0..i0+4` of the `k × stride` view of
+/// `a` would read out of bounds.
+#[inline]
+pub fn mm4t(
+    a: &[f32],
+    stride: usize,
+    i0: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: [&mut [f32]; 4],
+) {
+    for row in &out {
+        assert_eq!(row.len(), n, "mm4t out-row length mismatch");
+    }
+    assert!(b.len() >= k * n, "mm4t B too small");
+    assert!(i0 + 4 <= stride, "mm4t column block out of range");
+    assert!(k == 0 || (k - 1) * stride + i0 + 4 <= a.len(), "mm4t A too small");
+    mm4t_impl(a, stride, i0, k, b, n, out);
+}
+
+/// Single-column transpose matmul block:
+/// `out[j] = Σ_p a[p·stride + i0] · b[p·n + j]` — the row tail of
+/// [`mm4t`], same accumulation order and rounding contract.
+///
+/// # Panics
+///
+/// Panics when `out` is not exactly `n` long, when `b` is smaller than
+/// `k × n`, or when column `i0` of the `k × stride` view of `a` would
+/// read out of bounds.
+#[inline]
+pub fn mm1t(a: &[f32], stride: usize, i0: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), n, "mm1t out length mismatch");
+    assert!(b.len() >= k * n, "mm1t B too small");
+    assert!(i0 < stride, "mm1t column out of range");
+    assert!(k == 0 || (k - 1) * stride + i0 < a.len(), "mm1t A too small");
+    mm1t_impl(a, stride, i0, k, b, n, out);
+}
+
 /// True when the vector path is compiled in *and* usable on this CPU —
 /// surfaced so the bench report can label records honestly.
 pub fn vector_path_active() -> bool {
@@ -153,6 +208,56 @@ fn mm4_scalar(a: [&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
     }
 }
 
+/// Strided-coefficient sibling of [`mm1_scalar`]: same 8-accumulator
+/// column blocks, coefficient read at `a[p·stride + i0]` instead of
+/// `a[p]`.
+#[inline(always)]
+fn mm1t_scalar(
+    a: &[f32],
+    stride: usize,
+    i0: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    let mut j = 0;
+    while j + 8 <= n {
+        let mut acc = [0.0f32; 8];
+        for p in 0..k {
+            let ap = a[p * stride + i0];
+            let br = &b[p * n + j..p * n + j + 8];
+            for (s, &bv) in acc.iter_mut().zip(br) {
+                *s += ap * bv;
+            }
+        }
+        out[j..j + 8].copy_from_slice(&acc);
+        j += 8;
+    }
+    for (jj, o) in out.iter_mut().enumerate().skip(j) {
+        let mut s = 0.0f32;
+        for p in 0..k {
+            s += a[p * stride + i0] * b[p * n + jj];
+        }
+        *o = s;
+    }
+}
+
+#[inline(always)]
+fn mm4t_scalar(
+    a: &[f32],
+    stride: usize,
+    i0: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: [&mut [f32]; 4],
+) {
+    for (r, or) in out.into_iter().enumerate() {
+        mm1t_scalar(a, stride, i0 + r, k, b, n, or);
+    }
+}
+
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[inline]
 fn axpy_impl(a: f32, x: &[f32], y: &mut [f32]) {
@@ -186,6 +291,36 @@ fn mm1_impl(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
     }
 }
 
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn mm4t_impl(
+    a: &[f32],
+    stride: usize,
+    i0: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: [&mut [f32]; 4],
+) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { x86::mm4t_avx2(a, stride, i0, k, b, n, out) }
+    } else {
+        mm4t_scalar(a, stride, i0, k, b, n, out);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn mm1t_impl(a: &[f32], stride: usize, i0: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe { x86::mm1t_avx2(a, stride, i0, k, b, n, out) }
+    } else {
+        mm1t_scalar(a, stride, i0, k, b, n, out);
+    }
+}
+
 #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
 #[inline]
 fn axpy_impl(a: f32, x: &[f32], y: &mut [f32]) {
@@ -202,6 +337,26 @@ fn mm4_impl(a: [&[f32]; 4], b: &[f32], n: usize, out: [&mut [f32]; 4]) {
 #[inline]
 fn mm1_impl(a: &[f32], b: &[f32], n: usize, out: &mut [f32]) {
     mm1_scalar(a, b, n, out);
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn mm4t_impl(
+    a: &[f32],
+    stride: usize,
+    i0: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: [&mut [f32]; 4],
+) {
+    mm4t_scalar(a, stride, i0, k, b, n, out);
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+#[inline]
+fn mm1t_impl(a: &[f32], stride: usize, i0: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    mm1t_scalar(a, stride, i0, k, b, n, out);
 }
 
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
@@ -298,6 +453,78 @@ mod x86 {
         }
     }
 
+    /// Strided-coefficient sibling of [`mm4_avx2`]: the same 4 × 16
+    /// register tile and `B` row walk, coefficients read down four
+    /// adjacent columns of the `k × stride` matrix `a`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime, and the
+    /// bounds checked by [`super::mm4t`] must hold.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mm4t_avx2(
+        a: &[f32],
+        stride: usize,
+        i0: usize,
+        k: usize,
+        b: &[f32],
+        n: usize,
+        out: [&mut [f32]; 4],
+    ) {
+        let mut j = 0;
+        while j + 16 <= n {
+            // SAFETY: j + 16 <= n, b.len() >= k·n and the mm4t column
+            // bounds cover every access; mul then add — never FMA —
+            // matches scalar rounding.
+            unsafe {
+                let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+                for p in 0..k {
+                    let bp = b.as_ptr().add(p * n + j);
+                    let vb0 = _mm256_loadu_ps(bp);
+                    let vb1 = _mm256_loadu_ps(bp.add(8));
+                    let ap = a.as_ptr().add(p * stride + i0);
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let va = _mm256_set1_ps(*ap.add(r));
+                        acc_r[0] = _mm256_add_ps(acc_r[0], _mm256_mul_ps(va, vb0));
+                        acc_r[1] = _mm256_add_ps(acc_r[1], _mm256_mul_ps(va, vb1));
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_ps(out[r].as_mut_ptr().add(j), acc[r][0]);
+                    _mm256_storeu_ps(out[r].as_mut_ptr().add(j + 8), acc[r][1]);
+                }
+            }
+            j += 16;
+        }
+        if j + 8 <= n {
+            // SAFETY: j + 8 <= n plus the mm4t bounds cover every access.
+            unsafe {
+                let mut acc = [_mm256_setzero_ps(); 4];
+                for p in 0..k {
+                    let vb = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                    let ap = a.as_ptr().add(p * stride + i0);
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let va = _mm256_set1_ps(*ap.add(r));
+                        *acc_r = _mm256_add_ps(*acc_r, _mm256_mul_ps(va, vb));
+                    }
+                }
+                for r in 0..4 {
+                    _mm256_storeu_ps(out[r].as_mut_ptr().add(j), acc[r]);
+                }
+            }
+            j += 8;
+        }
+        for jj in j..n {
+            for r in 0..4 {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[p * stride + i0 + r] * b[p * n + jj];
+                }
+                out[r][jj] = s;
+            }
+        }
+    }
+
     /// One output row, 32 columns per pass in four ymm accumulators.
     ///
     /// # Safety
@@ -326,6 +553,47 @@ mod x86 {
             let mut s = 0.0f32;
             for (p, &ap) in a.iter().enumerate() {
                 s += ap * b[p * n + jj];
+            }
+            *o = s;
+        }
+    }
+
+    /// Strided-coefficient sibling of [`mm1_avx2`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 support at runtime, and the
+    /// bounds checked by [`super::mm1t`] must hold.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mm1t_avx2(
+        a: &[f32],
+        stride: usize,
+        i0: usize,
+        k: usize,
+        b: &[f32],
+        n: usize,
+        out: &mut [f32],
+    ) {
+        let mut j = 0;
+        while j + 8 <= n {
+            // SAFETY: j + 8 <= n, b.len() >= k·n and the mm1t column
+            // bounds cover every access; mul then add — never FMA —
+            // matches scalar rounding.
+            unsafe {
+                let mut acc: __m256 = _mm256_setzero_ps();
+                for p in 0..k {
+                    let va = _mm256_set1_ps(*a.get_unchecked(p * stride + i0));
+                    let vb = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+                }
+                _mm256_storeu_ps(out.as_mut_ptr().add(j), acc);
+            }
+            j += 8;
+        }
+        for (jj, o) in out.iter_mut().enumerate().skip(j) {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                s += a[p * stride + i0] * b[p * n + jj];
             }
             *o = s;
         }
@@ -431,5 +699,89 @@ mod tests {
         let x = [1.0f32; 4];
         let mut y = [0.0f32; 3];
         axpy(1.0, &x, &mut y);
+    }
+
+    fn mmt_reference(
+        a: &[f32],
+        stride: usize,
+        i0: usize,
+        k: usize,
+        b: &[f32],
+        n: usize,
+    ) -> Vec<f32> {
+        // The naive per-element chain with the strided coefficient walk.
+        (0..n)
+            .map(|j| {
+                let mut s = 0.0f32;
+                for p in 0..k {
+                    s += a[p * stride + i0] * b[p * n + j];
+                }
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mm1t_matches_reference_bitwise() {
+        for (k, stride, n) in
+            [(0, 4, 5), (1, 1, 1), (3, 6, 8), (7, 9, 16), (13, 13, 17), (64, 7, 40)]
+        {
+            let a = sample(k.max(1) * stride, 3);
+            let b = sample(k * n, 4);
+            for i0 in [0, stride - 1] {
+                let mut out = vec![f32::NAN; n];
+                mm1t(&a, stride, i0, k, &b, n, &mut out);
+                assert_eq!(
+                    out,
+                    mmt_reference(&a, stride, i0, k, &b, n),
+                    "k={k} stride={stride} i0={i0} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mm4t_matches_four_mm1t_bitwise() {
+        for (k, stride, n) in
+            [(0, 4, 3), (2, 5, 8), (5, 8, 16), (9, 11, 24), (64, 6, 19), (100, 4, 48)]
+        {
+            let a = sample(k.max(1) * stride, 21);
+            let b = sample(k * n, 22);
+            let i0 = stride - 4;
+            let mut out =
+                [vec![f32::NAN; n], vec![f32::NAN; n], vec![f32::NAN; n], vec![f32::NAN; n]];
+            {
+                let [o0, o1, o2, o3] = &mut out;
+                mm4t(&a, stride, i0, k, &b, n, [o0, o1, o2, o3]);
+            }
+            for (r, o) in out.iter().enumerate() {
+                let mut want = vec![0.0f32; n];
+                mm1t(&a, stride, i0 + r, k, &b, n, &mut want);
+                assert_eq!(o, &want, "k={k} stride={stride} n={n} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn mm1t_dispatch_and_scalar_agree_bitwise() {
+        for (k, stride, n) in [(3, 5, 7), (17, 4, 16), (64, 9, 31), (128, 8, 64)] {
+            let a = sample(k * stride, 31);
+            let b = sample(k * n, 32);
+            let mut via_dispatch = vec![f32::NAN; n];
+            let mut via_scalar = vec![f32::NAN; n];
+            mm1t(&a, stride, 2, k, &b, n, &mut via_dispatch);
+            mm1t_scalar(&a, stride, 2, k, &b, n, &mut via_scalar);
+            assert_eq!(via_dispatch, via_scalar, "k={k} stride={stride} n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column block out of range")]
+    fn mm4t_column_block_out_of_range_panics() {
+        let a = [0.0f32; 12];
+        let b = [0.0f32; 12];
+        let mut out = [vec![0.0f32; 4], vec![0.0f32; 4], vec![0.0f32; 4], vec![0.0f32; 4]];
+        let [o0, o1, o2, o3] = &mut out;
+        mm4t(&a, 3, 0, 3, &b, 4, [o0, o1, o2, o3]);
     }
 }

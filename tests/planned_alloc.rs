@@ -7,7 +7,7 @@
 //! asserts exactly that. It lives alone in its own test file so no
 //! concurrently-running test can perturb the counter while it is armed.
 //!
-//! Three audits, in increasing strictness:
+//! Five audits, in increasing strictness:
 //!
 //! 1. the original cache-hit audit on [`PlanEngine::run`] — searches are
 //!    cached, pure planned tensor execution;
@@ -17,7 +17,14 @@
 //!    them allocation-free too;
 //! 3. the session-level audit: a warm [`mesorasi::Session`] frame stream
 //!    served through `infer_into` (outputs recycled) performs zero heap
-//!    allocations end to end.
+//!    allocations end to end;
+//! 4. the multi-worker tiled audit: with the pool at 2 threads and a
+//!    fixed tile budget, a warm streamed frame still makes zero heap
+//!    allocations — job dispatch reuses retired headers and every worker
+//!    draws search scratch from its `ScratchPool` slot;
+//! 5. the heap-ceiling audit: once warm, `EngineStats` byte totals
+//!    (tensor arena + search arena + parallel scratch pool) are frozen —
+//!    further frames neither grow a slot nor retain new storage.
 
 use mesorasi::core::engine::PlanEngine;
 use mesorasi::prelude::*;
@@ -189,5 +196,89 @@ fn warm_session_frame_inference_allocates_nothing_end_to_end() {
 
         assert_eq!(after - before, 0, "a warm Session frame must not touch the allocator");
         assert_eq!(out.domain(), Domain::Classification, "results still flow");
+    });
+}
+
+#[test]
+fn warm_tiled_streaming_allocates_nothing_at_two_threads() {
+    // The multi-worker bar: at 2 pool threads with a fixed tile budget,
+    // tile dispatch rides retired job headers and each participant's
+    // kd-rebuild/query scratch comes out of its per-worker `ScratchPool`
+    // slot — so the warm streamed frame stays at exactly zero heap
+    // allocations even though real parallel dispatch is in the loop.
+    mesorasi_par::with_threads(2, || {
+        let mut rng = seeded_rng(6);
+        let net = NetworkKind::PointNetPPClassification.build_small(5, &mut rng);
+        let mut engine =
+            PlanEngine::with_planner(mesorasi::SearchPlanner::forced(SearchBackend::KdTree));
+        // A budget well under the frame size, so every frame splits into
+        // several tiles and the remainder tile is exercised too.
+        engine.set_tile_budget(Some(64));
+        let record =
+            |g: &mut Graph, c: &PointCloud| net.session_outputs(g, c, Strategy::Delayed, 7);
+        let frames: Vec<PointCloud> =
+            (0..4).map(|s| sample_shape(ShapeClass::Chair, net.input_points(), 60 + s)).collect();
+
+        // Warm pass: compiles the plan, sizes stream bindings and every
+        // worker's scratch slot, and lets the pool allocate its one-time
+        // job headers outside the armed window.
+        for frame in &frames {
+            let _ = engine.run_streamed(frame, &record);
+        }
+
+        ARMED.store(true, Ordering::SeqCst);
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for frame in &frames {
+            let _ = engine.run_streamed(frame, &record);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        ARMED.store(false, Ordering::SeqCst);
+
+        assert_eq!(after - before, 0, "a warm tiled streamed frame must not allocate at 2 threads");
+        let stats = engine.stats(net.input_points()).expect("compiled");
+        assert_eq!(stats.tile_budget, Some(64), "the tile budget must be live");
+    });
+}
+
+#[test]
+fn warm_tiled_stream_holds_a_hard_heap_ceiling() {
+    // The memory-ceiling half of the contract: beyond "no allocator
+    // calls", the bytes already *retained* must stop moving once warm.
+    // Tensor-arena peak, search-arena retention, and the process-wide
+    // per-worker scratch pool are all captured after warm-up and must be
+    // bit-for-bit unchanged after further frames — and no arena slot may
+    // ever grow past its planned capacity.
+    mesorasi_par::with_threads(2, || {
+        let mut rng = seeded_rng(6);
+        let net = NetworkKind::PointNetPPClassification.build_small(5, &mut rng);
+        let mut engine =
+            PlanEngine::with_planner(mesorasi::SearchPlanner::forced(SearchBackend::KdTree));
+        engine.set_tile_budget(Some(64));
+        let record =
+            |g: &mut Graph, c: &PointCloud| net.session_outputs(g, c, Strategy::Delayed, 7);
+        let frames: Vec<PointCloud> =
+            (0..4).map(|s| sample_shape(ShapeClass::Lamp, net.input_points(), 80 + s)).collect();
+
+        for frame in &frames {
+            let _ = engine.run_streamed(frame, &record);
+        }
+        let warm = engine.stats(net.input_points()).expect("compiled");
+        assert!(warm.arena.peak_bytes > 0, "the arena must retain planned storage");
+        assert!(warm.search_bytes > 0, "the search arena must retain storage");
+
+        for _ in 0..3 {
+            for frame in &frames {
+                let _ = engine.run_streamed(frame, &record);
+            }
+        }
+        let after = engine.stats(net.input_points()).expect("compiled");
+
+        assert_eq!(after.arena.peak_bytes, warm.arena.peak_bytes, "tensor arena grew while warm");
+        assert_eq!(after.arena.grow_events, warm.arena.grow_events, "slots grew while warm");
+        assert_eq!(after.search_bytes, warm.search_bytes, "search arena grew while warm");
+        assert_eq!(
+            after.parallel_scratch_bytes, warm.parallel_scratch_bytes,
+            "per-worker scratch pool grew while warm"
+        );
     });
 }
