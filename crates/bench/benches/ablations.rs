@@ -19,7 +19,14 @@ fn agg_for(cloud: &PointCloud, width: usize) -> AggregateOp {
 }
 
 fn bench_ordering(c: &mut Criterion) {
-    let sorted = morton::sort_cloud(&sample_shape(ShapeClass::Chair, 1024, 3));
+    let (mut codes, mut order) = (Vec::new(), Vec::new());
+    let mut sorted = PointCloud::new();
+    morton::sort_cloud_into(
+        &sample_shape(ShapeClass::Chair, 1024, 3),
+        &mut codes,
+        &mut order,
+        &mut sorted,
+    );
     let shuffled = {
         let mut pts = sorted.points().to_vec();
         let mut rng = mesorasi_pointcloud::seeded_rng(4);
@@ -65,7 +72,14 @@ fn bench_max_subtract_order(c: &mut Criterion) {
 fn bench_partitioning(c: &mut Criterion) {
     // Column-major (the design) vs a single-partition oversized buffer:
     // quantifies the cost the partitioned design pays to stay small.
-    let cloud = morton::sort_cloud(&sample_shape(ShapeClass::Chair, 2048, 3));
+    let (mut codes, mut order) = (Vec::new(), Vec::new());
+    let mut cloud = PointCloud::new();
+    morton::sort_cloud_into(
+        &sample_shape(ShapeClass::Chair, 2048, 3),
+        &mut codes,
+        &mut order,
+        &mut cloud,
+    );
     let agg = agg_for(&cloud, 256);
     let nominal = AuConfig::default(); // 64 KB ⇒ partitions
     let oversized = AuConfig { pft_kb: 4096, ..AuConfig::default() }; // 1 partition

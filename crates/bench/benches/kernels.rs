@@ -63,7 +63,9 @@ fn bench_tensor_kernels(c: &mut Criterion) {
 fn bench_au_and_morton(c: &mut Criterion) {
     let mut g = c.benchmark_group("au_sim");
     g.sample_size(20);
-    let cloud = morton::sort_cloud(&cloud_1k());
+    let (mut codes, mut order) = (Vec::new(), Vec::new());
+    let mut cloud = PointCloud::new();
+    morton::sort_cloud_into(&cloud_1k(), &mut codes, &mut order, &mut cloud);
     let centroids = random_indices(&cloud, 512, 1);
     let nit = bruteforce::knn_indices(&cloud, &centroids, 32);
     let agg = mesorasi_core::trace::AggregateOp {
@@ -75,7 +77,12 @@ fn bench_au_and_morton(c: &mut Criterion) {
     };
     let au = AuConfig::default();
     g.bench_function("au_simulate_512x32x128", |b| b.iter(|| au.simulate(black_box(&agg))));
-    g.bench_function("morton_sort_1024", |b| b.iter(|| morton::sort_cloud(black_box(&cloud))));
+    // Warm-path form: scratch and output reused across iterations, so this
+    // measures the sort itself rather than per-call allocation.
+    let mut sorted = PointCloud::new();
+    g.bench_function("morton_sort_1024", |b| {
+        b.iter(|| morton::sort_cloud_into(black_box(&cloud), &mut codes, &mut order, &mut sorted))
+    });
     g.finish();
 }
 

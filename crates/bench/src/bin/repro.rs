@@ -307,14 +307,14 @@ fn main() {
         emit("");
         emit("`repro bench` times the parallel kernels across a thread sweep,");
         emit("whole-network forwards (tape vs Session), and batched Session");
-        emit("throughput; --json writes BENCH_<date>.json (mesorasi-bench/7),");
+        emit("throughput; --json writes BENCH_<date>.json (mesorasi-bench/8),");
         emit("--smoke runs reduced workloads and exits non-zero if a parallel,");
         emit("planned, or batched path regresses past its gate.");
         emit("");
         emit("`repro serve-bench` serves inference over TCP and drives it with");
         emit("concurrent sensor-replay streams (fresh vs mixed traffic),");
         emit("reporting p50/p99/p999 request latency; --json writes");
-        emit("SERVE_<date>.json (same mesorasi-bench/7 schema). Exits non-zero");
+        emit("SERVE_<date>.json (same mesorasi-bench/8 schema). Exits non-zero");
         emit("on any shed request or a mixed-traffic p99 beyond 1.5x fresh.");
         emit("MESORASI_THREADS caps the pool.");
         emit("");

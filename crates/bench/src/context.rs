@@ -102,7 +102,8 @@ impl Context {
 
 /// Morton-sorts a cloud, preserving labels.
 fn sort_labelled(cloud: &PointCloud) -> PointCloud {
-    let perm = morton::sort_permutation(cloud);
+    let (mut codes, mut perm) = (Vec::new(), Vec::new());
+    morton::sort_permutation_into(cloud, &mut codes, &mut perm);
     cloud.select(&perm)
 }
 

@@ -512,7 +512,7 @@ mod tests {
             ],
         );
         let parsed = parse_report(&rep.to_json()).expect("writer output parses");
-        assert_eq!(parsed.schema, "mesorasi-bench/7");
+        assert_eq!(parsed.schema, "mesorasi-bench/8");
         assert!(!parsed.smoke);
         assert_eq!(parsed.records.len(), 2);
         assert_eq!(parsed.records[0].dtype, "f32");

@@ -32,7 +32,10 @@ fn ordering_ablation(ctx: &Context) -> String {
     let au = AuConfig::default();
     let sorted_cloud = {
         let c = shapes::sample_shape(shapes::ShapeClass::Chair, 1024, 3);
-        morton::sort_cloud(&c)
+        let (mut codes, mut order) = (Vec::new(), Vec::new());
+        let mut sorted = PointCloud::new();
+        morton::sort_cloud_into(&c, &mut codes, &mut order, &mut sorted);
+        sorted
     };
     let shuffled_cloud = {
         let mut pts = sorted_cloud.points().to_vec();
@@ -129,7 +132,14 @@ fn ignore_conflicts_ablation() -> String {
     // Approximate reduction: keep only the first row that maps to each
     // bank (drop conflicted reads) and compare against the exact max.
     let banks = 32usize;
-    let cloud = morton::sort_cloud(&shapes::sample_shape(shapes::ShapeClass::Chair, 1024, 3));
+    let (mut codes, mut order) = (Vec::new(), Vec::new());
+    let mut cloud = PointCloud::new();
+    morton::sort_cloud_into(
+        &shapes::sample_shape(shapes::ShapeClass::Chair, 1024, 3),
+        &mut codes,
+        &mut order,
+        &mut cloud,
+    );
     let nit = nit_for(&cloud, 256, 32, 2);
     let pft = Matrix::from_fn(1024, 64, |r, c| (((r * 17 + c * 5) % 29) as f32).sin());
 

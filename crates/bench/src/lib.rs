@@ -14,6 +14,7 @@
 pub mod context;
 pub mod diff;
 pub mod experiments;
+pub mod largecloud;
 pub mod perf;
 pub mod serve_bench;
 pub mod training;

@@ -8,11 +8,11 @@
 //! `BENCH_<date>.json` so the ROADMAP's performance trajectory accumulates
 //! comparable data points across PRs.
 //!
-//! JSON schema (`mesorasi-bench/7`):
+//! JSON schema (`mesorasi-bench/8`):
 //!
 //! ```json
 //! {
-//!   "schema": "mesorasi-bench/7",
+//!   "schema": "mesorasi-bench/8",
 //!   "date": "2026-07-28",
 //!   "unix_time": 1785000000,
 //!   "host_threads": 8,
@@ -26,6 +26,10 @@
 //!       "ns_per_op": 9123456.7, "dtype": "f64", "speedup_vs_1t": 1.0 },
 //!     { "op": "index_build", "backend": "kdtree", "threads": 1,
 //!       "ns_per_op": 93210.5, "speedup_vs_1t": 1.0 },
+//!     { "op": "index_build", "backend": "octree-1m-paged", "threads": 1,
+//!       "ns_per_op": 48123456.0, "speedup_vs_1t": 1.0 },
+//!     { "op": "query", "backend": "octree-128k-lod4", "threads": 2,
+//!       "ns_per_op": 812345.0, "speedup_vs_1t": 1.88 },
 //!     { "op": "forward_planned", "backend": "PointNet++ (c)", "threads": 8,
 //!       "ns_per_op": 212345.6, "speedup_vs_tape": 3.41,
 //!       "arena_peak_bytes": 1843200, "arena_slot_reuse": 6.5 },
@@ -99,6 +103,15 @@
 //! (`backend: "tensor"`) and the pre-tier reference (`backend: "naive"`),
 //! completing the naive-vs-tensor pairs the `/6` schema introduced for
 //! `matmul`.
+//!
+//! New in `/8`: the out-of-core sweep (see [`crate::largecloud`]).
+//! `index_build` and `query` records at 2^17- and 2^20-point scales
+//! (smoke: one 2^15-point cloud) measure the octree backend — resident,
+//! behind a ⅛-storage pager budget (`-paged`), and answering from the
+//! depth-4 LOD sample (`-lod4`) — against the kd-tree and grid backends
+//! on the same synthetic cloud. The cloud size and mode are encoded in
+//! the backend label (`octree-1m-paged`, `kdtree-128k`, ...) because a
+//! record's `bench-diff` identity is `(op, backend, threads, dtype)`.
 //!
 //! `serve_fresh` / `serve_mixed` records (new in `/5`, produced by
 //! `repro serve-bench`, see [`crate::serve_bench`]) measure end-to-end
@@ -277,7 +290,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mesorasi-bench/7\",\n");
+        s.push_str("  \"schema\": \"mesorasi-bench/8\",\n");
         s.push_str(&format!("  \"date\": \"{}\",\n", self.date));
         s.push_str(&format!("  \"unix_time\": {},\n", self.unix_time));
         s.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
@@ -498,7 +511,7 @@ fn budget(smoke: bool) -> Duration {
 }
 
 /// Mean ns per call of `f` under `budget`, after one warm-up call.
-fn time_ns<R>(budget: Duration, mut f: impl FnMut() -> R) -> f64 {
+pub(crate) fn time_ns<R>(budget: Duration, mut f: impl FnMut() -> R) -> f64 {
     black_box(f());
     let start = Instant::now();
     let mut iters = 0u64;
@@ -725,6 +738,7 @@ pub fn run(smoke: bool) -> BenchReport {
             });
         }
     }
+    records.extend(crate::largecloud::records(smoke, budget, &sweep));
     records.extend(net_forward_records(smoke, budget));
     records.extend(stream_records(smoke, budget));
 
@@ -1170,7 +1184,7 @@ mod tests {
             ],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mesorasi-bench/7\""));
+        assert!(json.contains("\"schema\": \"mesorasi-bench/8\""));
         assert!(json.contains("\"op\": \"matmul\""));
         assert!(json.contains("\"dtype\": \"f64\""));
         // f32 records carry no dtype key at all (absence = native tier).
@@ -1367,7 +1381,17 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-9);
         }
         let builds = kernels.iter().filter(|r| r.op == "index_build").count();
-        assert_eq!(builds, 2 * sweep.len(), "kdtree + grid rebuild records per thread count");
+        assert_eq!(
+            builds,
+            (2 + crate::largecloud::build_configs(true)) * sweep.len(),
+            "kdtree + grid + large-cloud rebuild records per thread count"
+        );
+        let queries = kernels.iter().filter(|r| r.op == "query").count();
+        assert_eq!(
+            queries,
+            crate::largecloud::query_configs(true) * sweep.len(),
+            "large-cloud query records per thread count"
+        );
         let tape = report.records.iter().filter(|r| r.op == "forward_tape").count();
         let planned: Vec<&BenchRecord> =
             report.records.iter().filter(|r| r.op == "forward_planned").collect();

@@ -12,7 +12,7 @@
 //!   traffic, where the engine cache must pay for itself.
 //!
 //! The records land in the shared `BENCH` schema as `serve_fresh` /
-//! `serve_mixed` ops (`mesorasi-bench/7`) carrying p50/p99/p999 latency,
+//! `serve_mixed` ops (`mesorasi-bench/8`) carrying p50/p99/p999 latency,
 //! throughput, and shed/error counts; the smoke gate
 //! ([`BenchReport::serve_regressions`]) requires zero sheds (the queue is
 //! sized for the offered load) and a mixed-traffic p99 within 1.5× of the
@@ -212,7 +212,7 @@ mod tests {
         assert!(violations.is_empty(), "serve gate violated: {violations:?}");
         // The artifact serializes under the /7 schema.
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"mesorasi-bench/7\""));
+        assert!(json.contains("\"schema\": \"mesorasi-bench/8\""));
         assert!(json.contains("\"op\": \"serve_fresh\""));
         assert!(json.contains("\"p999_us\""));
     }

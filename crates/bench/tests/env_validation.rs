@@ -27,11 +27,20 @@ fn invalid_mesorasi_threads_fails_loudly_with_accepted_values() {
 
 #[test]
 fn invalid_mesorasi_search_fails_loudly_with_accepted_values() {
-    let out = repro_bench_with("MESORASI_SEARCH", "octree");
+    let out = repro_bench_with("MESORASI_SEARCH", "octtree");
     assert!(!out.status.success(), "invalid MESORASI_SEARCH must not be ignored");
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("invalid MESORASI_SEARCH='octree'"), "stderr: {err}");
-    assert!(err.contains("auto|kdtree|grid|bruteforce"), "must name accepted values: {err}");
+    assert!(err.contains("invalid MESORASI_SEARCH='octtree'"), "stderr: {err}");
+    assert!(err.contains("auto|kdtree|grid|bruteforce|octree"), "must name accepted values: {err}");
+}
+
+#[test]
+fn invalid_mesorasi_pager_budget_fails_loudly_with_accepted_values() {
+    let out = repro_bench_with("MESORASI_PAGER_BUDGET", "huge");
+    assert!(!out.status.success(), "invalid MESORASI_PAGER_BUDGET must not be ignored");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid MESORASI_PAGER_BUDGET='huge'"), "stderr: {err}");
+    assert!(err.contains("unbounded"), "must name accepted values: {err}");
 }
 
 #[test]

@@ -34,7 +34,7 @@ use crate::module::NeighborMode;
 use crate::runner::{fp_stencils_into, search_nit_into, select_centroids_into};
 use crate::sample_cache::{SampleCache, SampleCacheStats, DEFAULT_SAMPLE_CACHE_CAP};
 use mesorasi_knn::stats::SearchCounters;
-use mesorasi_knn::{NeighborIndexTable, SearchContext, SearchPlanner};
+use mesorasi_knn::{NeighborIndexTable, PagerStats, SearchContext, SearchPlanner};
 use mesorasi_nn::ir::VarId;
 use mesorasi_nn::plan::{Arena, Arena64, ArenaStats, Bindings, DynMarks, Plan, ShadowPlan};
 use mesorasi_nn::Graph;
@@ -552,6 +552,9 @@ pub struct EngineStats {
     pub search: SearchCounters,
     /// NIT sample-cache traffic (hits / misses / LRU evictions).
     pub cache: SampleCacheStats,
+    /// Octree node-pager traffic (hits / misses / evictions / residency);
+    /// all-zero unless a paged octree answered searches for this plan.
+    pub pager: PagerStats,
     /// Fixed per-tile point budget of the tiled streaming path (`None`
     /// when the engine runs untiled, cost-model chunked).
     pub tile_budget: Option<usize>,
@@ -576,6 +579,8 @@ pub struct PlanEngine {
     sample_cache_cap: usize,
     dtype: Dtype,
     tile_budget: Option<usize>,
+    lod: usize,
+    pager_budget: Option<usize>,
 }
 
 impl Default for PlanEngine {
@@ -600,6 +605,8 @@ impl PlanEngine {
             sample_cache_cap: DEFAULT_SAMPLE_CACHE_CAP,
             dtype: Dtype::F32,
             tile_budget: None,
+            lod: 0,
+            pager_budget: mesorasi_knn::pager::budget_from_env(),
         }
     }
 
@@ -626,6 +633,52 @@ impl PlanEngine {
     /// The fixed tile budget set via [`PlanEngine::set_tile_budget`].
     pub fn tile_budget(&self) -> Option<usize> {
         self.tile_budget
+    }
+
+    /// Sets the octree LOD level for coordinate searches: `0` (the
+    /// default) keeps every search exact; level `ℓ ≥ 1` lets octree-served
+    /// searches scan per-node representative subsamples at depth `ℓ`
+    /// instead of full leaves — approximate neighborhoods at lower
+    /// latency. Backends other than the octree ignore the knob, so
+    /// paper-scale clouds are unaffected. Applies to already-compiled
+    /// plans immediately.
+    pub fn set_lod(&mut self, lod: usize) {
+        self.lod = lod;
+        for c in &mut self.compiled {
+            c.search.set_lod(lod);
+        }
+    }
+
+    /// The octree LOD level set via [`PlanEngine::set_lod`].
+    pub fn lod(&self) -> usize {
+        self.lod
+    }
+
+    /// Sets the octree leaf-payload pager budget: `None` keeps payloads
+    /// resident, `Some(bytes)` pages them through a file-backed LRU under
+    /// that budget (bit-identical results, bounded residency). Defaults
+    /// from `MESORASI_PAGER_BUDGET`. Applies to already-compiled plans
+    /// immediately; their octree slots rebuild onto the new store on next
+    /// use.
+    pub fn set_pager_budget(&mut self, budget: Option<usize>) {
+        self.pager_budget = budget;
+        for c in &mut self.compiled {
+            c.search.set_pager_budget(budget);
+        }
+    }
+
+    /// The pager budget set via [`PlanEngine::set_pager_budget`].
+    pub fn pager_budget(&self) -> Option<usize> {
+        self.pager_budget
+    }
+
+    /// Octree pager traffic summed over every compiled plan.
+    pub fn pager_stats(&self) -> PagerStats {
+        let mut total = PagerStats::default();
+        for c in &self.compiled {
+            total.add(&c.search.pager_stats());
+        }
+        total
     }
 
     /// Selects the execution dtype for subsequent runs.
@@ -768,6 +821,7 @@ impl PlanEngine {
             search_bytes: c.search_bytes(),
             search: c.search.counters(),
             cache: c.samples.stats(),
+            pager: c.search.pager_stats(),
             tile_budget: self.tile_budget,
             parallel_scratch_bytes: mesorasi_knn::parallel_scratch_bytes(),
         })
@@ -829,6 +883,8 @@ impl PlanEngine {
             search: {
                 let mut search = SearchContext::with_planner(self.planner);
                 search.set_tile_budget(self.tile_budget);
+                search.set_lod(self.lod);
+                search.set_pager_budget(self.pager_budget);
                 search
             },
             nit: NeighborIndexTable::default(),

@@ -24,6 +24,8 @@ use crate::bruteforce::{push_bounded, Candidate};
 use crate::feature::{self, FeatureView};
 use crate::grid::UniformGrid;
 use crate::kdtree::{batch_into, sort_candidates, KdTree};
+use crate::octree::MortonOctree;
+use crate::pager::PagerStats;
 use crate::planner::{SearchBackend, SearchLoad, SearchPlanner};
 use crate::stats::SearchCounters;
 use crate::NeighborIndexTable;
@@ -323,6 +325,9 @@ impl SearchIndex for FeatureBrute {
 enum SlotIndex {
     Kd(KdTree),
     Grid(UniformGrid),
+    // Boxed: the octree struct is ~3.5× the next-largest variant, and
+    // boxing keeps every pooled slot small when it holds a kd/grid index.
+    Octree(Box<MortonOctree>),
 }
 
 impl SlotIndex {
@@ -330,6 +335,7 @@ impl SlotIndex {
         match self {
             SlotIndex::Kd(t) => t.storage_bytes(),
             SlotIndex::Grid(g) => g.storage_bytes(),
+            SlotIndex::Octree(t) => SearchIndex::storage_bytes(&**t),
         }
     }
 }
@@ -375,6 +381,13 @@ pub struct SearchContext {
     /// context (see [`crate::with_query_tile_budget`]); `None` defers to
     /// the cost model. Never changes results, only chunk boundaries.
     tile_budget: Option<usize>,
+    /// LOD level for octree queries (`0` = exact, the default). Applied to
+    /// every octree slot at query time; other backends ignore it.
+    lod: usize,
+    /// Octree leaf-payload residency budget: `None` keeps payloads
+    /// resident, `Some(bytes)` pages them through a file-backed LRU.
+    /// Results are bit-identical either way.
+    pager_budget: Option<usize>,
 }
 
 impl Default for SearchContext {
@@ -399,6 +412,8 @@ impl SearchContext {
             slots: Vec::with_capacity(MAX_SLOTS),
             clock: 0,
             tile_budget: None,
+            lod: 0,
+            pager_budget: crate::pager::budget_from_env(),
         }
     }
 
@@ -422,6 +437,49 @@ impl SearchContext {
     /// The fixed query-tile budget, if one is set.
     pub fn tile_budget(&self) -> Option<usize> {
         self.tile_budget
+    }
+
+    /// Sets the LOD level for octree queries: `0` (the default) answers
+    /// exactly; level `ℓ ≥ 1` scans per-node representative subsamples at
+    /// depth `ℓ` instead of descending further — approximate, but cheaper
+    /// (see [`MortonOctree::set_lod`]). Other backends ignore the knob.
+    pub fn set_lod(&mut self, lod: usize) {
+        self.lod = lod;
+    }
+
+    /// The octree LOD level (see [`SearchContext::set_lod`]).
+    pub fn lod(&self) -> usize {
+        self.lod
+    }
+
+    /// Sets the octree leaf-payload residency budget: `None` (the default,
+    /// unless `MESORASI_PAGER_BUDGET` says otherwise) keeps payloads
+    /// resident; `Some(bytes)` pages them through a file-backed LRU under
+    /// that budget. Results are bit-identical at every budget. Existing
+    /// octree slots are dropped so the next query rebuilds onto the new
+    /// store.
+    pub fn set_pager_budget(&mut self, budget: Option<usize>) {
+        if self.pager_budget != budget {
+            self.pager_budget = budget;
+            self.slots.retain(|s| !matches!(s.index, SlotIndex::Octree(_)));
+        }
+    }
+
+    /// The octree pager budget (see [`SearchContext::set_pager_budget`]).
+    pub fn pager_budget(&self) -> Option<usize> {
+        self.pager_budget
+    }
+
+    /// Pager traffic counters summed over every octree slot (all-zero when
+    /// no octree has answered or payloads are resident).
+    pub fn pager_stats(&self) -> PagerStats {
+        let mut total = PagerStats::default();
+        for s in &self.slots {
+            if let SlotIndex::Octree(t) = &s.index {
+                total.add(&t.pager_stats());
+            }
+        }
+        total
     }
 
     /// Traffic counters accumulated since construction.
@@ -477,6 +535,16 @@ impl SearchContext {
                 let SlotIndex::Kd(tree) = &mut self.slots[si].index else {
                     unreachable!("kd slots hold kd-trees")
                 };
+                let evals = tree.knn_into(cloud, queries, k, out);
+                self.note_query(queries.len(), evals, start);
+            }
+            SearchBackend::Octree => {
+                let si = self.ensure_slot(space, SearchBackend::Octree, 0.0, cloud);
+                let start = Instant::now();
+                let SlotIndex::Octree(tree) = &mut self.slots[si].index else {
+                    unreachable!("octree slots hold octrees")
+                };
+                tree.set_lod(self.lod);
                 let evals = tree.knn_into(cloud, queries, k, out);
                 self.note_query(queries.len(), evals, start);
             }
@@ -536,6 +604,16 @@ impl SearchContext {
                 let evals = grid.ball_into(cloud, queries, radius, k, out);
                 self.note_query(queries.len(), evals, start);
             }
+            SearchBackend::Octree => {
+                let si = self.ensure_slot(space, SearchBackend::Octree, 0.0, cloud);
+                let start = Instant::now();
+                let SlotIndex::Octree(tree) = &mut self.slots[si].index else {
+                    unreachable!("octree slots hold octrees")
+                };
+                tree.set_lod(self.lod);
+                let evals = tree.ball_into(cloud, queries, radius, k, out);
+                self.note_query(queries.len(), evals, start);
+            }
         }
     }
 
@@ -557,6 +635,15 @@ impl SearchContext {
             None => feature.knn_view_into(view, queries, k, out),
         };
         self.note_query(queries.len(), evals, start);
+    }
+
+    /// A fresh octree on the configured leaf store (resident, or paged
+    /// under [`SearchContext::pager_budget`]).
+    fn new_octree(&self) -> Box<MortonOctree> {
+        Box::new(match self.pager_budget {
+            Some(budget) => MortonOctree::paged(budget),
+            None => MortonOctree::resident(),
+        })
     }
 
     fn note_query(&mut self, queries: usize, evals: u64, start: Instant) {
@@ -593,6 +680,7 @@ impl SearchContext {
                     last_use: self.clock,
                     index: match backend {
                         SearchBackend::Grid => SlotIndex::Grid(UniformGrid::default()),
+                        SearchBackend::Octree => SlotIndex::Octree(self.new_octree()),
                         _ => SlotIndex::Kd(KdTree::default()),
                     },
                 });
@@ -614,14 +702,19 @@ impl SearchContext {
                 // Force a rebuild below even if the cloud matches: the
                 // index answered a different (backend, radius) before.
                 slot.cloud = PointCloud::new();
-                match (&mut slot.index, backend) {
-                    (SlotIndex::Kd(_), SearchBackend::Grid) => {
-                        slot.index = SlotIndex::Grid(UniformGrid::default());
-                    }
-                    (SlotIndex::Grid(_), SearchBackend::KdTree | SearchBackend::BruteForce) => {
-                        slot.index = SlotIndex::Kd(KdTree::default());
-                    }
-                    _ => {}
+                let matches_backend = matches!(
+                    (&slot.index, backend),
+                    (SlotIndex::Kd(_), SearchBackend::KdTree | SearchBackend::BruteForce)
+                        | (SlotIndex::Grid(_), SearchBackend::Grid)
+                        | (SlotIndex::Octree(_), SearchBackend::Octree)
+                );
+                if !matches_backend {
+                    let fresh = match backend {
+                        SearchBackend::Grid => SlotIndex::Grid(UniformGrid::default()),
+                        SearchBackend::Octree => SlotIndex::Octree(self.new_octree()),
+                        _ => SlotIndex::Kd(KdTree::default()),
+                    };
+                    self.slots[si].index = fresh;
                 }
                 si
             }
@@ -637,6 +730,7 @@ impl SearchContext {
                     grid.set_cell_size(radius);
                     grid.build_into(cloud);
                 }
+                SlotIndex::Octree(tree) => SearchIndex::build_into(&mut **tree, cloud),
             }
             self.counters.index_builds += 1;
             self.counters.index_build_ns += start.elapsed().as_nanos() as u64;

@@ -1,0 +1,761 @@
+//! A hierarchical Morton-bucket octree for large clouds.
+//!
+//! The flat kd/grid backends assume fully-resident clouds at paper scale
+//! (≤ ~2048 points). This backend is the large-N structure: points are
+//! sorted along the Morton curve ([`mesorasi_pointcloud::morton`]), leaves
+//! own contiguous runs of that order, and every node carries the AABB of
+//! its run. Because a node's Morton range is a contiguous index range,
+//! the whole tree is three flat vectors plus one permutation — rebuildable
+//! in place, cache-friendly to descend, and with leaf payloads that are
+//! literally slices of the sorted cloud.
+//!
+//! `knn_into`/`ball_into` do best-first descent with the same exact
+//! `(distance, index)` tie-breaking as every other backend (shared
+//! `push_bounded`/`sort_candidates`/`pad_slot`), so the octree joins the
+//! bit-identity bar: the planner can cross over to it at large N without
+//! changing a single result.
+//!
+//! Two sub-layers open the out-of-core scenario:
+//!
+//! * **LOD sampling** ([`MortonOctree::set_lod`]): every internal node
+//!   keeps a deterministic, evenly-strided subsample of its run. A nonzero
+//!   LOD level `ℓ` treats internal nodes at depth `ℓ` as virtual leaves
+//!   that scan only their representatives — trading points for latency.
+//!   LOD queries are *approximate by design* (the accuracy caveat lives in
+//!   the README); the query point seeds its own candidate set, and a query
+//!   whose reduced candidate set runs dry falls back to the exact descent,
+//!   so tables always carry `k` valid member indices.
+//! * **Paging** ([`MortonOctree::paged`]): leaf payloads live behind the
+//!   [`NodeStore`] trait — resident, or file-backed under a byte-budgeted
+//!   LRU ([`crate::pager::FileStore`]). Payloads round-trip bit-exactly,
+//!   so results are identical at every budget; paged queries run
+//!   sequentially (faults mutate LRU state), resident queries batch in
+//!   parallel like the kd-tree.
+
+use crate::bruteforce::{push_bounded, Candidate};
+use crate::kdtree::{batch_into, per_query_cost, sort_candidates};
+use crate::pager::{FileStore, NodeStore, PagerStats, ResidentStore};
+use crate::planner::SearchBackend;
+use crate::NeighborIndexTable;
+use mesorasi_pointcloud::{morton, Aabb, Point3, PointCloud};
+
+/// Points per leaf before a Morton run stops splitting. Larger than the
+/// kd-tree's 16: leaves are contiguous scans (and pager I/O units), so
+/// fatter leaves amortize descent and fault cost.
+pub const LEAF_SIZE: usize = 32;
+
+/// Representatives an internal node keeps for LOD queries.
+const REPS_PER_NODE: usize = 8;
+
+/// `u32` sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+/// One flat tree node; `aabbs[i]` carries node `i`'s bounding box.
+#[derive(Debug, Clone, Copy)]
+enum OctNode {
+    Leaf {
+        /// Payload id in the node store (push order).
+        leaf: u32,
+        /// Range `start..start + len` of the Morton permutation.
+        start: u32,
+        len: u32,
+    },
+    Internal {
+        /// Children in Morton-digit order; [`NONE`] for empty octants.
+        children: [u32; 8],
+        /// Range `reps_start..reps_start + reps_len` of the flat
+        /// representative list (original point indices).
+        reps_start: u32,
+        reps_len: u32,
+    },
+}
+
+/// Where this tree's leaf payloads live (see [`crate::pager`]).
+#[derive(Debug)]
+enum Store {
+    Resident(ResidentStore),
+    Paged(FileStore),
+}
+
+impl Store {
+    fn as_node_store(&mut self) -> &mut dyn NodeStore {
+        match self {
+            Store::Resident(s) => s,
+            Store::Paged(s) => s,
+        }
+    }
+}
+
+/// A Morton-bucket octree with reusable storage, implementing
+/// [`crate::SearchIndex`].
+///
+/// # Example
+///
+/// ```
+/// use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+/// use mesorasi_knn::octree::MortonOctree;
+/// use mesorasi_knn::{bruteforce, SearchIndex};
+///
+/// let cloud = sample_shape(ShapeClass::Torus, 512, 3);
+/// let queries: Vec<usize> = (0..64).collect();
+/// let mut tree = <MortonOctree as SearchIndex>::build(&cloud);
+/// let mut out = mesorasi_knn::NeighborIndexTable::default();
+/// tree.knn_into(&cloud, &queries, 8, &mut out);
+/// assert_eq!(out, bruteforce::knn_indices(&cloud, &queries, 8));
+/// ```
+#[derive(Debug)]
+pub struct MortonOctree {
+    nodes: Vec<OctNode>,
+    aabbs: Vec<Aabb>,
+    /// Original indices in Morton order; leaves own disjoint ranges.
+    perm: Vec<usize>,
+    /// Morton code per original index (build scratch).
+    codes: Vec<u64>,
+    /// Flat LOD representative list (original indices).
+    reps: Vec<usize>,
+    /// Scratch for assembling leaf payloads at build time.
+    leaf_buf: Vec<Point3>,
+    store: Store,
+    /// LOD level; `0` (the default) answers exactly.
+    lod: usize,
+    size: usize,
+    /// Sequential-query candidate scratch (parallel chunks pool their own).
+    scratch: Vec<Candidate>,
+}
+
+impl Default for MortonOctree {
+    fn default() -> Self {
+        MortonOctree::resident()
+    }
+}
+
+impl MortonOctree {
+    /// A tree whose leaf payloads stay in memory (the fast default).
+    pub fn resident() -> MortonOctree {
+        MortonOctree::with_store(Store::Resident(ResidentStore::default()))
+    }
+
+    /// A tree whose leaf payloads are file-backed and paged under `budget`
+    /// bytes of residency (see [`crate::pager::FileStore`]). Results are
+    /// bit-identical to the resident tree at every budget.
+    pub fn paged(budget: usize) -> MortonOctree {
+        MortonOctree::with_store(Store::Paged(FileStore::new(budget)))
+    }
+
+    fn with_store(store: Store) -> MortonOctree {
+        MortonOctree {
+            nodes: Vec::new(),
+            aabbs: Vec::new(),
+            perm: Vec::new(),
+            codes: Vec::new(),
+            reps: Vec::new(),
+            leaf_buf: Vec::new(),
+            store,
+            lod: 0,
+            size: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// True when leaf payloads are file-backed.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.store, Store::Paged(_))
+    }
+
+    /// Sets the LOD level: `0` answers exactly; level `ℓ ≥ 1` treats
+    /// internal nodes at depth `ℓ` as virtual leaves scanning only their
+    /// representatives (approximate, smaller candidate sets, lower
+    /// latency). Takes effect on the next query; no rebuild needed.
+    pub fn set_lod(&mut self, lod: usize) {
+        self.lod = lod;
+    }
+
+    /// The current LOD level (see [`MortonOctree::set_lod`]).
+    pub fn lod(&self) -> usize {
+        self.lod
+    }
+
+    /// Pager traffic counters (all-zero for a resident tree).
+    pub fn pager_stats(&self) -> PagerStats {
+        match &self.store {
+            Store::Resident(s) => s.stats(),
+            Store::Paged(s) => s.stats(),
+        }
+    }
+}
+
+impl crate::SearchIndex for MortonOctree {
+    fn build_into(&mut self, cloud: &PointCloud) {
+        assert!(cloud.len() <= u32::MAX as usize, "octree indices are 32-bit");
+        self.size = cloud.len();
+        self.nodes.clear();
+        self.aabbs.clear();
+        self.reps.clear();
+        morton::sort_permutation_into(cloud, &mut self.codes, &mut self.perm);
+        let leaves_hint = cloud.len().div_ceil(LEAF_SIZE).max(1);
+        self.store.as_node_store().begin_rebuild(leaves_hint);
+        if !self.perm.is_empty() {
+            let mut b = Builder {
+                points: cloud.points(),
+                codes: &self.codes,
+                perm: &self.perm,
+                nodes: &mut self.nodes,
+                aabbs: &mut self.aabbs,
+                reps: &mut self.reps,
+                leaf_buf: &mut self.leaf_buf,
+                store: self.store.as_node_store(),
+            };
+            let top_shift = 3 * (morton::BITS_PER_AXIS as i32 - 1);
+            b.build(0, self.perm.len(), top_shift);
+        }
+        self.store.as_node_store().finish_rebuild();
+    }
+
+    fn knn_into(
+        &mut self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        k: usize,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        assert!(k > 0 && k <= self.size, "k = {k} out of range for {} points", self.size);
+        let MortonOctree { nodes, aabbs, perm, reps, store, scratch, lod, .. } = self;
+        let t = TreeView { nodes, aabbs, perm, reps, cloud_points: cloud.points(), lod: *lod };
+        match store {
+            Store::Resident(r) => {
+                let payload = r.points();
+                batch_into(
+                    out,
+                    queries,
+                    k,
+                    per_query_cost(t.perm.len(), k),
+                    scratch,
+                    |best, q, slot| {
+                        let mut scan = ResidentScan { payload };
+                        let evals = knn_one(&t, &mut scan, q, k, best);
+                        for (s, c) in slot.iter_mut().zip(best.iter()) {
+                            *s = c.index;
+                        }
+                        evals
+                    },
+                )
+            }
+            Store::Paged(p) => {
+                // Faulting leaves in mutates the LRU, so paged queries
+                // share the store sequentially; results are identical to
+                // the parallel resident path at any budget.
+                let (cents, neighs) = out.fill_slots(k, queries.len());
+                let mut scan = PagedScan { store: p };
+                let mut evals = 0u64;
+                for (i, &q) in queries.iter().enumerate() {
+                    cents[i] = q;
+                    evals += knn_one(&t, &mut scan, q, k, scratch);
+                    for (s, c) in neighs[i * k..(i + 1) * k].iter_mut().zip(scratch.iter()) {
+                        *s = c.index;
+                    }
+                }
+                evals
+            }
+        }
+    }
+
+    fn ball_into(
+        &mut self,
+        cloud: &PointCloud,
+        queries: &[usize],
+        radius: f32,
+        k: usize,
+        out: &mut NeighborIndexTable,
+    ) -> u64 {
+        assert!(k > 0, "k must be positive");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        let r2 = radius * radius;
+        let MortonOctree { nodes, aabbs, perm, reps, store, scratch, lod, .. } = self;
+        let t = TreeView { nodes, aabbs, perm, reps, cloud_points: cloud.points(), lod: *lod };
+        match store {
+            Store::Resident(r) => {
+                let payload = r.points();
+                batch_into(
+                    out,
+                    queries,
+                    k,
+                    per_query_cost(t.perm.len(), k),
+                    scratch,
+                    |found, q, slot| {
+                        let mut scan = ResidentScan { payload };
+                        let evals = ball_one(&t, &mut scan, q, r2, found);
+                        crate::ball::pad_slot(found, slot);
+                        evals
+                    },
+                )
+            }
+            Store::Paged(p) => {
+                let (cents, neighs) = out.fill_slots(k, queries.len());
+                let mut scan = PagedScan { store: p };
+                let mut evals = 0u64;
+                for (i, &q) in queries.iter().enumerate() {
+                    cents[i] = q;
+                    evals += ball_one(&t, &mut scan, q, r2, scratch);
+                    crate::ball::pad_slot(scratch, &mut neighs[i * k..(i + 1) * k]);
+                }
+                evals
+            }
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        let store_bytes = match &self.store {
+            Store::Resident(s) => s.storage_bytes(),
+            Store::Paged(s) => s.storage_bytes(),
+        };
+        self.nodes.capacity() * std::mem::size_of::<OctNode>()
+            + self.aabbs.capacity() * std::mem::size_of::<Aabb>()
+            + (self.perm.capacity() + self.reps.capacity()) * std::mem::size_of::<usize>()
+            + self.codes.capacity() * std::mem::size_of::<u64>()
+            + self.leaf_buf.capacity() * std::mem::size_of::<Point3>()
+            + self.scratch.capacity() * std::mem::size_of::<Candidate>()
+            + store_bytes
+    }
+
+    fn kind(&self) -> SearchBackend {
+        SearchBackend::Octree
+    }
+}
+
+/// Build-time borrow bundle (the tree's fields, split for the recursion).
+struct Builder<'b> {
+    points: &'b [Point3],
+    codes: &'b [u64],
+    perm: &'b [usize],
+    nodes: &'b mut Vec<OctNode>,
+    aabbs: &'b mut Vec<Aabb>,
+    reps: &'b mut Vec<usize>,
+    leaf_buf: &'b mut Vec<Point3>,
+    store: &'b mut dyn NodeStore,
+}
+
+impl Builder<'_> {
+    /// Builds the node over `perm[start..start + len]`, whose Morton codes
+    /// agree above bit `shift + 3`, and returns its id. Pre-order layout:
+    /// a node's id precedes all its descendants'.
+    fn build(&mut self, start: usize, len: usize, shift: i32) -> u32 {
+        let id = self.nodes.len() as u32;
+        let run = &self.perm[start..start + len];
+        let aabb = Aabb::from_points(run.iter().map(|&i| self.points[i]))
+            .expect("build ranges are non-empty");
+        self.aabbs.push(aabb);
+        // A zero-extent run (duplicate points) exhausts `shift` and
+        // collapses into one leaf of the full run.
+        if len <= LEAF_SIZE || shift < 0 {
+            self.leaf_buf.clear();
+            self.leaf_buf.extend(run.iter().map(|&i| self.points[i]));
+            let leaf = self.store.push_leaf(self.leaf_buf);
+            self.nodes.push(OctNode::Leaf { leaf, start: start as u32, len: len as u32 });
+            return id;
+        }
+        self.nodes.push(OctNode::Internal { children: [NONE; 8], reps_start: 0, reps_len: 0 });
+        // Deterministic LOD subsample: evenly strided over the Morton run,
+        // so representatives spread across the node's octants.
+        let m = REPS_PER_NODE.min(len);
+        let reps_start = self.reps.len() as u32;
+        for j in 0..m {
+            self.reps.push(self.perm[start + j * len / m]);
+        }
+        // Children partition the run by the 3-bit Morton digit at `shift`
+        // (the run is code-sorted, so each digit is one contiguous span).
+        let mut children = [NONE; 8];
+        let mut lo = start;
+        for digit in 0..8u64 {
+            let hi = if digit == 7 {
+                start + len
+            } else {
+                lo + self.perm[lo..start + len]
+                    .partition_point(|&i| (self.codes[i] >> shift) & 7 <= digit)
+            };
+            if hi > lo {
+                children[digit as usize] = self.build(lo, hi - lo, shift - 3);
+            }
+            lo = hi;
+        }
+        let OctNode::Internal { children: c, reps_start: rs, reps_len: rl } =
+            &mut self.nodes[id as usize]
+        else {
+            unreachable!("pushed an internal node above")
+        };
+        *c = children;
+        *rs = reps_start;
+        *rl = m as u32;
+        id
+    }
+}
+
+/// Borrowed view of the tree's immutable search data, so the descent
+/// bodies exist once across the resident/paged and exact/LOD paths.
+#[derive(Clone, Copy)]
+struct TreeView<'t> {
+    nodes: &'t [OctNode],
+    aabbs: &'t [Aabb],
+    perm: &'t [usize],
+    reps: &'t [usize],
+    cloud_points: &'t [Point3],
+    lod: usize,
+}
+
+/// Leaf-payload access, the one seam between resident and paged queries.
+/// `skip` is an original index excluded from the scan (`usize::MAX` for
+/// none) — LOD queries seed the query point and must not collect it twice.
+trait LeafScan {
+    /// The payload of leaf `leaf` (the points of `perm[start..start+len]`,
+    /// in that order).
+    fn payload(&mut self, leaf: u32, start: usize, len: usize) -> &[Point3];
+}
+
+struct ResidentScan<'a> {
+    /// The Morton-sorted cloud: leaf payloads are slices of it.
+    payload: &'a [Point3],
+}
+
+impl LeafScan for ResidentScan<'_> {
+    fn payload(&mut self, _leaf: u32, start: usize, len: usize) -> &[Point3] {
+        &self.payload[start..start + len]
+    }
+}
+
+struct PagedScan<'a> {
+    store: &'a mut FileStore,
+}
+
+impl LeafScan for PagedScan<'_> {
+    fn payload(&mut self, leaf: u32, _start: usize, len: usize) -> &[Point3] {
+        let pts = self.store.leaf_points(leaf);
+        debug_assert_eq!(pts.len(), len, "paged payload length matches the leaf run");
+        pts
+    }
+}
+
+/// One kNN query: exact descent, or LOD descent with self-seed and an
+/// exact fallback when the reduced candidate set cannot fill `k`.
+fn knn_one<S: LeafScan>(
+    t: &TreeView<'_>,
+    scan: &mut S,
+    q: usize,
+    k: usize,
+    best: &mut Vec<Candidate>,
+) -> u64 {
+    best.clear();
+    let query = t.cloud_points[q];
+    let mut evals = 0u64;
+    if t.lod == 0 {
+        knn_descend(t, scan, 0, 0, query, k, usize::MAX, best, &mut evals);
+    } else {
+        push_bounded(best, k, Candidate { index: q, dist_sq: 0.0 });
+        knn_descend(t, scan, 0, 0, query, k, q, best, &mut evals);
+        if best.len() < k {
+            // Representatives ran dry (k exceeds the reduced set): answer
+            // this query exactly instead of padding with garbage.
+            best.clear();
+            let exact = TreeView { lod: 0, ..*t };
+            knn_descend(&exact, scan, 0, 0, query, k, usize::MAX, best, &mut evals);
+        }
+    }
+    evals
+}
+
+/// One ball query into `found` (sorted ascending by `(distance, index)`).
+fn ball_one<S: LeafScan>(
+    t: &TreeView<'_>,
+    scan: &mut S,
+    q: usize,
+    r2: f32,
+    found: &mut Vec<Candidate>,
+) -> u64 {
+    found.clear();
+    let query = t.cloud_points[q];
+    let mut evals = 0u64;
+    if t.lod == 0 {
+        ball_descend(t, scan, 0, 0, query, r2, usize::MAX, found, &mut evals);
+    } else {
+        // The centroid always belongs to its own ball; seeding it keeps
+        // the padding contract even when no representative falls inside.
+        found.push(Candidate { index: q, dist_sq: 0.0 });
+        ball_descend(t, scan, 0, 0, query, r2, q, found, &mut evals);
+    }
+    sort_candidates(found);
+    evals
+}
+
+#[allow(clippy::too_many_arguments)]
+fn knn_descend<S: LeafScan>(
+    t: &TreeView<'_>,
+    scan: &mut S,
+    at: u32,
+    depth: usize,
+    query: Point3,
+    k: usize,
+    skip: usize,
+    best: &mut Vec<Candidate>,
+    evals: &mut u64,
+) {
+    match t.nodes[at as usize] {
+        OctNode::Leaf { leaf, start, len } => {
+            let (start, len) = (start as usize, len as usize);
+            let payload = scan.payload(leaf, start, len);
+            for (j, &p) in payload.iter().enumerate() {
+                let i = t.perm[start + j];
+                if i == skip {
+                    continue;
+                }
+                *evals += 1;
+                push_bounded(best, k, Candidate { index: i, dist_sq: p.distance_squared(query) });
+            }
+        }
+        OctNode::Internal { children, reps_start, reps_len } => {
+            if t.lod != 0 && depth >= t.lod {
+                for &i in &t.reps[reps_start as usize..(reps_start + reps_len) as usize] {
+                    if i == skip {
+                        continue;
+                    }
+                    *evals += 1;
+                    push_bounded(
+                        best,
+                        k,
+                        Candidate { index: i, dist_sq: t.cloud_points[i].distance_squared(query) },
+                    );
+                }
+                return;
+            }
+            // Best-first: visit children by ascending box distance; prune a
+            // child only when its box is strictly farther than the k-th
+            // best (`<=` keeps boundary ties, exactly like the kd-tree).
+            let mut order = [(f32::INFINITY, NONE); 8];
+            let mut m = 0;
+            for &c in &children {
+                if c != NONE {
+                    order[m] = (t.aabbs[c as usize].distance_squared_to(query), c);
+                    m += 1;
+                }
+            }
+            order[..m].sort_unstable_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            for &(d, c) in &order[..m] {
+                let worst = best.last().map_or(f32::INFINITY, |b| b.dist_sq);
+                if best.len() < k || d <= worst {
+                    knn_descend(t, scan, c, depth + 1, query, k, skip, best, evals);
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn ball_descend<S: LeafScan>(
+    t: &TreeView<'_>,
+    scan: &mut S,
+    at: u32,
+    depth: usize,
+    query: Point3,
+    r2: f32,
+    skip: usize,
+    found: &mut Vec<Candidate>,
+    evals: &mut u64,
+) {
+    match t.nodes[at as usize] {
+        OctNode::Leaf { leaf, start, len } => {
+            let (start, len) = (start as usize, len as usize);
+            let payload = scan.payload(leaf, start, len);
+            for (j, &p) in payload.iter().enumerate() {
+                let i = t.perm[start + j];
+                if i == skip {
+                    continue;
+                }
+                *evals += 1;
+                let d = p.distance_squared(query);
+                if d <= r2 {
+                    found.push(Candidate { index: i, dist_sq: d });
+                }
+            }
+        }
+        OctNode::Internal { children, reps_start, reps_len } => {
+            if t.lod != 0 && depth >= t.lod {
+                for &i in &t.reps[reps_start as usize..(reps_start + reps_len) as usize] {
+                    if i == skip {
+                        continue;
+                    }
+                    *evals += 1;
+                    let d = t.cloud_points[i].distance_squared(query);
+                    if d <= r2 {
+                        found.push(Candidate { index: i, dist_sq: d });
+                    }
+                }
+                return;
+            }
+            for &c in &children {
+                if c != NONE && t.aabbs[c as usize].distance_squared_to(query) <= r2 {
+                    ball_descend(t, scan, c, depth + 1, query, r2, skip, found, evals);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ball, bruteforce, kdtree::KdTree, SearchIndex};
+    use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
+
+    fn queries(n: usize) -> Vec<usize> {
+        (0..n).step_by(3).collect()
+    }
+
+    #[test]
+    fn matches_bruteforce_resident_and_paged() {
+        let cloud = sample_shape(ShapeClass::Chair, 700, 1);
+        let q = queries(700);
+        let tiny = 2 * LEAF_SIZE * crate::pager::POINT_BYTES;
+        for k in [1, 9, 64] {
+            let want = bruteforce::knn_indices(&cloud, &q, k);
+            let mut resident = <MortonOctree as SearchIndex>::build(&cloud);
+            let mut paged = MortonOctree::paged(tiny);
+            paged.build_into(&cloud);
+            for tree in [&mut resident, &mut paged] {
+                let mut got = NeighborIndexTable::default();
+                tree.knn_into(&cloud, &q, k, &mut got);
+                assert_eq!(got, want, "k {k} paged {}", tree.is_paged());
+            }
+        }
+        let kd = KdTree::build(&cloud);
+        let want = ball::ball_query(&cloud, &kd, &q, 0.3, 12);
+        let mut paged = MortonOctree::paged(tiny);
+        paged.build_into(&cloud);
+        let mut got = NeighborIndexTable::default();
+        paged.ball_into(&cloud, &q, 0.3, 12, &mut got);
+        assert_eq!(got, want);
+        assert!(paged.pager_stats().evictions > 0, "a tiny budget must churn");
+    }
+
+    #[test]
+    fn duplicate_points_collapse_into_one_leaf_and_tie_break_by_index() {
+        let cloud = PointCloud::from_points(vec![Point3::new(0.5, -1.0, 2.0); 100]);
+        let mut tree = <MortonOctree as SearchIndex>::build(&cloud);
+        // Identical codes can never split: the Morton digits run out and
+        // the whole run collapses into a single leaf (of > LEAF_SIZE).
+        let leaves: Vec<_> = tree
+            .nodes
+            .iter()
+            .filter_map(|n| match *n {
+                OctNode::Leaf { len, .. } => Some(len),
+                OctNode::Internal { .. } => None,
+            })
+            .collect();
+        assert_eq!(leaves, vec![100]);
+        let mut out = NeighborIndexTable::default();
+        tree.knn_into(&cloud, &[7, 0], 5, &mut out);
+        assert_eq!(out.neighbors(0), &[0, 1, 2, 3, 4]);
+        assert_eq!(out, bruteforce::knn_indices(&cloud, &[7, 0], 5));
+    }
+
+    #[test]
+    fn lod_answers_are_member_indices_and_include_self() {
+        let cloud = sample_shape(ShapeClass::Airplane, 1500, 2);
+        let q = queries(1500);
+        let mut tree = <MortonOctree as SearchIndex>::build(&cloud);
+        for lod in [1, 2, 4] {
+            tree.set_lod(lod);
+            assert_eq!(tree.lod(), lod);
+            let mut out = NeighborIndexTable::default();
+            tree.knn_into(&cloud, &q, 8, &mut out);
+            for (e, &c) in q.iter().enumerate() {
+                let n = out.neighbors(e);
+                assert_eq!(n[0], c, "lod {lod}: self is still the nearest neighbor");
+                assert!(n.iter().all(|&i| i < cloud.len()));
+            }
+            tree.ball_into(&cloud, &q, 0.25, 8, &mut out);
+            for (e, &c) in q.iter().enumerate() {
+                assert_eq!(out.neighbors(e)[0], c, "lod {lod}: ball seeds the centroid");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_lod_equals_exact_and_dry_lod_falls_back() {
+        let cloud = sample_shape(ShapeClass::Sphere, 600, 5);
+        let q = queries(600);
+        let mut tree = <MortonOctree as SearchIndex>::build(&cloud);
+        let want = bruteforce::knn_indices(&cloud, &q, 6);
+        // A level deeper than the tree leaves no virtual leaves: exact.
+        tree.set_lod(64);
+        let mut out = NeighborIndexTable::default();
+        tree.knn_into(&cloud, &q, 6, &mut out);
+        assert_eq!(out, want, "an LOD below every leaf answers exactly");
+        // k far beyond the root's representative count runs the reduced
+        // set dry at the coarsest level; the fallback answers exactly.
+        tree.set_lod(1);
+        tree.knn_into(&cloud, &q, 200, &mut out);
+        assert_eq!(out, bruteforce::knn_indices(&cloud, &q, 200));
+    }
+
+    #[test]
+    fn lod_scans_fewer_points_than_exact() {
+        let cloud = sample_shape(ShapeClass::Chair, 2000, 7);
+        let q: Vec<usize> = (0..2000).step_by(11).collect();
+        let mut tree = <MortonOctree as SearchIndex>::build(&cloud);
+        let mut out = NeighborIndexTable::default();
+        let exact = tree.knn_into(&cloud, &q, 8, &mut out);
+        tree.set_lod(2);
+        let coarse = tree.knn_into(&cloud, &q, 8, &mut out);
+        assert!(coarse < exact, "lod 2 must evaluate fewer distances ({coarse} vs exact {exact})");
+    }
+
+    #[test]
+    fn build_into_reaches_a_storage_fixpoint() {
+        let a = sample_shape(ShapeClass::Chair, 512, 1);
+        let b = sample_shape(ShapeClass::Lamp, 512, 2);
+        let q = queries(512);
+        let mut tree = MortonOctree::paged(LEAF_SIZE * crate::pager::POINT_BYTES);
+        let mut out = NeighborIndexTable::default();
+        // Node layout is content-dependent (unlike the kd-tree), so warm
+        // the high-water capacity on both clouds first.
+        for cloud in [&a, &b, &a, &b] {
+            tree.build_into(cloud);
+            tree.knn_into(cloud, &q, 5, &mut out);
+        }
+        let bytes = tree.storage_bytes();
+        for cloud in [&a, &b] {
+            tree.build_into(cloud);
+            tree.knn_into(cloud, &q, 5, &mut out);
+            assert_eq!(out, bruteforce::knn_indices(cloud, &q, 5));
+            assert_eq!(tree.storage_bytes(), bytes, "warm rebuilds must not grow storage");
+        }
+    }
+
+    #[test]
+    fn zero_radius_ball_returns_exact_matches_padded() {
+        let cloud = sample_shape(ShapeClass::Cube, 300, 4);
+        let q = queries(300);
+        let kd = KdTree::build(&cloud);
+        let want = ball::ball_query(&cloud, &kd, &q, 0.0, 4);
+        let mut tree = <MortonOctree as SearchIndex>::build(&cloud);
+        let mut got = NeighborIndexTable::default();
+        tree.ball_into(&cloud, &q, 0.0, 4, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_larger_than_n_panics() {
+        let cloud = sample_shape(ShapeClass::Cube, 8, 2);
+        let mut tree = <MortonOctree as SearchIndex>::build(&cloud);
+        let mut out = NeighborIndexTable::default();
+        tree.knn_into(&cloud, &[0], 9, &mut out);
+    }
+}

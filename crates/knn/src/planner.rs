@@ -11,8 +11,9 @@
 //! where the time goes.
 //!
 //! The choice can be forced for experiments via the `MESORASI_SEARCH`
-//! environment variable (`auto` | `kdtree` | `grid` | `bruteforce`) or the
-//! session builder's override. Forcing a backend that cannot serve a query
+//! environment variable (`auto` | `kdtree` | `grid` | `bruteforce` |
+//! `octree`) or the session builder's override. Forcing a backend that
+//! cannot serve a query
 //! class (the grid answers radius queries only, and needs a positive
 //! radius) falls back to the automatic choice for that query rather than
 //! failing — the override is a preference, not a correctness knob.
@@ -30,6 +31,9 @@ pub enum SearchBackend {
     KdTree,
     /// Uniform grid with `cell_size = radius` — radius queries only.
     Grid,
+    /// Morton-bucket octree — exact kNN and radius queries on large
+    /// clouds; supports LOD sampling and paged leaf payloads.
+    Octree,
 }
 
 impl SearchBackend {
@@ -39,7 +43,24 @@ impl SearchBackend {
             SearchBackend::BruteForce => "bruteforce",
             SearchBackend::KdTree => "kdtree",
             SearchBackend::Grid => "grid",
+            SearchBackend::Octree => "octree",
         }
+    }
+}
+
+/// Cloud size where the kd-tree's pointer-chasing descents start paying a
+/// locality penalty: beyond L2-resident clouds (~2^17 points), each
+/// backtrack is a cache miss, while the octree's Morton leaves stay
+/// contiguous. Doubles the kd-tree's per-query charge past this size.
+const LOCALITY_N: usize = 1 << 17;
+
+/// `2` once `n` spills the cache-resident regime, else `1` (see
+/// [`LOCALITY_N`]).
+fn kd_locality_penalty(n: usize) -> u64 {
+    if n >= LOCALITY_N {
+        2
+    } else {
+        1
     }
 }
 
@@ -72,8 +93,14 @@ pub fn knn_cost(backend: SearchBackend, load: &SearchLoad) -> u64 {
         SearchBackend::BruteForce => 3 * n * q,
         // Build: one median select per level over n items. Query: ~4 leaf
         // scans of LEAF_SIZE=16 points plus k maintenance per level.
-        SearchBackend::KdTree => n * depth(load.n) + q * (64 + 3 * k) * depth(load.n),
+        SearchBackend::KdTree => {
+            n * depth(load.n) + kd_locality_penalty(load.n) * q * (64 + 3 * k) * depth(load.n)
+        }
         SearchBackend::Grid => u64::MAX, // cannot answer kNN exactly
+        // Build: a radix-like Morton sort, ~n·d/2 (cheaper than median
+        // splits). Query: fatter leaves (32 points) cost a little more per
+        // descent, but stay contiguous at any n.
+        SearchBackend::Octree => n * depth(load.n) / 2 + q * (80 + 3 * k) * depth(load.n),
     }
 }
 
@@ -85,11 +112,15 @@ pub fn ball_cost(backend: SearchBackend, load: &SearchLoad) -> u64 {
         SearchBackend::BruteForce => 3 * n * q,
         // Radius descents visit every in-range leaf; charge like kNN with
         // a sort tail proportional to k.
-        SearchBackend::KdTree => n * depth(load.n) + q * (64 + 4 * k) * depth(load.n),
+        SearchBackend::KdTree => {
+            n * depth(load.n) + kd_locality_penalty(load.n) * q * (64 + 4 * k) * depth(load.n)
+        }
         // Build: bin + sort. Query: a 3×3×3 cell scan of bounded occupancy
         // (cell edge = radius keeps occupancy near k for the paper's
         // workloads) — cheaper per query than a descent on large clouds.
         SearchBackend::Grid => 2 * n * depth(load.n) + q * 27 * (8 + k),
+        // Half the kd build (Morton sort), contiguous in-range leaf scans.
+        SearchBackend::Octree => n * depth(load.n) / 2 + q * (72 + 4 * k) * depth(load.n),
     }
 }
 
@@ -113,7 +144,7 @@ impl SearchPlanner {
 
     /// A planner configured from the `MESORASI_SEARCH` environment variable
     /// (read once per process): `auto` (or unset) for the cost model,
-    /// `kdtree` / `grid` / `bruteforce` to force a backend.
+    /// `kdtree` / `grid` / `bruteforce` / `octree` to force a backend.
     ///
     /// # Panics
     ///
@@ -129,7 +160,7 @@ impl SearchPlanner {
                 Ok(forced) => forced,
                 Err(InvalidSearchOverride) => panic!(
                     "invalid MESORASI_SEARCH='{raw}': accepted values are \
-                     auto|kdtree|grid|bruteforce (case-insensitive)"
+                     auto|kdtree|grid|bruteforce|octree (case-insensitive)"
                 ),
             }
         });
@@ -146,9 +177,10 @@ impl SearchPlanner {
     /// the automatic choice here.
     pub fn plan_knn(&self, load: &SearchLoad) -> SearchBackend {
         match self.forced {
-            Some(SearchBackend::Grid) | None => {
-                pick_min(&[SearchBackend::BruteForce, SearchBackend::KdTree], |b| knn_cost(b, load))
-            }
+            Some(SearchBackend::Grid) | None => pick_min(
+                &[SearchBackend::BruteForce, SearchBackend::KdTree, SearchBackend::Octree],
+                |b| knn_cost(b, load),
+            ),
             Some(b) => b,
         }
     }
@@ -164,7 +196,8 @@ impl SearchPlanner {
             Some(b) => return b,
             None => {}
         }
-        let mut candidates = vec![SearchBackend::BruteForce, SearchBackend::KdTree];
+        let mut candidates =
+            vec![SearchBackend::BruteForce, SearchBackend::KdTree, SearchBackend::Octree];
         if grid_ok {
             candidates.push(SearchBackend::Grid);
         }
@@ -177,13 +210,13 @@ fn pick_min(candidates: &[SearchBackend], cost: impl Fn(SearchBackend) -> u64) -
 }
 
 /// Error of [`parse_override`]: the value was none of
-/// `auto|kdtree|grid|bruteforce`.
+/// `auto|kdtree|grid|bruteforce|octree`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvalidSearchOverride;
 
 impl std::fmt::Display for InvalidSearchOverride {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "expected one of auto|kdtree|grid|bruteforce")
+        write!(f, "expected one of auto|kdtree|grid|bruteforce|octree")
     }
 }
 
@@ -197,6 +230,7 @@ pub fn parse_override(raw: &str) -> Result<Option<SearchBackend>, InvalidSearchO
         "kdtree" => Ok(Some(SearchBackend::KdTree)),
         "grid" => Ok(Some(SearchBackend::Grid)),
         "bruteforce" => Ok(Some(SearchBackend::BruteForce)),
+        "octree" => Ok(Some(SearchBackend::Octree)),
         _ => Err(InvalidSearchOverride),
     }
 }
@@ -214,7 +248,8 @@ mod tests {
         assert_eq!(parse_override(" KdTree "), Ok(Some(SearchBackend::KdTree)));
         assert_eq!(parse_override("grid"), Ok(Some(SearchBackend::Grid)));
         assert_eq!(parse_override("bruteforce"), Ok(Some(SearchBackend::BruteForce)));
-        assert_eq!(parse_override("octree"), Err(InvalidSearchOverride));
+        assert_eq!(parse_override("octree"), Ok(Some(SearchBackend::Octree)));
+        assert_eq!(parse_override("oct-tree"), Err(InvalidSearchOverride));
     }
 
     #[test]
@@ -247,6 +282,27 @@ mod tests {
         // Grid cannot serve kNN or degenerate radii: automatic fallback.
         assert_ne!(grid.plan_knn(&LARGE), SearchBackend::Grid);
         assert_ne!(grid.plan_ball(&LARGE, 0.0), SearchBackend::Grid);
+    }
+
+    #[test]
+    fn octree_crosses_over_at_out_of_core_scale() {
+        let p = SearchPlanner::auto();
+        // Paper-scale and mid-scale loads keep their historical picks …
+        assert_eq!(p.plan_knn(&SMALL), SearchBackend::BruteForce);
+        assert_eq!(p.plan_knn(&LARGE), SearchBackend::KdTree);
+        assert_eq!(p.plan_ball(&LARGE, 0.3), SearchBackend::Grid);
+        // … but once the cloud spills the cache-resident regime, kNN
+        // crosses over to the octree's contiguous Morton leaves.
+        let huge = SearchLoad { n: 1 << 17, queries: 1024, k: 32 };
+        assert_eq!(p.plan_knn(&huge), SearchBackend::Octree);
+        assert_eq!(
+            p.plan_ball(&huge, 0.0),
+            SearchBackend::Octree,
+            "degenerate radii exclude the grid; the octree serves them at scale"
+        );
+        let forced = SearchPlanner::forced(SearchBackend::Octree);
+        assert_eq!(forced.plan_knn(&SMALL), SearchBackend::Octree);
+        assert_eq!(forced.plan_ball(&SMALL, 0.3), SearchBackend::Octree);
     }
 
     #[test]

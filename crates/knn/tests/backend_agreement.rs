@@ -1,4 +1,5 @@
-//! Deterministic backend-agreement tests: `kdtree`, `grid`, and `ball`
+//! Deterministic backend-agreement tests: `kdtree`, `grid`, `octree`
+//! (resident and paged), and `ball`
 //! results must match `bruteforce::knn_indices` (the reference
 //! implementation) on seeded clouds, including the edge cases the proptest
 //! suite's randomized inputs rarely hit: k = 1, k = n, and duplicate
@@ -15,7 +16,8 @@ use mesorasi_knn::grid::UniformGrid;
 use mesorasi_knn::index::{BruteForceIndex, FeatureBrute};
 use mesorasi_knn::kdtree::KdTree;
 use mesorasi_knn::{
-    ball, bruteforce, NeighborIndexTable, SearchBackend, SearchContext, SearchIndex, SearchPlanner,
+    ball, bruteforce, MortonOctree, NeighborIndexTable, SearchBackend, SearchContext, SearchIndex,
+    SearchPlanner,
 };
 use mesorasi_pointcloud::shapes::{sample_shape, ShapeClass};
 use mesorasi_pointcloud::{Point3, PointCloud};
@@ -166,12 +168,20 @@ fn single_point_cloud_every_backend_returns_the_point() {
 // The pluggable subsystem: trait objects, the planner, and the context.
 // ---------------------------------------------------------------------
 
-/// Every kNN-capable backend behind `Box<dyn SearchIndex>`.
+/// Every kNN-capable backend behind `Box<dyn SearchIndex>`: the octree
+/// rides along twice, resident and behind a pager budget of two leaves,
+/// so every agreement case below (k = 1, k = n, duplicate points,
+/// zero-extent AABB, k far beyond any leaf's 32 points) also exercises
+/// eviction churn.
 fn knn_backends(cloud: &PointCloud) -> Vec<Box<dyn SearchIndex>> {
+    let mut paged = MortonOctree::paged(2 * 32 * 12); // two 32-point leaves
+    SearchIndex::build_into(&mut paged, cloud);
     vec![
         Box::new(<KdTree as SearchIndex>::build(cloud)),
         Box::new(<BruteForceIndex as SearchIndex>::build(cloud)),
         Box::new(<FeatureBrute as SearchIndex>::build(cloud)),
+        Box::new(<MortonOctree as SearchIndex>::build(cloud)),
+        Box::new(paged),
     ]
 }
 
@@ -299,6 +309,7 @@ fn planner_selected_backends_agree_through_the_context() {
         SearchPlanner::forced(SearchBackend::BruteForce),
         SearchPlanner::forced(SearchBackend::KdTree),
         SearchPlanner::forced(SearchBackend::Grid),
+        SearchPlanner::forced(SearchBackend::Octree),
     ];
     for planner in planners {
         let mut ctx = SearchContext::with_planner(planner);

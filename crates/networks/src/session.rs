@@ -283,6 +283,8 @@ pub struct SessionBuilder {
     sample_cache_cap: Option<usize>,
     dtype: Option<Dtype>,
     tile_budget: Option<Option<usize>>,
+    lod: usize,
+    pager_budget: Option<Option<usize>>,
 }
 
 /// Default per-tile point budget of the tiled streaming path: large enough
@@ -336,6 +338,8 @@ impl SessionBuilder {
             sample_cache_cap: None,
             dtype: None,
             tile_budget: None,
+            lod: 0,
+            pager_budget: None,
         }
     }
 
@@ -463,6 +467,33 @@ impl SessionBuilder {
         self
     }
 
+    /// Octree LOD level for every worker's coordinate searches (default 0
+    /// = exact). Level `ℓ ≥ 1` lets octree-served searches answer from
+    /// depth-`ℓ` representative subsamples — approximate neighborhoods at
+    /// lower latency on large clouds. Searches served by other backends
+    /// stay exact, so this only affects clouds the planner (or a forced
+    /// `octree` backend) routes to the octree.
+    pub fn lod(mut self, lod: usize) -> Self {
+        self.lod = lod;
+        self
+    }
+
+    /// Pages octree leaf payloads through a file-backed LRU bounded by
+    /// `bytes` of residency per worker (the out-of-core mode; default:
+    /// resident, or `MESORASI_PAGER_BUDGET`). Paging is bit-identical to
+    /// resident execution at every budget — only memory and latency move.
+    pub fn pager_budget(mut self, bytes: usize) -> Self {
+        self.pager_budget = Some(Some(bytes));
+        self
+    }
+
+    /// Forces octree leaf payloads resident, overriding any
+    /// `MESORASI_PAGER_BUDGET` in the environment.
+    pub fn unpaged(mut self) -> Self {
+        self.pager_budget = Some(None);
+        self
+    }
+
     /// Builds the session. Plan compilation is lazy: each worker engine
     /// records the network on first contact with a given input shape.
     pub fn build(self) -> Session {
@@ -500,6 +531,10 @@ impl SessionBuilder {
                     }
                     engine.set_dtype(dtype);
                     engine.set_tile_budget(tile_budget);
+                    engine.set_lod(self.lod);
+                    if let Some(budget) = self.pager_budget {
+                        engine.set_pager_budget(budget);
+                    }
                     Worker { engine: Mutex::new(engine), holder: AtomicU64::new(0) }
                 })
                 .collect(),

@@ -70,16 +70,53 @@ pub fn code_for_point(p: Point3, bounds: &Aabb) -> u64 {
     encode(q(n.x), q(n.y), q(n.z))
 }
 
+/// Writes the Morton code of every point in `cloud` into `codes`,
+/// reusing its capacity (the allocation-free core of [`sort_permutation`]).
+///
+/// An empty cloud leaves `codes` empty.
+pub fn codes_into(cloud: &PointCloud, codes: &mut Vec<u64>) {
+    codes.clear();
+    let Some(bounds) = cloud.bounds() else {
+        return;
+    };
+    codes.extend(cloud.points().iter().map(|&p| code_for_point(p, &bounds)));
+}
+
+/// [`sort_permutation`] with caller-owned scratch: `codes` and `order` are
+/// cleared and refilled, so a warm loop pays no per-call allocation once
+/// their capacities have grown to the cloud size. The permutation lands in
+/// `order` and ties on equal codes break by ascending index, exactly like
+/// the allocating variant's stable sort.
+pub fn sort_permutation_into(cloud: &PointCloud, codes: &mut Vec<u64>, order: &mut Vec<usize>) {
+    codes_into(cloud, codes);
+    order.clear();
+    if codes.is_empty() {
+        return;
+    }
+    order.extend(0..cloud.len());
+    order.sort_unstable_by_key(|&i| (codes[i], i));
+}
+
+/// [`sort_cloud`] with caller-owned scratch and output: the reordered cloud
+/// lands in `out` (capacity reused), `codes`/`order` are the scratch of
+/// [`sort_permutation_into`].
+pub fn sort_cloud_into(
+    cloud: &PointCloud,
+    codes: &mut Vec<u64>,
+    order: &mut Vec<usize>,
+    out: &mut PointCloud,
+) {
+    sort_permutation_into(cloud, codes, order);
+    cloud.select_into(order, out);
+}
+
 /// Returns the permutation that sorts `cloud` along the Morton curve.
 ///
 /// An empty cloud yields an empty permutation.
 pub fn sort_permutation(cloud: &PointCloud) -> Vec<usize> {
-    let Some(bounds) = cloud.bounds() else {
-        return Vec::new();
-    };
-    let mut order: Vec<usize> = (0..cloud.len()).collect();
-    let codes: Vec<u64> = cloud.points().iter().map(|&p| code_for_point(p, &bounds)).collect();
-    order.sort_by_key(|&i| codes[i]);
+    let mut codes = Vec::new();
+    let mut order = Vec::new();
+    sort_permutation_into(cloud, &mut codes, &mut order);
     order
 }
 
@@ -173,6 +210,38 @@ mod tests {
     #[test]
     fn sort_permutation_empty_cloud() {
         assert!(sort_permutation(&PointCloud::new()).is_empty());
+        let mut codes = vec![1, 2, 3];
+        let mut order = vec![4, 5];
+        sort_permutation_into(&PointCloud::new(), &mut codes, &mut order);
+        assert!(codes.is_empty());
+        assert!(order.is_empty());
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let mut rng = crate::seeded_rng(11);
+        let pts: Vec<Point3> =
+            (0..300).map(|_| Point3::new(rng.gen(), rng.gen(), rng.gen())).collect();
+        // Duplicate a run of points so equal Morton codes exercise the
+        // index tie-break.
+        let pts: Vec<Point3> = pts.iter().chain(pts[..32].iter()).copied().collect();
+        let cloud = PointCloud::from_points(pts);
+
+        let mut codes = Vec::new();
+        let mut order = Vec::new();
+        let mut out = PointCloud::new();
+        sort_cloud_into(&cloud, &mut codes, &mut order, &mut out);
+
+        assert_eq!(order, sort_permutation(&cloud));
+        assert!(out.content_eq(&sort_cloud(&cloud)));
+        let bounds = cloud.bounds().expect("non-empty");
+        let expect: Vec<u64> = cloud.points().iter().map(|&p| code_for_point(p, &bounds)).collect();
+        assert_eq!(codes, expect);
+
+        // Warm second call reuses capacity: no growth.
+        let (cc, oc) = (codes.capacity(), order.capacity());
+        sort_cloud_into(&cloud, &mut codes, &mut order, &mut out);
+        assert_eq!((codes.capacity(), order.capacity()), (cc, oc));
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub enum ClientError {
     },
     /// The server sent a frame that makes no sense here.
     UnexpectedFrame(&'static str),
+    /// A frame to be sent exceeds the point limit the server announced in
+    /// its hello, so the request would be refused as malformed and the
+    /// connection closed; the client checks up front instead.
+    FrameTooLarge {
+        /// Index of the offending frame in the replay sequence.
+        frame: usize,
+        /// Points in that frame.
+        points: usize,
+        /// The server's announced per-request limit.
+        max_points: u32,
+    },
     /// The server answered a request with a typed error.
     Rejected {
         /// The request's correlation id.
@@ -47,6 +58,12 @@ impl std::fmt::Display for ClientError {
                 write!(f, "server speaks protocol v{server}, this client v{client}")
             }
             ClientError::UnexpectedFrame(what) => write!(f, "unexpected frame: {what}"),
+            ClientError::FrameTooLarge { frame, points, max_points } => {
+                write!(
+                    f,
+                    "frame {frame} has {points} points, over the server's limit of {max_points}"
+                )
+            }
             ClientError::Rejected { id, code, message } => {
                 write!(f, "request {id} rejected ({code}): {message}")
             }
@@ -99,6 +116,7 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     domain: Domain,
     input_points: u32,
+    max_points: u32,
 }
 
 impl Client {
@@ -110,14 +128,14 @@ impl Client {
         let writer = BufWriter::new(stream.try_clone().map_err(ProtocolError::Io)?);
         let mut reader = BufReader::new(stream);
         match read_frame(&mut reader)? {
-            Frame::Hello { version, domain, input_points } => {
+            Frame::Hello { version, domain, input_points, max_points } => {
                 if version != PROTOCOL_VERSION {
                     return Err(ClientError::VersionMismatch {
                         server: version,
                         client: PROTOCOL_VERSION,
                     });
                 }
-                Ok(Client { reader, writer, domain, input_points })
+                Ok(Client { reader, writer, domain, input_points, max_points })
             }
             _ => Err(ClientError::UnexpectedFrame("server did not greet with a hello")),
         }
@@ -133,6 +151,13 @@ impl Client {
     /// best on the server.
     pub fn input_points(&self) -> u32 {
         self.input_points
+    }
+
+    /// The server's hard per-request point limit, announced in its hello.
+    /// Requests above it would be rejected as malformed and close the
+    /// connection, so check loaded frames against this first.
+    pub fn max_points(&self) -> u32 {
+        self.max_points
     }
 
     /// Sends one inference request without waiting for the response.
@@ -260,12 +285,23 @@ pub fn quantile_us(latencies_us: &[u64], q: f64) -> Option<u64> {
 ///
 /// Every request gets a typed outcome — the protocol never drops silently
 /// — so the report's counters always sum to `sent`.
+///
+/// Loaded frames (e.g. from `.xyz`/`.ply` files) are validated against the
+/// server's announced point limit before anything is sent: an oversized
+/// frame returns [`ClientError::FrameTooLarge`] up front rather than a
+/// mid-replay malformed error that kills the connection.
 pub fn replay<A: ToSocketAddrs>(
     addr: A,
     frames: &[PointCloud],
     hz: f64,
 ) -> Result<ReplayReport, ClientError> {
     let client = Client::connect(addr)?;
+    let max_points = client.max_points();
+    for (frame, cloud) in frames.iter().enumerate() {
+        if cloud.len() as u64 > u64::from(max_points) {
+            return Err(ClientError::FrameTooLarge { frame, points: cloud.len(), max_points });
+        }
+    }
     let Client { reader, mut writer, .. } = client;
     let interval = if hz > 0.0 { Duration::from_secs_f64(1.0 / hz) } else { Duration::ZERO };
 
@@ -417,6 +453,46 @@ mod tests {
     }
 
     #[test]
+    fn replay_refuses_oversized_frames_before_sending() {
+        use crate::protocol::{write_frame, Frame};
+        use std::io::Write;
+        // A fake server announcing a tiny point limit: replay must refuse
+        // the oversized frame up front, without sending a single request.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let fake = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let hello = Frame::Hello {
+                version: PROTOCOL_VERSION,
+                domain: Domain::Classification,
+                input_points: 64,
+                max_points: 16,
+            };
+            write_frame(&mut stream, &hello).expect("write hello");
+            stream.flush().expect("flush");
+            // Were replay to send anyway, this read would see bytes; EOF
+            // proves the client hung up without transmitting a request.
+            let mut rest = Vec::new();
+            std::io::Read::read_to_end(&mut stream, &mut rest).expect("read");
+            rest
+        });
+        let frames = vec![
+            sample_shape(ShapeClass::Chair, 8, 1),
+            sample_shape(ShapeClass::Chair, 32, 2), // over the limit of 16
+        ];
+        match replay(addr, &frames, 0.0) {
+            Err(ClientError::FrameTooLarge { frame, points, max_points }) => {
+                assert_eq!(frame, 1);
+                assert_eq!(points, 32);
+                assert_eq!(max_points, 16);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        let leaked = fake.join().expect("fake server");
+        assert!(leaked.is_empty(), "replay sent bytes despite the oversized frame");
+    }
+
+    #[test]
     fn version_mismatch_is_refused() {
         use crate::protocol::{write_frame, Frame};
         use std::io::Write;
@@ -428,6 +504,7 @@ mod tests {
                 version: PROTOCOL_VERSION + 1,
                 domain: Domain::Classification,
                 input_points: 64,
+                max_points: 1024,
             };
             write_frame(&mut stream, &hello).expect("write hello");
             stream.flush().expect("flush");

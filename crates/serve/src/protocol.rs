@@ -10,7 +10,7 @@
 //! |------|-------|-----------|------|
 //! | 0x01 | [`Frame::Infer`] | client → server | `u64 id, u32 n, n×3 f32 xyz` |
 //! | 0x02 | [`Frame::Stats`] | client → server | empty |
-//! | 0x80 | [`Frame::Hello`] | server → client | `u16 version, u8 domain, u32 input_points` |
+//! | 0x80 | [`Frame::Hello`] | server → client | `u16 version, u8 domain, u32 input_points, u32 max_points` |
 //! | 0x81 | [`Frame::Result`] | server → client | `u64 id, u8 n_mats, {u32 rows, u32 cols, rows·cols f32}×` |
 //! | 0x82 | [`Frame::Error`] | server → client | `u64 id, u8 code, u16 len, len UTF-8 bytes` |
 //! | 0x83 | [`Frame::StatsResult`] | server → client | `8×u64` (see [`ServerStats`]) |
@@ -27,7 +27,10 @@ use std::io::{Read, Write};
 
 /// Protocol version spoken by this build; the server announces it in
 /// [`Frame::Hello`] and clients refuse to proceed on mismatch.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// History: v1 had no `max_points` in HELLO (clients learned the point
+/// limit from a Malformed error); v2 announces it up front.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard ceiling on one frame's payload (kind byte + body). Large enough
 /// for paper-scale segmentation results, small enough that a corrupt
@@ -127,6 +130,11 @@ pub enum Frame {
         /// The served network's native input size (clients may send other
         /// sizes; same-size requests batch best).
         input_points: u32,
+        /// The server's hard ceiling on points per request
+        /// ([`MAX_POINTS`] for this build) — announced so clients can
+        /// pre-check loaded frames instead of learning the limit from a
+        /// Malformed error mid-stream.
+        max_points: u32,
     },
     /// Successful inference: the session outputs as raw matrices (1 for
     /// classification/segmentation, 2 for detection).
@@ -226,11 +234,12 @@ pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
             }
         }
         Frame::Stats => out.push(0x02),
-        Frame::Hello { version, domain, input_points } => {
+        Frame::Hello { version, domain, input_points, max_points } => {
             out.push(0x80);
             out.extend_from_slice(&version.to_le_bytes());
             out.push(domain_to_byte(*domain));
             out.extend_from_slice(&input_points.to_le_bytes());
+            out.extend_from_slice(&max_points.to_le_bytes());
         }
         Frame::Result { id, mats } => {
             out.push(0x81);
@@ -358,8 +367,9 @@ pub fn decode(payload: &[u8]) -> Result<Frame, ProtocolError> {
             let version = c.u16()?;
             let domain = domain_from_byte(c.u8()?)?;
             let input_points = c.u32()?;
+            let max_points = c.u32()?;
             c.finish()?;
-            Frame::Hello { version, domain, input_points }
+            Frame::Hello { version, domain, input_points, max_points }
         }
         0x81 => {
             let id = c.u64()?;
@@ -464,6 +474,7 @@ mod tests {
             version: PROTOCOL_VERSION,
             domain: Domain::Detection,
             input_points: 1024,
+            max_points: MAX_POINTS,
         });
         roundtrip(Frame::Result {
             id: 7,

@@ -2,7 +2,8 @@
 //! the wiring from sockets into the batching [scheduler](crate::scheduler).
 //!
 //! Connection lifecycle: on accept the server immediately sends
-//! [`Frame::Hello`] (version, domain, native input size), then reads
+//! [`Frame::Hello`] (version, domain, native input size, and the hard
+//! per-request point limit), then reads
 //! frames until EOF. Each [`Frame::Infer`] is submitted to the scheduler;
 //! replies flow back through a per-connection channel drained by a writer
 //! thread, so slow dispatches never block the reader and responses from a
@@ -11,7 +12,9 @@
 //! connection — the byte stream can no longer be trusted after a framing
 //! error.
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Frame, ServerStats, PROTOCOL_VERSION};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, ServerStats, MAX_POINTS, PROTOCOL_VERSION,
+};
 use crate::scheduler::{Job, Scheduler, SchedulerConfig};
 use mesorasi_networks::Session;
 use std::collections::HashMap;
@@ -71,6 +74,7 @@ impl Server {
             version: PROTOCOL_VERSION,
             domain: session.domain(),
             input_points: session.network().input_points() as u32,
+            max_points: MAX_POINTS,
         };
 
         let accept_thread = {
